@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the three query families answered by a
+//! materialized compressed skyline cube (Section 1 of the paper).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use skycube_datagen::{generate, Distribution};
+use skycube_stellar::compute_cube;
+use skycube_types::DimMask;
+
+fn bench_queries(c: &mut Criterion) {
+    let ds = generate(Distribution::Independent, 50_000, 6, 29);
+    let cube = compute_cube(&ds);
+    let mut group = c.benchmark_group("cube_queries");
+
+    // Query 1: subspace skyline extraction, across all subspaces.
+    group.bench_function("all_subspace_skylines", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for space in DimMask::full(6).subsets() {
+                total += cube.subspace_skyline(space).len();
+            }
+            total
+        })
+    });
+
+    // Query 2: object membership probes across objects and subspaces.
+    group.bench_function("membership_probes", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for o in (0..50_000u32).step_by(997) {
+                for space in DimMask::full(6).subsets() {
+                    hits += cube.is_skyline_in(o, space) as usize;
+                }
+            }
+            hits
+        })
+    });
+
+    // Query 3: aggregate analysis derived from the compressed form.
+    group.bench_function("skycube_size_from_cube", |b| {
+        b.iter(|| cube.skycube_size())
+    });
+    group.bench_function("sizes_by_dimensionality", |b| {
+        b.iter(|| cube.skycube_sizes_by_dimensionality())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion micro-benchmarks of the two skycube materialization strategies
+//! in the Skyey crate: the shared-sort DFS (bottom-up over the subspace
+//! enumeration tree) vs TDS (top-down with parent-skyline sharing, after
+//! Yuan et al. [15]).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skycube_datagen::{generate, Distribution};
+use skycube_skyey::{skycube_total_size, tds_total_size};
+
+fn bench_skycube(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skycube_materialization");
+    group.sample_size(10);
+    for dist in Distribution::ALL {
+        let ds = generate(dist, 10_000, 6, 37);
+        group.bench_with_input(
+            BenchmarkId::new("dfs_shared_sort", dist.name()),
+            &ds,
+            |b, ds| b.iter(|| skycube_total_size(ds)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tds_parent_sharing", dist.name()),
+            &ds,
+            |b, ds| b.iter(|| tds_total_size(ds)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skycube);
+criterion_main!(benches);

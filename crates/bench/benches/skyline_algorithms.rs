@@ -1,0 +1,114 @@
+//! Criterion micro-benchmarks: the single-space skyline substrate across
+//! algorithms and data distributions (the paper's related-work baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use skycube_datagen::{generate, Distribution};
+use skycube_skyline::{skyline_bbs_indexed, Algorithm, RTree};
+use skycube_subsky::SubskyIndex;
+
+fn bench_skyline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyline_full_space");
+    group.sample_size(10);
+    for dist in Distribution::ALL {
+        let ds = generate(dist, 10_000, 5, 11);
+        let full = ds.full_space();
+        for alg in [
+            Algorithm::Bnl,
+            Algorithm::Sfs,
+            Algorithm::SfsLex,
+            Algorithm::Dnc,
+            Algorithm::Less,
+            Algorithm::Salsa,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), dist.name()),
+                &ds,
+                |b, ds| b.iter(|| alg.run(ds, full)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_skyline_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("skyline_vs_dims");
+    group.sample_size(10);
+    for d in [2usize, 4, 8, 12] {
+        let ds = generate(Distribution::Independent, 20_000, d, 13);
+        group.bench_with_input(BenchmarkId::new("sfs", d), &ds, |b, ds| {
+            b.iter(|| Algorithm::Sfs.run(ds, ds.full_space()))
+        });
+    }
+    group.finish();
+}
+
+/// Index-amortized approaches: one build, many subspace queries — the
+/// regime of reference [13] vs. per-query algorithms.
+fn bench_indexed_subspace_queries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("indexed_subspace_queries");
+    group.sample_size(10);
+    let ds = generate(Distribution::Independent, 20_000, 5, 41);
+    let tree = RTree::build(&ds);
+    let subsky = SubskyIndex::build(&ds);
+    let spaces: Vec<_> = ds.full_space().subsets().collect();
+    group.bench_function("bbs_rtree_all_subspaces", |b| {
+        b.iter(|| {
+            spaces
+                .iter()
+                .map(|&s| skyline_bbs_indexed(&tree, s).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("subsky_all_subspaces", |b| {
+        b.iter(|| {
+            spaces
+                .iter()
+                .map(|&s| subsky.skyline(s).len())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("sfs_all_subspaces", |b| {
+        b.iter(|| {
+            spaces
+                .iter()
+                .map(|&s| Algorithm::Sfs.run(&ds, s).len())
+                .sum::<usize>()
+        })
+    });
+    group.finish();
+}
+
+/// Bitmap skyline on a coarse domain, where its bitslices shine.
+fn bench_bitmap_on_coarse_domain(c: &mut Criterion) {
+    use skycube_skyline::BitmapIndex;
+    use skycube_types::Dataset;
+    let mut group = c.benchmark_group("bitmap_skyline");
+    group.sample_size(10);
+    let base = generate(Distribution::Independent, 10_000, 4, 43);
+    // Coarsen to 16 distinct values per dimension.
+    let rows: Vec<Vec<i64>> = base
+        .ids()
+        .map(|o| base.row(o).iter().map(|v| v / 625).collect())
+        .collect();
+    let ds = Dataset::from_rows(4, rows).unwrap();
+    group.bench_function("bitmap_build_and_query", |b| {
+        b.iter(|| Algorithm::Bitmap.run(&ds, ds.full_space()).len())
+    });
+    let index = BitmapIndex::build(&ds);
+    group.bench_function("bitmap_query_only", |b| {
+        b.iter(|| index.skyline(ds.full_space()).len())
+    });
+    group.bench_function("sfs_same_data", |b| {
+        b.iter(|| Algorithm::Sfs.run(&ds, ds.full_space()).len())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_skyline,
+    bench_skyline_dimensionality,
+    bench_indexed_subspace_queries,
+    bench_bitmap_on_coarse_domain
+);
+criterion_main!(benches);

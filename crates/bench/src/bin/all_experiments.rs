@@ -1,0 +1,13 @@
+//! Run the entire evaluation suite (Figures 8–12) and print an
+//! `EXPERIMENTS.md`-ready report.
+use skycube_bench::{figures, HarnessArgs};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("# Experimental report — Stellar vs Skyey (ICDE 2007 reproduction)\n");
+    figures::fig08(args);
+    figures::fig09(args);
+    figures::fig10(args);
+    figures::fig11(args);
+    figures::fig12(args);
+}

@@ -1,0 +1,5 @@
+//! Reproduce Figure 12 of the paper. See `--help` for options.
+fn main() {
+    let args = skycube_bench::HarnessArgs::parse();
+    skycube_bench::figures::fig12(args);
+}

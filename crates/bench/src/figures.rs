@@ -1,0 +1,193 @@
+//! One function per figure of the paper's evaluation. Each prints a
+//! markdown table with exactly the series the paper plots.
+
+use crate::{
+    count_metrics, count_metrics_skyey, header, row, run_skyey, run_stellar, secs, table_header,
+    HarnessArgs,
+};
+use skycube_datagen::{generate, nba_table_sized, Distribution, NBA_PLAYERS};
+use skycube_types::Dataset;
+
+/// Deterministic seed for all workloads, so runs are reproducible.
+const SEED: u64 = 20070415;
+
+/// The NBA-like table used by Figures 8 and 9.
+fn nba(full: bool) -> (Dataset, Vec<usize>) {
+    let players = NBA_PLAYERS;
+    let max_d = if full { 17 } else { 13 };
+    (nba_table_sized(players, SEED), (1..=max_d).collect())
+}
+
+/// Figure 8: Scalability w.r.t. dimensionality on the (synthetic) NBA data
+/// set — runtime of Skyey and Stellar using the first `d` dimensions.
+pub fn fig08(args: HarnessArgs) {
+    let (ds, dims) = nba(args.full);
+    header(
+        &format!(
+            "Figure 8 — runtime vs dimensionality, NBA-like data set ({} players)",
+            ds.len()
+        ),
+        args.full,
+    );
+    table_header(&["d", "Skyey (s)", "Stellar (s)", "Skyey/Stellar"]);
+    for &d in &dims {
+        let slice = ds.prefix_dims(d).unwrap();
+        let sk = run_skyey(&slice);
+        let st = run_stellar(&slice);
+        if args.verify {
+            assert_eq!(sk.groups, st.groups, "group counts diverged at d={d}");
+        }
+        row(&[
+            d.to_string(),
+            secs(sk.seconds),
+            secs(st.seconds),
+            format!("{:.1}×", sk.seconds / st.seconds.max(1e-9)),
+        ]);
+    }
+    println!();
+}
+
+/// Figure 9: Numbers of skyline groups and subspace skyline objects in the
+/// NBA data set, by dimensionality.
+pub fn fig09(args: HarnessArgs) {
+    let (ds, dims) = nba(args.full);
+    header(
+        &format!(
+            "Figure 9 — #skyline groups vs #subspace skyline objects, NBA-like data set ({} players)",
+            ds.len()
+        ),
+        args.full,
+    );
+    table_header(&["d", "skyline groups", "subspace skyline objects"]);
+    for &d in &dims {
+        let slice = ds.prefix_dims(d).unwrap();
+        let (groups, objects) = count_metrics(&slice);
+        if args.verify {
+            assert_eq!((groups, objects), count_metrics_skyey(&slice));
+        }
+        row(&[d.to_string(), groups.to_string(), objects.to_string()]);
+    }
+    println!();
+}
+
+/// Workload grid of Figures 10 and 11: tuples count and dimensionalities per
+/// distribution, at paper scale or scaled down.
+fn synthetic_grid(full: bool) -> Vec<(Distribution, usize, Vec<usize>)> {
+    if full {
+        vec![
+            (Distribution::Correlated, 100_000, (2..=14).step_by(2).collect()),
+            (Distribution::Independent, 100_000, (1..=6).collect()),
+            (Distribution::AntiCorrelated, 100_000, (1..=6).collect()),
+        ]
+    } else {
+        vec![
+            (Distribution::Correlated, 50_000, (2..=12).step_by(2).collect()),
+            (Distribution::Independent, 50_000, (1..=5).collect()),
+            (Distribution::AntiCorrelated, 20_000, (1..=5).collect()),
+        ]
+    }
+}
+
+/// Figure 10: skyline distribution (group count vs subspace-skyline-object
+/// count) in the three synthetic distributions.
+pub fn fig10(args: HarnessArgs) {
+    header(
+        "Figure 10 — skyline distribution in three synthetic data sets",
+        args.full,
+    );
+    for (dist, n, dims) in synthetic_grid(args.full) {
+        println!("### ({}) {} distributed, {} tuples", panel(dist), dist.name(), n);
+        table_header(&["d", "skyline groups", "subspace skyline objects"]);
+        for &d in &dims {
+            let ds = generate(dist, n, d, SEED ^ d as u64);
+            let (groups, objects) = count_metrics(&ds);
+            if args.verify {
+                assert_eq!((groups, objects), count_metrics_skyey(&ds));
+            }
+            row(&[d.to_string(), groups.to_string(), objects.to_string()]);
+        }
+        println!();
+    }
+}
+
+/// Figure 11: runtime vs dimensionality in the three synthetic data sets.
+pub fn fig11(args: HarnessArgs) {
+    header(
+        "Figure 11 — runtime vs dimensionality in three synthetic data sets",
+        args.full,
+    );
+    for (dist, n, dims) in synthetic_grid(args.full) {
+        println!("### ({}) {} distributed, {} tuples", panel(dist), dist.name(), n);
+        table_header(&["d", "Skyey (s)", "Stellar (s)", "Skyey/Stellar"]);
+        for &d in &dims {
+            let ds = generate(dist, n, d, SEED ^ d as u64);
+            let sk = run_skyey(&ds);
+            let st = run_stellar(&ds);
+            if args.verify {
+                assert_eq!(sk.groups, st.groups);
+            }
+            row(&[
+                d.to_string(),
+                secs(sk.seconds),
+                secs(st.seconds),
+                format!("{:.1}×", sk.seconds / st.seconds.max(1e-9)),
+            ]);
+        }
+        println!();
+    }
+}
+
+/// Figure 12: scalability w.r.t. database size — correlated 6-d,
+/// independent 4-d, anti-correlated 4-d.
+pub fn fig12(args: HarnessArgs) {
+    header(
+        "Figure 12 — runtime vs database size in three synthetic data sets",
+        args.full,
+    );
+    let grid: Vec<(Distribution, usize, Vec<usize>)> = if args.full {
+        vec![
+            (Distribution::Correlated, 6, (1..=5).map(|k| k * 100_000).collect()),
+            (Distribution::Independent, 4, (1..=5).map(|k| k * 100_000).collect()),
+            (Distribution::AntiCorrelated, 4, (1..=5).map(|k| k * 100_000).collect()),
+        ]
+    } else {
+        vec![
+            (Distribution::Correlated, 6, (1..=5).map(|k| k * 20_000).collect()),
+            (Distribution::Independent, 4, (1..=5).map(|k| k * 20_000).collect()),
+            (Distribution::AntiCorrelated, 4, (1..=5).map(|k| k * 20_000).collect()),
+        ]
+    };
+    for (dist, d, sizes) in grid {
+        println!("### ({}) {} distributed, {} dimensions", panel(dist), dist.name(), d);
+        table_header(&["tuples", "Skyey (s)", "Stellar (s)", "Skyey/Stellar"]);
+        // Generate once at the largest size; prefixes keep the sweep
+        // consistent (smaller sets are strict subsets, as with a generator
+        // emitting a stream).
+        let biggest = generate(dist, *sizes.last().unwrap(), d, SEED ^ d as u64);
+        for &n in &sizes {
+            let ds = biggest.prefix_rows(n);
+            let sk = run_skyey(&ds);
+            let st = run_stellar(&ds);
+            if args.verify {
+                assert_eq!(sk.groups, st.groups);
+            }
+            row(&[
+                n.to_string(),
+                secs(sk.seconds),
+                secs(st.seconds),
+                format!("{:.1}×", sk.seconds / st.seconds.max(1e-9)),
+            ]);
+        }
+        println!();
+    }
+}
+
+fn panel(dist: Distribution) -> &'static str {
+    match dist {
+        Distribution::Correlated => "a",
+        Distribution::Independent => "b",
+        Distribution::AntiCorrelated => "c",
+        // Not part of the paper's grids.
+        Distribution::Clustered => "x",
+    }
+}

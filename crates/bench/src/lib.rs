@@ -1,0 +1,154 @@
+//! Benchmark harness reproducing the paper's evaluation (Section 6).
+//!
+//! Each figure of the evaluation has a binary (`fig08` … `fig12`) that
+//! regenerates the same series the paper plots; `all_experiments` runs the
+//! whole suite and emits an `EXPERIMENTS.md`-ready report. Absolute numbers
+//! differ from the 2007 testbed (P4 3.0 GHz / MSVC6); the *shapes* — who
+//! wins, by what factor, where the anti-correlated crossover sits — are the
+//! reproduction target.
+//!
+//! Every binary accepts `--full` to run the paper's original sizes (slow on
+//! a small machine) and otherwise uses scaled-down defaults chosen to finish
+//! in minutes on one core while preserving the shapes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use skycube_skyey::{skyey_groups, skycube_total_size};
+use skycube_stellar::compute_cube;
+use skycube_types::Dataset;
+use std::time::Instant;
+
+/// Result of timing one algorithm on one workload.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Number of skyline groups produced.
+    pub groups: usize,
+}
+
+/// Run Stellar end-to-end, returning wall time and group count.
+pub fn run_stellar(ds: &Dataset) -> Measured {
+    let t = Instant::now();
+    let cube = compute_cube(ds);
+    let seconds = t.elapsed().as_secs_f64();
+    Measured {
+        seconds,
+        groups: cube.num_groups(),
+    }
+}
+
+/// Run Skyey end-to-end (all subspace skylines + group assembly).
+pub fn run_skyey(ds: &Dataset) -> Measured {
+    let t = Instant::now();
+    let groups = skyey_groups(ds);
+    let seconds = t.elapsed().as_secs_f64();
+    Measured {
+        seconds,
+        groups: groups.len(),
+    }
+}
+
+/// Count skyline groups and subspace skyline objects (the Figure 9/10
+/// metrics). Group count comes from Stellar, skycube size from the shared
+/// DFS (both methods agree; tests enforce it).
+pub fn count_metrics(ds: &Dataset) -> (usize, u64) {
+    let cube = compute_cube(ds);
+    (cube.num_groups(), cube.skycube_size())
+}
+
+/// Count metrics with Skyey (used for cross-checking in `--verify` mode).
+pub fn count_metrics_skyey(ds: &Dataset) -> (usize, u64) {
+    (skyey_groups(ds).len(), skycube_total_size(ds))
+}
+
+/// Common command-line switches of the figure binaries.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HarnessArgs {
+    /// Run the paper's original workload sizes.
+    pub full: bool,
+    /// Cross-check Stellar and Skyey outputs while measuring.
+    pub verify: bool,
+}
+
+impl HarnessArgs {
+    /// Parse from `std::env::args`, ignoring unknown switches.
+    pub fn parse() -> Self {
+        let mut args = HarnessArgs::default();
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--verify" => args.verify = true,
+                "--help" | "-h" => {
+                    eprintln!("options: --full (paper-size workloads), --verify (cross-check Stellar vs Skyey)");
+                    std::process::exit(0);
+                }
+                other => eprintln!("note: ignoring unknown option {other}"),
+            }
+        }
+        args
+    }
+}
+
+/// Print a report header in the house style.
+pub fn header(title: &str, full: bool) {
+    println!("## {title}");
+    println!(
+        "_mode: {}_",
+        if full {
+            "--full (paper-scale workload)"
+        } else {
+            "scaled-down default (pass --full for paper scale)"
+        }
+    );
+    println!();
+}
+
+/// Print a markdown table row.
+pub fn row(cells: &[String]) {
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Print a markdown table header + separator.
+pub fn table_header(cols: &[&str]) {
+    println!("| {} |", cols.join(" | "));
+    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+}
+
+/// Format seconds compactly.
+pub fn secs(s: f64) -> String {
+    if s < 0.001 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.1}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_types::running_example;
+
+    #[test]
+    fn both_runners_agree_on_group_counts() {
+        let ds = running_example();
+        assert_eq!(run_stellar(&ds).groups, 8);
+        assert_eq!(run_skyey(&ds).groups, 8);
+        let (g, s) = count_metrics(&ds);
+        let (g2, s2) = count_metrics_skyey(&ds);
+        assert_eq!((g, s), (g2, s2));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(0.0000005), "0.5µs");
+        assert_eq!(secs(0.5), "500.0ms");
+        assert_eq!(secs(2.5), "2.50s");
+    }
+}
+
+/// Figure-level experiment drivers.
+pub mod figures;

@@ -1,0 +1,125 @@
+//! Minimal CSV persistence for datasets: a header row of dimension names
+//! followed by one integer row per object. Enough to snapshot generated
+//! workloads and reload them reproducibly; no external CSV crate needed for
+//! this fixed, quoted-free format.
+
+use skycube_types::{Dataset, Error, Result, Value};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Write `ds` as CSV to `w` (header + rows).
+pub fn write_csv<W: Write>(ds: &Dataset, w: W) -> Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(out, "{}", ds.names().join(","))?;
+    for o in ds.ids() {
+        let row = ds.row(o);
+        let mut line = String::with_capacity(row.len() * 8);
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&v.to_string());
+        }
+        writeln!(out, "{line}")?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Write `ds` to a file path.
+pub fn save_csv<P: AsRef<Path>>(ds: &Dataset, path: P) -> Result<()> {
+    write_csv(ds, std::fs::File::create(path)?)
+}
+
+/// Read a dataset from CSV (header + integer rows).
+pub fn read_csv<R: Read>(r: R) -> Result<Dataset> {
+    let mut lines = BufReader::new(r).lines();
+    let header = match lines.next() {
+        Some(h) => h?,
+        None => {
+            return Err(Error::Parse {
+                line: 1,
+                token: "<empty input>".into(),
+            })
+        }
+    };
+    let names: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    let dims = names.len();
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut row = Vec::with_capacity(dims);
+        for tok in line.split(',') {
+            let v: Value = tok.trim().parse().map_err(|_| Error::Parse {
+                line: lineno + 2,
+                token: tok.to_string(),
+            })?;
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    Dataset::from_rows(dims, rows)?.with_names(names)
+}
+
+/// Read a dataset from a file path.
+pub fn load_csv<P: AsRef<Path>>(path: P) -> Result<Dataset> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_types::running_example;
+
+    #[test]
+    fn roundtrip() {
+        let ds = running_example();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back, ds);
+        assert_eq!(back.names(), ds.names());
+    }
+
+    #[test]
+    fn header_is_first_line() {
+        let ds = running_example();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("A,B,C,D\n"));
+        assert!(text.contains("5,6,10,7"));
+    }
+
+    #[test]
+    fn parse_errors_carry_location() {
+        let err = read_csv("A,B\n1,x\n".as_bytes()).unwrap_err();
+        match err {
+            Error::Parse { line, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "x");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_skipped_and_negative_values_ok() {
+        let ds = read_csv("A,B\n-1, 2\n\n3,4\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.row(0), &[-1, 2]);
+    }
+
+    #[test]
+    fn row_length_mismatch_detected() {
+        assert!(read_csv("A,B\n1,2,3\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(read_csv("".as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic stand-in for the paper's real data set: the "Great NBA Players"
+//! regular-season technical statistics (17,265 players × 17 dimensions,
+//! 1960–2001, basketball-reference.com).
+//!
+//! The real table is not redistributable, so we synthesize a table of the
+//! same shape and the same statistical character (see `DESIGN.md` §3): career
+//! totals driven by a latent skill × career-length × role model, which makes
+//! all 17 columns strongly positively correlated (a long, good career
+//! inflates every counter) while keeping heavy value ties in the small-count
+//! columns — exactly the regime in which the paper observes a small full-space
+//! skyline, sub-exponential skyline-group growth and a dramatic Stellar win.
+//!
+//! Per the paper's semantics larger values are better; rows are negated on
+//! ingestion so the engine minimizes ([`nba_table`] returns engine-native
+//! values, [`nba_table_raw`] the raw totals).
+
+use crate::rng::{normal, normal_clamped};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skycube_types::{Dataset, Order, Value};
+
+/// Number of players in the paper's table.
+pub const NBA_PLAYERS: usize = 17_265;
+
+/// Number of statistic columns in the paper's table.
+pub const NBA_DIMS: usize = 17;
+
+/// Column names of the synthesized table (career regular-season totals).
+pub const NBA_COLUMNS: [&str; NBA_DIMS] = [
+    "seasons", "games", "minutes", "fgm", "fga", "3pm", "3pa", "ftm", "fta", "oreb", "reb",
+    "ast", "stl", "blk", "tov", "pf", "pts",
+];
+
+/// Generate the engine-native (minimizing) NBA-like table with the paper's
+/// full shape (17,265 × 17). See [`nba_table_sized`] for smaller variants.
+pub fn nba_table(seed: u64) -> Dataset {
+    nba_table_sized(NBA_PLAYERS, seed)
+}
+
+/// Generate an engine-native NBA-like table with `players` rows.
+pub fn nba_table_sized(players: usize, seed: u64) -> Dataset {
+    let raw = nba_table_raw(players, seed);
+    // All columns are larger-is-better.
+    let rows: Vec<Vec<Value>> = (0..raw.len() as u32).map(|o| raw.row(o).to_vec()).collect();
+    Dataset::from_rows_oriented(NBA_DIMS, rows, &[Order::Desc; NBA_DIMS])
+        .expect("generator rows are well formed")
+        .with_names(NBA_COLUMNS.to_vec())
+        .expect("static column names")
+}
+
+/// Generate the raw (larger-is-better) NBA-like table.
+pub fn nba_table_raw(players: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(players);
+    for _ in 0..players {
+        rows.push(player_row(&mut rng));
+    }
+    Dataset::from_rows(NBA_DIMS, rows)
+        .expect("generator rows are well formed")
+        .with_names(NBA_COLUMNS.to_vec())
+        .expect("static column names")
+}
+
+fn player_row<R: Rng + ?Sized>(rng: &mut R) -> Vec<Value> {
+    // Latent player quality and position (0 = pure guard, 1 = pure big).
+    let skill = normal(rng, 0.0, 1.0);
+    let role: f64 = rng.gen();
+
+    // Career length: most careers are short, a few span two decades.
+    let seasons = (normal(rng, 1.0, 0.9).exp().mul_add(1.0, 0.5 + skill))
+        .clamp(1.0, 21.0)
+        .floor();
+    let games_per_season = normal_clamped(rng, 55.0 + 8.0 * skill, 14.0, 5.0, 82.0);
+    let games = (seasons * games_per_season).round().max(1.0);
+    let mpg = normal_clamped(rng, 18.0 + 5.5 * skill, 6.0, 3.0, 43.0);
+    let minutes = games * mpg;
+
+    // Per-36-minute production rates, modulated by skill and role.
+    let q = (0.35 * skill).exp();
+    let per36 = minutes / 36.0;
+    let fga = per36 * normal_clamped(rng, 12.0 * q, 2.5, 1.0, 30.0);
+    let fg_pct = normal_clamped(rng, 0.44 + 0.02 * skill + 0.04 * role, 0.04, 0.25, 0.65);
+    let fgm = fga * fg_pct;
+    // Threes: guards attempt far more; era factor thins them overall.
+    let tpa = per36 * normal_clamped(rng, 2.8 * (1.0 - role) * q, 1.2, 0.0, 12.0) * 0.6;
+    let tpm = tpa * normal_clamped(rng, 0.32, 0.06, 0.0, 0.5);
+    let fta = per36 * normal_clamped(rng, 4.0 * q, 1.3, 0.0, 14.0);
+    let ftm = fta * normal_clamped(rng, 0.74 - 0.08 * role, 0.07, 0.3, 0.95);
+    let oreb = per36 * normal_clamped(rng, 1.0 + 2.6 * role, 0.7, 0.0, 7.0);
+    let dreb = per36 * normal_clamped(rng, 2.4 + 3.8 * role, 1.0, 0.0, 12.0);
+    let reb = oreb + dreb;
+    let ast = per36 * normal_clamped(rng, 5.2 * (1.0 - role) * q, 1.4, 0.0, 13.0);
+    let stl = per36 * normal_clamped(rng, 1.1 + 0.3 * (1.0 - role), 0.4, 0.0, 3.5);
+    let blk = per36 * normal_clamped(rng, 0.25 + 1.9 * role, 0.5, 0.0, 5.0);
+    let tov = per36 * normal_clamped(rng, 1.6 + 0.12 * (fga / per36.max(1e-9)), 0.5, 0.2, 6.0);
+    let pf = per36 * normal_clamped(rng, 2.6 + 0.7 * role, 0.7, 0.5, 6.0);
+    let pts = 2.0 * (fgm - tpm) + 3.0 * tpm + ftm;
+
+    [
+        seasons, games, minutes, fgm, fga, tpm, tpa, ftm, fta, oreb, reb, ast, stl, blk, tov,
+        pf, pts,
+    ]
+    .iter()
+    .map(|&x| x.max(0.0).round() as Value)
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_shape() {
+        // Keep the full-size generation test cheap but real.
+        let ds = nba_table_raw(NBA_PLAYERS, 1);
+        assert_eq!(ds.len(), 17_265);
+        assert_eq!(ds.dims(), 17);
+        assert_eq!(ds.names()[0], "seasons");
+        assert_eq!(ds.names()[16], "pts");
+    }
+
+    #[test]
+    fn totals_are_internally_consistent() {
+        let ds = nba_table_raw(2_000, 2);
+        for o in ds.ids() {
+            let r = ds.row(o);
+            let (seasons, games, minutes) = (r[0], r[1], r[2]);
+            let (fgm, fga, tpm, tpa, ftm, fta) = (r[3], r[4], r[5], r[6], r[7], r[8]);
+            let (oreb, reb) = (r[9], r[10]);
+            assert!((1..=21).contains(&seasons));
+            assert!(games >= seasons, "at least one game per season");
+            assert!(games <= 21 * 82 + 1);
+            assert!(minutes >= games * 3);
+            // Makes cannot exceed attempts (rounding slack of 1).
+            assert!(fgm <= fga + 1);
+            assert!(tpm <= tpa + 1);
+            assert!(ftm <= fta + 1);
+            assert!(oreb <= reb);
+            for &v in r {
+                assert!(v >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn engine_native_table_is_negated() {
+        let raw = nba_table_raw(100, 3);
+        let native = nba_table_sized(100, 3);
+        for o in 0..100u32 {
+            for d in 0..NBA_DIMS {
+                assert_eq!(native.value(o, d), -raw.value(o, d));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        assert_eq!(nba_table_raw(500, 4), nba_table_raw(500, 4));
+        assert_ne!(nba_table_raw(500, 4), nba_table_raw(500, 5));
+    }
+
+    #[test]
+    fn columns_positively_correlated_and_tied() {
+        let ds = nba_table_raw(3_000, 6);
+        // Points and minutes must correlate strongly.
+        let n = ds.len() as f64;
+        let (mut sm, mut sp) = (0.0, 0.0);
+        for o in ds.ids() {
+            sm += ds.value(o, 2) as f64;
+            sp += ds.value(o, 16) as f64;
+        }
+        let (mm, mp) = (sm / n, sp / n);
+        let (mut cov, mut vm, mut vp) = (0.0, 0.0, 0.0);
+        for o in ds.ids() {
+            let a = ds.value(o, 2) as f64 - mm;
+            let b = ds.value(o, 16) as f64 - mp;
+            cov += a * b;
+            vm += a * a;
+            vp += b * b;
+        }
+        let rho = cov / (vm.sqrt() * vp.sqrt());
+        assert!(rho > 0.7, "minutes–points correlation {rho}");
+
+        // The seasons column must exhibit heavy ties (≤ 21 distinct values).
+        let distinct: std::collections::HashSet<Value> =
+            ds.ids().map(|o| ds.value(o, 0)).collect();
+        assert!(distinct.len() <= 21);
+    }
+
+    #[test]
+    fn full_space_skyline_is_small() {
+        // The regime the paper reports for real data: few skyline players.
+        use skycube_skyline_check::skyline_size;
+        let ds = nba_table_sized(5_000, 7);
+        let k = skyline_size(&ds);
+        assert!(k < 200, "full-space skyline unexpectedly large: {k}");
+    }
+
+    /// Minimal local skyline used by the test above without a dependency
+    /// cycle on the skyline crate.
+    mod skycube_skyline_check {
+        use skycube_types::Dataset;
+
+        pub fn skyline_size(ds: &Dataset) -> usize {
+            let full = ds.full_space();
+            let mut window: Vec<u32> = Vec::new();
+            'scan: for u in ds.ids() {
+                let mut i = 0;
+                while i < window.len() {
+                    use skycube_types::DomRelation::*;
+                    match ds.compare(window[i], u, full) {
+                        Dominates => continue 'scan,
+                        DominatedBy => {
+                            window.swap_remove(i);
+                        }
+                        Equal | Incomparable => i += 1,
+                    }
+                }
+                window.push(u);
+            }
+            window.len()
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Small random-variate helpers on top of `rand`, so the workspace needs no
+//! extra distribution crates. Box–Muller supplies the normal variates the
+//! Börzsönyi generator recipes call for.
+
+use rand::Rng;
+
+/// A standard normal variate via the Box–Muller transform.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0,1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * std_normal(rng)
+}
+
+/// A normal variate clamped into `[lo, hi]`.
+pub fn normal_clamped<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64, lo: f64, hi: f64) -> f64 {
+    normal(rng, mean, sd).clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn std_normal_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| std_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn clamped_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..5_000 {
+            let x = normal_clamped(&mut rng, 0.5, 5.0, 0.0, 1.0);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! The heart of the Skyey baseline: a depth-first search of the subspace
+//! set-enumeration tree that computes the skyline of *every* non-empty
+//! subspace, sharing sorted lists between a subspace and its extensions.
+//!
+//! The order maintained along a DFS path `(d₁ < d₂ < … < d_k)` is the
+//! lexicographic order over those dimensions. A child node appends one more
+//! dimension, so its order is the parent's order with ties (equal
+//! projections over the path) re-sorted by the new dimension — a stable
+//! refinement, which is how "the sorted lists of objects are shared as much
+//! as possible by the skyline computation in multiple subspaces". Since
+//! lexicographic order over a subspace's dimensions is topological for
+//! dominance in that subspace, a single sort-first-skyline pass per node
+//! suffices.
+
+use skycube_skyline::filter_presorted;
+use skycube_types::{Dataset, DimMask, ObjId};
+
+/// Visit every non-empty subspace of `ds` with its skyline (skyline ids are
+/// in lexicographic scan order, not ascending id order).
+///
+/// Subspaces are visited in set-enumeration (DFS) order; the closure also
+/// receives the depth-shared sorted order's skyline output only — callers
+/// needing ascending ids should sort.
+pub fn for_each_subspace_skyline<F: FnMut(DimMask, &[ObjId])>(ds: &Dataset, mut f: F) {
+    let n = ds.dims();
+    if ds.is_empty() || n == 0 {
+        return;
+    }
+    let base: Vec<ObjId> = ds.ids().collect();
+    let mut skyline_buf: Vec<ObjId> = Vec::new();
+    for d in 0..n {
+        // Order for the single-dimension subspace {d}.
+        let mut order = base.clone();
+        order.sort_unstable_by_key(|&o| ds.value(o, d));
+        recurse(
+            ds,
+            DimMask::single(d),
+            d,
+            &order,
+            &mut skyline_buf,
+            &mut f,
+        );
+    }
+}
+
+fn recurse<F: FnMut(DimMask, &[ObjId])>(
+    ds: &Dataset,
+    space: DimMask,
+    last_dim: usize,
+    order: &[ObjId],
+    skyline_buf: &mut Vec<ObjId>,
+    f: &mut F,
+) {
+    // Skyline of this subspace from the presorted order.
+    *skyline_buf = filter_presorted(ds, space, order);
+    f(space, skyline_buf);
+
+    // Extend by every later dimension, refining tie blocks only.
+    for d in last_dim + 1..ds.dims() {
+        let child_space = space.with(d);
+        let mut child = order.to_vec();
+        refine_ties(ds, space, d, &mut child);
+        recurse(ds, child_space, d, &child, skyline_buf, f);
+    }
+}
+
+/// Stable tie refinement: within each run of equal projections over `space`,
+/// sort by dimension `d`. Afterwards `order` is lexicographic for
+/// `space ∪ {d}`.
+fn refine_ties(ds: &Dataset, space: DimMask, d: usize, order: &mut [ObjId]) {
+    let mut start = 0;
+    while start < order.len() {
+        let mut end = start + 1;
+        while end < order.len()
+            && ds.cmp_lex(order[start], order[end], space) == std::cmp::Ordering::Equal
+        {
+            end += 1;
+        }
+        if end - start > 1 {
+            order[start..end].sort_unstable_by_key(|&o| ds.value(o, d));
+        }
+        start = end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_skyline::skyline_naive;
+    use skycube_types::{running_example, Dataset};
+    use std::collections::HashMap;
+
+    fn all_skylines(ds: &Dataset) -> HashMap<DimMask, Vec<ObjId>> {
+        let mut map = HashMap::new();
+        for_each_subspace_skyline(ds, |space, sky| {
+            let mut s = sky.to_vec();
+            s.sort_unstable();
+            assert!(map.insert(space, s).is_none(), "subspace {space} revisited");
+        });
+        map
+    }
+
+    #[test]
+    fn visits_every_subspace_exactly_once() {
+        let ds = running_example();
+        let map = all_skylines(&ds);
+        assert_eq!(map.len(), 15); // 2^4 − 1
+    }
+
+    #[test]
+    fn skylines_match_oracle_on_running_example() {
+        let ds = running_example();
+        for (space, sky) in all_skylines(&ds) {
+            assert_eq!(sky, skyline_naive(&ds, space), "subspace {space}");
+        }
+    }
+
+    #[test]
+    fn skylines_match_oracle_on_random_tied_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..20 {
+            let dims = rng.gen_range(1..=5);
+            let n = rng.gen_range(1..=60);
+            let rows: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..dims).map(|_| rng.gen_range(0..4)).collect())
+                .collect();
+            let ds = Dataset::from_rows(dims, rows).unwrap();
+            for (space, sky) in all_skylines(&ds) {
+                assert_eq!(
+                    sky,
+                    skyline_naive(&ds, space),
+                    "trial {trial} subspace {space}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_dataset_visits_nothing() {
+        let ds = Dataset::from_rows(3, vec![]).unwrap();
+        let mut count = 0;
+        for_each_subspace_skyline(&ds, |_, _| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn refine_ties_produces_lexicographic_order() {
+        let ds = running_example();
+        // Order by B: ties (P3,P4,P5 all 4) then refine by D.
+        let mut order: Vec<ObjId> = ds.ids().collect();
+        let b = DimMask::single(1);
+        order.sort_unstable_by_key(|&o| ds.value(o, 1));
+        refine_ties(&ds, b, 3, &mut order);
+        for w in order.windows(2) {
+            assert_ne!(
+                ds.cmp_lex(w[0], w[1], b.with(3)),
+                std::cmp::Ordering::Greater
+            );
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The materialized SkyCube (Yuan et al., VLDB'05): the skyline of every
+//! non-empty subspace. Skyey computes it as a byproduct; the paper's
+//! Figures 9 and 10 plot its total size against the number of skyline
+//! groups.
+
+use crate::dfs::for_each_subspace_skyline;
+use skycube_types::{Dataset, DimMask, ObjId};
+use std::collections::HashMap;
+
+/// All `2^n − 1` subspace skylines, materialized.
+#[derive(Clone, Debug)]
+pub struct SkyCube {
+    dims: usize,
+    skylines: HashMap<DimMask, Vec<ObjId>>,
+}
+
+impl SkyCube {
+    /// Compute the full skycube of `ds` with the shared-sort DFS.
+    pub fn compute(ds: &Dataset) -> Self {
+        let mut skylines = HashMap::with_capacity((1usize << ds.dims()).saturating_sub(1));
+        for_each_subspace_skyline(ds, |space, sky| {
+            let mut s = sky.to_vec();
+            s.sort_unstable();
+            skylines.insert(space, s);
+        });
+        SkyCube {
+            dims: ds.dims(),
+            skylines,
+        }
+    }
+
+    /// Dimensionality of the full space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The skyline of `space`.
+    ///
+    /// # Panics
+    /// Panics if `space` is not a non-empty subspace of the full space.
+    pub fn skyline(&self, space: DimMask) -> &[ObjId] {
+        self.skylines
+            .get(&space)
+            .unwrap_or_else(|| panic!("no skyline stored for subspace {space}"))
+    }
+
+    /// Number of materialized subspaces.
+    pub fn num_subspaces(&self) -> usize {
+        self.skylines.len()
+    }
+
+    /// Total number of subspace skyline objects, `Σ_B |skyline(B)|` —
+    /// counting an object once per subspace it appears in, as the paper
+    /// does ("if a player appears in the skylines of multiple subspaces, it
+    /// is counted multiple times").
+    pub fn total_size(&self) -> u64 {
+        self.skylines.values().map(|s| s.len() as u64).sum()
+    }
+
+    /// Iterate over `(subspace, skyline)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (DimMask, &[ObjId])> {
+        self.skylines.iter().map(|(&m, s)| (m, s.as_slice()))
+    }
+}
+
+/// Compute only the SkyCube total size (`Σ_B |skyline(B)|`) without
+/// materializing the cube — what the counting experiments need.
+pub fn skycube_total_size(ds: &Dataset) -> u64 {
+    let mut total = 0u64;
+    for_each_subspace_skyline(ds, |_, sky| total += sky.len() as u64);
+    total
+}
+
+/// SkyCube total size split by subspace dimensionality; entry `k − 1` sums
+/// the skylines of all `k`-dimensional subspaces.
+pub fn skycube_sizes_by_dimensionality(ds: &Dataset) -> Vec<u64> {
+    let mut out = vec![0u64; ds.dims()];
+    for_each_subspace_skyline(ds, |space, sky| {
+        out[space.len() - 1] += sky.len() as u64;
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_skyline::skyline_naive;
+    use skycube_types::running_example;
+
+    #[test]
+    fn materialized_cube_matches_direct_computation() {
+        let ds = running_example();
+        let cube = SkyCube::compute(&ds);
+        assert_eq!(cube.dims(), 4);
+        assert_eq!(cube.num_subspaces(), 15);
+        for space in ds.full_space().subsets() {
+            assert_eq!(cube.skyline(space), skyline_naive(&ds, space));
+        }
+    }
+
+    #[test]
+    fn figure_1_style_counts() {
+        let ds = running_example();
+        let cube = SkyCube::compute(&ds);
+        let direct: u64 = ds
+            .full_space()
+            .subsets()
+            .map(|s| skyline_naive(&ds, s).len() as u64)
+            .sum();
+        assert_eq!(cube.total_size(), direct);
+        assert_eq!(skycube_total_size(&ds), direct);
+    }
+
+    #[test]
+    fn by_dimensionality_sums_to_total() {
+        let ds = running_example();
+        let by_k = skycube_sizes_by_dimensionality(&ds);
+        assert_eq!(by_k.len(), 4);
+        assert_eq!(by_k.iter().sum::<u64>(), skycube_total_size(&ds));
+        let one_d: u64 = (0..4)
+            .map(|d| skyline_naive(&ds, DimMask::single(d)).len() as u64)
+            .sum();
+        assert_eq!(by_k[0], one_d);
+    }
+
+    #[test]
+    fn iter_covers_all_subspaces() {
+        let ds = running_example();
+        let cube = SkyCube::compute(&ds);
+        assert_eq!(cube.iter().count(), 15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_subspace_panics() {
+        let ds = running_example();
+        let cube = SkyCube::compute(&ds);
+        cube.skyline(DimMask::EMPTY);
+    }
+}

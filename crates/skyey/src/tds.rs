@@ -1,0 +1,172 @@
+//! TDS — top-down skycube computation with parent-skyline sharing, after
+//! Yuan et al. (VLDB'05, the paper's reference [15]).
+//!
+//! Where the Skyey DFS shares *sorted orders*, TDS shares *results*: the
+//! skyline of a subspace `B` is computed from the skyline of one of its
+//! parents `B ∪ {d}` instead of from the whole table. With ties present the
+//! textbook containment `skyline(B) ⊆ skyline(B ∪ {d})` fails, but the
+//! following repaired candidate set is sound (and proved in the module
+//! tests against the oracle):
+//!
+//! > every `o ∈ skyline(B)` shares its `B`-projection with some member of
+//! > `skyline(B ∪ {d})`.
+//!
+//! *Proof sketch:* take the objects sharing `o`'s `B`-projection and pick
+//! `x` minimal on `d` among them; any `w` dominating `x` in `B ∪ {d}` would
+//! either dominate `o` in `B` (contradiction) or share the projection with a
+//! smaller `d` value (contradicting minimality). So `x ∈ skyline(B ∪ {d})`
+//! and `o` coincides with `x` on `B`. ∎
+//!
+//! Candidates are therefore the parent skyline *expanded by B-projection
+//! sharers*, which a hash join over the full table provides in O(n).
+
+use skycube_skyline::filter_presorted;
+use skycube_types::{Dataset, DimMask, ObjId, Value};
+use std::collections::HashMap;
+
+/// Visit every non-empty subspace with its skyline (ascending ids),
+/// computing each from a parent skyline, top-down.
+pub fn tds_for_each_subspace_skyline<F: FnMut(DimMask, &[ObjId])>(ds: &Dataset, mut f: F) {
+    let n = ds.dims();
+    if ds.is_empty() || n == 0 {
+        return;
+    }
+    let full = ds.full_space();
+    let full_sky = full_space_skyline(ds);
+    visit(ds, full, &full_sky, &mut f);
+}
+
+/// Compute the full skycube with TDS and return `Σ_B |skyline(B)|`.
+pub fn tds_total_size(ds: &Dataset) -> u64 {
+    let mut total = 0u64;
+    tds_for_each_subspace_skyline(ds, |_, sky| total += sky.len() as u64);
+    total
+}
+
+fn full_space_skyline(ds: &Dataset) -> Vec<ObjId> {
+    skycube_skyline::skyline(ds, ds.full_space())
+}
+
+/// DFS over the subspace lattice from the top. Each subspace `B ⊂ D` is
+/// visited from its canonical parent `B ∪ {min missing dim}`, so every
+/// subspace is visited exactly once.
+fn visit<F: FnMut(DimMask, &[ObjId])>(
+    ds: &Dataset,
+    space: DimMask,
+    skyline: &[ObjId],
+    f: &mut F,
+) {
+    f(space, skyline);
+    if space.len() == 1 {
+        return;
+    }
+    // Children: remove one dimension d; canonical iff every missing
+    // dimension of the child that is < d is also missing from `space`,
+    // i.e. d is the minimum dimension missing from the child — equivalent
+    // to: d < every dimension missing from `space`… Simpler: child
+    // B = space − {d} has canonical parent B ∪ {min(D − B)}; that equals
+    // `space` iff d == min(D − B) = min((D − space) ∪ {d}).
+    let missing_min = (DimMask::full(ds.dims()) - space).first();
+    for d in space.iter() {
+        let canonical = match missing_min {
+            None => true, // space is the full space: all removals canonical
+            Some(m) => d < m,
+        };
+        if !canonical {
+            continue;
+        }
+        let child = space.without(d);
+        let child_sky = skyline_from_parent(ds, child, skyline);
+        visit(ds, child, &child_sky, f);
+    }
+}
+
+/// Skyline of `child` from a parent skyline: candidates are all objects
+/// sharing a `child`-projection with a parent-skyline member.
+fn skyline_from_parent(ds: &Dataset, child: DimMask, parent_sky: &[ObjId]) -> Vec<ObjId> {
+    // Hash the parent skyline's child-projections…
+    let mut keys: HashMap<Vec<Value>, ()> = HashMap::with_capacity(parent_sky.len());
+    for &o in parent_sky {
+        keys.insert(ds.projection(o, child), ());
+    }
+    // …then expand to every object sharing one of them.
+    let mut candidates: Vec<ObjId> = ds
+        .ids()
+        .filter(|&o| keys.contains_key(&ds.projection(o, child)))
+        .collect();
+    // Skyline over the candidates: sort by a monotone key, one filter pass.
+    let sums: Vec<i128> = candidates
+        .iter()
+        .map(|&o| ds.sum_over(o, child))
+        .collect();
+    let mut idx: Vec<usize> = (0..candidates.len()).collect();
+    idx.sort_unstable_by_key(|&i| sums[i]);
+    let order: Vec<ObjId> = idx.into_iter().map(|i| candidates[i]).collect();
+    candidates = filter_presorted(ds, child, &order);
+    candidates.sort_unstable();
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_skyline::skyline_naive;
+    use skycube_types::{running_example, Dataset};
+    use std::collections::HashMap as Map;
+
+    fn all_tds(ds: &Dataset) -> Map<DimMask, Vec<ObjId>> {
+        let mut map = Map::new();
+        tds_for_each_subspace_skyline(ds, |space, sky| {
+            assert!(map.insert(space, sky.to_vec()).is_none(), "{space} revisited");
+        });
+        map
+    }
+
+    #[test]
+    fn visits_every_subspace_once() {
+        let ds = running_example();
+        assert_eq!(all_tds(&ds).len(), 15);
+    }
+
+    #[test]
+    fn matches_oracle_on_running_example() {
+        let ds = running_example();
+        for (space, sky) in all_tds(&ds) {
+            assert_eq!(sky, skyline_naive(&ds, space), "subspace {space}");
+        }
+    }
+
+    #[test]
+    fn tie_repair_is_sound_on_random_tied_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(71);
+        for trial in 0..30 {
+            let dims = rng.gen_range(1..=5);
+            let n = rng.gen_range(1..=60);
+            let rows: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..dims).map(|_| rng.gen_range(0..3)).collect())
+                .collect();
+            let ds = Dataset::from_rows(dims, rows).unwrap();
+            for (space, sky) in all_tds(&ds) {
+                assert_eq!(
+                    sky,
+                    skyline_naive(&ds, space),
+                    "trial {trial} subspace {space}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_size_matches_dfs_baseline() {
+        let ds = running_example();
+        assert_eq!(tds_total_size(&ds), crate::skycube_total_size(&ds));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::from_rows(2, vec![]).unwrap();
+        assert_eq!(tds_total_size(&ds), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! BBS — branch-and-bound skyline over an R-tree (Papadias, Tao, Fu, Seeger
+//! — SIGMOD'03, the paper's reference [7]): the optimal progressive skyline
+//! algorithm.
+//!
+//! Entries (nodes or points) are expanded in ascending *mindist* order (sum
+//! of the lower corner over the query subspace). Because any dominator of a
+//! point has a strictly smaller subspace sum, every point popped
+//! undominated is final — the algorithm is progressive, and it visits only
+//! nodes whose MBR is not dominated by an already-found skyline point.
+//! Ties (equal projections) never dominate each other, so value-sharing
+//! skyline objects are all emitted, matching the semantics the skyline-group
+//! model requires.
+
+use crate::rtree::{Node, RTree};
+use skycube_types::{Dataset, DimMask, ObjId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One heap entry: a node or a concrete point, keyed by mindist. The Ord
+/// impl only exists to satisfy `BinaryHeap`; the unique tiebreak counter in
+/// the heap tuple means it is never actually consulted.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+enum Entry {
+    Node(usize),
+    Point(ObjId),
+}
+
+/// Compute the skyline of `space` by branch-and-bound over `tree`.
+/// Returns ids ascending.
+///
+/// # Panics
+/// Panics if `space` is empty.
+pub fn skyline_bbs_indexed(tree: &RTree<'_>, space: DimMask) -> Vec<ObjId> {
+    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    let ds = tree.dataset();
+    let mut heap: BinaryHeap<(Reverse<i128>, usize, Entry)> = BinaryHeap::new();
+    // The usize component makes orderings total without comparing `Entry`.
+    let mut tiebreak = 0usize;
+    let push = |heap: &mut BinaryHeap<_>, key: i128, e: Entry, tb: &mut usize| {
+        heap.push((Reverse(key), *tb, e));
+        *tb += 1;
+    };
+
+    if let Some(root) = tree.root() {
+        let key = tree.nodes()[root].mbr().mindist(space);
+        push(&mut heap, key, Entry::Node(root), &mut tiebreak);
+    }
+
+    let mut skyline: Vec<ObjId> = Vec::new();
+    while let Some((_, _, entry)) = heap.pop() {
+        match entry {
+            Entry::Node(idx) => {
+                let node = &tree.nodes()[idx];
+                if mbr_dominated(ds, &skyline, node, space) {
+                    continue;
+                }
+                match node {
+                    Node::Leaf { entries, .. } => {
+                        for &o in entries {
+                            let key = ds.sum_over(o, space);
+                            push(&mut heap, key, Entry::Point(o), &mut tiebreak);
+                        }
+                    }
+                    Node::Inner { children, .. } => {
+                        for &c in children {
+                            let key = tree.nodes()[c].mbr().mindist(space);
+                            push(&mut heap, key, Entry::Node(c), &mut tiebreak);
+                        }
+                    }
+                }
+            }
+            Entry::Point(o) => {
+                if !skyline.iter().any(|&s| ds.dominates(s, o, space)) {
+                    skyline.push(o);
+                }
+            }
+        }
+    }
+    skyline.sort_unstable();
+    skyline
+}
+
+/// Whether some skyline point dominates the node's lower corner in `space`
+/// (then every point inside is dominated too — strictness carries over
+/// because the witness dimension only gets worse inside the box).
+fn mbr_dominated(ds: &Dataset, skyline: &[ObjId], node: &Node, space: DimMask) -> bool {
+    let corner = &node.mbr().min;
+    skyline.iter().any(|&s| {
+        let row = ds.row(s);
+        let mut strict = false;
+        for d in space.iter() {
+            if row[d] > corner[d] {
+                return false;
+            }
+            if row[d] < corner[d] {
+                strict = true;
+            }
+        }
+        strict
+    })
+}
+
+/// Convenience: build the tree and run BBS (the [`crate::Algorithm::Bbs`]
+/// entry point; amortize the build with [`RTree::build`] +
+/// [`skyline_bbs_indexed`] when querying many subspaces).
+pub fn skyline_bbs(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
+    let tree = RTree::build(ds);
+    skyline_bbs_indexed(&tree, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::skyline_naive;
+    use skycube_types::{running_example, Dataset};
+
+    #[test]
+    fn matches_oracle_on_running_example_all_subspaces() {
+        let ds = running_example();
+        let tree = RTree::build(&ds);
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                skyline_bbs_indexed(&tree, space),
+                skyline_naive(&ds, space),
+                "subspace {space}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_multi_level_trees() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(79);
+        for trial in 0..10 {
+            let dims = rng.gen_range(2..=4);
+            let n = rng.gen_range(200..=1200);
+            let rows: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..dims).map(|_| rng.gen_range(0..40)).collect())
+                .collect();
+            let ds = Dataset::from_rows(dims, rows).unwrap();
+            let tree = RTree::build(&ds);
+            tree.validate().unwrap();
+            for space in ds.full_space().subsets() {
+                assert_eq!(
+                    skyline_bbs_indexed(&tree, space),
+                    skyline_naive(&ds, space),
+                    "trial {trial} subspace {space}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_tree_serves_many_subspaces() {
+        let ds = Dataset::from_rows(
+            3,
+            (0..500u32)
+                .map(|i| {
+                    vec![
+                        (i % 17) as i64,
+                        ((i * 7) % 23) as i64,
+                        ((i * 13) % 11) as i64,
+                    ]
+                })
+                .collect(),
+        )
+        .unwrap();
+        let tree = RTree::build(&ds);
+        for space in ds.full_space().subsets() {
+            assert_eq!(skyline_bbs_indexed(&tree, space), skyline_naive(&ds, space));
+        }
+    }
+
+    #[test]
+    fn ties_are_all_emitted() {
+        let mut rows = vec![vec![0i64, 0]; 5];
+        rows.push(vec![1, 1]);
+        let ds = Dataset::from_rows(2, rows).unwrap();
+        assert_eq!(skyline_bbs(&ds, ds.full_space()), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = Dataset::from_rows(2, vec![]).unwrap();
+        assert!(skyline_bbs(&ds, ds.full_space()).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Bitmap skyline (Tan, Eng, Ooi — VLDB'01, the paper's reference [12]):
+//! skyline membership by bitwise operations over rank-compressed value
+//! bitslices.
+//!
+//! For each dimension the distinct values are ranked; the index stores, per
+//! dimension and rank, the bitset of objects whose value is ≤ (and <) that
+//! rank's value. An object `o` is dominated exactly by
+//! `(⋀_d LE_d(o)) ∧ (⋁_d LT_d(o))` — no worse everywhere, strictly better
+//! somewhere — so the skyline test is a handful of word-parallel AND/OR
+//! passes per object.
+//!
+//! Memory is O(dims × distinct-values × n) bits, the structure's classic
+//! trade-off: superb on low-cardinality dimensions, impractical on raw
+//! high-cardinality data (the original paper assumes coarse domains).
+//! [`BitmapIndex::build`] is exact for any data; callers decide whether the
+//! footprint fits.
+
+use skycube_types::{Dataset, DimMask, ObjId, Value};
+
+/// A plain bitset over object ids.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// All-zero bitset for `n` objects.
+    pub fn zeros(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Set bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// `self &= other`.
+    pub fn and_assign(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self |= other`.
+    pub fn or_assign(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Whether `self & other` has any bit set.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// Per-dimension rank bitslices.
+struct DimSlices {
+    /// Sorted distinct values of the dimension.
+    values: Vec<Value>,
+    /// `le[r]`: objects with value ≤ `values[r]`. `le[r-1]` doubles as the
+    /// strict (<) slice of rank `r`; rank 0 has an all-zero strict slice.
+    le: Vec<BitSet>,
+}
+
+/// The bitmap skyline index over one dataset.
+pub struct BitmapIndex<'a> {
+    ds: &'a Dataset,
+    dims: Vec<DimSlices>,
+    zero: BitSet,
+}
+
+impl<'a> BitmapIndex<'a> {
+    /// Build the index. O(n log n) per dimension plus the bitslice fill.
+    pub fn build(ds: &'a Dataset) -> Self {
+        let n = ds.len();
+        let mut dims = Vec::with_capacity(ds.dims());
+        for d in 0..ds.dims() {
+            let mut order: Vec<ObjId> = ds.ids().collect();
+            order.sort_unstable_by_key(|&o| ds.value(o, d));
+            let mut values: Vec<Value> = Vec::new();
+            let mut le: Vec<BitSet> = Vec::new();
+            let mut current = BitSet::zeros(n);
+            for &o in &order {
+                let v = ds.value(o, d);
+                if values.last() != Some(&v) {
+                    if !values.is_empty() {
+                        le.push(current.clone());
+                    }
+                    values.push(v);
+                }
+                current.set(o as usize);
+            }
+            if !values.is_empty() {
+                le.push(current);
+            }
+            dims.push(DimSlices { values, le });
+        }
+        BitmapIndex {
+            ds,
+            dims,
+            zero: BitSet::zeros(n),
+        }
+    }
+
+    /// The bitslice of objects ≤ `o` in dimension `d`.
+    fn le_slice(&self, o: ObjId, d: usize) -> &BitSet {
+        let s = &self.dims[d];
+        let r = s
+            .values
+            .binary_search(&self.ds.value(o, d))
+            .expect("every object value is indexed");
+        &s.le[r]
+    }
+
+    /// The bitslice of objects < `o` in dimension `d` (all-zero at rank 0).
+    fn lt_slice(&self, o: ObjId, d: usize) -> &BitSet {
+        let s = &self.dims[d];
+        let r = s
+            .values
+            .binary_search(&self.ds.value(o, d))
+            .expect("every object value is indexed");
+        if r == 0 {
+            &self.zero
+        } else {
+            &s.le[r - 1]
+        }
+    }
+
+    /// Whether object `o` is in the skyline of `space`: no object is ≤ on
+    /// all dimensions of `space` and < on one.
+    pub fn is_skyline(&self, o: ObjId, space: DimMask) -> bool {
+        assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+        let mut no_worse: Option<BitSet> = None;
+        let mut strictly_better = BitSet::zeros(self.ds.len());
+        for d in space.iter() {
+            match &mut no_worse {
+                None => no_worse = Some(self.le_slice(o, d).clone()),
+                Some(a) => a.and_assign(self.le_slice(o, d)),
+            }
+            strictly_better.or_assign(self.lt_slice(o, d));
+        }
+        let no_worse = no_worse.expect("space is non-empty");
+        !no_worse.intersects(&strictly_better)
+    }
+
+    /// The skyline of `space`: one membership test per object. Ids ascending.
+    pub fn skyline(&self, space: DimMask) -> Vec<ObjId> {
+        self.ds
+            .ids()
+            .filter(|&o| self.is_skyline(o, space))
+            .collect()
+    }
+}
+
+/// Convenience: build the bitmap index and extract one skyline.
+pub fn skyline_bitmap(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
+    BitmapIndex::build(ds).skyline(space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::skyline_naive;
+    use skycube_types::{running_example, Dataset};
+
+    #[test]
+    fn bitset_primitives() {
+        let mut a = BitSet::zeros(130);
+        a.set(0);
+        a.set(64);
+        a.set(129);
+        assert!(a.get(64));
+        assert!(!a.get(63));
+        assert_eq!(a.count(), 3);
+        let mut b = BitSet::zeros(130);
+        b.set(64);
+        assert!(a.intersects(&b));
+        a.and_assign(&b);
+        assert_eq!(a.count(), 1);
+        b.set(1);
+        a.or_assign(&b);
+        assert!(a.get(1));
+    }
+
+    #[test]
+    fn matches_oracle_on_running_example() {
+        let ds = running_example();
+        let index = BitmapIndex::build(&ds);
+        for space in ds.full_space().subsets() {
+            assert_eq!(index.skyline(space), skyline_naive(&ds, space));
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_coarse_domains() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(83);
+        for trial in 0..20 {
+            let dims = rng.gen_range(1..=4);
+            let n = rng.gen_range(1..=300);
+            let rows: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..dims).map(|_| rng.gen_range(-5..5)).collect())
+                .collect();
+            let ds = Dataset::from_rows(dims, rows).unwrap();
+            let index = BitmapIndex::build(&ds);
+            for space in ds.full_space().subsets() {
+                assert_eq!(
+                    index.skyline(space),
+                    skyline_naive(&ds, space),
+                    "trial {trial} subspace {space}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn membership_test_is_pointwise() {
+        let ds = running_example();
+        let index = BitmapIndex::build(&ds);
+        // P3 (id 2) is in skyline(BD) but not in skyline(ABCD).
+        assert!(index.is_skyline(2, DimMask::parse("BD").unwrap()));
+        assert!(!index.is_skyline(2, ds.full_space()));
+    }
+
+    #[test]
+    fn equal_objects_are_skyline_together() {
+        let ds = Dataset::from_rows(2, vec![vec![1, 1], vec![1, 1], vec![2, 0]]).unwrap();
+        assert_eq!(skyline_bitmap(&ds, ds.full_space()), vec![0, 1, 2]);
+    }
+
+    use skycube_types::DimMask;
+}

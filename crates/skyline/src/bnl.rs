@@ -1,0 +1,77 @@
+//! Block-nested-loops skyline (Börzsönyi et al., ICDE 2001).
+//!
+//! The in-memory variant: a growing *window* of mutually incomparable
+//! objects. Each incoming object is compared against the window; it is
+//! discarded if dominated, inserted otherwise, evicting any window members it
+//! dominates. With the whole window in memory (the paper's datasets fit
+//! easily) no temp-file passes are needed and the window at end-of-scan *is*
+//! the skyline.
+
+use skycube_types::{Dataset, DimMask, DomRelation, ObjId};
+
+/// Compute the skyline of `space` with block nested loops.
+///
+/// Returns ids in ascending order.
+///
+/// # Panics
+/// Panics if `space` is empty.
+pub fn skyline_bnl(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
+    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    let mut window: Vec<ObjId> = Vec::new();
+    'scan: for u in ds.ids() {
+        let mut i = 0;
+        while i < window.len() {
+            match ds.compare(window[i], u, space) {
+                DomRelation::Dominates => continue 'scan,
+                DomRelation::DominatedBy => {
+                    window.swap_remove(i);
+                    // Do not advance: the swapped-in element needs a look.
+                }
+                DomRelation::Equal | DomRelation::Incomparable => i += 1,
+            }
+        }
+        window.push(u);
+    }
+    window.sort_unstable();
+    window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::skyline_naive;
+    use skycube_types::running_example;
+
+    #[test]
+    fn matches_oracle_on_running_example_all_subspaces() {
+        let ds = running_example();
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                skyline_bnl(&ds, space),
+                skyline_naive(&ds, space),
+                "subspace {space}"
+            );
+        }
+    }
+
+    #[test]
+    fn window_eviction_keeps_equal_projections() {
+        use skycube_types::Dataset;
+        // Two identical points plus one dominated point.
+        let ds = Dataset::from_rows(2, vec![vec![5, 5], vec![1, 1], vec![1, 1]]).unwrap();
+        assert_eq!(skyline_bnl(&ds, DimMask::full(2)), vec![1, 2]);
+    }
+
+    #[test]
+    fn later_point_can_evict_multiple() {
+        use skycube_types::Dataset;
+        let ds = Dataset::from_rows(
+            2,
+            vec![vec![3, 1], vec![1, 3], vec![2, 2], vec![0, 0]],
+        )
+        .unwrap();
+        assert_eq!(skyline_bnl(&ds, DimMask::full(2)), vec![3]);
+    }
+
+    use skycube_types::DimMask;
+}

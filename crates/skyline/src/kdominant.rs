@@ -1,0 +1,141 @@
+//! k-dominant skylines (Chan, Jagadish, Tan, Tung, Zhang — SIGMOD'06, cited
+//! by the paper as [3]): a high-dimensional relaxation of dominance.
+//!
+//! `u` **k-dominates** `v` when `u` is no worse than `v` on at least `k`
+//! dimensions and strictly better on at least one of them. Every ordinary
+//! dominance is an `n`-dominance, so the k-dominant skyline shrinks as `k`
+//! decreases — a way to keep skylines selective when dimensionality makes
+//! almost everything incomparable. Unlike ordinary dominance the relation is
+//! *not* transitive (cyclic k-dominance exists), so filter-window tricks are
+//! unsound; this module uses the direct pairwise test.
+
+use skycube_types::{Dataset, DimMask, ObjId};
+
+/// Whether `u` k-dominates `v` in `space`.
+///
+/// # Panics
+/// Panics if `k` is zero or exceeds the dimensionality of `space`.
+pub fn k_dominates(ds: &Dataset, u: ObjId, v: ObjId, space: DimMask, k: usize) -> bool {
+    assert!(
+        k >= 1 && k <= space.len(),
+        "k must be within 1..=|space| (got {k} for {space})"
+    );
+    let (ru, rv) = (ds.row(u), ds.row(v));
+    let mut no_worse = 0usize;
+    let mut strictly_better = false;
+    for d in space.iter() {
+        if ru[d] <= rv[d] {
+            no_worse += 1;
+            if ru[d] < rv[d] {
+                strictly_better = true;
+            }
+        }
+    }
+    // Any strict dimension is also a ≤ dimension, so a qualifying k-subset
+    // exists exactly when both counts clear their thresholds.
+    no_worse >= k && strictly_better
+}
+
+/// The k-dominant skyline of `space`: objects not k-dominated by any other
+/// object. Ids ascending.
+///
+/// With `k = |space|` this is the ordinary skyline. Because k-dominance is
+/// cyclic, an object k-dominated only by objects that are themselves
+/// k-dominated is still excluded — matching the original definition.
+pub fn k_dominant_skyline(ds: &Dataset, space: DimMask, k: usize) -> Vec<ObjId> {
+    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    let n = ds.len() as ObjId;
+    let mut out = Vec::new();
+    'outer: for v in 0..n {
+        for u in 0..n {
+            if u != v && k_dominates(ds, u, v, space, k) {
+                continue 'outer;
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::skyline_naive;
+    use skycube_types::{running_example, Dataset};
+
+    #[test]
+    fn n_dominant_equals_ordinary_skyline() {
+        let ds = running_example();
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                k_dominant_skyline(&ds, space, space.len()),
+                skyline_naive(&ds, space),
+                "subspace {space}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_dominant_skyline_shrinks_with_k() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(53);
+        let rows: Vec<Vec<i64>> = (0..80)
+            .map(|_| (0..5).map(|_| rng.gen_range(0..50)).collect())
+            .collect();
+        let ds = Dataset::from_rows(5, rows).unwrap();
+        let space = ds.full_space();
+        let mut previous: Option<Vec<ObjId>> = None;
+        for k in (1..=5).rev() {
+            let sky = k_dominant_skyline(&ds, space, k);
+            if let Some(prev) = &previous {
+                // Smaller k ⇒ stronger dominance ⇒ subset.
+                assert!(
+                    sky.iter().all(|o| prev.contains(o)),
+                    "k={k} skyline not contained in k={} skyline",
+                    k + 1
+                );
+            }
+            previous = Some(sky);
+        }
+    }
+
+    #[test]
+    fn cyclic_k_dominance_can_empty_the_skyline() {
+        // The classic 3-cycle: each point 2-dominates the next in a 3-d
+        // space, so no point survives k=2.
+        let ds = Dataset::from_rows(
+            3,
+            vec![vec![1, 1, 3], vec![1, 3, 1], vec![3, 1, 1]],
+        )
+        .unwrap();
+        let space = ds.full_space();
+        assert!(k_dominates(&ds, 0, 1, space, 2));
+        assert!(k_dominates(&ds, 1, 2, space, 2));
+        assert!(k_dominates(&ds, 2, 0, space, 2));
+        assert!(k_dominant_skyline(&ds, space, 2).is_empty());
+        // But the ordinary (3-dominant) skyline keeps all three.
+        assert_eq!(k_dominant_skyline(&ds, space, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn equal_objects_do_not_k_dominate() {
+        let ds = Dataset::from_rows(2, vec![vec![3, 3], vec![3, 3]]).unwrap();
+        assert!(!k_dominates(&ds, 0, 1, ds.full_space(), 1));
+        assert_eq!(k_dominant_skyline(&ds, ds.full_space(), 1), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_zero_panics() {
+        let ds = running_example();
+        k_dominates(&ds, 0, 1, ds.full_space(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_exceeding_dims_panics() {
+        let ds = running_example();
+        k_dominates(&ds, 0, 1, ds.full_space(), 5);
+    }
+}

@@ -1,0 +1,307 @@
+//! A bulk-loaded R-tree over a dataset — the index substrate behind the
+//! branch-and-bound skyline algorithm ([`crate::skyline_bbs`], Papadias et
+//! al. SIGMOD'03, the paper's reference [7]).
+//!
+//! The tree is built once over the full space with *sort-tile-recursive*
+//! (STR) packing: points are recursively sliced along successive dimensions
+//! into tiles of the target leaf size, giving near-full leaves and
+//! well-shaped MBRs without insertion logic. Queries may target any
+//! subspace: an MBR's lower corner projected onto the query subspace is a
+//! valid lower bound there, which is all BBS needs.
+
+use skycube_types::{Dataset, DimMask, ObjId, Value};
+
+/// Maximum entries per node (leaf and internal).
+pub const NODE_CAPACITY: usize = 16;
+
+/// Minimum bounding rectangle over the full space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mbr {
+    /// Per-dimension minima (the lower corner — the best possible point).
+    pub min: Vec<Value>,
+    /// Per-dimension maxima.
+    pub max: Vec<Value>,
+}
+
+impl Mbr {
+    fn of_point(row: &[Value]) -> Mbr {
+        Mbr {
+            min: row.to_vec(),
+            max: row.to_vec(),
+        }
+    }
+
+    fn merge(&mut self, other: &Mbr) {
+        for d in 0..self.min.len() {
+            self.min[d] = self.min[d].min(other.min[d]);
+            self.max[d] = self.max[d].max(other.max[d]);
+        }
+    }
+
+    /// Sum of the lower corner over `space` — the BBS priority ("mindist"
+    /// towards the all-minima corner).
+    pub fn mindist(&self, space: DimMask) -> i128 {
+        space.iter().map(|d| self.min[d] as i128).sum()
+    }
+}
+
+/// One R-tree node: either a leaf holding object ids or an internal node
+/// holding child node indexes. Nodes live in a flat arena.
+#[derive(Debug)]
+pub enum Node {
+    /// Leaf entries: object ids with their (point) MBRs implicit.
+    Leaf {
+        /// Ids of the contained points.
+        entries: Vec<ObjId>,
+        /// Bounding box of the contained points.
+        mbr: Mbr,
+    },
+    /// Internal entries: child node indexes.
+    Inner {
+        /// Arena indexes of the children.
+        children: Vec<usize>,
+        /// Bounding box of the children.
+        mbr: Mbr,
+    },
+}
+
+impl Node {
+    /// The node's bounding box.
+    pub fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => mbr,
+        }
+    }
+}
+
+/// A packed R-tree over one dataset.
+pub struct RTree<'a> {
+    ds: &'a Dataset,
+    nodes: Vec<Node>,
+    root: Option<usize>,
+}
+
+impl<'a> RTree<'a> {
+    /// Bulk-load the tree with STR packing. O(n log n).
+    pub fn build(ds: &'a Dataset) -> Self {
+        let ids: Vec<ObjId> = ds.ids().collect();
+        let mut tree = RTree {
+            ds,
+            nodes: Vec::new(),
+            root: None,
+        };
+        if ids.is_empty() {
+            return tree;
+        }
+        // Tile the points into leaves.
+        let mut ids = ids;
+        let mut leaves: Vec<usize> = Vec::new();
+        tree.pack_leaves(&mut ids, 0, &mut leaves);
+        // Stack levels of internal nodes until one root remains.
+        let mut level = leaves;
+        while level.len() > 1 {
+            let mut next: Vec<usize> = Vec::new();
+            // Group children by their lower-corner sum so siblings are
+            // spatially close (a light-weight packing for upper levels).
+            let full = tree.ds.full_space();
+            level.sort_by_key(|&n| tree.nodes[n].mbr().mindist(full));
+            for chunk in level.chunks(NODE_CAPACITY) {
+                let mut mbr = tree.nodes[chunk[0]].mbr().clone();
+                for &c in &chunk[1..] {
+                    let child_mbr = tree.nodes[c].mbr().clone();
+                    mbr.merge(&child_mbr);
+                }
+                let idx = tree.nodes.len();
+                tree.nodes.push(Node::Inner {
+                    children: chunk.to_vec(),
+                    mbr,
+                });
+                next.push(idx);
+            }
+            level = next;
+        }
+        tree.root = level.first().copied();
+        tree
+    }
+
+    /// STR: recursively slice `ids` along dimension `dim`, then tile.
+    fn pack_leaves(&mut self, ids: &mut [ObjId], dim: usize, leaves: &mut Vec<usize>) {
+        let n = ids.len();
+        if n <= NODE_CAPACITY || dim + 1 >= self.ds.dims() {
+            // Final dimension (or small set): sort and cut into leaves.
+            ids.sort_unstable_by_key(|&o| self.ds.value(o, dim));
+            for chunk in ids.chunks(NODE_CAPACITY) {
+                let mut mbr = Mbr::of_point(self.ds.row(chunk[0]));
+                for &o in &chunk[1..] {
+                    mbr.merge(&Mbr::of_point(self.ds.row(o)));
+                }
+                let idx = self.nodes.len();
+                self.nodes.push(Node::Leaf {
+                    entries: chunk.to_vec(),
+                    mbr,
+                });
+                leaves.push(idx);
+            }
+            return;
+        }
+        // Number of slabs: √(pages) per STR, applied one dimension at a time.
+        let pages = n.div_ceil(NODE_CAPACITY);
+        let slabs = (pages as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(slabs);
+        ids.sort_unstable_by_key(|&o| self.ds.value(o, dim));
+        let mut start = 0;
+        while start < n {
+            let end = (start + slab_size).min(n);
+            self.pack_leaves_inner(&mut ids[start..end], dim + 1, leaves);
+            start = end;
+        }
+    }
+
+    // Monomorphization helper: recursion via a second name keeps borrowck
+    // simple for the slice split above.
+    fn pack_leaves_inner(&mut self, ids: &mut [ObjId], dim: usize, leaves: &mut Vec<usize>) {
+        self.pack_leaves(ids, dim, leaves)
+    }
+
+    /// The arena (for traversal by the BBS module and for tests).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The root node index, if the tree is non-empty.
+    pub fn root(&self) -> Option<usize> {
+        self.root
+    }
+
+    /// The dataset the tree indexes.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// Height of the tree (0 for empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let Some(mut node) = self.root else { return 0 };
+        let mut h = 1;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { .. } => return h,
+                Node::Inner { children, .. } => {
+                    node = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Validate structural invariants (tests): MBR containment and full
+    /// coverage of all object ids exactly once.
+    pub fn validate(&self) -> Result<(), String> {
+        let Some(root) = self.root else {
+            return if self.ds.is_empty() {
+                Ok(())
+            } else {
+                Err("non-empty dataset with empty tree".into())
+            };
+        };
+        let mut seen = vec![false; self.ds.len()];
+        self.validate_node(root, &mut seen)?;
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(format!("object {missing} not covered by any leaf"));
+        }
+        Ok(())
+    }
+
+    fn validate_node(&self, idx: usize, seen: &mut [bool]) -> Result<(), String> {
+        match &self.nodes[idx] {
+            Node::Leaf { entries, mbr } => {
+                if entries.is_empty() {
+                    return Err("empty leaf".into());
+                }
+                for &o in entries {
+                    if seen[o as usize] {
+                        return Err(format!("object {o} covered twice"));
+                    }
+                    seen[o as usize] = true;
+                    let row = self.ds.row(o);
+                    for (d, &v) in row.iter().enumerate() {
+                        if v < mbr.min[d] || v > mbr.max[d] {
+                            return Err(format!("object {o} outside leaf MBR"));
+                        }
+                    }
+                }
+            }
+            Node::Inner { children, mbr } => {
+                if children.is_empty() {
+                    return Err("empty inner node".into());
+                }
+                for &c in children {
+                    let child = self.nodes[c].mbr();
+                    for d in 0..self.ds.dims() {
+                        if child.min[d] < mbr.min[d] || child.max[d] > mbr.max[d] {
+                            return Err("child MBR escapes parent".into());
+                        }
+                    }
+                    self.validate_node(c, seen)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_types::running_example;
+
+    #[test]
+    fn builds_and_validates_on_small_input() {
+        let ds = running_example();
+        let tree = RTree::build(&ds);
+        tree.validate().unwrap();
+        assert_eq!(tree.height(), 1, "5 points fit one leaf");
+    }
+
+    #[test]
+    fn builds_and_validates_on_larger_input() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(61);
+        let rows: Vec<Vec<Value>> = (0..5_000)
+            .map(|_| (0..4).map(|_| rng.gen_range(0..1000)).collect())
+            .collect();
+        let ds = Dataset::from_rows(4, rows).unwrap();
+        let tree = RTree::build(&ds);
+        tree.validate().unwrap();
+        assert!(tree.height() >= 3, "5000 points need several levels");
+        // Root MBR covers the data extremes.
+        let root = tree.nodes()[tree.root().unwrap()].mbr();
+        for d in 0..4 {
+            let lo = ds.ids().map(|o| ds.value(o, d)).min().unwrap();
+            let hi = ds.ids().map(|o| ds.value(o, d)).max().unwrap();
+            assert_eq!(root.min[d], lo);
+            assert_eq!(root.max[d], hi);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_empty_tree() {
+        let ds = Dataset::from_rows(3, vec![]).unwrap();
+        let tree = RTree::build(&ds);
+        assert!(tree.root().is_none());
+        tree.validate().unwrap();
+        assert_eq!(tree.height(), 0);
+    }
+
+    #[test]
+    fn mindist_projects_to_subspace() {
+        let mbr = Mbr {
+            min: vec![1, 2, 3],
+            max: vec![9, 9, 9],
+        };
+        assert_eq!(mbr.mindist(DimMask::full(3)), 6);
+        assert_eq!(mbr.mindist(DimMask::from_dims([0, 2])), 4);
+    }
+
+    use skycube_types::Dataset;
+}

@@ -1,0 +1,196 @@
+//! Multidimensional analysis helpers on top of a computed cube — the
+//! "query type 3" of the paper's introduction: summaries, compression
+//! metrics, and a Graphviz export of the skyline-group lattice in the style
+//! of the paper's Figure 3.
+
+use crate::cube::CompressedSkylineCube;
+use crate::lattice::GroupLattice;
+use skycube_types::{Dataset, DimMask};
+use std::fmt::Write as _;
+
+/// Aggregate compression metrics of a cube (the paper's Figures 9/10 in
+/// one struct).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Number of objects in the dataset.
+    pub objects: usize,
+    /// Full-space skyline size (seed count).
+    pub seeds: usize,
+    /// Number of skyline groups (the compressed representation's size).
+    pub groups: usize,
+    /// Total decisive subspaces across groups.
+    pub decisive_subspaces: usize,
+    /// `Σ_B |skyline(B)|` — what the uncompressed SkyCube would store.
+    pub skycube_entries: u64,
+}
+
+impl CompressionStats {
+    /// Measure a cube.
+    pub fn of(cube: &CompressedSkylineCube) -> Self {
+        CompressionStats {
+            objects: cube.num_objects(),
+            seeds: cube.seeds().len(),
+            groups: cube.num_groups(),
+            decisive_subspaces: cube.groups().iter().map(|g| g.decisive.len()).sum(),
+            skycube_entries: cube.skycube_size(),
+        }
+    }
+
+    /// How many subspace-skyline memberships each stored group summarizes
+    /// on average — the compression ratio the paper's Section 6 discusses.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.groups == 0 {
+            return 0.0;
+        }
+        self.skycube_entries as f64 / self.groups as f64
+    }
+}
+
+/// A textual report of the skyline structure of one subspace: each active
+/// group with its shared projection and membership, in the paper's
+/// signature style.
+pub fn subspace_report(cube: &CompressedSkylineCube, ds: &Dataset, space: DimMask) -> String {
+    let mut out = String::new();
+    let sky = cube.subspace_skyline(space);
+    let _ = writeln!(
+        out,
+        "subspace {space}: {} skyline objects in {} groups",
+        sky.len(),
+        cube.groups_in(space).count()
+    );
+    for g in cube.groups_in(space) {
+        let _ = writeln!(out, "  {}", g.signature(ds));
+    }
+    out
+}
+
+/// The coincident-group structure of one subspace's skyline, derived from
+/// the cube: the skyline objects of `space` partitioned by their shared
+/// projection in `space` (the paper's per-subspace view of skyline groups).
+///
+/// Cube groups covering `space` may be *finer* than the subspace's own
+/// c-groups — two covering groups can share a projection once restricted to
+/// `space` — so covering groups are merged by projection. Each part is
+/// returned with that shared projection (ascending-dimension values), parts
+/// ordered by their smallest member.
+pub fn subspace_group_partition(
+    cube: &CompressedSkylineCube,
+    ds: &Dataset,
+    space: DimMask,
+) -> Vec<(Vec<skycube_types::Value>, Vec<skycube_types::ObjId>)> {
+    use std::collections::HashMap;
+    let mut parts: HashMap<Vec<skycube_types::Value>, Vec<skycube_types::ObjId>> =
+        HashMap::new();
+    for g in cube.groups_in(space) {
+        let key = ds.projection(g.members[0], space);
+        parts.entry(key).or_default().extend(&g.members);
+    }
+    let mut out: Vec<(Vec<skycube_types::Value>, Vec<skycube_types::ObjId>)> = parts
+        .into_iter()
+        .map(|(k, mut v)| {
+            v.sort_unstable();
+            v.dedup();
+            (k, v)
+        })
+        .collect();
+    out.sort_by_key(|(_, v)| v[0]);
+    out
+}
+
+/// Export the group lattice as Graphviz DOT, drawn like the paper's
+/// Figure 3: nodes are group signatures, edges the Hasse covers (larger
+/// groups below).
+pub fn lattice_to_dot(lattice: &GroupLattice, ds: &Dataset) -> String {
+    let mut out = String::from("digraph skyline_groups {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (i, g) in lattice.groups().iter().enumerate() {
+        let label = g.signature(ds).replace('"', "'");
+        let _ = writeln!(out, "  g{i} [label=\"{label}\"];");
+    }
+    for (i, _) in lattice.groups().iter().enumerate() {
+        for &child in lattice.children(i) {
+            let _ = writeln!(out, "  g{i} -> g{child};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_cube;
+    use skycube_types::running_example;
+
+    #[test]
+    fn compression_stats_of_running_example() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let stats = CompressionStats::of(&cube);
+        assert_eq!(stats.objects, 5);
+        assert_eq!(stats.seeds, 3);
+        assert_eq!(stats.groups, 8);
+        assert_eq!(stats.skycube_entries, 30);
+        // 9 decisive subspaces across the 8 groups of Figure 3(b).
+        assert_eq!(stats.decisive_subspaces, 9);
+        assert!((stats.compression_ratio() - 30.0 / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cube_ratio_is_zero() {
+        let stats = CompressionStats {
+            objects: 0,
+            seeds: 0,
+            groups: 0,
+            decisive_subspaces: 0,
+            skycube_entries: 0,
+        };
+        assert_eq!(stats.compression_ratio(), 0.0);
+    }
+
+    #[test]
+    fn subspace_report_lists_signatures() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let report = subspace_report(&cube, &ds, DimMask::parse("B").unwrap());
+        assert!(report.contains("3 skyline objects in 1 groups"));
+        assert!(report.contains("(P3P4P5, (*,4,*,*), B)"));
+    }
+
+    #[test]
+    fn subspace_partition_matches_direct_bucketing() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        for space in ds.full_space().subsets() {
+            let parts = subspace_group_partition(&cube, &ds, space);
+            // Union of parts = subspace skyline; parts disjoint; members of
+            // a part share exactly the listed projection.
+            let mut all: Vec<u32> = parts.iter().flat_map(|(_, v)| v.clone()).collect();
+            all.sort_unstable();
+            assert_eq!(all, cube.subspace_skyline(space), "subspace {space}");
+            let total: usize = parts.iter().map(|(_, v)| v.len()).sum();
+            assert_eq!(total, all.len(), "overlapping parts in {space}");
+            for (proj, members) in &parts {
+                for &m in members {
+                    assert_eq!(&ds.projection(m, space), proj);
+                }
+            }
+        }
+        // Concretely: skyline(D) = {P2, P3, P5} all sharing value 3 → one part.
+        let parts = subspace_group_partition(&cube, &ds, DimMask::parse("D").unwrap());
+        assert_eq!(parts, vec![(vec![3], vec![1, 2, 4])]);
+    }
+
+    #[test]
+    fn dot_export_is_well_formed() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let lattice = GroupLattice::new(cube.groups().to_vec());
+        let dot = lattice_to_dot(&lattice, &ds);
+        assert!(dot.starts_with("digraph skyline_groups {"));
+        assert!(dot.trim_end().ends_with('}'));
+        // 8 nodes; edges = Hasse covers; singletons have no parents.
+        assert_eq!(dot.matches("[label=").count(), 8);
+        assert!(dot.contains("(P2P5, (2,*,*,3), A)"));
+        assert!(dot.matches("->").count() >= 7);
+    }
+}

@@ -1,0 +1,224 @@
+//! Structured explanations of skyline membership — turning the cube's
+//! signatures into answers a user can act on: *why* is this object a
+//! skyline member here, what is the minimal attribute combination doing the
+//! work, and what stops that combination from being smaller?
+
+use crate::cube::CompressedSkylineCube;
+use skycube_types::{Dataset, DimMask, ObjId, Value};
+
+/// Why an object is (or is not) in the skyline of a subspace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Explanation {
+    /// The object is a skyline member of the queried subspace.
+    Member {
+        /// The group (its sharers) establishing membership.
+        group_members: Vec<ObjId>,
+        /// A decisive subspace `C ⊆ queried ⊆ B` witnessing membership.
+        decisive: DimMask,
+        /// The group's maximal subspace `B`.
+        maximal: DimMask,
+        /// The shared values on the decisive subspace, `(dim, value)`.
+        winning_values: Vec<(usize, Value)>,
+    },
+    /// The object is not in the queried subspace's skyline; if it appears
+    /// anywhere at all, the closest intervals are listed.
+    NonMember {
+        /// Subspaces (decisive, maximal) pairs where the object *is* a
+        /// member — empty if it is in no subspace skyline whatsoever.
+        memberships: Vec<(DimMask, DimMask)>,
+        /// A witness dominating-or-sharing object in the queried subspace,
+        /// when one can be found in the cube's groups (a skyline member of
+        /// the queried subspace that dominates or ties the object).
+        witness: Option<ObjId>,
+    },
+}
+
+/// Explain object `o`'s status in `space` against the cube (and dataset for
+/// values). See [`Explanation`].
+pub fn explain(
+    cube: &CompressedSkylineCube,
+    ds: &Dataset,
+    o: ObjId,
+    space: DimMask,
+) -> Explanation {
+    // Membership: find the covering group and its smallest applicable
+    // decisive subspace.
+    for g in cube.groups_of(o) {
+        if !space.is_subset_of(g.subspace) {
+            continue;
+        }
+        let mut best: Option<DimMask> = None;
+        for &c in &g.decisive {
+            if c.is_subset_of(space) && best.is_none_or(|b| c.len() < b.len()) {
+                best = Some(c);
+            }
+        }
+        if let Some(decisive) = best {
+            let row = ds.row(o);
+            return Explanation::Member {
+                group_members: g.members.clone(),
+                decisive,
+                maximal: g.subspace,
+                winning_values: decisive.iter().map(|d| (d, row[d])).collect(),
+            };
+        }
+    }
+    // Non-member: collect the intervals it does hold, plus a dominating
+    // witness from the actual subspace skyline.
+    let memberships: Vec<(DimMask, DimMask)> = cube
+        .groups_of(o)
+        .flat_map(|g| g.decisive.iter().map(|&c| (c, g.subspace)))
+        .collect();
+    let witness = cube
+        .subspace_skyline(space)
+        .into_iter()
+        .find(|&s| ds.dominates(s, o, space) || ds.coincides(s, o, space));
+    Explanation::NonMember {
+        memberships,
+        witness,
+    }
+}
+
+/// Render an explanation as human-readable text (dimension letters).
+pub fn explain_text(
+    cube: &CompressedSkylineCube,
+    ds: &Dataset,
+    o: ObjId,
+    space: DimMask,
+) -> String {
+    match explain(cube, ds, o, space) {
+        Explanation::Member {
+            group_members,
+            decisive,
+            maximal,
+            winning_values,
+        } => {
+            let values: Vec<String> = winning_values
+                .iter()
+                .map(|&(d, v)| format!("{}={v}", DimMask::single(d)))
+                .collect();
+            let sharers: Vec<String> = group_members
+                .iter()
+                .filter(|&&m| m != o)
+                .map(|m| format!("P{}", m + 1))
+                .collect();
+            let mut s = format!(
+                "object P{} is in skyline({space}): its values {} are decisive ({decisive} qualifies it in every subspace up to {maximal})",
+                o + 1,
+                values.join(", ")
+            );
+            if !sharers.is_empty() {
+                s.push_str(&format!("; shared with {}", sharers.join(", ")));
+            }
+            s
+        }
+        Explanation::NonMember {
+            memberships,
+            witness,
+        } => {
+            let mut s = format!("object P{} is NOT in skyline({space})", o + 1);
+            if let Some(w) = witness {
+                s.push_str(&format!("; P{} beats or ties it there", w + 1));
+            }
+            if memberships.is_empty() {
+                s.push_str("; it is in no subspace skyline at all");
+            } else {
+                let alts: Vec<String> = memberships
+                    .iter()
+                    .map(|(c, b)| format!("[{c}…{b}]"))
+                    .collect();
+                s.push_str(&format!("; it is a member in {}", alts.join(", ")));
+            }
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_cube;
+    use skycube_types::running_example;
+
+    fn mask(s: &str) -> DimMask {
+        DimMask::parse(s).unwrap()
+    }
+
+    #[test]
+    fn member_explanation_picks_smallest_decisive() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        // P5 in skyline(ABD): group (P5, ABCD) decisive AB ⊆ ABD.
+        match explain(&cube, &ds, 4, mask("ABD")) {
+            Explanation::Member {
+                decisive,
+                maximal,
+                winning_values,
+                group_members,
+            } => {
+                assert_eq!(decisive, mask("AB"));
+                assert_eq!(maximal, mask("ABCD"));
+                assert_eq!(winning_values, vec![(0, 2), (1, 4)]);
+                assert_eq!(group_members, vec![4]);
+            }
+            other => panic!("expected membership, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn member_explanation_reports_sharers() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        // P3 in skyline(B) via (P3P4P5, B).
+        match explain(&cube, &ds, 2, mask("B")) {
+            Explanation::Member { group_members, .. } => {
+                assert_eq!(group_members, vec![2, 3, 4]);
+            }
+            other => panic!("expected membership, got {other:?}"),
+        }
+        let text = explain_text(&cube, &ds, 2, mask("B"));
+        assert!(text.contains("shared with P4, P5"), "{text}");
+    }
+
+    #[test]
+    fn non_member_explanation_names_a_witness() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        // P3 is not in skyline(A): P2 and P5 (A=2) dominate its A=5.
+        match explain(&cube, &ds, 2, mask("A")) {
+            Explanation::NonMember {
+                witness,
+                memberships,
+            } => {
+                let w = witness.expect("dominating witness exists");
+                assert!(ds.dominates(w, 2, mask("A")));
+                assert!(!memberships.is_empty(), "P3 is a member elsewhere");
+            }
+            other => panic!("expected non-membership, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hopeless_object_reported_as_nowhere() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        // P1 is in no subspace skyline.
+        let text = explain_text(&cube, &ds, 0, mask("ABCD"));
+        assert!(text.contains("no subspace skyline at all"), "{text}");
+    }
+
+    #[test]
+    fn explanations_agree_with_membership_api() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        for o in ds.ids() {
+            for space in ds.full_space().subsets() {
+                let is_member = matches!(
+                    explain(&cube, &ds, o, space),
+                    Explanation::Member { .. }
+                );
+                assert_eq!(is_member, cube.is_skyline_in(o, space), "P{} in {space}", o + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,358 @@
+//! Accommodating non-seed objects into the seed lattice — step 5 of the
+//! Stellar pipeline (Theorem 5). The seed lattice is a quotient of the full
+//! skyline-group lattice (Theorem 2); this module performs the refinement:
+//! each seed group either survives unchanged, absorbs non-seeds that share
+//! its whole maximal subspace, or *splits off* child groups at the
+//! intersection-closed sharing masks of the relevant non-seeds — and each
+//! decisive subspace is re-minimized against the coinciding outsiders.
+//!
+//! A non-seed `p` is *relevant* to a seed group iff its sharing mask
+//! `m_p = {d ∈ B′ : p.d = G′.d}` contains one of the group's decisive
+//! subspaces; all other non-seeds can neither join a derived group (any
+//! derived subspace contains a decisive subspace) nor invalidate a decisive
+//! subspace (an offender coincides on it). Relevant objects are found with a
+//! per-dimension value index instead of a scan of all non-seeds per group —
+//! an engineering addition benchmarked by the `ablation` bench.
+
+use crate::matrices::SeedView;
+use crate::seeds::SeedGroup;
+use crate::transversal::{minimize_antichain, ClauseSet};
+use skycube_types::{DimMask, ObjId, SkylineGroup, Value};
+use std::collections::HashMap;
+
+/// How candidate relevant non-seeds are located per seed group.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RelevanceStrategy {
+    /// Per-dimension `value → non-seed ids` posting lists, intersected over
+    /// the dimensions of each decisive subspace (the default).
+    #[default]
+    Index,
+    /// Scan every non-seed object for every seed group (the paper's "scan
+    /// all those non-seed objects once against the seed lattice", kept for
+    /// the ablation benchmark).
+    Scan,
+}
+
+/// Extend the seed lattice to the skyline groups over the whole dataset.
+/// The returned groups use dataset object ids.
+pub fn extend_to_full(
+    view: &SeedView<'_>,
+    seed_groups: &[SeedGroup],
+    strategy: RelevanceStrategy,
+) -> Vec<SkylineGroup> {
+    let ds = view.dataset();
+    let non_seeds = non_seed_ids(view);
+    let index = match strategy {
+        RelevanceStrategy::Index => Some(NonSeedIndex::build(ds, &non_seeds)),
+        RelevanceStrategy::Scan => None,
+    };
+
+    let mut out: Vec<SkylineGroup> = Vec::new();
+    let mut scratch = Scratch::default();
+    for sg in seed_groups {
+        extend_one(view, sg, &non_seeds, index.as_ref(), &mut scratch, &mut out);
+    }
+    out
+}
+
+/// Ids not in the full-space skyline, ascending.
+fn non_seed_ids(view: &SeedView<'_>) -> Vec<ObjId> {
+    let ds = view.dataset();
+    let mut seeds = view.seeds().iter().copied().peekable();
+    let mut out = Vec::with_capacity(ds.len() - view.len());
+    for o in ds.ids() {
+        if seeds.peek() == Some(&o) {
+            seeds.next();
+        } else {
+            out.push(o);
+        }
+    }
+    out
+}
+
+/// Per-dimension posting lists over the non-seeds: `maps[d][v]` holds the
+/// non-seed ids whose value in dimension `d` is `v`, ascending.
+struct NonSeedIndex {
+    maps: Vec<HashMap<Value, Vec<ObjId>>>,
+}
+
+impl NonSeedIndex {
+    fn build(ds: &skycube_types::Dataset, non_seeds: &[ObjId]) -> Self {
+        let mut maps: Vec<HashMap<Value, Vec<ObjId>>> = vec![HashMap::new(); ds.dims()];
+        for &p in non_seeds {
+            let row = ds.row(p);
+            for (d, &v) in row.iter().enumerate() {
+                maps[d].entry(v).or_default().push(p);
+            }
+        }
+        NonSeedIndex { maps }
+    }
+
+    /// Non-seeds matching `rep`'s values on every dimension of `dims`
+    /// (ascending ids), via sorted-list intersection starting from the
+    /// shortest posting list.
+    fn matching(&self, rep_row: &[Value], dims: DimMask, out: &mut Vec<ObjId>) {
+        out.clear();
+        let mut lists: Vec<&[ObjId]> = Vec::with_capacity(dims.len());
+        for d in dims.iter() {
+            match self.maps[d].get(&rep_row[d]) {
+                Some(list) => lists.push(list),
+                None => return, // no non-seed matches this dimension
+            }
+        }
+        lists.sort_unstable_by_key(|l| l.len());
+        let Some((first, rest)) = lists.split_first() else {
+            return;
+        };
+        'cand: for &p in *first {
+            for list in rest {
+                if list.binary_search(&p).is_err() {
+                    continue 'cand;
+                }
+            }
+            out.push(p);
+        }
+    }
+}
+
+/// Reusable buffers for the per-group work.
+#[derive(Default)]
+struct Scratch {
+    candidates: Vec<ObjId>,
+    relevant: Vec<(DimMask, ObjId)>,
+    closed: Vec<DimMask>,
+    members_buf: Vec<ObjId>,
+    cands: Vec<DimMask>,
+}
+
+fn extend_one(
+    view: &SeedView<'_>,
+    sg: &SeedGroup,
+    non_seeds: &[ObjId],
+    index: Option<&NonSeedIndex>,
+    s: &mut Scratch,
+    out: &mut Vec<SkylineGroup>,
+) {
+    let ds = view.dataset();
+    let rep = view.id(sg.members[0]);
+    let rep_row = ds.row(rep);
+    let seed_ids: Vec<ObjId> = sg.members.iter().map(|&i| view.id(i)).collect();
+
+    // 1. Relevant non-seeds: sharing mask within B′ contains some decisive.
+    s.relevant.clear();
+    match index {
+        Some(idx) => {
+            let mut seen: Vec<ObjId> = Vec::new();
+            for &c in &sg.decisive {
+                idx.matching(rep_row, c, &mut s.candidates);
+                for &p in &s.candidates {
+                    if seen.binary_search(&p).is_err() {
+                        seen.insert(seen.binary_search(&p).unwrap_err(), p);
+                    }
+                }
+            }
+            for &p in &seen {
+                let m = ds.co_mask(rep, p) & sg.subspace;
+                debug_assert!(sg.decisive.iter().any(|&c| c.is_subset_of(m)));
+                s.relevant.push((m, p));
+            }
+        }
+        None => {
+            for &p in non_seeds {
+                let m = ds.co_mask(rep, p) & sg.subspace;
+                if sg.decisive.iter().any(|&c| c.is_subset_of(m)) {
+                    s.relevant.push((m, p));
+                }
+            }
+        }
+    }
+
+    // 2. Fast path: untouched seed group.
+    if s.relevant.is_empty() {
+        out.push(SkylineGroup::new(seed_ids, sg.subspace, sg.decisive.clone()));
+        return;
+    }
+
+    // 3. Intersection-closed family of candidate subspaces within B′, pruned
+    //    to masks still containing a decisive subspace (an intersection of a
+    //    non-qualifying mask can never re-qualify).
+    s.closed.clear();
+    s.closed.push(sg.subspace);
+    let mut distinct_masks: Vec<DimMask> = s.relevant.iter().map(|&(m, _)| m).collect();
+    distinct_masks.sort_unstable();
+    distinct_masks.dedup();
+    for &m in &distinct_masks {
+        let before = s.closed.len();
+        for i in 0..before {
+            let inter = s.closed[i] & m;
+            if !inter.is_empty()
+                && sg.decisive.iter().any(|&c| c.is_subset_of(inter))
+                && !s.closed.contains(&inter)
+            {
+                s.closed.push(inter);
+            }
+        }
+    }
+
+    // 4. One derived group per closed mask that is the exact closure of its
+    //    member set.
+    for k in 0..s.closed.len() {
+        let space = s.closed[k];
+        s.members_buf.clear();
+        let mut closure = sg.subspace;
+        for &(m, p) in &s.relevant {
+            if m.is_superset_of(space) {
+                s.members_buf.push(p);
+                closure = closure & m;
+            }
+        }
+        if closure != space {
+            continue; // not the canonical subspace for this member set
+        }
+
+        // Decisive subspaces of the derived group (Theorem 5, both bullets).
+        s.cands.clear();
+        for &c in &sg.decisive {
+            if !c.is_subset_of(space) {
+                continue;
+            }
+            let mut clauses = ClauseSet::new();
+            let mut offended = false;
+            let mut impossible = false;
+            for &(m, o) in &s.relevant {
+                if m.is_superset_of(c) && !m.is_superset_of(space) {
+                    offended = true;
+                    // Dims of the derived subspace where the group's value
+                    // strictly beats the offender (Theorem 4's requirement).
+                    let clause = ds.dom_mask(rep, o) & space;
+                    if !clauses.add(clause) {
+                        // Unreachable by the quotient-lattice argument (see
+                        // module docs); kept as a safe fallback.
+                        debug_assert!(false, "offender dominates derived group");
+                        impossible = true;
+                        break;
+                    }
+                }
+            }
+            if impossible {
+                continue;
+            }
+            if !offended {
+                s.cands.push(c);
+            } else {
+                for t in clauses.minimal_transversals() {
+                    s.cands.push(c.union(t));
+                }
+            }
+        }
+        minimize_antichain(&mut s.cands);
+        debug_assert!(
+            !s.cands.is_empty(),
+            "derived group lost all decisive subspaces"
+        );
+        if s.cands.is_empty() {
+            continue;
+        }
+
+        let mut members = seed_ids.clone();
+        members.extend_from_slice(&s.members_buf);
+        out.push(SkylineGroup::new(members, space, s.cands.clone()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::seed_skyline_groups;
+    use skycube_types::{normalize_groups, running_example, Dataset};
+
+    fn mask(s: &str) -> DimMask {
+        DimMask::parse(s).unwrap()
+    }
+
+    fn full_lattice(ds: &Dataset, strategy: RelevanceStrategy) -> Vec<SkylineGroup> {
+        let seeds = skycube_skyline::skyline(ds, ds.full_space());
+        let view = SeedView::new(ds, seeds);
+        let sgs = seed_skyline_groups(&view);
+        normalize_groups(extend_to_full(&view, &sgs, strategy))
+    }
+
+    /// Figure 3(b): the skyline groups and decisive subspaces on all of S.
+    #[test]
+    fn figure_3b_full_lattice() {
+        let ds = running_example();
+        for strategy in [RelevanceStrategy::Index, RelevanceStrategy::Scan] {
+            let groups = full_lattice(&ds, strategy);
+            let expect = normalize_groups(vec![
+                // (P5, (2,4,9,3), AB) — BD expanded away by P3, ABD ⊃ AB dropped.
+                SkylineGroup::new(vec![4], mask("ABCD"), vec![mask("AB")]),
+                // (P2, (2,6,8,3), AC, CD) — untouched.
+                SkylineGroup::new(vec![1], mask("ABCD"), vec![mask("AC"), mask("CD")]),
+                // (P4, (6,4,8,5), BC) — untouched.
+                SkylineGroup::new(vec![3], mask("ABCD"), vec![mask("BC")]),
+                // (P3P5, (*,4,9,3), BD) — new split group; shares BCD.
+                SkylineGroup::new(vec![2, 4], mask("BCD"), vec![mask("BD")]),
+                // (P2P5, (2,*,*,3), A) — D no longer decisive (P3 shares D).
+                SkylineGroup::new(vec![1, 4], mask("AD"), vec![mask("A")]),
+                // (P3P4P5, (*,4,*,*), B) — P3 absorbed at the full subspace.
+                SkylineGroup::new(vec![2, 3, 4], mask("B"), vec![mask("B")]),
+                // (P2P3P5, (*,*,*,3), D) — new split group below P2P5.
+                SkylineGroup::new(vec![1, 2, 4], mask("D"), vec![mask("D")]),
+                // (P2P4, (*,*,8,*), C) — untouched.
+                SkylineGroup::new(vec![1, 3], mask("C"), vec![mask("C")]),
+            ]);
+            assert_eq!(groups, expect, "strategy {strategy:?}");
+        }
+    }
+
+    #[test]
+    fn strategies_agree_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for trial in 0..25 {
+            let dims = rng.gen_range(2..=5);
+            let n = rng.gen_range(2..=40);
+            let mut rows: Vec<Vec<i64>> = Vec::new();
+            while rows.len() < n {
+                let row: Vec<i64> = (0..dims).map(|_| rng.gen_range(0..4)).collect();
+                if !rows.contains(&row) {
+                    rows.push(row);
+                }
+                if rows.len() >= 4usize.pow(dims as u32) {
+                    break;
+                }
+            }
+            let ds = Dataset::from_rows(dims, rows).unwrap();
+            assert_eq!(
+                full_lattice(&ds, RelevanceStrategy::Index),
+                full_lattice(&ds, RelevanceStrategy::Scan),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn all_seeds_survive_in_full_space_groups() {
+        let ds = running_example();
+        let groups = full_lattice(&ds, RelevanceStrategy::Index);
+        for seed in [1u32, 3, 4] {
+            assert!(groups
+                .iter()
+                .any(|g| g.subspace == ds.full_space() && g.members.contains(&seed)));
+        }
+    }
+
+    #[test]
+    fn theorem1_every_group_contains_a_seed() {
+        let ds = running_example();
+        let groups = full_lattice(&ds, RelevanceStrategy::Index);
+        let seeds = [1u32, 3, 4];
+        for g in &groups {
+            assert!(
+                g.members.iter().any(|m| seeds.contains(m)),
+                "group without seed: {g:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! The skyline-group lattice structure and the quotient relation of
+//! Theorem 2.
+//!
+//! Skyline groups are partially ordered by member-set inclusion: `(G₁, B₁) ≤
+//! (G₂, B₂)` iff `G₁ ⊆ G₂` (which forces `B₁ ⊇ B₂` — a larger group shares
+//! less). [`GroupLattice`] materializes the Hasse diagram of this order, the
+//! structure drawn in Figure 3. [`quotient_map`] witnesses Theorem 2: mapping
+//! every group of the full lattice to the seed group spanned by its seed
+//! members is well defined and order preserving, i.e. the seed lattice is a
+//! quotient lattice of the full one.
+
+use skycube_types::{ObjId, SkylineGroup};
+use std::collections::HashMap;
+
+/// The Hasse diagram over a set of skyline groups ordered by member-set
+/// inclusion.
+#[derive(Clone, Debug)]
+pub struct GroupLattice {
+    groups: Vec<SkylineGroup>,
+    /// `children[i]` = indexes of the groups directly covering… i.e. the
+    /// immediate successors of group `i` (larger member sets).
+    children: Vec<Vec<usize>>,
+    /// Immediate predecessors (smaller member sets).
+    parents: Vec<Vec<usize>>,
+}
+
+impl GroupLattice {
+    /// Build the Hasse diagram of `groups`. O(k²) subset tests plus a
+    /// transitive reduction; group counts are the paper's compression metric
+    /// and stay far below the object count, so this is cheap in practice.
+    pub fn new(groups: Vec<SkylineGroup>) -> Self {
+        let k = groups.len();
+        // All strict inclusions.
+        let mut below: Vec<Vec<usize>> = vec![Vec::new(); k]; // below[i] = j : G_j ⊂ G_i
+        for i in 0..k {
+            for j in 0..k {
+                if i != j && is_subset(&groups[j].members, &groups[i].members) {
+                    below[i].push(j);
+                }
+            }
+        }
+        // Transitive reduction: j is a parent of i iff no intermediate m
+        // with G_j ⊂ G_m ⊂ G_i.
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); k];
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
+        for i in 0..k {
+            for &j in &below[i] {
+                let direct = !below[i]
+                    .iter()
+                    .any(|&m| m != j && below[m].contains(&j));
+                if direct {
+                    parents[i].push(j);
+                    children[j].push(i);
+                }
+            }
+        }
+        GroupLattice {
+            groups,
+            children,
+            parents,
+        }
+    }
+
+    /// The groups, in construction order.
+    pub fn groups(&self) -> &[SkylineGroup] {
+        &self.groups
+    }
+
+    /// Immediate successors of group `i` (supersets with nothing between).
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Immediate predecessors of group `i`.
+    pub fn parents(&self, i: usize) -> &[usize] {
+        &self.parents[i]
+    }
+
+    /// Indexes of the minimal elements (no parents) — the singleton-style
+    /// groups at the top of Figure 3's drawing.
+    pub fn roots(&self) -> Vec<usize> {
+        (0..self.groups.len())
+            .filter(|&i| self.parents[i].is_empty())
+            .collect()
+    }
+
+    /// Verify the defining antitonicity: `G₁ ⊆ G₂ ⟹ B₁ ⊇ B₂` over all pairs.
+    pub fn check_antitone(&self) -> bool {
+        let k = self.groups.len();
+        for i in 0..k {
+            for j in 0..k {
+                if i != j
+                    && is_subset(&self.groups[i].members, &self.groups[j].members)
+                    && !self.groups[i].subspace.is_superset_of(self.groups[j].subspace)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Whether sorted `a` is a subset of sorted `b`.
+fn is_subset(a: &[ObjId], b: &[ObjId]) -> bool {
+    if a.len() > b.len() {
+        return false;
+    }
+    let mut it = b.iter();
+    'outer: for &x in a {
+        for &y in it.by_ref() {
+            match y.cmp(&x) {
+                std::cmp::Ordering::Less => continue,
+                std::cmp::Ordering::Equal => continue 'outer,
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Theorem 2 witness: map each group of the full lattice to the index of
+/// the seed group whose members are exactly its seed members. Returns `None`
+/// if some group's seed part is not a seed group (which would falsify the
+/// quotient relation).
+pub fn quotient_map(
+    full: &[SkylineGroup],
+    seed_lattice: &[SkylineGroup],
+    seeds: &[ObjId],
+) -> Option<Vec<usize>> {
+    let by_members: HashMap<&[ObjId], usize> = seed_lattice
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.members.as_slice(), i))
+        .collect();
+    let mut map = Vec::with_capacity(full.len());
+    for g in full {
+        let seed_part: Vec<ObjId> = g
+            .members
+            .iter()
+            .copied()
+            .filter(|m| seeds.binary_search(m).is_ok())
+            .collect();
+        map.push(*by_members.get(seed_part.as_slice())?);
+    }
+    Some(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_cube;
+    use skycube_types::{running_example, DimMask};
+
+    fn mask(s: &str) -> DimMask {
+        DimMask::parse(s).unwrap()
+    }
+
+    #[test]
+    fn is_subset_basics() {
+        assert!(is_subset(&[], &[1, 2]));
+        assert!(is_subset(&[2], &[1, 2, 3]));
+        assert!(is_subset(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset(&[1, 2, 3], &[1, 2]));
+        assert!(is_subset(&[1, 2], &[1, 2]));
+    }
+
+    #[test]
+    fn figure_3b_hasse_structure() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let lat = GroupLattice::new(cube.groups().to_vec());
+        assert!(lat.check_antitone());
+
+        // Singletons are the roots.
+        let roots = lat.roots();
+        let root_sizes: Vec<usize> =
+            roots.iter().map(|&i| lat.groups()[i].members.len()).collect();
+        assert_eq!(root_sizes, vec![1, 1, 1]);
+
+        // (P2P5, AD) covers (P2) and (P5); (P2P3P5, D) covers (P2P5) and
+        // (P3P5).
+        let idx = |members: &[u32]| {
+            lat.groups()
+                .iter()
+                .position(|g| g.members == members)
+                .unwrap()
+        };
+        let p2p5 = idx(&[1, 4]);
+        let p2 = idx(&[1]);
+        let p5 = idx(&[4]);
+        let p2p3p5 = idx(&[1, 2, 4]);
+        let p3p5 = idx(&[2, 4]);
+        let mut parents_of_p2p5 = lat.parents(p2p5).to_vec();
+        parents_of_p2p5.sort_unstable();
+        let mut expect = vec![p2, p5];
+        expect.sort_unstable();
+        assert_eq!(parents_of_p2p5, expect);
+        let mut parents_of_big = lat.parents(p2p3p5).to_vec();
+        parents_of_big.sort_unstable();
+        let mut expect = vec![p2p5, p3p5];
+        expect.sort_unstable();
+        assert_eq!(parents_of_big, expect);
+    }
+
+    #[test]
+    fn quotient_relation_of_theorem_2() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        // Seed lattice: groups over seeds only (ids 1, 3, 4).
+        let seed_lattice = vec![
+            SkylineGroup::new(vec![1], mask("ABCD"), vec![mask("AC"), mask("CD")]),
+            SkylineGroup::new(vec![3], mask("ABCD"), vec![mask("BC")]),
+            SkylineGroup::new(vec![4], mask("ABCD"), vec![mask("AB"), mask("BD")]),
+            SkylineGroup::new(vec![1, 3], mask("C"), vec![mask("C")]),
+            SkylineGroup::new(vec![1, 4], mask("AD"), vec![mask("A"), mask("D")]),
+            SkylineGroup::new(vec![3, 4], mask("B"), vec![mask("B")]),
+        ];
+        let map = quotient_map(cube.groups(), &seed_lattice, &[1, 3, 4])
+            .expect("quotient map must exist");
+        assert_eq!(map.len(), cube.num_groups());
+        // Order preservation: G ⊆ G' in the full lattice implies seed parts
+        // nested the same way.
+        for (i, gi) in cube.groups().iter().enumerate() {
+            for (j, gj) in cube.groups().iter().enumerate() {
+                if is_subset(&gi.members, &gj.members) {
+                    assert!(
+                        is_subset(
+                            &seed_lattice[map[i]].members,
+                            &seed_lattice[map[j]].members
+                        ),
+                        "order broken between {gi:?} and {gj:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quotient_map_rejects_wrong_seed_lattice() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        // Remove the (P2P5) seed group: the map must fail.
+        let broken = vec![
+            SkylineGroup::new(vec![1], mask("ABCD"), vec![mask("AC"), mask("CD")]),
+            SkylineGroup::new(vec![3], mask("ABCD"), vec![mask("BC")]),
+            SkylineGroup::new(vec![4], mask("ABCD"), vec![mask("AB"), mask("BD")]),
+        ];
+        assert!(quotient_map(cube.groups(), &broken, &[1, 3, 4]).is_none());
+    }
+
+    use skycube_types::SkylineGroup;
+}

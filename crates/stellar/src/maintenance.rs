@@ -1,0 +1,440 @@
+//! Incremental cube maintenance — the extension direction pioneered by Xia &
+//! Zhang's compressed-skycube refresh (SIGMOD'06, cited as [14] by the
+//! paper).
+//!
+//! [`StellarEngine`] owns a dataset and its cube and supports object
+//! insertion. The quotient-lattice structure gives a cheap fast path: when
+//! the inserted object is strictly dominated in the full space by an existing
+//! seed, the seed set — and therefore the entire seed lattice of steps 1–4 —
+//! is unchanged, and only the non-seed accommodation (step 5) needs to be
+//! redone. Only when the insert creates a new seed (or ties a seed) does the
+//! engine fall back to a full recomputation.
+
+use crate::extend::extend_to_full;
+use crate::matrices::SeedView;
+use crate::seeds::{seed_skyline_groups, SeedGroup};
+use crate::{CompressedSkylineCube, Stellar};
+use skycube_types::{Dataset, Result, SkylineGroup, Value};
+
+/// An updatable compressed skyline cube.
+pub struct StellarEngine {
+    runner: Stellar,
+    rows: Vec<Vec<Value>>,
+    dims: usize,
+    cube: CompressedSkylineCube,
+    /// Cached seed lattice over the *bound* dataset, reused by the fast
+    /// path. Invalidated (recomputed) when the seed set changes.
+    cached: Option<CachedSeedLattice>,
+    /// Statistics: how many inserts took the incremental path.
+    fast_path_inserts: usize,
+    /// Statistics: how many inserts forced a recomputation.
+    full_recomputes: usize,
+}
+
+struct CachedSeedLattice {
+    bound: Dataset,
+    reps: Vec<Vec<skycube_types::ObjId>>,
+    seeds_bound: Vec<skycube_types::ObjId>,
+    seed_groups: Vec<SeedGroup>,
+}
+
+impl StellarEngine {
+    /// Build the engine (and the initial cube) from a dataset.
+    pub fn new(ds: &Dataset) -> Self {
+        Self::with_runner(ds, Stellar::new())
+    }
+
+    /// Build with a configured runner.
+    pub fn with_runner(ds: &Dataset, runner: Stellar) -> Self {
+        let rows: Vec<Vec<Value>> = ds.ids().map(|o| ds.row(o).to_vec()).collect();
+        let mut engine = StellarEngine {
+            runner,
+            rows,
+            dims: ds.dims(),
+            cube: CompressedSkylineCube::new(ds.dims(), 0, Vec::new(), Vec::new()),
+            cached: None,
+            fast_path_inserts: 0,
+            full_recomputes: 0,
+        };
+        engine.recompute();
+        engine
+    }
+
+    /// The current cube.
+    pub fn cube(&self) -> &CompressedSkylineCube {
+        &self.cube
+    }
+
+    /// The current dataset.
+    pub fn dataset(&self) -> Dataset {
+        Dataset::from_rows(self.dims, self.rows.clone()).expect("rows stay well formed")
+    }
+
+    /// Number of objects currently indexed.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the engine holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// `(fast-path inserts, full recomputations)` so far.
+    pub fn maintenance_stats(&self) -> (usize, usize) {
+        (self.fast_path_inserts, self.full_recomputes)
+    }
+
+    /// Insert one object and refresh the cube. Returns the new object's id.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<skycube_types::ObjId> {
+        if row.len() != self.dims {
+            return Err(skycube_types::Error::RowLengthMismatch {
+                row: self.rows.len(),
+                expected: self.dims,
+                actual: row.len(),
+            });
+        }
+        let id = self.rows.len() as skycube_types::ObjId;
+        let dominated = self.strictly_dominated(&row);
+        self.rows.push(row);
+        if dominated && self.cached.is_some() {
+            self.refresh_extension_only();
+            self.fast_path_inserts += 1;
+        } else {
+            self.recompute();
+            self.full_recomputes += 1;
+        }
+        Ok(id)
+    }
+
+    /// Delete the object with id `id`; ids above it shift down by one (the
+    /// positional-id model of [`Dataset`]). Returns the removed row.
+    ///
+    /// Removing a *non-seed* cannot change any dominance relation among the
+    /// remaining objects, so the seed lattice of steps 1–4 survives and only
+    /// the non-seed accommodation is redone (ids are remapped in the cached
+    /// binding). Removing a seed may promote previously dominated objects
+    /// and forces a full recomputation.
+    pub fn delete(&mut self, id: skycube_types::ObjId) -> Result<Vec<Value>> {
+        if id as usize >= self.rows.len() {
+            return Err(skycube_types::Error::RowLengthMismatch {
+                row: id as usize,
+                expected: self.rows.len(),
+                actual: 0,
+            });
+        }
+        let was_seed = self.cube.seeds().binary_search(&id).is_ok();
+        let row = self.rows.remove(id as usize);
+        let cached_available = self.cached.is_some();
+        if self.rows.is_empty() || was_seed || !cached_available {
+            self.recompute();
+            self.full_recomputes += 1;
+        } else {
+            // Rebuild the duplicate binding over the surviving rows (O(n)),
+            // keep the seed lattice, redo step 5.
+            let cached = self.cached.as_mut().expect("cached_available checked");
+            let ds = Dataset::from_rows(self.dims, self.rows.clone())
+                .expect("rows stay well formed");
+            let (bound, reps) = ds.bind_duplicates();
+            // Seed ids above the removed one shift down by one; seed rows
+            // are untouched, so the cached seed *groups* (which index into
+            // the seed array, not the dataset) remain valid as long as the
+            // seed id list is remapped consistently.
+            let seeds_bound: Vec<skycube_types::ObjId> = cached
+                .seeds_bound
+                .iter()
+                .map(|&s| {
+                    let old_orig = cached.reps[s as usize][0];
+                    let new_orig = if old_orig > id { old_orig - 1 } else { old_orig };
+                    (0..bound.len() as u32)
+                        .find(|&b| {
+                            bound.row(b) == {
+                                let r: &[Value] = &self.rows[new_orig as usize];
+                                r
+                            }
+                        })
+                        .expect("seed row survives deletion")
+                })
+                .collect();
+            cached.bound = bound;
+            cached.reps = reps;
+            cached.seeds_bound = seeds_bound;
+            let view = SeedView::new(&cached.bound, cached.seeds_bound.clone());
+            let groups_bound =
+                extend_to_full(&view, &cached.seed_groups, self.runner.strategy());
+            self.cube = assemble(
+                self.dims,
+                self.rows.len(),
+                &cached.seeds_bound,
+                groups_bound,
+                &cached.reps,
+            );
+            self.fast_path_inserts += 1;
+        }
+        Ok(row)
+    }
+
+    /// Whether some existing object strictly dominates `row` in full space
+    /// (then the seed set cannot change: the new object is a non-seed and
+    /// evicts nobody).
+    fn strictly_dominated(&self, row: &[Value]) -> bool {
+        'outer: for existing in &self.rows {
+            let mut strict = false;
+            for (a, b) in existing.iter().zip(row) {
+                if a > b {
+                    continue 'outer;
+                }
+                if a < b {
+                    strict = true;
+                }
+            }
+            if strict {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Full pipeline, refreshing the cached seed lattice.
+    fn recompute(&mut self) {
+        let ds = self.dataset();
+        if ds.is_empty() {
+            self.cube = CompressedSkylineCube::new(self.dims, 0, Vec::new(), Vec::new());
+            self.cached = None;
+            return;
+        }
+        let (bound, reps) = ds.bind_duplicates();
+        let seeds_bound = self.runner.algorithm().run(&bound, bound.full_space());
+        let (seed_groups, groups_bound) = {
+            let view = SeedView::new(&bound, seeds_bound.clone());
+            let seed_groups = seed_skyline_groups(&view);
+            let groups = extend_to_full(&view, &seed_groups, self.runner.strategy());
+            (seed_groups, groups)
+        };
+        self.cube = assemble(self.dims, ds.len(), &seeds_bound, groups_bound, &reps);
+        self.cached = Some(CachedSeedLattice {
+            bound,
+            reps,
+            seeds_bound,
+            seed_groups,
+        });
+    }
+
+    /// Fast path: the new object is a dominated non-seed; rebind duplicates
+    /// and redo step 5 only, against the cached seed lattice.
+    fn refresh_extension_only(&mut self) {
+        let cached = self.cached.as_mut().expect("fast path requires cache");
+        let new_id = (self.rows.len() - 1) as skycube_types::ObjId;
+        let new_row = self.rows.last().expect("just pushed");
+
+        // Maintain the bound dataset: either the row duplicates an existing
+        // bound tuple or becomes a fresh bound object.
+        let existing = (0..cached.bound.len() as u32)
+            .find(|&b| cached.bound.row(b) == new_row.as_slice());
+        match existing {
+            Some(b) => cached.reps[b as usize].push(new_id),
+            None => {
+                let mut rows: Vec<Vec<Value>> =
+                    (0..cached.bound.len() as u32).map(|b| cached.bound.row(b).to_vec()).collect();
+                rows.push(new_row.clone());
+                cached.bound =
+                    Dataset::from_rows(self.dims, rows).expect("rows stay well formed");
+                cached.reps.push(vec![new_id]);
+            }
+        }
+
+        let view = SeedView::new(&cached.bound, cached.seeds_bound.clone());
+        let groups_bound =
+            extend_to_full(&view, &cached.seed_groups, self.runner.strategy());
+        self.cube = assemble(
+            self.dims,
+            self.rows.len(),
+            &cached.seeds_bound,
+            groups_bound,
+            &cached.reps,
+        );
+    }
+}
+
+fn assemble(
+    dims: usize,
+    num_objects: usize,
+    seeds_bound: &[skycube_types::ObjId],
+    groups_bound: Vec<SkylineGroup>,
+    reps: &[Vec<skycube_types::ObjId>],
+) -> CompressedSkylineCube {
+    let expand = |ids: &[skycube_types::ObjId]| -> Vec<skycube_types::ObjId> {
+        let mut v: Vec<skycube_types::ObjId> = ids
+            .iter()
+            .flat_map(|&b| reps[b as usize].iter().copied())
+            .collect();
+        v.sort_unstable();
+        v
+    };
+    let groups: Vec<SkylineGroup> = groups_bound
+        .into_iter()
+        .map(|g| SkylineGroup::new(expand(&g.members), g.subspace, g.decisive))
+        .collect();
+    CompressedSkylineCube::new(dims, num_objects, expand(seeds_bound), groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_cube;
+    use skycube_types::{normalize_groups, running_example};
+
+    fn assert_cubes_equal(engine: &StellarEngine) {
+        let scratch = compute_cube(&engine.dataset());
+        assert_eq!(
+            normalize_groups(engine.cube().groups().to_vec()),
+            normalize_groups(scratch.groups().to_vec()),
+            "incremental cube diverged from recomputation"
+        );
+        assert_eq!(engine.cube().seeds(), scratch.seeds());
+    }
+
+    #[test]
+    fn dominated_insert_takes_fast_path() {
+        let ds = running_example();
+        let mut engine = StellarEngine::new(&ds);
+        // (9,9,11,9) is dominated by everything: pure non-seed.
+        engine.insert(vec![9, 9, 11, 9]).unwrap();
+        assert_eq!(engine.maintenance_stats(), (1, 0));
+        assert_cubes_equal(&engine);
+    }
+
+    #[test]
+    fn dominated_insert_sharing_decisive_values_splits_groups() {
+        let ds = running_example();
+        let mut engine = StellarEngine::new(&ds);
+        // Dominated by P5=(2,4,9,3) but shares D=3 and B=4: reshapes groups.
+        engine.insert(vec![7, 4, 12, 3]).unwrap();
+        assert_eq!(engine.maintenance_stats(), (1, 0));
+        assert_cubes_equal(&engine);
+        assert!(engine.cube().is_skyline_in(5, skycube_types::DimMask::parse("B").unwrap()));
+    }
+
+    #[test]
+    fn new_seed_forces_recompute() {
+        let ds = running_example();
+        let mut engine = StellarEngine::new(&ds);
+        engine.insert(vec![1, 1, 1, 1]).unwrap();
+        assert_eq!(engine.maintenance_stats(), (0, 1));
+        assert_cubes_equal(&engine);
+        assert_eq!(engine.cube().seeds(), &[5]);
+    }
+
+    #[test]
+    fn duplicate_insert_joins_bound_pair() {
+        let ds = running_example();
+        let mut engine = StellarEngine::new(&ds);
+        // An exact duplicate of P1 (a non-seed, dominated by P2).
+        engine.insert(vec![5, 6, 10, 7]).unwrap();
+        assert_cubes_equal(&engine);
+        engine.insert(vec![5, 6, 10, 7]).unwrap();
+        assert_cubes_equal(&engine);
+    }
+
+    #[test]
+    fn tie_with_seed_is_not_fast_pathed() {
+        // An exact duplicate of seed P5 is NOT strictly dominated, so it
+        // must go through the safe full path (it becomes a bound seed).
+        let ds = running_example();
+        let mut engine = StellarEngine::new(&ds);
+        engine.insert(vec![2, 4, 9, 3]).unwrap();
+        assert_eq!(engine.maintenance_stats(), (0, 1));
+        assert_cubes_equal(&engine);
+        assert!(engine.cube().seeds().contains(&5));
+    }
+
+    #[test]
+    fn randomized_insert_stream_stays_consistent() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        let ds = running_example();
+        let mut engine = StellarEngine::new(&ds);
+        for _ in 0..30 {
+            let row: Vec<i64> = (0..4).map(|_| rng.gen_range(0..10)).collect();
+            engine.insert(row).unwrap();
+            assert_cubes_equal(&engine);
+        }
+        let (fast, full) = engine.maintenance_stats();
+        assert_eq!(fast + full, 30);
+        assert!(fast > 0, "expected some fast-path inserts");
+    }
+
+    #[test]
+    fn delete_non_seed_takes_fast_path() {
+        let ds = running_example();
+        let mut engine = StellarEngine::new(&ds);
+        // P1 (id 0) is a non-seed; P3 (id 2) reshapes groups when removed.
+        let removed = engine.delete(0).unwrap();
+        assert_eq!(removed, vec![5, 6, 10, 7]);
+        assert_eq!(engine.len(), 4);
+        assert_cubes_equal(&engine);
+        // P3 was id 2, still id... after removing id 0, P3 is id 1.
+        let removed = engine.delete(1).unwrap();
+        assert_eq!(removed, vec![5, 4, 9, 3]);
+        assert_cubes_equal(&engine);
+        let (fast, full) = engine.maintenance_stats();
+        assert_eq!((fast, full), (2, 0), "both deletes should be incremental");
+    }
+
+    #[test]
+    fn delete_seed_forces_recompute() {
+        let ds = running_example();
+        let mut engine = StellarEngine::new(&ds);
+        // P2 (id 1) is a seed.
+        engine.delete(1).unwrap();
+        assert_eq!(engine.maintenance_stats(), (0, 1));
+        assert_cubes_equal(&engine);
+    }
+
+    #[test]
+    fn delete_out_of_range_errors() {
+        let mut engine = StellarEngine::new(&running_example());
+        assert!(engine.delete(99).is_err());
+        assert_eq!(engine.len(), 5);
+    }
+
+    #[test]
+    fn randomized_mixed_insert_delete_stream() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut engine = StellarEngine::new(&running_example());
+        for _ in 0..40 {
+            if engine.len() > 2 && rng.gen_bool(0.4) {
+                let id = rng.gen_range(0..engine.len() as u32);
+                engine.delete(id).unwrap();
+            } else {
+                let row: Vec<i64> = (0..4).map(|_| rng.gen_range(0..8)).collect();
+                engine.insert(row).unwrap();
+            }
+            assert_cubes_equal(&engine);
+        }
+    }
+
+    #[test]
+    fn delete_down_to_empty_and_rebuild() {
+        let ds = Dataset::from_rows(2, vec![vec![1, 2], vec![2, 1]]).unwrap();
+        let mut engine = StellarEngine::new(&ds);
+        engine.delete(0).unwrap();
+        engine.delete(0).unwrap();
+        assert!(engine.is_empty());
+        assert_eq!(engine.cube().num_groups(), 0);
+        engine.insert(vec![3, 3]).unwrap();
+        assert_eq!(engine.cube().num_groups(), 1);
+        assert_cubes_equal(&engine);
+    }
+
+    #[test]
+    fn insert_validates_row_length() {
+        let mut engine = StellarEngine::new(&running_example());
+        assert!(engine.insert(vec![1, 2]).is_err());
+        assert_eq!(engine.len(), 5);
+        assert!(!engine.is_empty());
+    }
+}

@@ -1,0 +1,163 @@
+//! The dominance and coincidence matrices of Section 5.1, restricted to the
+//! seed objects (the full-space skyline).
+//!
+//! Both matrices are `|F(S)|²` bitmasks; materializing them is wasteful for
+//! large skylines, and every consumer in Stellar works one *row* at a time
+//! (the c-group search scans the anchor's coincidence row, the decisive
+//! computation scans one member's dominance row). [`SeedView`] therefore
+//! computes rows on demand into caller-provided buffers. Property 1 of the
+//! paper (`co = D − dom(u,v) − dom(v,u)`) means the coincidence matrix is
+//! derivable, but computing equality masks directly is just as cheap.
+
+use skycube_types::{Dataset, DimMask, ObjId};
+
+/// Seed objects plus row-wise access to their pairwise masks.
+///
+/// Seed indexes (`usize` positions into [`SeedView::seeds`]) are the working
+/// currency of the seed-lattice algorithms; they translate back to dataset
+/// [`ObjId`]s via [`SeedView::id`].
+pub struct SeedView<'a> {
+    ds: &'a Dataset,
+    seeds: Vec<ObjId>,
+}
+
+impl<'a> SeedView<'a> {
+    /// Wrap a dataset and its full-space skyline (ascending ids).
+    pub fn new(ds: &'a Dataset, seeds: Vec<ObjId>) -> Self {
+        debug_assert!(seeds.windows(2).all(|w| w[0] < w[1]), "seeds must be sorted");
+        SeedView { ds, seeds }
+    }
+
+    /// Number of seed objects `|F(S)|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether there are no seeds (empty dataset).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+
+    /// The underlying dataset.
+    #[inline]
+    pub fn dataset(&self) -> &'a Dataset {
+        self.ds
+    }
+
+    /// All seed object ids, ascending.
+    #[inline]
+    pub fn seeds(&self) -> &[ObjId] {
+        &self.seeds
+    }
+
+    /// Dataset id of seed index `i`.
+    #[inline]
+    pub fn id(&self, i: usize) -> ObjId {
+        self.seeds[i]
+    }
+
+    /// Fill `row` with the coincidence masks `co(seed_i, seed_j)` for all `j`.
+    pub fn co_row(&self, i: usize, row: &mut Vec<DimMask>) {
+        let u = self.seeds[i];
+        row.clear();
+        row.extend(self.seeds.iter().map(|&v| self.ds.co_mask(u, v)));
+    }
+
+    /// Fill `row` with the dominance masks `dom(seed_i, seed_j)` for all `j`:
+    /// the dimensions on which seed `i` has a strictly smaller value.
+    pub fn dom_row(&self, i: usize, row: &mut Vec<DimMask>) {
+        let u = self.seeds[i];
+        row.clear();
+        row.extend(self.seeds.iter().map(|&v| self.ds.dom_mask(u, v)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_types::running_example;
+
+    fn example_view(ds: &Dataset) -> SeedView<'_> {
+        // Seeds of the running example: P2, P4, P5 (ids 1, 3, 4).
+        SeedView::new(ds, vec![1, 3, 4])
+    }
+
+    #[test]
+    fn rows_match_figure_4() {
+        let ds = running_example();
+        let view = example_view(&ds);
+        let mut dom = Vec::new();
+        let mut co = Vec::new();
+
+        // Row P2 of Figure 4(a): ∅, AD, C.
+        view.dom_row(0, &mut dom);
+        assert_eq!(
+            dom,
+            vec![
+                DimMask::EMPTY,
+                DimMask::parse("AD").unwrap(),
+                DimMask::parse("C").unwrap()
+            ]
+        );
+        // Row P2 of Figure 4(b): ABCD, C, AD.
+        view.co_row(0, &mut co);
+        assert_eq!(
+            co,
+            vec![
+                DimMask::full(4),
+                DimMask::parse("C").unwrap(),
+                DimMask::parse("AD").unwrap()
+            ]
+        );
+
+        // Row P5: dom = B, AD, ∅; co = AD, B, ABCD.
+        view.dom_row(2, &mut dom);
+        assert_eq!(
+            dom,
+            vec![
+                DimMask::parse("B").unwrap(),
+                DimMask::parse("AD").unwrap(),
+                DimMask::EMPTY
+            ]
+        );
+        view.co_row(2, &mut co);
+        assert_eq!(
+            co,
+            vec![
+                DimMask::parse("AD").unwrap(),
+                DimMask::parse("B").unwrap(),
+                DimMask::full(4)
+            ]
+        );
+    }
+
+    #[test]
+    fn property1_holds_rowwise() {
+        let ds = running_example();
+        let view = example_view(&ds);
+        let full = ds.full_space();
+        let (mut dom_i, mut dom_j, mut co) = (Vec::new(), Vec::new(), Vec::new());
+        for i in 0..view.len() {
+            view.dom_row(i, &mut dom_i);
+            view.co_row(i, &mut co);
+            for j in 0..view.len() {
+                view.dom_row(j, &mut dom_j);
+                assert_eq!(co[j], full - dom_i[j] - dom_j[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn id_translation() {
+        let ds = running_example();
+        let view = example_view(&ds);
+        assert_eq!(view.len(), 3);
+        assert_eq!(view.id(0), 1);
+        assert_eq!(view.id(2), 4);
+        assert_eq!(view.seeds(), &[1, 3, 4]);
+    }
+
+    use skycube_types::Dataset;
+}

@@ -1,0 +1,206 @@
+//! Plain-text persistence for computed cubes, so a materialized compressed
+//! skyline cube can be stored next to its dataset and reloaded without
+//! recomputation — the materialize-once/query-many workflow the paper's
+//! query section assumes.
+//!
+//! Format (line oriented, `#`-prefixed header):
+//!
+//! ```text
+//! #skycube v1 dims=4 objects=5
+//! #seeds 1 3 4
+//! group AD A,D 1 4
+//! group ABCD AC,CD 1
+//! ```
+//!
+//! Each `group` line: maximal subspace, comma-joined decisive subspaces,
+//! member ids. Subspaces use the letter notation of `DimMask::parse` (which
+//! bounds this format to 26 dimensions — beyond the paper's 17).
+
+use crate::cube::CompressedSkylineCube;
+use skycube_types::{DimMask, Error, ObjId, Result, SkylineGroup};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Serialize `cube` to a writer.
+pub fn write_cube<W: Write>(cube: &CompressedSkylineCube, w: W) -> Result<()> {
+    let mut out = BufWriter::new(w);
+    writeln!(
+        out,
+        "#skycube v1 dims={} objects={}",
+        cube.dims(),
+        cube.num_objects()
+    )?;
+    write!(out, "#seeds")?;
+    for s in cube.seeds() {
+        write!(out, " {s}")?;
+    }
+    writeln!(out)?;
+    for g in cube.groups() {
+        write!(out, "group {} ", g.subspace)?;
+        for (i, c) in g.decisive.iter().enumerate() {
+            if i > 0 {
+                write!(out, ",")?;
+            }
+            write!(out, "{c}")?;
+        }
+        for m in &g.members {
+            write!(out, " {m}")?;
+        }
+        writeln!(out)?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Serialize `cube` to a file.
+pub fn save_cube<P: AsRef<Path>>(cube: &CompressedSkylineCube, path: P) -> Result<()> {
+    write_cube(cube, std::fs::File::create(path)?)
+}
+
+/// Deserialize a cube from a reader.
+pub fn read_cube<R: Read>(r: R) -> Result<CompressedSkylineCube> {
+    let parse_err = |line: usize, token: &str| Error::Parse {
+        line,
+        token: token.to_string(),
+    };
+    let mut lines = BufReader::new(r).lines().enumerate();
+
+    // Header.
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| parse_err(1, "<empty input>"))
+        .and_then(|(i, l)| Ok((i, l?)))?;
+    let mut dims = 0usize;
+    let mut objects = 0usize;
+    if !header.starts_with("#skycube v1") {
+        return Err(parse_err(1, &header));
+    }
+    for tok in header.split_whitespace() {
+        if let Some(v) = tok.strip_prefix("dims=") {
+            dims = v.parse().map_err(|_| parse_err(1, tok))?;
+        } else if let Some(v) = tok.strip_prefix("objects=") {
+            objects = v.parse().map_err(|_| parse_err(1, tok))?;
+        }
+    }
+    if dims == 0 || dims > 26 {
+        return Err(Error::BadDimensionality {
+            dims,
+            context: "cube file header",
+        });
+    }
+
+    // Seeds.
+    let (_, seeds_line) = lines
+        .next()
+        .ok_or_else(|| parse_err(2, "<missing #seeds>"))
+        .and_then(|(i, l)| Ok((i, l?)))?;
+    let mut seeds: Vec<ObjId> = Vec::new();
+    let mut toks = seeds_line.split_whitespace();
+    if toks.next() != Some("#seeds") {
+        return Err(parse_err(2, &seeds_line));
+    }
+    for t in toks {
+        seeds.push(t.parse().map_err(|_| parse_err(2, t))?);
+    }
+
+    // Groups.
+    let mut groups: Vec<SkylineGroup> = Vec::new();
+    for (i, line) in lines {
+        let line = line?;
+        let lineno = i + 1;
+        if line.trim().is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        if toks.next() != Some("group") {
+            return Err(parse_err(lineno, &line));
+        }
+        let subspace = toks
+            .next()
+            .and_then(DimMask::parse)
+            .ok_or_else(|| parse_err(lineno, "<subspace>"))?;
+        let decisive_tok = toks.next().ok_or_else(|| parse_err(lineno, "<decisive>"))?;
+        let mut decisive = Vec::new();
+        for part in decisive_tok.split(',') {
+            decisive.push(DimMask::parse(part).ok_or_else(|| parse_err(lineno, part))?);
+        }
+        let mut members: Vec<ObjId> = Vec::new();
+        for t in toks {
+            members.push(t.parse().map_err(|_| parse_err(lineno, t))?);
+        }
+        if members.is_empty() {
+            return Err(parse_err(lineno, "<no members>"));
+        }
+        groups.push(SkylineGroup::new(members, subspace, decisive));
+    }
+    Ok(CompressedSkylineCube::new(dims, objects, seeds, groups))
+}
+
+/// Deserialize a cube from a file.
+pub fn load_cube<P: AsRef<Path>>(path: P) -> Result<CompressedSkylineCube> {
+    read_cube(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_cube;
+    use skycube_types::{normalize_groups, running_example};
+
+    #[test]
+    fn roundtrip_running_example() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let mut buf = Vec::new();
+        write_cube(&cube, &mut buf).unwrap();
+        let back = read_cube(&buf[..]).unwrap();
+        assert_eq!(back.dims(), cube.dims());
+        assert_eq!(back.num_objects(), cube.num_objects());
+        assert_eq!(back.seeds(), cube.seeds());
+        assert_eq!(
+            normalize_groups(back.groups().to_vec()),
+            normalize_groups(cube.groups().to_vec())
+        );
+        // Queries still work on the reloaded cube.
+        for space in ds.full_space().subsets() {
+            assert_eq!(back.subspace_skyline(space), cube.subspace_skyline(space));
+        }
+    }
+
+    #[test]
+    fn format_is_stable() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let mut buf = Vec::new();
+        write_cube(&cube, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("#skycube v1 dims=4 objects=5\n#seeds 1 3 4\n"));
+        assert!(text.contains("group AD A 1 4"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(read_cube("".as_bytes()).is_err());
+        assert!(read_cube("#wrong\n".as_bytes()).is_err());
+        assert!(read_cube("#skycube v1 dims=0 objects=5\n#seeds\n".as_bytes()).is_err());
+        assert!(
+            read_cube("#skycube v1 dims=4 objects=5\n#seeds x\n".as_bytes()).is_err()
+        );
+        let bad_group = "#skycube v1 dims=4 objects=5\n#seeds 1\ngroup ZZ9 A 1\n";
+        assert!(read_cube(bad_group.as_bytes()).is_err());
+        let no_members = "#skycube v1 dims=4 objects=5\n#seeds 1\ngroup AD A\n";
+        assert!(read_cube(no_members.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("skycube_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cube.txt");
+        let cube = compute_cube(&running_example());
+        save_cube(&cube, &path).unwrap();
+        let back = load_cube(&path).unwrap();
+        assert_eq!(back.num_groups(), cube.num_groups());
+        std::fs::remove_file(path).ok();
+    }
+}

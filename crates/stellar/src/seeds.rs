@@ -1,0 +1,189 @@
+//! Seed skyline groups and their decisive subspaces — steps 1–4 of the
+//! Stellar pipeline (Figure 7): enumerate maximal c-groups of the seeds
+//! (Figure 6), then determine each group's decisive subspaces from the
+//! dominance matrix alone (Theorem 3 + Corollary 1). A c-group whose clause
+//! set contains an empty clause is dominated-or-tied somewhere in every
+//! candidate subspace and is dropped — it is not a skyline group.
+
+use crate::cgroups::{maximal_cgroups, MaxCGroup};
+use crate::matrices::SeedView;
+use crate::transversal::ClauseSet;
+use skycube_types::DimMask;
+
+/// A seed skyline group: members are indexes into the seed array, `subspace`
+/// is the maximal subspace `B`, `decisive` the minimal decisive subspaces
+/// (non-empty, an antichain, each ⊆ `B`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SeedGroup {
+    /// Seed indexes, ascending.
+    pub members: Vec<usize>,
+    /// Maximal subspace `B`.
+    pub subspace: DimMask,
+    /// Decisive subspaces, sorted.
+    pub decisive: Vec<DimMask>,
+}
+
+/// Compute all seed skyline groups of the view.
+pub fn seed_skyline_groups(view: &SeedView<'_>) -> Vec<SeedGroup> {
+    let cgroups = maximal_cgroups(view);
+    let mut out = Vec::with_capacity(cgroups.len());
+    let mut member_flags = vec![false; view.len()];
+    // Groups arrive grouped by their anchor (smallest member), whose
+    // dominance row drives the clause generation; cache it across groups.
+    let mut dom_row: Vec<DimMask> = Vec::new();
+    let mut cached_rep = usize::MAX;
+    for cg in cgroups {
+        let rep = cg.members[0];
+        if rep != cached_rep {
+            view.dom_row(rep, &mut dom_row);
+            cached_rep = rep;
+        }
+        if let Some(decisive) = decisive_subspaces(&cg, &dom_row, &mut member_flags) {
+            out.push(SeedGroup {
+                members: cg.members,
+                subspace: cg.subspace,
+                decisive,
+            });
+        }
+    }
+    out
+}
+
+/// Corollary 1 for one maximal c-group: one clause `B ∩ dom(rep, w)` per
+/// outside seed `w`; `None` when some clause is empty (Theorem 3: the group
+/// is dominated or non-exclusive everywhere and is not a skyline group).
+fn decisive_subspaces(
+    cg: &MaxCGroup,
+    dom_row: &[DimMask],
+    member_flags: &mut [bool],
+) -> Option<Vec<DimMask>> {
+    for &m in &cg.members {
+        member_flags[m] = true;
+    }
+    let mut clauses = ClauseSet::new();
+    let mut ok = true;
+    for (w, &dom) in dom_row.iter().enumerate() {
+        if member_flags[w] {
+            continue;
+        }
+        if !clauses.add(dom & cg.subspace) {
+            ok = false;
+            break;
+        }
+    }
+    for &m in &cg.members {
+        member_flags[m] = false;
+    }
+    if !ok {
+        return None;
+    }
+    let ts = clauses.minimal_transversals();
+    debug_assert!(!ts.is_empty());
+    // With no outside seeds at all (a lone seed), the empty transversal
+    // means "any single dimension qualifies": the minimal decisive
+    // subspaces are the single dimensions of B. The paper defines decisive
+    // subspaces as non-empty, and indeed a sole object is the skyline of
+    // every subspace.
+    if ts.len() == 1 && ts[0].is_empty() {
+        return Some(cg.subspace.iter().map(DimMask::single).collect());
+    }
+    Some(ts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_types::{running_example, Dataset};
+
+    fn mask(s: &str) -> DimMask {
+        DimMask::parse(s).unwrap()
+    }
+
+    fn find<'a>(groups: &'a [SeedGroup], members: &[usize]) -> &'a SeedGroup {
+        groups
+            .iter()
+            .find(|g| g.members == members)
+            .unwrap_or_else(|| panic!("group {members:?} missing from {groups:?}"))
+    }
+
+    /// The seed lattice of Figure 3(a), keyed by seed indexes 0=P2, 1=P4,
+    /// 2=P5.
+    #[test]
+    fn figure_3a_seed_lattice() {
+        let ds = running_example();
+        let view = SeedView::new(&ds, vec![1, 3, 4]);
+        let groups = seed_skyline_groups(&view);
+        assert_eq!(groups.len(), 6);
+
+        // (P2, (2,6,8,3), AC, CD)
+        let p2 = find(&groups, &[0]);
+        assert_eq!(p2.subspace, mask("ABCD"));
+        assert_eq!(p2.decisive, vec![mask("AC"), mask("CD")]);
+
+        // (P4, (6,4,8,5), BC)
+        let p4 = find(&groups, &[1]);
+        assert_eq!(p4.decisive, vec![mask("BC")]);
+
+        // (P5, (2,4,9,3), AB, BD)
+        let p5 = find(&groups, &[2]);
+        assert_eq!(p5.decisive, vec![mask("AB"), mask("BD")]);
+
+        // (P2P4, (*,*,8,*), C)
+        let p2p4 = find(&groups, &[0, 1]);
+        assert_eq!(p2p4.subspace, mask("C"));
+        assert_eq!(p2p4.decisive, vec![mask("C")]);
+
+        // (P2P5, (2,*,*,3), A, D)
+        let p2p5 = find(&groups, &[0, 2]);
+        assert_eq!(p2p5.subspace, mask("AD"));
+        assert_eq!(p2p5.decisive, vec![mask("A"), mask("D")]);
+
+        // (P4P5, (*,4,*,*), B)
+        let p4p5 = find(&groups, &[1, 2]);
+        assert_eq!(p4p5.subspace, mask("B"));
+        assert_eq!(p4p5.decisive, vec![mask("B")]);
+    }
+
+    #[test]
+    fn dominated_pair_group_is_dropped() {
+        // Seeds u=(0,5,1), v=(5,0,1), w=(1,1,0): the pair group {u,v} shares
+        // C with value 1, but w's C value 0 dominates it in C — clause
+        // C ∩ dom(u,w) = C ∩ ∅ … w has smaller C, so dom(u,w) over C is
+        // empty → the c-group (uv, C) must be dropped.
+        let ds = Dataset::from_rows(3, vec![vec![0, 5, 1], vec![5, 0, 1], vec![1, 1, 0]])
+            .unwrap();
+        let view = SeedView::new(&ds, vec![0, 1, 2]);
+        let groups = seed_skyline_groups(&view);
+        assert!(groups.iter().all(|g| g.members != vec![0, 1]));
+        // The three singletons survive.
+        assert_eq!(groups.len(), 3);
+    }
+
+    #[test]
+    fn lone_seed_has_single_dimension_decisives() {
+        let ds = Dataset::from_rows(3, vec![vec![1, 2, 3], vec![2, 3, 4]]).unwrap();
+        // Only object 0 is in the skyline.
+        let view = SeedView::new(&ds, vec![0]);
+        let groups = seed_skyline_groups(&view);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].subspace, mask("ABC"));
+        assert_eq!(groups[0].decisive, vec![mask("A"), mask("B"), mask("C")]);
+    }
+
+    #[test]
+    fn decisives_are_minimal_and_within_subspace() {
+        let ds = running_example();
+        let view = SeedView::new(&ds, vec![1, 3, 4]);
+        for g in seed_skyline_groups(&view) {
+            for (i, &c) in g.decisive.iter().enumerate() {
+                assert!(!c.is_empty());
+                assert!(c.is_subset_of(g.subspace));
+                for (j, &c2) in g.decisive.iter().enumerate() {
+                    if i != j {
+                        assert!(!c.is_subset_of(c2), "antichain violated in {g:?}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Minimal hitting sets (minimal transversals) over dimension bitmasks.
+//!
+//! Corollary 1 reduces decisive-subspace computation to the minimum
+//! disjunctive normal form of a positive CNF `⋀_w (⋁_{d ∈ clause(w)} d)`:
+//! each conjunct of the min-DNF is exactly a *minimal transversal* of the
+//! clause hypergraph. With only positive literals the min-DNF is unique and
+//! this is the classic Berge incremental procedure, here over `u32` masks
+//! with clause and candidate absorption.
+
+use skycube_types::DimMask;
+
+/// An ordered, deduplicated, absorption-minimized set of clauses.
+///
+/// Building the set incrementally lets callers stream clauses straight off a
+/// dominance-matrix row (Example 6) without materializing duplicates — on
+/// real data the vast majority of outside objects contribute one of a
+/// handful of distinct clauses.
+#[derive(Clone, Debug, Default)]
+pub struct ClauseSet {
+    clauses: Vec<DimMask>,
+}
+
+impl ClauseSet {
+    /// Empty clause set (whose only minimal transversal is the empty set).
+    pub fn new() -> Self {
+        ClauseSet::default()
+    }
+
+    /// Add one clause. Returns `false` — poisoning the set — if the clause
+    /// is empty (an empty clause is unsatisfiable: no transversal exists;
+    /// for Theorem 3 this is the "not a skyline group" signal).
+    #[must_use]
+    pub fn add(&mut self, clause: DimMask) -> bool {
+        if clause.is_empty() {
+            return false;
+        }
+        // Absorption: an existing subset makes the new clause redundant;
+        // the new clause evicts existing supersets.
+        let mut i = 0;
+        while i < self.clauses.len() {
+            let c = self.clauses[i];
+            if c.is_subset_of(clause) {
+                return true; // implied
+            }
+            if clause.is_subset_of(c) {
+                self.clauses.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        self.clauses.push(clause);
+        true
+    }
+
+    /// Number of (minimized) clauses held.
+    pub fn len(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Whether no clause has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// The retained clauses (an antichain).
+    pub fn clauses(&self) -> &[DimMask] {
+        &self.clauses
+    }
+
+    /// Compute all minimal transversals. The result is an antichain of
+    /// non-empty masks, sorted; for an empty clause set it is `[∅]`
+    /// represented as a single empty mask (the empty set hits everything).
+    pub fn minimal_transversals(&self) -> Vec<DimMask> {
+        let mut clauses = self.clauses.clone();
+        // Fewer-literal clauses first keeps intermediate candidate sets small.
+        clauses.sort_unstable_by_key(|c| (c.len(), c.0));
+
+        let mut cands: Vec<DimMask> = vec![DimMask::EMPTY];
+        let mut misses: Vec<DimMask> = Vec::new();
+        for clause in clauses {
+            // Partition candidates into those already hitting the clause
+            // and those needing an extension.
+            misses.clear();
+            cands.retain(|&s| {
+                if s.intersects(clause) {
+                    true
+                } else {
+                    misses.push(s);
+                    false
+                }
+            });
+            for &s in &misses {
+                'lit: for d in clause.iter() {
+                    let ext = s.with(d);
+                    // Keep `ext` only if minimal w.r.t. what we already have.
+                    for &t in cands.iter() {
+                        if t.is_subset_of(ext) {
+                            continue 'lit;
+                        }
+                    }
+                    cands.push(ext);
+                }
+            }
+            // Extensions from different missing candidates can subsume each
+            // other; re-minimize.
+            minimize_antichain(&mut cands);
+        }
+        cands.sort_unstable();
+        cands
+    }
+}
+
+/// Remove every mask that is a proper superset of another mask in the set,
+/// and deduplicate. O(k²) on the candidate count, which stays small in this
+/// workload (dimensionality ≤ 32 bounds antichain width by C(32,16), but the
+/// decisive antichains of real groups have a handful of members).
+pub fn minimize_antichain(masks: &mut Vec<DimMask>) {
+    masks.sort_unstable_by_key(|m| (m.len(), m.0));
+    masks.dedup();
+    let mut kept: Vec<DimMask> = Vec::with_capacity(masks.len());
+    'outer: for &m in masks.iter() {
+        for &k in &kept {
+            if k.is_subset_of(m) {
+                continue 'outer;
+            }
+        }
+        kept.push(m);
+    }
+    *masks = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(s: &str) -> DimMask {
+        DimMask::parse(s).unwrap()
+    }
+
+    fn transversals(clauses: &[&str]) -> Option<Vec<DimMask>> {
+        let mut cs = ClauseSet::new();
+        for &c in clauses {
+            if !cs.add(mask(c)) {
+                return None;
+            }
+        }
+        Some(cs.minimal_transversals())
+    }
+
+    #[test]
+    fn example_5_p2_decisives() {
+        // (A ∨ D) ∧ C → min-DNF (A∧C) ∨ (C∧D): decisive subspaces AC, CD.
+        assert_eq!(
+            transversals(&["AD", "C"]).unwrap(),
+            vec![mask("AC"), mask("CD")]
+        );
+    }
+
+    #[test]
+    fn example_5_p5_decisives() {
+        // dom(P5,P2) = B, dom(P5,P4) = AD → B ∧ (A ∨ D) → AB, BD.
+        assert_eq!(
+            transversals(&["B", "AD"]).unwrap(),
+            vec![mask("AB"), mask("BD")]
+        );
+    }
+
+    #[test]
+    fn empty_clause_poisons() {
+        let mut cs = ClauseSet::new();
+        assert!(cs.add(mask("AB")));
+        assert!(!cs.add(DimMask::EMPTY));
+    }
+
+    #[test]
+    fn no_clauses_yields_empty_transversal() {
+        let cs = ClauseSet::new();
+        assert_eq!(cs.minimal_transversals(), vec![DimMask::EMPTY]);
+    }
+
+    #[test]
+    fn clause_absorption() {
+        let mut cs = ClauseSet::new();
+        assert!(cs.add(mask("ABC")));
+        assert!(cs.add(mask("AB"))); // evicts ABC
+        assert!(cs.add(mask("ABD"))); // implied by AB
+        assert_eq!(cs.clauses(), &[mask("AB")]);
+        assert_eq!(cs.len(), 1);
+        assert!(!cs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_clauses_collapse() {
+        let mut cs = ClauseSet::new();
+        for _ in 0..5 {
+            assert!(cs.add(mask("AC")));
+        }
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn cross_clause_minimality() {
+        // (A∨B) ∧ (B∨C): transversals B, AC (AB and BC are non-minimal).
+        assert_eq!(
+            transversals(&["AB", "BC"]).unwrap(),
+            vec![mask("B"), mask("AC")]
+        );
+    }
+
+    #[test]
+    fn single_dimension_clauses_intersect() {
+        assert_eq!(transversals(&["A", "B", "C"]).unwrap(), vec![mask("ABC")]);
+    }
+
+    #[test]
+    fn transversals_hit_every_clause_exhaustive() {
+        // Verify against brute force on random clause systems.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..60 {
+            let dims = rng.gen_range(1..=6usize);
+            let nclauses = rng.gen_range(1..=6usize);
+            let mut cs = ClauseSet::new();
+            let mut raw: Vec<DimMask> = Vec::new();
+            for _ in 0..nclauses {
+                let c = DimMask(rng.gen_range(1..(1u32 << dims)));
+                raw.push(c);
+                assert!(cs.add(c));
+            }
+            let got = cs.minimal_transversals();
+            // Brute force: all minimal hitting sets by enumeration.
+            let mut brute: Vec<DimMask> = (1..(1u32 << dims))
+                .map(DimMask)
+                .filter(|t| raw.iter().all(|c| c.intersects(*t)))
+                .collect();
+            minimize_antichain(&mut brute);
+            brute.sort_unstable();
+            assert_eq!(got, brute, "clauses {raw:?}");
+        }
+    }
+
+    #[test]
+    fn minimize_antichain_basics() {
+        let mut v = vec![mask("AB"), mask("A"), mask("AB"), mask("CD"), mask("ACD")];
+        minimize_antichain(&mut v);
+        v.sort_unstable();
+        assert_eq!(v, vec![mask("A"), mask("CD")]);
+    }
+}

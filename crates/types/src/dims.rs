@@ -1,0 +1,430 @@
+//! Dimension sets represented as bitmasks.
+//!
+//! The paper works in spaces of up to 17 dimensions; we support up to
+//! [`MAX_DIMS`] (32). A *subspace* in the paper's sense is any non-empty
+//! subset of the dimensions of the full space, which we represent as a
+//! [`DimMask`] with at least one bit set. The empty mask is still a valid
+//! `DimMask` value (it shows up naturally as an intersection result); APIs
+//! that require non-emptiness check for it explicitly.
+
+use std::fmt;
+
+/// Maximum number of dimensions supported by [`DimMask`].
+pub const MAX_DIMS: usize = 32;
+
+/// Names used when pretty-printing dimensions, matching the paper's
+/// `A, B, C, ...` convention for spaces of up to 26 dimensions.
+const DIM_NAMES: &[u8; 26] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
+
+/// A set of dimensions, stored as a bitmask.
+///
+/// Bit `i` set means dimension `i` is in the set. Supports the usual set
+/// algebra (`&`, `|`, `^`, difference) plus subset enumeration. The paper's
+/// subspaces `AC`, `BD`, ... map to masks with the corresponding bits set.
+///
+/// ```
+/// use skycube_types::DimMask;
+/// let ac = DimMask::from_dims([0, 2]);
+/// let abc = DimMask::full(3);
+/// assert!(ac.is_subset_of(abc));
+/// assert_eq!(ac.to_string(), "AC");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct DimMask(pub u32);
+
+impl DimMask {
+    /// The empty set of dimensions.
+    pub const EMPTY: DimMask = DimMask(0);
+
+    /// Mask containing exactly dimension `dim`.
+    ///
+    /// # Panics
+    /// Panics if `dim >= MAX_DIMS`.
+    #[inline]
+    pub fn single(dim: usize) -> Self {
+        assert!(dim < MAX_DIMS, "dimension {dim} out of range");
+        DimMask(1 << dim)
+    }
+
+    /// Mask of the full space of the first `n` dimensions (`0..n`).
+    ///
+    /// # Panics
+    /// Panics if `n > MAX_DIMS`.
+    #[inline]
+    pub fn full(n: usize) -> Self {
+        assert!(n <= MAX_DIMS, "dimensionality {n} out of range");
+        if n == MAX_DIMS {
+            DimMask(u32::MAX)
+        } else {
+            DimMask((1u32 << n) - 1)
+        }
+    }
+
+    /// Build a mask from an iterator of dimension indexes.
+    pub fn from_dims<I: IntoIterator<Item = usize>>(dims: I) -> Self {
+        let mut m = DimMask::EMPTY;
+        for d in dims {
+            m = m.with(d);
+        }
+        m
+    }
+
+    /// Parse a mask from letter notation (`"ACD"`). Case-insensitive.
+    /// Returns `None` on any non-letter character.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut m = DimMask::EMPTY;
+        for ch in s.chars() {
+            let up = ch.to_ascii_uppercase();
+            if !up.is_ascii_uppercase() {
+                return None;
+            }
+            m = m.with((up as u8 - b'A') as usize);
+        }
+        Some(m)
+    }
+
+    /// This mask with dimension `dim` added.
+    #[inline]
+    pub fn with(self, dim: usize) -> Self {
+        DimMask(self.0 | DimMask::single(dim).0)
+    }
+
+    /// This mask with dimension `dim` removed.
+    #[inline]
+    pub fn without(self, dim: usize) -> Self {
+        DimMask(self.0 & !DimMask::single(dim).0)
+    }
+
+    /// Whether dimension `dim` is in the set.
+    #[inline]
+    pub fn contains(self, dim: usize) -> bool {
+        dim < MAX_DIMS && self.0 & (1 << dim) != 0
+    }
+
+    /// Number of dimensions in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: DimMask) -> DimMask {
+        DimMask(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: DimMask) -> DimMask {
+        DimMask(self.0 | other.0)
+    }
+
+    /// Set difference `self − other`.
+    #[inline]
+    pub fn difference(self, other: DimMask) -> DimMask {
+        DimMask(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: DimMask) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊇ other`.
+    #[inline]
+    pub fn is_superset_of(self, other: DimMask) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Whether `self ⊂ other` (strict).
+    #[inline]
+    pub fn is_proper_subset_of(self, other: DimMask) -> bool {
+        self != other && self.is_subset_of(other)
+    }
+
+    /// Whether the two sets share at least one dimension.
+    #[inline]
+    pub fn intersects(self, other: DimMask) -> bool {
+        self.0 & other.0 != 0
+    }
+
+    /// The lowest dimension index in the set, if any.
+    #[inline]
+    pub fn first(self) -> Option<usize> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.0.trailing_zeros() as usize)
+        }
+    }
+
+    /// Iterate over the dimension indexes in the set, ascending.
+    #[inline]
+    pub fn iter(self) -> DimIter {
+        DimIter(self.0)
+    }
+
+    /// Iterate over all non-empty subsets of this mask, in an unspecified
+    /// order. There are `2^len − 1` of them.
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter {
+            universe: self.0,
+            current: self.0,
+            done: self.0 == 0,
+        }
+    }
+
+    /// Iterate over all *proper* non-empty subsets of this mask.
+    pub fn proper_subsets(self) -> impl Iterator<Item = DimMask> {
+        let me = self;
+        self.subsets().filter(move |&s| s != me)
+    }
+}
+
+impl std::ops::BitAnd for DimMask {
+    type Output = DimMask;
+    fn bitand(self, rhs: DimMask) -> DimMask {
+        self.intersect(rhs)
+    }
+}
+
+impl std::ops::BitOr for DimMask {
+    type Output = DimMask;
+    fn bitor(self, rhs: DimMask) -> DimMask {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::Sub for DimMask {
+    type Output = DimMask;
+    fn sub(self, rhs: DimMask) -> DimMask {
+        self.difference(rhs)
+    }
+}
+
+impl fmt::Display for DimMask {
+    /// Letter notation for ≤26 dims (`ACD`), `{0,2,3}` notation above.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "∅");
+        }
+        if self.0 < (1 << 26) {
+            for d in self.iter() {
+                write!(f, "{}", DIM_NAMES[d] as char)?;
+            }
+            Ok(())
+        } else {
+            write!(f, "{{")?;
+            for (i, d) in self.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{d}")?;
+            }
+            write!(f, "}}")
+        }
+    }
+}
+
+impl fmt::Debug for DimMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// Iterator over the dimension indexes of a [`DimMask`], ascending.
+pub struct DimIter(u32);
+
+impl Iterator for DimIter {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            None
+        } else {
+            let d = self.0.trailing_zeros() as usize;
+            self.0 &= self.0 - 1;
+            Some(d)
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for DimIter {}
+
+impl IntoIterator for DimMask {
+    type Item = usize;
+    type IntoIter = DimIter;
+    fn into_iter(self) -> DimIter {
+        self.iter()
+    }
+}
+
+/// Iterator over the non-empty subsets of a mask, produced by the standard
+/// `sub = (sub − 1) & universe` descending walk.
+pub struct SubsetIter {
+    universe: u32,
+    current: u32,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = DimMask;
+
+    fn next(&mut self) -> Option<DimMask> {
+        if self.done {
+            return None;
+        }
+        let out = DimMask(self.current);
+        if self.current == 0 {
+            // Should not happen: we stop before emitting the empty set.
+            self.done = true;
+            return None;
+        }
+        let next = (self.current - 1) & self.universe;
+        if next == 0 {
+            self.done = true;
+        }
+        self.current = next;
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_contains() {
+        let m = DimMask::single(3);
+        assert!(m.contains(3));
+        assert!(!m.contains(0));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn full_space() {
+        assert_eq!(DimMask::full(0), DimMask::EMPTY);
+        assert_eq!(DimMask::full(4).0, 0b1111);
+        assert_eq!(DimMask::full(32).0, u32::MAX);
+        assert_eq!(DimMask::full(17).len(), 17);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_too_large_panics() {
+        let _ = DimMask::full(33);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_out_of_range_panics() {
+        let _ = DimMask::single(32);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let ab = DimMask::from_dims([0, 1]);
+        let bc = DimMask::from_dims([1, 2]);
+        assert_eq!(ab & bc, DimMask::single(1));
+        assert_eq!(ab | bc, DimMask::full(3));
+        assert_eq!(ab - bc, DimMask::single(0));
+        assert!(DimMask::single(1).is_subset_of(ab));
+        assert!(ab.is_superset_of(DimMask::single(0)));
+        assert!(!ab.is_proper_subset_of(ab));
+        assert!(ab.is_proper_subset_of(DimMask::full(3)));
+        assert!(ab.intersects(bc));
+        assert!(!ab.intersects(DimMask::single(2)));
+    }
+
+    #[test]
+    fn display_letters() {
+        assert_eq!(DimMask::from_dims([0, 2, 3]).to_string(), "ACD");
+        assert_eq!(DimMask::EMPTY.to_string(), "∅");
+        assert_eq!(DimMask::full(4).to_string(), "ABCD");
+    }
+
+    #[test]
+    fn display_numeric_beyond_z() {
+        let m = DimMask::from_dims([0, 26]);
+        assert_eq!(m.to_string(), "{0,26}");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let m = DimMask::parse("ACD").unwrap();
+        assert_eq!(m, DimMask::from_dims([0, 2, 3]));
+        assert_eq!(DimMask::parse("acd").unwrap(), m);
+        assert!(DimMask::parse("A1").is_none());
+        assert_eq!(DimMask::parse("").unwrap(), DimMask::EMPTY);
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let dims: Vec<usize> = DimMask::from_dims([5, 1, 9]).iter().collect();
+        assert_eq!(dims, vec![1, 5, 9]);
+        assert_eq!(DimMask::EMPTY.iter().count(), 0);
+    }
+
+    #[test]
+    fn first_dim() {
+        assert_eq!(DimMask::from_dims([4, 7]).first(), Some(4));
+        assert_eq!(DimMask::EMPTY.first(), None);
+    }
+
+    #[test]
+    fn subsets_count_and_membership() {
+        let m = DimMask::full(4);
+        let subs: Vec<DimMask> = m.subsets().collect();
+        assert_eq!(subs.len(), 15);
+        for s in &subs {
+            assert!(!s.is_empty());
+            assert!(s.is_subset_of(m));
+        }
+        // All distinct.
+        let mut sorted = subs.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 15);
+    }
+
+    #[test]
+    fn subsets_of_empty_is_empty() {
+        assert_eq!(DimMask::EMPTY.subsets().count(), 0);
+    }
+
+    #[test]
+    fn proper_subsets_excludes_self() {
+        let m = DimMask::full(3);
+        let subs: Vec<DimMask> = m.proper_subsets().collect();
+        assert_eq!(subs.len(), 6);
+        assert!(!subs.contains(&m));
+    }
+
+    #[test]
+    fn subsets_of_sparse_mask() {
+        let m = DimMask::from_dims([1, 4]);
+        let mut subs: Vec<DimMask> = m.subsets().collect();
+        subs.sort();
+        assert_eq!(
+            subs,
+            vec![
+                DimMask::single(1),
+                DimMask::single(4),
+                DimMask::from_dims([1, 4])
+            ]
+        );
+    }
+}

@@ -1,0 +1,125 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Errors surfaced by dataset construction and I/O.
+#[derive(Debug)]
+pub enum Error {
+    /// Dimensionality exceeds [`crate::MAX_DIMS`] or is zero where a
+    /// non-trivial space is required.
+    BadDimensionality {
+        /// The offending dimensionality.
+        dims: usize,
+        /// What the caller was doing.
+        context: &'static str,
+    },
+    /// A row's length disagrees with the dataset's dimensionality.
+    RowLengthMismatch {
+        /// Index of the offending row.
+        row: usize,
+        /// Expected number of values.
+        expected: usize,
+        /// Actual number of values.
+        actual: usize,
+    },
+    /// A textual value failed to parse.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The token that failed to parse.
+        token: String,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadDimensionality { dims, context } => {
+                write!(f, "bad dimensionality {dims} ({context})")
+            }
+            Error::RowLengthMismatch {
+                row,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "row {row} has {actual} values, expected {expected}"
+            ),
+            Error::Parse { line, token } => {
+                write!(f, "line {line}: cannot parse value {token:?}")
+            }
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = Error::BadDimensionality {
+            dims: 40,
+            context: "test",
+        };
+        assert_eq!(e.to_string(), "bad dimensionality 40 (test)");
+
+        let e = Error::RowLengthMismatch {
+            row: 3,
+            expected: 4,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("row 3"));
+        assert!(e.to_string().contains("expected 4"));
+
+        let e = Error::Parse {
+            line: 7,
+            token: "xyz".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        assert!(e.to_string().contains("\"xyz\""));
+
+        let e = Error::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_error_exposes_source() {
+        use std::error::Error as _;
+        let e = Error::Io(std::io::Error::other("inner"));
+        assert!(e.source().is_some());
+        let e = Error::Parse {
+            line: 1,
+            token: String::new(),
+        };
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn from_io_error() {
+        let io = std::io::Error::other("x");
+        let e: Error = io.into();
+        assert!(matches!(e, Error::Io(_)));
+    }
+}

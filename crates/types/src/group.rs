@@ -1,0 +1,179 @@
+//! Skyline groups and their signatures — the shared output vocabulary of both
+//! the Stellar algorithm and the Skyey baseline, so the two can be compared
+//! structurally in tests.
+
+use crate::dataset::{Dataset, ObjId};
+use crate::dims::DimMask;
+use crate::value::Value;
+use std::fmt;
+
+/// A skyline group `(G, B)` with its decisive subspaces (Definitions 1–2 of
+/// the paper): `members` share the same projection in the maximal subspace
+/// `subspace`, that projection is in the skyline of `subspace`, and each mask
+/// in `decisive` is a minimal subspace that qualifies the group exclusively.
+///
+/// The struct is kept in *normalized* form — members ascending, decisive
+/// subspaces sorted — so that equality is structural.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SkylineGroup {
+    /// Maximal subspace `B` of the group.
+    pub subspace: DimMask,
+    /// Object ids in the group, ascending.
+    pub members: Vec<ObjId>,
+    /// All decisive subspaces `C ⊆ B`, sorted by mask value.
+    pub decisive: Vec<DimMask>,
+}
+
+impl SkylineGroup {
+    /// Build a normalized group.
+    pub fn new(members: Vec<ObjId>, subspace: DimMask, decisive: Vec<DimMask>) -> Self {
+        let mut g = SkylineGroup {
+            subspace,
+            members,
+            decisive,
+        };
+        g.normalize();
+        g
+    }
+
+    /// Sort members and decisive subspaces, dropping duplicates.
+    pub fn normalize(&mut self) {
+        self.members.sort_unstable();
+        self.members.dedup();
+        self.decisive.sort_unstable();
+        self.decisive.dedup();
+    }
+
+    /// The shared projection `G_B` as `(dim, value)` pairs, ascending dims.
+    pub fn shared_projection(&self, ds: &Dataset) -> Vec<(usize, Value)> {
+        let rep = self.members[0];
+        self.subspace.iter().map(|d| (d, ds.value(rep, d))).collect()
+    }
+
+    /// The paper's signature `⟨G_B, C_1, …, C_k⟩`, rendered like
+    /// `(P2P5, (2,*,*,3), A, D)`.
+    pub fn signature(&self, ds: &Dataset) -> String {
+        let mut s = String::from("(");
+        for &m in &self.members {
+            s.push('P');
+            s.push_str(&(m + 1).to_string());
+        }
+        s.push_str(", (");
+        let rep = self.members[0];
+        for d in 0..ds.dims() {
+            if d > 0 {
+                s.push(',');
+            }
+            if self.subspace.contains(d) {
+                s.push_str(&ds.value(rep, d).to_string());
+            } else {
+                s.push('*');
+            }
+        }
+        s.push(')');
+        for c in &self.decisive {
+            s.push_str(", ");
+            s.push_str(&c.to_string());
+        }
+        s.push(')');
+        s
+    }
+
+    /// Whether the group's membership extends to subspace `A`, i.e. some
+    /// decisive subspace `C ⊆ A ⊆ B` exists. By the paper's Section 2, every
+    /// member of the group is then a skyline object in `A`.
+    pub fn covers_subspace(&self, space: DimMask) -> bool {
+        space.is_subset_of(self.subspace)
+            && self.decisive.iter().any(|c| c.is_subset_of(space))
+    }
+}
+
+impl fmt::Debug for SkylineGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({{")?;
+        for (i, m) in self.members.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "P{}", m + 1)?;
+        }
+        write!(f, "}}, {}", self.subspace)?;
+        for c in &self.decisive {
+            write!(f, ", {c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Normalize a collection of groups for structural comparison: each group is
+/// normalized and the collection is sorted.
+pub fn normalize_groups(mut groups: Vec<SkylineGroup>) -> Vec<SkylineGroup> {
+    for g in &mut groups {
+        g.normalize();
+    }
+    groups.sort();
+    groups.dedup();
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::running_example;
+
+    #[test]
+    fn normalization_sorts_and_dedups() {
+        let g = SkylineGroup::new(
+            vec![4, 1, 4],
+            DimMask::parse("AD").unwrap(),
+            vec![DimMask::parse("D").unwrap(), DimMask::parse("A").unwrap()],
+        );
+        assert_eq!(g.members, vec![1, 4]);
+        assert_eq!(
+            g.decisive,
+            vec![DimMask::parse("A").unwrap(), DimMask::parse("D").unwrap()]
+        );
+    }
+
+    #[test]
+    fn signature_matches_paper_style() {
+        let ds = running_example();
+        // Seed group (P2P5, (2,*,*,3), A, D) from Figure 3(a).
+        let g = SkylineGroup::new(
+            vec![1, 4],
+            DimMask::parse("AD").unwrap(),
+            vec![DimMask::parse("A").unwrap(), DimMask::parse("D").unwrap()],
+        );
+        assert_eq!(g.signature(&ds), "(P2P5, (2,*,*,3), A, D)");
+    }
+
+    #[test]
+    fn shared_projection_uses_representative() {
+        let ds = running_example();
+        let g = SkylineGroup::new(vec![1, 4], DimMask::parse("AD").unwrap(), vec![]);
+        assert_eq!(g.shared_projection(&ds), vec![(0, 2), (3, 3)]);
+    }
+
+    #[test]
+    fn covers_subspace_between_decisive_and_maximal() {
+        let g = SkylineGroup::new(
+            vec![0],
+            DimMask::parse("ABD").unwrap(),
+            vec![DimMask::parse("A").unwrap()],
+        );
+        assert!(g.covers_subspace(DimMask::parse("A").unwrap()));
+        assert!(g.covers_subspace(DimMask::parse("AB").unwrap()));
+        assert!(g.covers_subspace(DimMask::parse("ABD").unwrap()));
+        assert!(!g.covers_subspace(DimMask::parse("B").unwrap()));
+        assert!(!g.covers_subspace(DimMask::parse("AC").unwrap()));
+    }
+
+    #[test]
+    fn normalize_groups_sorts_collection() {
+        let a = SkylineGroup::new(vec![2], DimMask::parse("B").unwrap(), vec![]);
+        let b = SkylineGroup::new(vec![0], DimMask::parse("A").unwrap(), vec![]);
+        let out = normalize_groups(vec![a.clone(), b.clone(), a.clone()]);
+        assert_eq!(out.len(), 2);
+        assert!(out[0] <= out[1]);
+    }
+}

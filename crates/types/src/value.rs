@@ -1,0 +1,90 @@
+//! Fixed-point value representation.
+//!
+//! The coincidence semantics of skyline groups (Definition 1 of the paper)
+//! requires *exact* value equality, so the core never touches floating point.
+//! All attribute values are [`Value`]s — `i64` fixed-point numbers with an
+//! implicit scale chosen by the data producer. The paper truncates its
+//! synthetic data to 4 decimal digits ("to introduce a moderate coincidence in
+//! dimensions"); [`SCALE_4`] encodes that convention: `0.1234` is stored as
+//! `1234`.
+//!
+//! The dominance convention throughout the workspace is **smaller is better**,
+//! matching the paper. Max-oriented attributes (e.g. NBA career totals, where
+//! larger dominates) are flipped at load time via [`Order::Desc`].
+
+/// An attribute value: `i64` fixed point.
+pub type Value = i64;
+
+/// Fixed-point scale used for the paper's synthetic data: 4 decimal digits.
+pub const SCALE_4: i64 = 10_000;
+
+/// Truncate a raw `f64` in `[0, 1)`-ish range to 4 decimal digits, the
+/// paper's coincidence-inducing preprocessing, and return the fixed-point
+/// representation (`0.12349 → 1234`).
+///
+/// Truncation (not rounding) matches "we truncate the values so that each
+/// number has 4 digits in the decimal part".
+#[inline]
+pub fn truncate4(x: f64) -> Value {
+    (x * SCALE_4 as f64).floor() as Value
+}
+
+/// Sort order / optimization direction of a dimension.
+///
+/// The engine always minimizes; `Desc` dimensions are negated on ingestion so
+/// that "larger raw value dominates" becomes "smaller stored value dominates".
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Order {
+    /// Smaller raw values are better (the engine-native convention).
+    #[default]
+    Asc,
+    /// Larger raw values are better (e.g. points scored).
+    Desc,
+}
+
+impl Order {
+    /// Map a raw value into engine-native (minimizing) orientation.
+    #[inline]
+    pub fn orient(self, v: Value) -> Value {
+        match self {
+            Order::Asc => v,
+            Order::Desc => -v,
+        }
+    }
+
+    /// Undo [`Order::orient`] for display.
+    #[inline]
+    pub fn unorient(self, v: Value) -> Value {
+        // Negation is an involution, so the same mapping works both ways.
+        self.orient(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncate4_truncates_not_rounds() {
+        assert_eq!(truncate4(0.12349), 1234);
+        assert_eq!(truncate4(0.9999999), 9999);
+        assert_eq!(truncate4(0.0), 0);
+        assert_eq!(truncate4(1.0), 10_000);
+    }
+
+    #[test]
+    fn truncate4_induces_coincidence() {
+        // Two distinct doubles that agree on 4 decimals collapse together.
+        assert_eq!(truncate4(0.500049), truncate4(0.50001));
+    }
+
+    #[test]
+    fn order_orient_roundtrip() {
+        for v in [-5, 0, 42] {
+            assert_eq!(Order::Asc.unorient(Order::Asc.orient(v)), v);
+            assert_eq!(Order::Desc.unorient(Order::Desc.orient(v)), v);
+        }
+        assert_eq!(Order::Desc.orient(10), -10);
+        assert_eq!(Order::Asc.orient(10), 10);
+    }
+}

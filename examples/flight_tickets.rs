@@ -1,0 +1,84 @@
+//! The paper's motivating scenario (Section 1): choosing flight routes from
+//! Vancouver to Istanbul by price, travel time and number of stops — and
+//! wanting the skylines of *all* attribute combinations, not just the full
+//! space.
+//!
+//! ```sh
+//! cargo run --example flight_tickets
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skycube::prelude::*;
+
+const ATTRS: [&str; 3] = ["price", "traveltime", "stops"];
+
+fn main() {
+    // Synthesize a plausible route inventory: more stops generally buys a
+    // lower price but a longer trip; prices are quantized the way fare
+    // engines quote them, so ties abound.
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for _ in 0..400 {
+        let stops: i64 = rng.gen_range(0..=3);
+        let base = 2200 - 320 * stops + rng.gen_range(-6..=6) * 50;
+        let hours = 13 + 4 * stops + rng.gen_range(0..=5);
+        rows.push(vec![base.max(400), hours, stops]);
+    }
+    let ds = Dataset::from_rows(3, rows)
+        .and_then(|d| d.with_names(ATTRS.to_vec()))
+        .expect("static shape");
+
+    let cube = compute_cube(&ds);
+    println!(
+        "{} routes, {} skyline groups, {} total subspace-skyline memberships",
+        ds.len(),
+        cube.num_groups(),
+        cube.skycube_size()
+    );
+
+    // "A skyline route w.r.t. a set of attributes may not be a skyline
+    // route any more if some attributes are added or removed."
+    let full = ds.full_space();
+    let price_time = DimMask::from_dims([0, 1]);
+    let price_stops = DimMask::from_dims([0, 2]);
+    for (name, space) in [
+        ("(price, traveltime, stops)", full),
+        ("(price, traveltime)", price_time),
+        ("(price, stops)", price_stops),
+    ] {
+        let sky = cube.subspace_skyline(space);
+        println!("\nskyline{name}: {} routes", sky.len());
+        for &r in sky.iter().take(5) {
+            let row = ds.row(r);
+            println!(
+                "  route #{r}: ${} / {}h / {} stops",
+                row[0], row[1], row[2]
+            );
+        }
+        if sky.len() > 5 {
+            println!("  …");
+        }
+    }
+
+    // Explain one skyline route: in which attribute combinations is the
+    // cheapest skyline route unbeatable, and why?
+    let cheapest = *cube
+        .subspace_skyline(full)
+        .iter()
+        .min_by_key(|&&r| ds.value(r, 0))
+        .expect("non-empty skyline");
+    println!("\nWhy is route #{cheapest} interesting?");
+    for (decisive, maximal) in cube.membership_intervals(cheapest) {
+        let dims = |m: DimMask| {
+            m.iter().map(|d| ATTRS[d]).collect::<Vec<_>>().join("+")
+        };
+        for c in decisive {
+            println!(
+                "  minimal winning combination {{{}}} (and every extension up to {{{}}})",
+                dims(c),
+                dims(maximal)
+            );
+        }
+    }
+}

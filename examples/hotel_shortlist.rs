@@ -1,0 +1,83 @@
+//! Building a hotel shortlist with the skyline-operator family: plain
+//! subspace skylines, constrained skylines, k-skybands and k-dominant
+//! skylines — the generalizations the compressed cube's substrate provides.
+//!
+//! ```sh
+//! cargo run --release --example hotel_shortlist
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use skycube::algorithms::{constrained_skyline, k_dominant_skyline, k_skyband, Ranges};
+use skycube::prelude::*;
+
+const ATTRS: [&str; 4] = ["price", "beach_m", "center_km", "noise"];
+
+fn main() {
+    // price €/night, distance to the beach (m), distance to the centre
+    // (km, scaled ×10), street noise (dB) — all minimized.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+    for _ in 0..5_000 {
+        let beach: i64 = rng.gen_range(0..3_000);
+        // Beachfront property is pricey and far from the centre.
+        let price = (240 - beach / 25 + rng.gen_range(-40..160)).max(35);
+        let center = (30 - beach / 150 + rng.gen_range(0..60)).max(1);
+        let noise = rng.gen_range(30..75);
+        rows.push(vec![price, beach, center, noise]);
+    }
+    let ds = Dataset::from_rows(4, rows)
+        .and_then(|d| d.with_names(ATTRS.to_vec()))
+        .expect("static shape");
+    let full = ds.full_space();
+
+    let sky = skyline(&ds, full);
+    println!("{} hotels; {} on the 4-attribute skyline", ds.len(), sky.len());
+
+    // Too many? The k-dominant skyline tightens the criterion: a hotel
+    // survives only if nothing beats it on every 3-subset of attributes.
+    for k in (2..=4).rev() {
+        let kd = k_dominant_skyline(&ds, full, k);
+        println!("  {k}-dominant skyline: {} hotels", kd.len());
+    }
+
+    // Need backups? The 3-skyband adds hotels beaten by at most 2 others —
+    // the exact candidate set for any top-3 ranking with monotone weights.
+    let band = k_skyband(&ds, full, 3);
+    println!("3-skyband (top-3 candidates under any monotone scoring): {}", band.len());
+
+    // Hard constraints: ≤ €260 a night, ≤ 500 m to the beach.
+    let ranges: Ranges = vec![Some((0, 260)), Some((0, 500)), None, None];
+    let constrained = constrained_skyline(&ds, full, &ranges);
+    println!(
+        "\nskyline within (price ≤ €260, beach ≤ 500 m): {} hotels",
+        constrained.len()
+    );
+    for &h in constrained.iter().take(5) {
+        let r = ds.row(h);
+        println!(
+            "  hotel #{h}: €{} | beach {} m | centre {:.1} km | {} dB",
+            r[0],
+            r[1],
+            r[2] as f64 / 10.0,
+            r[3]
+        );
+    }
+
+    // And the full multidimensional view: in which attribute combinations
+    // does the overall cheapest skyline hotel win?
+    let cube = compute_cube(&ds);
+    let cheapest = *cube
+        .subspace_skyline(full)
+        .iter()
+        .min_by_key(|&&h| ds.value(h, 0))
+        .expect("non-empty skyline");
+    println!(
+        "\n{}",
+        skycube::stellar::explain_text(&cube, &ds, cheapest, DimMask::parse("AB").unwrap())
+    );
+    println!(
+        "hotel #{cheapest} is a skyline member in {} of the 15 attribute combinations",
+        cube.membership_count(cheapest)
+    );
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the paper's running example (Figure 2), end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use skycube::prelude::*;
+
+fn main() {
+    // Five objects P1..P5 in the 4-d space ABCD (Figure 2 of the paper).
+    let ds = running_example();
+    println!("Data set:\n{ds:?}");
+
+    // Compute the compressed skyline cube: every skyline group with its
+    // decisive subspaces, found from the full-space skyline alone.
+    let cube = compute_cube(&ds);
+
+    println!(
+        "Full-space skyline (seed objects): {:?}",
+        cube.seeds().iter().map(|&o| format!("P{}", o + 1)).collect::<Vec<_>>()
+    );
+    println!("\nSkyline groups and signatures (Figure 3(b)):");
+    let mut sigs: Vec<String> = cube.groups().iter().map(|g| g.signature(&ds)).collect();
+    sigs.sort();
+    for s in &sigs {
+        println!("  {s}");
+    }
+
+    // Query 1: the skyline of any subspace, straight from the cube.
+    println!("\nSubspace skylines derived from the cube:");
+    for name in ["A", "B", "D", "BD", "ABCD"] {
+        let space = DimMask::parse(name).unwrap();
+        let sky: Vec<String> = cube
+            .subspace_skyline(space)
+            .iter()
+            .map(|&o| format!("P{}", o + 1))
+            .collect();
+        println!("  skyline({name:>4}) = {sky:?}");
+    }
+
+    // Query 2: where is a given object in the skyline?
+    let p3 = 2; // P3 is NOT in the full-space skyline…
+    println!("\nP3's skyline memberships (decisive → maximal intervals):");
+    for (decisive, maximal) in cube.membership_intervals(p3) {
+        for c in decisive {
+            println!("  every subspace between {c} and {maximal}");
+        }
+    }
+    println!(
+        "P3 is a skyline object in {} of the 15 subspaces.",
+        cube.membership_count(p3)
+    );
+
+    // Query 3: multidimensional analysis.
+    println!(
+        "\nCompression: {} groups summarize {} subspace-skyline memberships.",
+        cube.num_groups(),
+        cube.skycube_size()
+    );
+}

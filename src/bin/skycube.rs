@@ -1,0 +1,211 @@
+//! `skycube` — command-line front end: generate workloads, materialize
+//! compressed skyline cubes, and query them.
+//!
+//! ```text
+//! skycube generate --dist correlated --count 10000 --dims 6 --seed 7 --out data.csv
+//! skycube generate --nba --out nba.csv
+//! skycube build    --data data.csv --out cube.txt
+//! skycube stats    --data data.csv
+//! skycube skyline  --cube cube.txt --space ACD
+//! skycube member   --cube cube.txt --object 42 --space ACD
+//! skycube top      --cube cube.txt --k 10
+//! ```
+
+use skycube::datagen;
+use skycube::prelude::*;
+use skycube::stellar;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "build" => cmd_build(&opts),
+        "stats" => cmd_stats(&opts),
+        "skyline" => cmd_skyline(&opts),
+        "member" => cmd_member(&opts),
+        "top" => cmd_top(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+skycube — compressed multidimensional skyline cubes (ICDE 2007 reproduction)
+
+commands:
+  generate --dist <correlated|independent|anti-correlated> --count N --dims D
+           [--seed S] --out FILE.csv
+  generate --nba [--count N] [--seed S] --out FILE.csv
+  build    --data FILE.csv --out CUBE.txt     materialize the cube (Stellar)
+  stats    --data FILE.csv                    counts: seeds, groups, skycube size
+  skyline  --cube CUBE.txt --space LETTERS    subspace skyline query
+  member   --cube CUBE.txt --object ID --space LETTERS
+  top      --cube CUBE.txt --k N              most frequent skyline objects";
+
+type Opts = HashMap<String, String>;
+
+fn parse_opts(rest: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts::new();
+    let mut it = rest.iter();
+    while let Some(k) = it.next() {
+        let Some(key) = k.strip_prefix("--") else {
+            return Err(format!("expected --option, got {k:?}"));
+        };
+        // Flags without values.
+        if key == "nba" {
+            opts.insert(key.to_string(), "true".to_string());
+            continue;
+        }
+        let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        opts.insert(key.to_string(), v.clone());
+    }
+    Ok(opts)
+}
+
+fn req<'a>(opts: &'a Opts, key: &str) -> Result<&'a str, String> {
+    opts.get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing --{key}"))
+}
+
+fn num<T: std::str::FromStr>(s: &str, what: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad {what}: {s:?}"))
+}
+
+fn cmd_generate(opts: &Opts) -> Result<(), String> {
+    let out = req(opts, "out")?;
+    let seed: u64 = num(opts.get("seed").map_or("42", String::as_str), "seed")?;
+    let ds = if opts.contains_key("nba") {
+        let count: usize = num(
+            opts.get("count")
+                .map_or(&datagen::NBA_PLAYERS.to_string(), |c| c)
+                .as_ref(),
+            "count",
+        )?;
+        datagen::nba_table_sized(count, seed)
+    } else {
+        let dist = match req(opts, "dist")? {
+            "correlated" => Distribution::Correlated,
+            "independent" => Distribution::Independent,
+            "anti-correlated" | "anticorrelated" => Distribution::AntiCorrelated,
+            "clustered" => Distribution::Clustered,
+            other => return Err(format!("unknown distribution {other:?}")),
+        };
+        let count: usize = num(req(opts, "count")?, "count")?;
+        let dims: usize = num(req(opts, "dims")?, "dims")?;
+        generate(dist, count, dims, seed)
+    };
+    datagen::save_csv(&ds, out).map_err(|e| e.to_string())?;
+    println!("wrote {} objects × {} dims to {out}", ds.len(), ds.dims());
+    Ok(())
+}
+
+fn load_data(opts: &Opts) -> Result<Dataset, String> {
+    datagen::load_csv(req(opts, "data")?).map_err(|e| e.to_string())
+}
+
+fn load_cube(opts: &Opts) -> Result<CompressedSkylineCube, String> {
+    stellar::load_cube(req(opts, "cube")?).map_err(|e| e.to_string())
+}
+
+fn cmd_build(opts: &Opts) -> Result<(), String> {
+    let ds = load_data(opts)?;
+    let out = req(opts, "out")?;
+    let t = std::time::Instant::now();
+    let cube = compute_cube(&ds);
+    stellar::save_cube(&cube, out).map_err(|e| e.to_string())?;
+    println!(
+        "built cube in {:.2?}: {} groups over {} objects → {out}",
+        t.elapsed(),
+        cube.num_groups(),
+        cube.num_objects()
+    );
+    Ok(())
+}
+
+fn cmd_stats(opts: &Opts) -> Result<(), String> {
+    let ds = load_data(opts)?;
+    let cube = compute_cube(&ds);
+    println!("objects:                  {}", cube.num_objects());
+    println!("dimensions:               {}", cube.dims());
+    println!("full-space skyline:       {}", cube.seeds().len());
+    println!("skyline groups:           {}", cube.num_groups());
+    println!("subspace skyline objects: {}", cube.skycube_size());
+    println!("by dimensionality:");
+    for (k, v) in cube.skycube_sizes_by_dimensionality().iter().enumerate() {
+        println!("  {:>2}-d subspaces: {v}", k + 1);
+    }
+    Ok(())
+}
+
+fn parse_space(s: &str, dims: usize) -> Result<DimMask, String> {
+    let m = DimMask::parse(s).ok_or_else(|| format!("bad subspace {s:?}"))?;
+    if m.is_empty() || !m.is_subset_of(DimMask::full(dims)) {
+        return Err(format!("subspace {s:?} not within the {dims}-d full space"));
+    }
+    Ok(m)
+}
+
+fn cmd_skyline(opts: &Opts) -> Result<(), String> {
+    let cube = load_cube(opts)?;
+    let space = parse_space(req(opts, "space")?, cube.dims())?;
+    let sky = cube.subspace_skyline(space);
+    println!("skyline({space}) has {} objects:", sky.len());
+    for o in sky {
+        println!("  {o}");
+    }
+    Ok(())
+}
+
+fn cmd_member(opts: &Opts) -> Result<(), String> {
+    let cube = load_cube(opts)?;
+    let space = parse_space(req(opts, "space")?, cube.dims())?;
+    let o: ObjId = num(req(opts, "object")?, "object id")?;
+    if o as usize >= cube.num_objects() {
+        return Err(format!("object {o} out of range"));
+    }
+    if cube.is_skyline_in(o, space) {
+        println!("object {o} IS in the skyline of {space}");
+    } else {
+        println!("object {o} is NOT in the skyline of {space}");
+    }
+    for (decisive, maximal) in cube.membership_intervals(o) {
+        for c in decisive {
+            println!("  member of every subspace between {c} and {maximal}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_top(opts: &Opts) -> Result<(), String> {
+    let cube = load_cube(opts)?;
+    let k: usize = num(opts.get("k").map_or("10", String::as_str), "k")?;
+    println!("top-{k} most frequent subspace-skyline objects:");
+    for (o, n) in cube.top_k_frequent(k) {
+        println!("  object {o}: {n} subspaces");
+    }
+    Ok(())
+}

@@ -1,0 +1,125 @@
+//! End-to-end tests of the `skycube` CLI binary: generate → build → query,
+//! exercising the on-disk CSV and cube formats across crates.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_skycube")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("skycube_cli_{name}"));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("spawn skycube binary")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn generate_build_query_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let data = dir.join("data.csv");
+    let cube = dir.join("cube.txt");
+    let data_s = data.to_str().unwrap();
+    let cube_s = cube.to_str().unwrap();
+
+    let out = run(&[
+        "generate", "--dist", "independent", "--count", "500", "--dims", "4", "--seed",
+        "9", "--out", data_s,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("500 objects × 4 dims"));
+
+    let out = run(&["build", "--data", data_s, "--out", cube_s]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("groups over 500 objects"));
+
+    let out = run(&["stats", "--data", data_s]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("objects:                  500"));
+    assert!(text.contains("skyline groups:"));
+
+    let out = run(&["skyline", "--cube", cube_s, "--space", "AB"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("skyline(AB) has"));
+
+    let out = run(&["top", "--cube", cube_s, "--k", "3"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).lines().count() <= 4);
+
+    // CLI skyline answer must equal a direct computation on the CSV data.
+    let ds = skycube::datagen::load_csv(&data).unwrap();
+    let direct =
+        skycube::algorithms::skyline(&ds, skycube::types::DimMask::parse("AB").unwrap());
+    let text = stdout(&run(&["skyline", "--cube", cube_s, "--space", "AB"]));
+    let listed: Vec<u32> = text
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.trim().parse().ok())
+        .collect();
+    assert_eq!(listed, direct);
+}
+
+#[test]
+fn member_query_reports_intervals() {
+    let dir = tmpdir("member");
+    let data = dir.join("d.csv");
+    let cube = dir.join("c.txt");
+    run(&[
+        "generate", "--dist", "correlated", "--count", "200", "--dims", "3", "--out",
+        data.to_str().unwrap(),
+    ]);
+    run(&["build", "--data", data.to_str().unwrap(), "--out", cube.to_str().unwrap()]);
+    let out = run(&["member", "--cube", cube.to_str().unwrap(), "--object", "0", "--space", "A"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("IS in") || text.contains("is NOT in"));
+}
+
+#[test]
+fn nba_generation() {
+    let dir = tmpdir("nba");
+    let data = dir.join("nba.csv");
+    let out = run(&[
+        "generate", "--nba", "--count", "300", "--out", data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let ds = skycube::datagen::load_csv(&data).unwrap();
+    assert_eq!(ds.len(), 300);
+    assert_eq!(ds.dims(), 17);
+    assert_eq!(ds.names()[16], "pts");
+}
+
+#[test]
+fn errors_are_reported() {
+    // Unknown command.
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+    // Missing required option.
+    let out = run(&["build", "--data", "/nonexistent.csv"]);
+    assert!(!out.status.success());
+    // Bad subspace letters.
+    let dir = tmpdir("errors");
+    let data = dir.join("d.csv");
+    let cube = dir.join("c.txt");
+    run(&[
+        "generate", "--dist", "independent", "--count", "50", "--dims", "3", "--out",
+        data.to_str().unwrap(),
+    ]);
+    run(&["build", "--data", data.to_str().unwrap(), "--out", cube.to_str().unwrap()]);
+    let out = run(&["skyline", "--cube", cube.to_str().unwrap(), "--space", "Z"]);
+    assert!(!out.status.success());
+    let out = run(&["member", "--cube", cube.to_str().unwrap(), "--object", "9999", "--space", "A"]);
+    assert!(!out.status.success());
+}

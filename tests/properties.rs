@@ -1,0 +1,257 @@
+//! Property-based tests (proptest) over the core invariants of the paper:
+//! skyline-algorithm agreement, skyline-group structure (Definitions 1–2),
+//! Theorem 1 (every group contains a seed), Theorem 2 (the seed lattice is a
+//! quotient of the full lattice), and cube-query consistency.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use skycube::prelude::*;
+use skycube_stellar::{quotient_map, seed_skyline_groups, SeedView};
+
+/// Strategy: a small dataset with a tunable tie density.
+fn dataset(max_dims: usize, max_n: usize, domain: Value) -> impl Strategy<Value = Dataset> {
+    (1..=max_dims).prop_flat_map(move |dims| {
+        vec(vec(0..domain, dims), 1..=max_n)
+            .prop_map(move |rows| Dataset::from_rows(dims, rows).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn skyline_algorithms_agree(ds in dataset(4, 24, 5)) {
+        let full = ds.full_space();
+        let expect = Algorithm::Naive.run(&ds, full);
+        for alg in Algorithm::ALL {
+            prop_assert_eq!(alg.run(&ds, full), expect.clone(), "{}", alg.name());
+        }
+    }
+
+    #[test]
+    fn skyline_members_are_undominated(ds in dataset(4, 24, 4)) {
+        let full = ds.full_space();
+        let sky = skyline(&ds, full);
+        for &u in &sky {
+            for v in ds.ids() {
+                prop_assert!(!ds.dominates(v, u, full));
+            }
+        }
+        // Completeness: everything outside is dominated by someone.
+        for u in ds.ids() {
+            if sky.binary_search(&u).is_err() {
+                prop_assert!(ds.ids().any(|v| ds.dominates(v, u, full)));
+            }
+        }
+    }
+
+    #[test]
+    fn group_structure_invariants(ds in dataset(4, 20, 3)) {
+        let cube = compute_cube(&ds);
+        prop_assert!(cube.validate_against(&ds).is_ok());
+        for g in cube.groups() {
+            // Members share exactly the maximal subspace: no other object
+            // shares the projection, and no shared dimension is missing.
+            let rep = g.members[0];
+            for o in ds.ids() {
+                if !g.members.contains(&o) {
+                    prop_assert!(
+                        !ds.coincides(rep, o, g.subspace),
+                        "outsider {o} coincides with {g:?}"
+                    );
+                }
+            }
+            if g.members.len() > 1 {
+                let mut shared = ds.full_space();
+                for &m in &g.members[1..] {
+                    shared = shared & ds.co_mask(rep, m);
+                }
+                prop_assert_eq!(shared, g.subspace, "closure mismatch for {:?}", g);
+            }
+            // Decisive subspaces: exclusive, skyline, and minimal.
+            for &c in &g.decisive {
+                for o in ds.ids() {
+                    if !g.members.contains(&o) {
+                        prop_assert!(!ds.coincides(rep, o, c));
+                        prop_assert!(!ds.dominates(o, rep, c));
+                    }
+                }
+                for sub in c.proper_subsets() {
+                    let exclusive = ds.ids().all(|o| {
+                        g.members.contains(&o) || !ds.coincides(rep, o, sub)
+                    });
+                    let undominated =
+                        ds.ids().all(|o| !ds.dominates(o, rep, sub));
+                    prop_assert!(
+                        !(exclusive && undominated),
+                        "decisive {} of {:?} not minimal (sub {})",
+                        c, g, sub
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_1_every_group_contains_a_seed(ds in dataset(4, 20, 3)) {
+        let cube = compute_cube(&ds);
+        let seeds = cube.seeds();
+        for g in cube.groups() {
+            prop_assert!(
+                g.members.iter().any(|m| seeds.binary_search(m).is_ok()),
+                "group without seed: {:?}", g
+            );
+        }
+    }
+
+    #[test]
+    fn theorem_2_seed_lattice_is_quotient(ds in dataset(4, 18, 3)) {
+        let (bound, _) = ds.bind_duplicates();
+        let seeds = skyline(&bound, bound.full_space());
+        let view = SeedView::new(&bound, seeds.clone());
+        let seed_lattice: Vec<SkylineGroup> = seed_skyline_groups(&view)
+            .into_iter()
+            .map(|sg| SkylineGroup::new(
+                sg.members.iter().map(|&i| view.id(i)).collect(),
+                sg.subspace,
+                sg.decisive,
+            ))
+            .collect();
+        let cube = compute_cube(&bound);
+        let map = quotient_map(cube.groups(), &seed_lattice, &seeds);
+        prop_assert!(map.is_some(), "no quotient map onto the seed lattice");
+        // Order preservation.
+        let map = map.unwrap();
+        let groups = cube.groups();
+        for i in 0..groups.len() {
+            for j in 0..groups.len() {
+                let sub_ij = groups[i].members.iter()
+                    .all(|m| groups[j].members.contains(m));
+                if sub_ij {
+                    let si = &seed_lattice[map[i]].members;
+                    let sj = &seed_lattice[map[j]].members;
+                    prop_assert!(si.iter().all(|m| sj.contains(m)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cube_answers_subspace_skylines(ds in dataset(4, 20, 4)) {
+        let cube = compute_cube(&ds);
+        for space in ds.full_space().subsets() {
+            prop_assert_eq!(
+                cube.subspace_skyline(space),
+                skycube::algorithms::skyline_naive(&ds, space),
+                "subspace {}", space
+            );
+        }
+    }
+
+    #[test]
+    fn cube_membership_agrees_with_direct_check(ds in dataset(4, 16, 3)) {
+        let cube = compute_cube(&ds);
+        for o in ds.ids() {
+            let mut count = 0u64;
+            for space in ds.full_space().subsets() {
+                let direct = skycube::algorithms::skyline_naive(&ds, space)
+                    .binary_search(&o)
+                    .is_ok();
+                prop_assert_eq!(cube.is_skyline_in(o, space), direct);
+                count += direct as u64;
+            }
+            prop_assert_eq!(cube.membership_count(o), count);
+        }
+    }
+
+    #[test]
+    fn maintenance_insert_equals_recompute(
+        base in dataset(3, 10, 3),
+        extra in vec(vec(0..3i64, 3), 1..6)
+    ) {
+        // Fix dimensionality mismatches by projecting the extras.
+        let dims = base.dims();
+        let mut engine = StellarEngine::new(&base);
+        for row in extra {
+            let row: Vec<Value> = row.into_iter().take(dims)
+                .chain(std::iter::repeat(0))
+                .take(dims)
+                .collect();
+            engine.insert(row).unwrap();
+            let scratch = compute_cube(&engine.dataset());
+            prop_assert_eq!(
+                skycube_types::normalize_groups(engine.cube().groups().to_vec()),
+                skycube_types::normalize_groups(scratch.groups().to_vec())
+            );
+        }
+    }
+
+    #[test]
+    fn lattice_is_antitone(ds in dataset(4, 16, 3)) {
+        let cube = compute_cube(&ds);
+        let lat = GroupLattice::new(cube.groups().to_vec());
+        prop_assert!(lat.check_antitone());
+    }
+
+    #[test]
+    fn csv_roundtrip_is_lossless(ds in dataset(5, 30, 1000)) {
+        let mut buf = Vec::new();
+        skycube::datagen::write_csv(&ds, &mut buf).unwrap();
+        let back = skycube::datagen::read_csv(&buf[..]).unwrap();
+        prop_assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn cube_persistence_roundtrip_preserves_queries(ds in dataset(4, 18, 4)) {
+        let cube = compute_cube(&ds);
+        let mut buf = Vec::new();
+        skycube::stellar::write_cube(&cube, &mut buf).unwrap();
+        let back = skycube::stellar::read_cube(&buf[..]).unwrap();
+        prop_assert_eq!(back.seeds(), cube.seeds());
+        prop_assert_eq!(back.num_groups(), cube.num_groups());
+        for space in ds.full_space().subsets() {
+            prop_assert_eq!(
+                back.subspace_skyline(space),
+                cube.subspace_skyline(space)
+            );
+        }
+    }
+
+    #[test]
+    fn computed_cubes_pass_the_deep_audit(ds in dataset(4, 14, 3)) {
+        let cube = compute_cube(&ds);
+        let errors = skycube::stellar::audit_cube(
+            &cube,
+            &ds,
+            skycube::stellar::AuditConfig::default(),
+        );
+        prop_assert!(errors.is_empty(), "audit failed: {:?}", errors);
+    }
+
+    #[test]
+    fn subsky_index_answers_any_subspace(ds in dataset(4, 24, 5)) {
+        let index = skycube::subsky::SubskyIndex::build(&ds);
+        for space in ds.full_space().subsets() {
+            prop_assert_eq!(
+                index.skyline(space),
+                skycube::algorithms::skyline_naive(&ds, space),
+                "subspace {}", space
+            );
+        }
+    }
+
+    #[test]
+    fn anchored_subsky_answers_any_subspace(
+        ds in dataset(4, 24, 5),
+        anchors in 1usize..6
+    ) {
+        let index = skycube::subsky::AnchoredSubskyIndex::build(&ds, anchors);
+        for space in ds.full_space().subsets() {
+            prop_assert_eq!(
+                index.skyline(space),
+                skycube::algorithms::skyline_naive(&ds, space),
+                "anchors {} subspace {}", anchors, space
+            );
+        }
+    }
+}
