@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, and the tier-1 suite.
+# Usage: ./ci.sh        (add WORKSPACE=1 to also test every crate)
+set -eu
+
+echo '== cargo fmt --check'
+cargo fmt --all -- --check
+
+echo '== cargo clippy (deny warnings)'
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo '== tier-1: build + test (root package)'
+cargo build --release
+cargo test -q
+
+if [ "${WORKSPACE:-0}" = "1" ]; then
+    echo '== workspace tests'
+    cargo test --workspace -q
+fi
+
+echo '== ci.sh: all green'

@@ -36,9 +36,7 @@ fn bench_queries(c: &mut Criterion) {
     });
 
     // Query 3: aggregate analysis derived from the compressed form.
-    group.bench_function("skycube_size_from_cube", |b| {
-        b.iter(|| cube.skycube_size())
-    });
+    group.bench_function("skycube_size_from_cube", |b| b.iter(|| cube.skycube_size()));
     group.bench_function("sizes_by_dimensionality", |b| {
         b.iter(|| cube.skycube_sizes_by_dimensionality())
     });

@@ -20,11 +20,9 @@ fn bench_skyline(c: &mut Criterion) {
             Algorithm::Less,
             Algorithm::Salsa,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(alg.name(), dist.name()),
-                &ds,
-                |b, ds| b.iter(|| alg.run(ds, full)),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.name(), dist.name()), &ds, |b, ds| {
+                b.iter(|| alg.run(ds, full))
+            });
         }
     }
     group.finish();

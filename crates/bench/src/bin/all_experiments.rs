@@ -10,4 +10,5 @@ fn main() {
     figures::fig10(args);
     figures::fig11(args);
     figures::fig12(args);
+    figures::threads_ablation(args);
 }

@@ -1,0 +1,6 @@
+//! Threads-ablation harness: the anti-correlated Stellar build of
+//! Figures 11/12 at increasing worker-thread counts. See `--help`.
+fn main() {
+    let args = skycube_bench::HarnessArgs::parse();
+    skycube_bench::figures::threads_ablation(args);
+}

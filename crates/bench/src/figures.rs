@@ -75,13 +75,21 @@ pub fn fig09(args: HarnessArgs) {
 fn synthetic_grid(full: bool) -> Vec<(Distribution, usize, Vec<usize>)> {
     if full {
         vec![
-            (Distribution::Correlated, 100_000, (2..=14).step_by(2).collect()),
+            (
+                Distribution::Correlated,
+                100_000,
+                (2..=14).step_by(2).collect(),
+            ),
             (Distribution::Independent, 100_000, (1..=6).collect()),
             (Distribution::AntiCorrelated, 100_000, (1..=6).collect()),
         ]
     } else {
         vec![
-            (Distribution::Correlated, 50_000, (2..=12).step_by(2).collect()),
+            (
+                Distribution::Correlated,
+                50_000,
+                (2..=12).step_by(2).collect(),
+            ),
             (Distribution::Independent, 50_000, (1..=5).collect()),
             (Distribution::AntiCorrelated, 20_000, (1..=5).collect()),
         ]
@@ -96,7 +104,12 @@ pub fn fig10(args: HarnessArgs) {
         args.full,
     );
     for (dist, n, dims) in synthetic_grid(args.full) {
-        println!("### ({}) {} distributed, {} tuples", panel(dist), dist.name(), n);
+        println!(
+            "### ({}) {} distributed, {} tuples",
+            panel(dist),
+            dist.name(),
+            n
+        );
         table_header(&["d", "skyline groups", "subspace skyline objects"]);
         for &d in &dims {
             let ds = generate(dist, n, d, SEED ^ d as u64);
@@ -117,7 +130,12 @@ pub fn fig11(args: HarnessArgs) {
         args.full,
     );
     for (dist, n, dims) in synthetic_grid(args.full) {
-        println!("### ({}) {} distributed, {} tuples", panel(dist), dist.name(), n);
+        println!(
+            "### ({}) {} distributed, {} tuples",
+            panel(dist),
+            dist.name(),
+            n
+        );
         table_header(&["d", "Skyey (s)", "Stellar (s)", "Skyey/Stellar"]);
         for &d in &dims {
             let ds = generate(dist, n, d, SEED ^ d as u64);
@@ -146,19 +164,48 @@ pub fn fig12(args: HarnessArgs) {
     );
     let grid: Vec<(Distribution, usize, Vec<usize>)> = if args.full {
         vec![
-            (Distribution::Correlated, 6, (1..=5).map(|k| k * 100_000).collect()),
-            (Distribution::Independent, 4, (1..=5).map(|k| k * 100_000).collect()),
-            (Distribution::AntiCorrelated, 4, (1..=5).map(|k| k * 100_000).collect()),
+            (
+                Distribution::Correlated,
+                6,
+                (1..=5).map(|k| k * 100_000).collect(),
+            ),
+            (
+                Distribution::Independent,
+                4,
+                (1..=5).map(|k| k * 100_000).collect(),
+            ),
+            (
+                Distribution::AntiCorrelated,
+                4,
+                (1..=5).map(|k| k * 100_000).collect(),
+            ),
         ]
     } else {
         vec![
-            (Distribution::Correlated, 6, (1..=5).map(|k| k * 20_000).collect()),
-            (Distribution::Independent, 4, (1..=5).map(|k| k * 20_000).collect()),
-            (Distribution::AntiCorrelated, 4, (1..=5).map(|k| k * 20_000).collect()),
+            (
+                Distribution::Correlated,
+                6,
+                (1..=5).map(|k| k * 20_000).collect(),
+            ),
+            (
+                Distribution::Independent,
+                4,
+                (1..=5).map(|k| k * 20_000).collect(),
+            ),
+            (
+                Distribution::AntiCorrelated,
+                4,
+                (1..=5).map(|k| k * 20_000).collect(),
+            ),
         ]
     };
     for (dist, d, sizes) in grid {
-        println!("### ({}) {} distributed, {} dimensions", panel(dist), dist.name(), d);
+        println!(
+            "### ({}) {} distributed, {} dimensions",
+            panel(dist),
+            dist.name(),
+            d
+        );
         table_header(&["tuples", "Skyey (s)", "Stellar (s)", "Skyey/Stellar"]);
         // Generate once at the largest size; prefixes keep the sweep
         // consistent (smaller sets are strict subsets, as with a generator
@@ -180,6 +227,57 @@ pub fn fig12(args: HarnessArgs) {
         }
         println!();
     }
+}
+
+/// Threads ablation: the Figure 11/12 anti-correlated workload re-run at
+/// increasing worker-thread counts, reporting speedup over the sequential
+/// (1-thread) pipeline. The parallel pipeline is bit-identical to the
+/// sequential one, so the group counts in every row must agree.
+///
+/// On a single-core machine the ablation cannot show a speedup, so it is
+/// skipped gracefully with a note instead of reporting meaningless numbers.
+pub fn threads_ablation(args: HarnessArgs) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (n, d) = if args.full { (100_000, 4) } else { (20_000, 4) };
+    header(
+        &format!("Threads ablation — Stellar build, anti-correlated {d}-d, {n} tuples"),
+        args.full,
+    );
+    if cores < 2 {
+        println!(
+            "_skipped: only {cores} hardware thread available — \
+             the ablation needs a multi-core machine to show a speedup_"
+        );
+        println!();
+        return;
+    }
+    let ds = generate(Distribution::AntiCorrelated, n, d, SEED ^ d as u64);
+    let mut threads: Vec<usize> = std::iter::successors(Some(1usize), |&t| Some(t * 2))
+        .take_while(|&t| t <= cores)
+        .collect();
+    if *threads.last().unwrap() != cores {
+        threads.push(cores);
+    }
+    table_header(&["threads", "Stellar (s)", "speedup", "groups"]);
+    let base = crate::run_stellar_threads(&ds, 1);
+    for &t in &threads {
+        let m = if t == 1 {
+            base
+        } else {
+            crate::run_stellar_threads(&ds, t)
+        };
+        assert_eq!(
+            m.groups, base.groups,
+            "parallel pipeline diverged from sequential at {t} threads"
+        );
+        row(&[
+            t.to_string(),
+            secs(m.seconds),
+            format!("{:.2}×", base.seconds / m.seconds.max(1e-9)),
+            m.groups.to_string(),
+        ]);
+    }
+    println!();
 }
 
 fn panel(dist: Distribution) -> &'static str {

@@ -14,8 +14,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use skycube_skyey::{skyey_groups, skycube_total_size};
-use skycube_stellar::compute_cube;
+use skycube_parallel::Parallelism;
+use skycube_skyey::{skycube_total_size, skyey_groups};
+use skycube_stellar::{compute_cube, Stellar};
 use skycube_types::Dataset;
 use std::time::Instant;
 
@@ -32,6 +33,19 @@ pub struct Measured {
 pub fn run_stellar(ds: &Dataset) -> Measured {
     let t = Instant::now();
     let cube = compute_cube(ds);
+    let seconds = t.elapsed().as_secs_f64();
+    Measured {
+        seconds,
+        groups: cube.num_groups(),
+    }
+}
+
+/// Run Stellar end-to-end on `threads` worker threads (1 = the exact
+/// sequential pipeline), returning wall time and group count.
+pub fn run_stellar_threads(ds: &Dataset, threads: usize) -> Measured {
+    let runner = Stellar::new().with_parallelism(Parallelism::new(threads));
+    let t = Instant::now();
+    let cube = runner.compute(ds);
     let seconds = t.elapsed().as_secs_f64();
     Measured {
         seconds,
@@ -113,7 +127,10 @@ pub fn row(cells: &[String]) {
 /// Print a markdown table header + separator.
 pub fn table_header(cols: &[&str]) {
     println!("| {} |", cols.join(" | "));
-    println!("|{}|", cols.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cols.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Format seconds compactly.

@@ -27,8 +27,8 @@ pub const NBA_DIMS: usize = 17;
 
 /// Column names of the synthesized table (career regular-season totals).
 pub const NBA_COLUMNS: [&str; NBA_DIMS] = [
-    "seasons", "games", "minutes", "fgm", "fga", "3pm", "3pa", "ftm", "fta", "oreb", "reb",
-    "ast", "stl", "blk", "tov", "pf", "pts",
+    "seasons", "games", "minutes", "fgm", "fga", "3pm", "3pa", "ftm", "fta", "oreb", "reb", "ast",
+    "stl", "blk", "tov", "pf", "pts",
 ];
 
 /// Generate the engine-native (minimizing) NBA-like table with the paper's
@@ -97,8 +97,8 @@ fn player_row<R: Rng + ?Sized>(rng: &mut R) -> Vec<Value> {
     let pts = 2.0 * (fgm - tpm) + 3.0 * tpm + ftm;
 
     [
-        seasons, games, minutes, fgm, fga, tpm, tpa, ftm, fta, oreb, reb, ast, stl, blk, tov,
-        pf, pts,
+        seasons, games, minutes, fgm, fga, tpm, tpa, ftm, fta, oreb, reb, ast, stl, blk, tov, pf,
+        pts,
     ]
     .iter()
     .map(|&x| x.max(0.0).round() as Value)
@@ -182,8 +182,7 @@ mod tests {
         assert!(rho > 0.7, "minutes–points correlation {rho}");
 
         // The seasons column must exhibit heavy ties (≤ 21 distinct values).
-        let distinct: std::collections::HashSet<Value> =
-            ds.ids().map(|o| ds.value(o, 0)).collect();
+        let distinct: std::collections::HashSet<Value> = ds.ids().map(|o| ds.value(o, 0)).collect();
         assert!(distinct.len() <= 21);
     }
 

@@ -214,11 +214,8 @@ mod tests {
         let d = 4;
         let ds = generate(Distribution::AntiCorrelated, 2_000, d, 3);
         let full = ds.full_space();
-        let mean_sum: f64 = ds
-            .ids()
-            .map(|o| ds.sum_over(o, full) as f64)
-            .sum::<f64>()
-            / ds.len() as f64;
+        let mean_sum: f64 =
+            ds.ids().map(|o| ds.sum_over(o, full) as f64).sum::<f64>() / ds.len() as f64;
         let expect = 0.5 * d as f64 * SCALE_4 as f64;
         assert!(
             (mean_sum - expect).abs() < 0.05 * expect,

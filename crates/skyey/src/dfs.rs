@@ -12,6 +12,7 @@
 //! dominance in that subspace, a single sort-first-skyline pass per node
 //! suffices.
 
+use skycube_parallel::{par_map_indexed, Parallelism};
 use skycube_skyline::filter_presorted;
 use skycube_types::{Dataset, DimMask, ObjId};
 
@@ -26,21 +27,51 @@ pub fn for_each_subspace_skyline<F: FnMut(DimMask, &[ObjId])>(ds: &Dataset, mut 
     if ds.is_empty() || n == 0 {
         return;
     }
-    let base: Vec<ObjId> = ds.ids().collect();
-    let mut skyline_buf: Vec<ObjId> = Vec::new();
     for d in 0..n {
-        // Order for the single-dimension subspace {d}.
-        let mut order = base.clone();
-        order.sort_unstable_by_key(|&o| ds.value(o, d));
-        recurse(
-            ds,
-            DimMask::single(d),
-            d,
-            &order,
-            &mut skyline_buf,
-            &mut f,
-        );
+        for_each_subspace_skyline_from(ds, d, &mut f);
     }
+}
+
+/// One top-level branch of the set-enumeration DFS: visit every subspace
+/// whose smallest dimension is `d`, in DFS order, with its skyline. Each
+/// branch carries its own sorted order and tie-refinement state, which is
+/// what lets branches run on separate threads.
+pub(crate) fn for_each_subspace_skyline_from<F: FnMut(DimMask, &[ObjId])>(
+    ds: &Dataset,
+    d: usize,
+    f: &mut F,
+) {
+    // Order for the single-dimension subspace {d}.
+    let mut order: Vec<ObjId> = ds.ids().collect();
+    order.sort_unstable_by_key(|&o| ds.value(o, d));
+    let mut skyline_buf: Vec<ObjId> = Vec::new();
+    recurse(ds, DimMask::single(d), d, &order, &mut skyline_buf, f);
+}
+
+/// Every non-empty subspace paired with its skyline (in lexicographic scan
+/// order per subspace), computed by fanning the top-level DFS branches out
+/// across threads.
+///
+/// The pair sequence is the exact DFS visitation order of
+/// [`for_each_subspace_skyline`]: branch `d`'s subtree is self-contained
+/// (own sorted order, own tie-refinement state) and subtree outputs are
+/// concatenated in branch order. With one thread the branches run inline,
+/// sequentially.
+pub fn subspace_skylines_par(ds: &Dataset, par: Parallelism) -> Vec<(DimMask, Vec<ObjId>)> {
+    let n = ds.dims();
+    if ds.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    par_map_indexed(par, n, |d| {
+        let mut out: Vec<(DimMask, Vec<ObjId>)> = Vec::new();
+        for_each_subspace_skyline_from(ds, d, &mut |space, sky| {
+            out.push((space, sky.to_vec()));
+        });
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 fn recurse<F: FnMut(DimMask, &[ObjId])>(
@@ -134,6 +165,17 @@ mod tests {
                     "trial {trial} subspace {space}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn parallel_visitation_matches_sequential_order() {
+        let ds = running_example();
+        let mut seq: Vec<(DimMask, Vec<ObjId>)> = Vec::new();
+        for_each_subspace_skyline(&ds, |space, sky| seq.push((space, sky.to_vec())));
+        for threads in [1, 2, 4] {
+            let par = subspace_skylines_par(&ds, skycube_parallel::Parallelism::new(threads));
+            assert_eq!(par, seq, "threads {threads}");
         }
     }
 

@@ -11,33 +11,83 @@
 //! maximal subspace `B` (see the proof sketch in the module tests), and the
 //! minimal collected subspaces are precisely the decisive subspaces.
 
-use crate::dfs::for_each_subspace_skyline;
+use crate::dfs::{for_each_subspace_skyline, for_each_subspace_skyline_from};
+use skycube_parallel::{par_map_indexed, Parallelism};
 use skycube_types::{Dataset, DimMask, ObjId, SkylineGroup, Value};
 use std::collections::HashMap;
+
+/// member set (sorted ids) → subspaces where the set is an exclusive
+/// skyline bucket, in DFS visitation order.
+type Occurrences = HashMap<Vec<ObjId>, Vec<DimMask>>;
 
 /// Compute all skyline groups with their decisive subspaces by searching
 /// every subspace (the Skyey algorithm). Output is unnormalized order;
 /// groups themselves are normalized.
 pub fn skyey_groups(ds: &Dataset) -> Vec<SkylineGroup> {
-    // member set (sorted ids) → subspaces where the set is an exclusive
-    // skyline bucket.
-    let mut occurrences: HashMap<Vec<ObjId>, Vec<DimMask>> = HashMap::new();
+    let mut occurrences: Occurrences = HashMap::new();
     let mut buckets: HashMap<Vec<Value>, Vec<ObjId>> = HashMap::new();
     for_each_subspace_skyline(ds, |space, sky| {
-        buckets.clear();
-        for &o in sky {
-            buckets
-                .entry(ds.projection(o, space))
-                .or_default()
-                .push(o);
-        }
-        for members in buckets.values() {
-            let mut members = members.clone();
-            members.sort_unstable();
-            occurrences.entry(members).or_default().push(space);
-        }
+        record_occurrences(ds, space, sky, &mut buckets, &mut occurrences);
     });
+    assemble(occurrences)
+}
 
+/// Parallel [`skyey_groups`]: each top-level DFS branch builds its own
+/// occurrence map on its own thread; the maps are merged in branch order
+/// (restoring the sequential DFS visitation order of each member set's
+/// occurrence list) and assembled into groups exactly as the sequential
+/// path does. The resulting group *set* is identical; like the sequential
+/// function, the output order is unspecified (hash-map iteration) —
+/// compare with `normalize_groups`. With one thread this *is* the
+/// sequential path.
+pub fn skyey_groups_par(ds: &Dataset, par: Parallelism) -> Vec<SkylineGroup> {
+    if par.is_sequential() {
+        return skyey_groups(ds);
+    }
+    let n = ds.dims();
+    if ds.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    let per_branch: Vec<Occurrences> = par_map_indexed(par, n, |d| {
+        let mut occurrences: Occurrences = HashMap::new();
+        let mut buckets: HashMap<Vec<Value>, Vec<ObjId>> = HashMap::new();
+        for_each_subspace_skyline_from(ds, d, &mut |space, sky| {
+            record_occurrences(ds, space, sky, &mut buckets, &mut occurrences);
+        });
+        occurrences
+    });
+    let mut occurrences: Occurrences = HashMap::new();
+    for branch in per_branch {
+        for (members, spaces) in branch {
+            occurrences.entry(members).or_default().extend(spaces);
+        }
+    }
+    assemble(occurrences)
+}
+
+/// Bucket one subspace's skyline by projection and append the subspace to
+/// each bucket's occurrence list.
+fn record_occurrences(
+    ds: &Dataset,
+    space: DimMask,
+    sky: &[ObjId],
+    buckets: &mut HashMap<Vec<Value>, Vec<ObjId>>,
+    occurrences: &mut Occurrences,
+) {
+    buckets.clear();
+    for &o in sky {
+        buckets.entry(ds.projection(o, space)).or_default().push(o);
+    }
+    for members in buckets.values() {
+        let mut members = members.clone();
+        members.sort_unstable();
+        occurrences.entry(members).or_default().push(space);
+    }
+}
+
+/// Turn the occurrence lists into skyline groups (maximal subspace =
+/// unique maximum occurrence, decisive subspaces = minimal occurrences).
+fn assemble(occurrences: Occurrences) -> Vec<SkylineGroup> {
     occurrences
         .into_iter()
         .map(|(members, mut spaces)| {
@@ -132,6 +182,19 @@ mod tests {
     fn group_count_matches_groups_len() {
         let ds = running_example();
         assert_eq!(skyey_group_count(&ds), skyey_groups(&ds).len());
+    }
+
+    #[test]
+    fn parallel_groups_match_sequential() {
+        let ds = running_example();
+        let seq = normalize_groups(skyey_groups(&ds));
+        for threads in [1, 2, 4] {
+            let par = normalize_groups(skyey_groups_par(
+                &ds,
+                skycube_parallel::Parallelism::new(threads),
+            ));
+            assert_eq!(par, seq, "threads {threads}");
+        }
     }
 
     use skycube_types::Dataset;

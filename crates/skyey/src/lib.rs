@@ -24,7 +24,11 @@ mod groups;
 mod skycube;
 mod tds;
 
-pub use dfs::for_each_subspace_skyline;
-pub use groups::{skyey_group_count, skyey_groups};
-pub use skycube::{skycube_sizes_by_dimensionality, skycube_total_size, SkyCube};
+pub use dfs::{for_each_subspace_skyline, subspace_skylines_par};
+pub use groups::{skyey_group_count, skyey_groups, skyey_groups_par};
+pub use skycube::{
+    skycube_sizes_by_dimensionality, skycube_sizes_by_dimensionality_par, skycube_total_size,
+    skycube_total_size_par, SkyCube,
+};
+pub use skycube_parallel::Parallelism;
 pub use tds::{tds_for_each_subspace_skyline, tds_total_size};

@@ -3,7 +3,8 @@
 //! Figures 9 and 10 plot its total size against the number of skyline
 //! groups.
 
-use crate::dfs::for_each_subspace_skyline;
+use crate::dfs::{for_each_subspace_skyline, subspace_skylines_par};
+use skycube_parallel::{par_map_indexed, Parallelism};
 use skycube_types::{Dataset, DimMask, ObjId};
 use std::collections::HashMap;
 
@@ -29,19 +30,34 @@ impl SkyCube {
         }
     }
 
+    /// [`SkyCube::compute`] with the top-level DFS branches fanned out
+    /// across threads. Stores the identical skylines (each sorted
+    /// ascending); with one thread this is the sequential computation.
+    pub fn compute_par(ds: &Dataset, par: Parallelism) -> Self {
+        if par.is_sequential() {
+            return SkyCube::compute(ds);
+        }
+        let mut skylines = HashMap::with_capacity((1usize << ds.dims()).saturating_sub(1));
+        for (space, mut sky) in subspace_skylines_par(ds, par) {
+            sky.sort_unstable();
+            skylines.insert(space, sky);
+        }
+        SkyCube {
+            dims: ds.dims(),
+            skylines,
+        }
+    }
+
     /// Dimensionality of the full space.
     pub fn dims(&self) -> usize {
         self.dims
     }
 
-    /// The skyline of `space`.
-    ///
-    /// # Panics
-    /// Panics if `space` is not a non-empty subspace of the full space.
-    pub fn skyline(&self, space: DimMask) -> &[ObjId] {
-        self.skylines
-            .get(&space)
-            .unwrap_or_else(|| panic!("no skyline stored for subspace {space}"))
+    /// The skyline of `space`, or `None` when `space` is not one of the
+    /// materialized non-empty subspaces of the full space (e.g. the empty
+    /// mask, or a mask mentioning dimensions the dataset does not have).
+    pub fn skyline(&self, space: DimMask) -> Option<&[ObjId]> {
+        self.skylines.get(&space).map(Vec::as_slice)
     }
 
     /// Number of materialized subspaces.
@@ -71,6 +87,28 @@ pub fn skycube_total_size(ds: &Dataset) -> u64 {
     total
 }
 
+/// [`skycube_total_size`] with the top-level DFS branches fanned out
+/// across threads; per-branch totals are summed (addition commutes, so the
+/// count is exactly the sequential one).
+pub fn skycube_total_size_par(ds: &Dataset, par: Parallelism) -> u64 {
+    if par.is_sequential() {
+        return skycube_total_size(ds);
+    }
+    let n = ds.dims();
+    if ds.is_empty() || n == 0 {
+        return 0;
+    }
+    par_map_indexed(par, n, |d| {
+        let mut total = 0u64;
+        crate::dfs::for_each_subspace_skyline_from(ds, d, &mut |_, sky| {
+            total += sky.len() as u64;
+        });
+        total
+    })
+    .into_iter()
+    .sum()
+}
+
 /// SkyCube total size split by subspace dimensionality; entry `k − 1` sums
 /// the skylines of all `k`-dimensional subspaces.
 pub fn skycube_sizes_by_dimensionality(ds: &Dataset) -> Vec<u64> {
@@ -78,6 +116,31 @@ pub fn skycube_sizes_by_dimensionality(ds: &Dataset) -> Vec<u64> {
     for_each_subspace_skyline(ds, |space, sky| {
         out[space.len() - 1] += sky.len() as u64;
     });
+    out
+}
+
+/// [`skycube_sizes_by_dimensionality`] with the top-level DFS branches
+/// fanned out across threads; per-branch histograms are summed elementwise.
+pub fn skycube_sizes_by_dimensionality_par(ds: &Dataset, par: Parallelism) -> Vec<u64> {
+    if par.is_sequential() {
+        return skycube_sizes_by_dimensionality(ds);
+    }
+    let n = ds.dims();
+    let mut out = vec![0u64; n];
+    if ds.is_empty() || n == 0 {
+        return out;
+    }
+    for branch in par_map_indexed(par, n, |d| {
+        let mut hist = vec![0u64; n];
+        crate::dfs::for_each_subspace_skyline_from(ds, d, &mut |space, sky| {
+            hist[space.len() - 1] += sky.len() as u64;
+        });
+        hist
+    }) {
+        for (o, b) in out.iter_mut().zip(branch) {
+            *o += b;
+        }
+    }
     out
 }
 
@@ -94,7 +157,37 @@ mod tests {
         assert_eq!(cube.dims(), 4);
         assert_eq!(cube.num_subspaces(), 15);
         for space in ds.full_space().subsets() {
-            assert_eq!(cube.skyline(space), skyline_naive(&ds, space));
+            assert_eq!(
+                cube.skyline(space).expect("materialized subspace"),
+                skyline_naive(&ds, space)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_cube_stores_identical_skylines() {
+        let ds = running_example();
+        let seq = SkyCube::compute(&ds);
+        for threads in [1, 2, 4] {
+            let par = SkyCube::compute_par(&ds, Parallelism::new(threads));
+            assert_eq!(par.dims(), seq.dims());
+            assert_eq!(par.num_subspaces(), seq.num_subspaces());
+            for space in ds.full_space().subsets() {
+                assert_eq!(par.skyline(space), seq.skyline(space), "threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        let ds = running_example();
+        for threads in [1, 2, 4] {
+            let par = Parallelism::new(threads);
+            assert_eq!(skycube_total_size_par(&ds, par), skycube_total_size(&ds));
+            assert_eq!(
+                skycube_sizes_by_dimensionality_par(&ds, par),
+                skycube_sizes_by_dimensionality(&ds)
+            );
         }
     }
 
@@ -131,10 +224,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn missing_subspace_panics() {
+    fn missing_subspace_returns_none() {
         let ds = running_example();
         let cube = SkyCube::compute(&ds);
-        cube.skyline(DimMask::EMPTY);
+        assert_eq!(cube.skyline(DimMask::EMPTY), None);
+        // A mask naming a dimension beyond the dataset's four.
+        assert_eq!(cube.skyline(DimMask::single(7)), None);
     }
 }

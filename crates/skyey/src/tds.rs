@@ -50,12 +50,7 @@ fn full_space_skyline(ds: &Dataset) -> Vec<ObjId> {
 /// DFS over the subspace lattice from the top. Each subspace `B ⊂ D` is
 /// visited from its canonical parent `B ∪ {min missing dim}`, so every
 /// subspace is visited exactly once.
-fn visit<F: FnMut(DimMask, &[ObjId])>(
-    ds: &Dataset,
-    space: DimMask,
-    skyline: &[ObjId],
-    f: &mut F,
-) {
+fn visit<F: FnMut(DimMask, &[ObjId])>(ds: &Dataset, space: DimMask, skyline: &[ObjId], f: &mut F) {
     f(space, skyline);
     if space.len() == 1 {
         return;
@@ -95,10 +90,7 @@ fn skyline_from_parent(ds: &Dataset, child: DimMask, parent_sky: &[ObjId]) -> Ve
         .filter(|&o| keys.contains_key(&ds.projection(o, child)))
         .collect();
     // Skyline over the candidates: sort by a monotone key, one filter pass.
-    let sums: Vec<i128> = candidates
-        .iter()
-        .map(|&o| ds.sum_over(o, child))
-        .collect();
+    let sums: Vec<i128> = candidates.iter().map(|&o| ds.sum_over(o, child)).collect();
     let mut idx: Vec<usize> = (0..candidates.len()).collect();
     idx.sort_unstable_by_key(|&i| sums[i]);
     let order: Vec<ObjId> = idx.into_iter().map(|i| candidates[i]).collect();
@@ -117,7 +109,10 @@ mod tests {
     fn all_tds(ds: &Dataset) -> Map<DimMask, Vec<ObjId>> {
         let mut map = Map::new();
         tds_for_each_subspace_skyline(ds, |space, sky| {
-            assert!(map.insert(space, sky.to_vec()).is_none(), "{space} revisited");
+            assert!(
+                map.insert(space, sky.to_vec()).is_none(),
+                "{space} revisited"
+            );
         });
         map
     }

@@ -31,7 +31,10 @@ enum Entry {
 /// # Panics
 /// Panics if `space` is empty.
 pub fn skyline_bbs_indexed(tree: &RTree<'_>, space: DimMask) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
     let ds = tree.dataset();
     let mut heap: BinaryHeap<(Reverse<i128>, usize, Entry)> = BinaryHeap::new();
     // The usize component makes orderings total without comparing `Entry`.

@@ -144,7 +144,10 @@ impl<'a> BitmapIndex<'a> {
     /// Whether object `o` is in the skyline of `space`: no object is ≤ on
     /// all dimensions of `space` and < on one.
     pub fn is_skyline(&self, o: ObjId, space: DimMask) -> bool {
-        assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+        assert!(
+            !space.is_empty(),
+            "skyline of the empty subspace is undefined"
+        );
         let mut no_worse: Option<BitSet> = None;
         let mut strictly_better = BitSet::zeros(self.ds.len());
         for d in space.iter() {

@@ -16,7 +16,10 @@ use skycube_types::{Dataset, DimMask, DomRelation, ObjId};
 /// # Panics
 /// Panics if `space` is empty.
 pub fn skyline_bnl(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
     let mut window: Vec<ObjId> = Vec::new();
     'scan: for u in ds.ids() {
         let mut i = 0;
@@ -65,11 +68,8 @@ mod tests {
     #[test]
     fn later_point_can_evict_multiple() {
         use skycube_types::Dataset;
-        let ds = Dataset::from_rows(
-            2,
-            vec![vec![3, 1], vec![1, 3], vec![2, 2], vec![0, 0]],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(2, vec![vec![3, 1], vec![1, 3], vec![2, 2], vec![0, 0]]).unwrap();
         assert_eq!(skyline_bnl(&ds, DimMask::full(2)), vec![3]);
     }
 

@@ -17,7 +17,10 @@ const LEAF_SIZE: usize = 64;
 /// # Panics
 /// Panics if `space` is empty.
 pub fn skyline_dnc(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
     let ids: Vec<ObjId> = ds.ids().collect();
     let mut out = dnc(ds, space, &ids);
     out.sort_unstable();
@@ -31,7 +34,7 @@ fn dnc(ds: &Dataset, space: DimMask, ids: &[ObjId]) -> Vec<ObjId> {
     let mid = ids.len() / 2;
     let left = dnc(ds, space, &ids[..mid]);
     let right = dnc(ds, space, &ids[mid..]);
-    merge(ds, space, left, right)
+    merge(ds, space, &left, &right)
 }
 
 /// BNL over an explicit id slice.
@@ -56,7 +59,10 @@ fn leaf_bnl(ds: &Dataset, space: DimMask, ids: &[ObjId]) -> Vec<ObjId> {
 
 /// Keep the members of each side not dominated by any member of the other.
 /// Members of the same side are already mutually non-dominating.
-fn merge(ds: &Dataset, space: DimMask, left: Vec<ObjId>, right: Vec<ObjId>) -> Vec<ObjId> {
+///
+/// Shared with the partitioned parallel skyline, whose per-chunk local
+/// skylines satisfy the same precondition.
+pub(crate) fn merge(ds: &Dataset, space: DimMask, left: &[ObjId], right: &[ObjId]) -> Vec<ObjId> {
     let mut out: Vec<ObjId> = Vec::with_capacity(left.len() + right.len());
     out.extend(
         left.iter()

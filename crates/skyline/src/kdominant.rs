@@ -43,7 +43,10 @@ pub fn k_dominates(ds: &Dataset, u: ObjId, v: ObjId, space: DimMask, k: usize) -
 /// cyclic, an object k-dominated only by objects that are themselves
 /// k-dominated is still excluded — matching the original definition.
 pub fn k_dominant_skyline(ds: &Dataset, space: DimMask, k: usize) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
     let n = ds.len() as ObjId;
     let mut out = Vec::new();
     'outer: for v in 0..n {
@@ -104,11 +107,7 @@ mod tests {
     fn cyclic_k_dominance_can_empty_the_skyline() {
         // The classic 3-cycle: each point 2-dominates the next in a 3-d
         // space, so no point survives k=2.
-        let ds = Dataset::from_rows(
-            3,
-            vec![vec![1, 1, 3], vec![1, 3, 1], vec![3, 1, 1]],
-        )
-        .unwrap();
+        let ds = Dataset::from_rows(3, vec![vec![1, 1, 3], vec![1, 3, 1], vec![3, 1, 1]]).unwrap();
         let space = ds.full_space();
         assert!(k_dominates(&ds, 0, 1, space, 2));
         assert!(k_dominates(&ds, 1, 2, space, 2));

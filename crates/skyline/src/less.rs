@@ -21,7 +21,10 @@ const EF_CAPACITY: usize = 16;
 /// # Panics
 /// Panics if `space` is empty.
 pub fn skyline_less(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
 
     // Pass 0: elimination-filter scan. The EF window keeps the points with
     // the smallest sums seen so far; anything dominated by a window point is

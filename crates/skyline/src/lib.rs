@@ -30,6 +30,7 @@ mod dnc;
 mod kdominant;
 mod less;
 mod naive;
+mod parallel;
 mod rtree;
 mod salsa;
 mod sfs;
@@ -42,11 +43,13 @@ pub use dnc::skyline_dnc;
 pub use kdominant::{k_dominant_skyline, k_dominates};
 pub use less::skyline_less;
 pub use naive::skyline_naive;
+pub use parallel::skyline_parallel;
 pub use rtree::{Mbr, Node, RTree, NODE_CAPACITY};
 pub use salsa::{skyline_salsa, skyline_salsa_counting};
-pub use skyband::{constrained_skyline, k_skyband, Ranges};
 pub use sfs::{filter_presorted, skyline_sfs, skyline_sfs_with, SortKey};
+pub use skyband::{constrained_skyline, k_skyband, Ranges};
 
+pub use skycube_parallel::Parallelism;
 use skycube_types::{Dataset, DimMask, ObjId};
 
 /// Algorithm selector for dynamic choice (benchmarks, builder configs).
@@ -75,6 +78,11 @@ pub enum Algorithm {
     /// bitmap per call; see [`BitmapIndex`] to amortize. Memory-hungry on
     /// high-cardinality domains.
     Bitmap,
+    /// Partitioned parallel SFS over [`Parallelism::available`] threads
+    /// (chunked local skylines, pairwise cross-filter merge). Same output
+    /// as every other variant; see [`skyline_parallel`] to pick the
+    /// thread count explicitly.
+    Parallel,
 }
 
 impl Algorithm {
@@ -90,6 +98,7 @@ impl Algorithm {
             Algorithm::Bbs => skyline_bbs(ds, space),
             Algorithm::Salsa => skyline_salsa(ds, space),
             Algorithm::Bitmap => skyline_bitmap(ds, space),
+            Algorithm::Parallel => skyline_parallel(ds, space, Parallelism::available()),
         }
     }
 
@@ -105,11 +114,12 @@ impl Algorithm {
             Algorithm::Bbs => "bbs",
             Algorithm::Salsa => "salsa",
             Algorithm::Bitmap => "bitmap",
+            Algorithm::Parallel => "parallel",
         }
     }
 
     /// All selectable algorithms (for exhaustive tests/benches).
-    pub const ALL: [Algorithm; 9] = [
+    pub const ALL: [Algorithm; 10] = [
         Algorithm::Naive,
         Algorithm::Bnl,
         Algorithm::Sfs,
@@ -119,6 +129,7 @@ impl Algorithm {
         Algorithm::Bbs,
         Algorithm::Salsa,
         Algorithm::Bitmap,
+        Algorithm::Parallel,
     ];
 }
 

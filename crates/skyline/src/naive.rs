@@ -12,7 +12,10 @@ use skycube_types::{Dataset, DimMask, ObjId};
 /// # Panics
 /// Panics if `space` is empty.
 pub fn skyline_naive(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
     let n = ds.len() as ObjId;
     let mut out = Vec::new();
     'outer: for u in 0..n {

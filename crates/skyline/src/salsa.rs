@@ -23,7 +23,10 @@ pub fn skyline_salsa(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
 /// Like [`skyline_salsa`], also returning how many objects were scanned
 /// before the stop condition fired (= `ds.len()` when it never fired).
 pub fn skyline_salsa_counting(ds: &Dataset, space: DimMask) -> (Vec<ObjId>, usize) {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
     let mut order: Vec<ObjId> = ds.ids().collect();
     let key = |o: ObjId| -> (Value, i128) {
         let row = ds.row(o);

@@ -28,7 +28,10 @@ pub enum SortKey {
 /// # Panics
 /// Panics if `space` is empty.
 pub fn skyline_sfs_with(ds: &Dataset, space: DimMask, key: SortKey) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
     let mut order: Vec<ObjId> = ds.ids().collect();
     match key {
         SortKey::Sum => {

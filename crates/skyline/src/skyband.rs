@@ -20,7 +20,10 @@ use skycube_types::{Dataset, DimMask, ObjId, Value};
 /// # Panics
 /// Panics if `space` is empty or `k` is zero.
 pub fn k_skyband(ds: &Dataset, space: DimMask, k: usize) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyband of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyband of the empty subspace is undefined"
+    );
     assert!(k >= 1, "the 0-skyband is empty by definition; use k ≥ 1");
     // Presort by subspace sum: dominators of `o` always precede `o`, so a
     // single forward pass with counters suffices (an SFS-style skyband).
@@ -60,7 +63,10 @@ pub type Ranges = Vec<Option<(Value, Value)>>;
 /// # Panics
 /// Panics if `space` is empty or `ranges.len() != ds.dims()`.
 pub fn constrained_skyline(ds: &Dataset, space: DimMask, ranges: &Ranges) -> Vec<ObjId> {
-    assert!(!space.is_empty(), "skyline of the empty subspace is undefined");
+    assert!(
+        !space.is_empty(),
+        "skyline of the empty subspace is undefined"
+    );
     assert_eq!(ranges.len(), ds.dims(), "one range slot per dimension");
     let satisfies = |o: ObjId| -> bool {
         let row = ds.row(o);
@@ -90,9 +96,7 @@ mod tests {
     /// Brute-force skyband oracle.
     fn skyband_naive(ds: &Dataset, space: DimMask, k: usize) -> Vec<ObjId> {
         ds.ids()
-            .filter(|&u| {
-                ds.ids().filter(|&w| ds.dominates(w, u, space)).count() < k
-            })
+            .filter(|&u| ds.ids().filter(|&w| ds.dominates(w, u, space)).count() < k)
             .collect()
     }
 

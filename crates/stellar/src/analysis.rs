@@ -79,8 +79,7 @@ pub fn subspace_group_partition(
     space: DimMask,
 ) -> Vec<(Vec<skycube_types::Value>, Vec<skycube_types::ObjId>)> {
     use std::collections::HashMap;
-    let mut parts: HashMap<Vec<skycube_types::Value>, Vec<skycube_types::ObjId>> =
-        HashMap::new();
+    let mut parts: HashMap<Vec<skycube_types::Value>, Vec<skycube_types::ObjId>> = HashMap::new();
     for g in cube.groups_in(space) {
         let key = ds.projection(g.members[0], space);
         parts.entry(key).or_default().extend(&g.members);
@@ -101,7 +100,9 @@ pub fn subspace_group_partition(
 /// Figure 3: nodes are group signatures, edges the Hasse covers (larger
 /// groups below).
 pub fn lattice_to_dot(lattice: &GroupLattice, ds: &Dataset) -> String {
-    let mut out = String::from("digraph skyline_groups {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    let mut out = String::from(
+        "digraph skyline_groups {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n",
+    );
     for (i, g) in lattice.groups().iter().enumerate() {
         let label = g.signature(ds).replace('"', "'");
         let _ = writeln!(out, "  g{i} [label=\"{label}\"];");

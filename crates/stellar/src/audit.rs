@@ -43,7 +43,11 @@ pub struct AuditError {
 
 /// Audit `cube` against `ds`; empty result means the cube is exactly the
 /// compressed skyline cube of the dataset (up to the completeness gate).
-pub fn audit_cube(cube: &CompressedSkylineCube, ds: &Dataset, config: AuditConfig) -> Vec<AuditError> {
+pub fn audit_cube(
+    cube: &CompressedSkylineCube,
+    ds: &Dataset,
+    config: AuditConfig,
+) -> Vec<AuditError> {
     let mut errors = Vec::new();
     let mut err = |group: Option<usize>, message: String| {
         errors.push(AuditError { group, message });
@@ -74,7 +78,10 @@ pub fn audit_cube(cube: &CompressedSkylineCube, ds: &Dataset, config: AuditConfi
             let shares = ds.coincides(rep, o, g.subspace);
             let member = g.members.binary_search(&o).is_ok();
             if shares && !member {
-                err(Some(gi), format!("object {o} shares G_B but is not a member"));
+                err(
+                    Some(gi),
+                    format!("object {o} shares G_B but is not a member"),
+                );
             }
         }
         if g.members.len() > 1 {
@@ -91,13 +98,16 @@ pub fn audit_cube(cube: &CompressedSkylineCube, ds: &Dataset, config: AuditConfi
         }
         // Skyline-ness of the shared projection in B.
         if ds.ids().any(|o| ds.dominates(o, rep, g.subspace)) {
-            err(Some(gi), "shared projection is dominated in its subspace".into());
+            err(
+                Some(gi),
+                "shared projection is dominated in its subspace".into(),
+            );
         }
         // Decisive subspaces: conditions (1)–(3) of Definition 2.
         for &c in &g.decisive {
-            let exclusive = ds.ids().all(|o| {
-                g.members.binary_search(&o).is_ok() || !ds.coincides(rep, o, c)
-            });
+            let exclusive = ds
+                .ids()
+                .all(|o| g.members.binary_search(&o).is_ok() || !ds.coincides(rep, o, c));
             let undominated = ds.ids().all(|o| !ds.dominates(o, rep, c));
             if !exclusive {
                 err(Some(gi), format!("decisive {c} is not exclusive"));
@@ -106,12 +116,15 @@ pub fn audit_cube(cube: &CompressedSkylineCube, ds: &Dataset, config: AuditConfi
                 err(Some(gi), format!("G_C is dominated in decisive {c}"));
             }
             for sub in c.proper_subsets() {
-                let sub_exclusive = ds.ids().all(|o| {
-                    g.members.binary_search(&o).is_ok() || !ds.coincides(rep, o, sub)
-                });
+                let sub_exclusive = ds
+                    .ids()
+                    .all(|o| g.members.binary_search(&o).is_ok() || !ds.coincides(rep, o, sub));
                 let sub_undominated = ds.ids().all(|o| !ds.dominates(o, rep, sub));
                 if sub_exclusive && sub_undominated {
-                    err(Some(gi), format!("decisive {c} is not minimal ({sub} works)"));
+                    err(
+                        Some(gi),
+                        format!("decisive {c} is not minimal ({sub} works)"),
+                    );
                 }
             }
         }
@@ -178,10 +191,7 @@ mod tests {
         }
     }
 
-    fn tampered(
-        ds: &Dataset,
-        tamper: impl FnOnce(&mut Vec<SkylineGroup>),
-    ) -> Vec<AuditError> {
+    fn tampered(ds: &Dataset, tamper: impl FnOnce(&mut Vec<SkylineGroup>)) -> Vec<AuditError> {
         let cube = compute_cube(ds);
         let mut groups = cube.groups().to_vec();
         tamper(&mut groups);

@@ -9,6 +9,7 @@
 //! once, from the branch anchored at its smallest member.
 
 use crate::matrices::SeedView;
+use skycube_parallel::{par_map_indexed, Parallelism};
 use skycube_types::DimMask;
 
 /// A maximal coincident group of seeds: `members` (seed indexes, ascending)
@@ -37,14 +38,49 @@ pub fn maximal_cgroups(view: &SeedView<'_>) -> Vec<MaxCGroup> {
         members: Vec::new(),
     };
     for anchor in 0..n {
-        view.co_row(anchor, search.co_row);
-        let tail: Vec<usize> = (anchor + 1..n).collect();
-        search.members.clear();
-        search.members.push(anchor);
-        search.recurse(&tail, full);
+        anchor_search(view, anchor, full, &mut search);
     }
     debug_assert!(no_duplicates(&out), "duplicate maximal c-groups emitted");
     out
+}
+
+/// Parallel [`maximal_cgroups`]: the per-anchor searches are independent
+/// (each anchor's branch enumerates exactly the maximal c-groups whose
+/// smallest member is that anchor), so they fan out across threads and the
+/// per-anchor outputs are concatenated in anchor order — the identical
+/// `Vec`, element for element, as the sequential enumeration. With one
+/// thread this *is* the sequential enumeration.
+pub fn maximal_cgroups_par(view: &SeedView<'_>, par: Parallelism) -> Vec<MaxCGroup> {
+    if par.is_sequential() {
+        return maximal_cgroups(view);
+    }
+    let n = view.len();
+    let full = view.dataset().full_space();
+    let per_anchor: Vec<Vec<MaxCGroup>> = par_map_indexed(par, n, |anchor| {
+        let mut out = Vec::new();
+        let mut co_row: Vec<DimMask> = Vec::new();
+        let mut search = Search {
+            co_row: &mut co_row,
+            out: &mut out,
+            members: Vec::new(),
+        };
+        anchor_search(view, anchor, full, &mut search);
+        out
+    });
+    let out: Vec<MaxCGroup> = per_anchor.into_iter().flatten().collect();
+    debug_assert!(no_duplicates(&out), "duplicate maximal c-groups emitted");
+    out
+}
+
+/// Run the set-enumeration search of one top-level anchor, appending every
+/// maximal c-group anchored at it (smallest member = `anchor`) to
+/// `search.out`.
+fn anchor_search(view: &SeedView<'_>, anchor: usize, full: DimMask, search: &mut Search<'_>) {
+    view.co_row(anchor, search.co_row);
+    let tail: Vec<usize> = (anchor + 1..view.len()).collect();
+    search.members.clear();
+    search.members.push(anchor);
+    search.recurse(&tail, full);
 }
 
 struct Search<'s> {
@@ -144,7 +180,10 @@ pub fn maximal_cgroups_bruteforce(view: &SeedView<'_>) -> Vec<MaxCGroup> {
                 shared = full;
             }
             if shared == space {
-                out.push(MaxCGroup { members, subspace: space });
+                out.push(MaxCGroup {
+                    members,
+                    subspace: space,
+                });
             }
         }
     }
@@ -170,9 +209,9 @@ mod tests {
         // Expected (Example 4): singletons in ABCD, P2P5 in AD, P2P4 in C,
         // P4P5 in B.
         let expect = vec![
-            ("B", vec![1, 2]),      // P4 P5
-            ("C", vec![0, 1]),      // P2 P4
-            ("AD", vec![0, 2]),     // P2 P5
+            ("B", vec![1, 2]),  // P4 P5
+            ("C", vec![0, 1]),  // P2 P4
+            ("AD", vec![0, 2]), // P2 P5
             ("ABCD", vec![0]),
             ("ABCD", vec![1]),
             ("ABCD", vec![2]),
@@ -253,6 +292,33 @@ mod tests {
                 maximal_cgroups_bruteforce(&view),
                 "trial {trial}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_enumeration_is_vec_identical() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(123);
+        for trial in 0..10 {
+            let dims = rng.gen_range(2..=5);
+            let mut rows: Vec<Vec<i64>> = Vec::new();
+            while rows.len() < 14 {
+                let row: Vec<i64> = (0..dims).map(|_| rng.gen_range(0..3)).collect();
+                if !rows.contains(&row) {
+                    rows.push(row);
+                }
+                if rows.len() >= 3usize.pow(dims as u32) {
+                    break;
+                }
+            }
+            let ds = Dataset::from_rows(dims, rows).unwrap();
+            let view = SeedView::new(&ds, ds.ids().collect());
+            let seq = maximal_cgroups(&view);
+            for threads in [1, 2, 4] {
+                let par = maximal_cgroups_par(&view, skycube_parallel::Parallelism::new(threads));
+                assert_eq!(par, seq, "trial {trial} threads {threads}");
+            }
         }
     }
 

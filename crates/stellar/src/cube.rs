@@ -91,19 +91,34 @@ impl CompressedSkylineCube {
     /// ids).
     ///
     /// # Panics
-    /// Panics if `space` is empty or not a subspace of the full space.
+    /// Panics if `space` is empty or not a subspace of the full space —
+    /// see [`CompressedSkylineCube::try_subspace_skyline`] for the
+    /// error-returning variant.
     pub fn subspace_skyline(&self, space: DimMask) -> Vec<ObjId> {
-        assert!(
-            !space.is_empty() && space.is_subset_of(self.full_space()),
-            "invalid subspace {space}"
-        );
+        self.try_subspace_skyline(space)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The complete skyline of `space`, or a diagnostic when `space` is
+    /// empty or mentions dimensions beyond the cube's full space.
+    pub fn try_subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        if space.is_empty() {
+            return Err("invalid subspace: the empty subspace has no skyline".to_owned());
+        }
+        if !space.is_subset_of(self.full_space()) {
+            return Err(format!(
+                "invalid subspace {space}: not a subspace of the {}-dimensional full space {}",
+                self.dims,
+                self.full_space()
+            ));
+        }
         let mut out: Vec<ObjId> = self
             .groups_in(space)
             .flat_map(|g| g.members.iter().copied())
             .collect();
         out.sort_unstable();
         out.dedup();
-        out
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -324,6 +339,20 @@ mod tests {
         // in groups BD-interval and D-interval; D ⊆ AD ⊆ … maximal D ⊉ AD,
         // BCD ⊉ AD. So {P2, P5}.
         assert_eq!(cube.subspace_skyline(mask("AD")), vec![1, 4]);
+    }
+
+    #[test]
+    fn invalid_subspace_queries_return_errors() {
+        let cube = figure_3b_cube();
+        let err = cube.try_subspace_skyline(DimMask::EMPTY).unwrap_err();
+        assert!(err.contains("empty subspace"), "{err}");
+        // A mask naming dimension E of a 4-d cube.
+        let err = cube.try_subspace_skyline(DimMask::single(4)).unwrap_err();
+        assert!(err.contains("not a subspace"), "{err}");
+        assert_eq!(
+            cube.try_subspace_skyline(mask("B")).unwrap(),
+            cube.subspace_skyline(mask("B"))
+        );
     }
 
     #[test]

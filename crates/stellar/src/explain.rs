@@ -213,11 +213,13 @@ mod tests {
         let cube = compute_cube(&ds);
         for o in ds.ids() {
             for space in ds.full_space().subsets() {
-                let is_member = matches!(
-                    explain(&cube, &ds, o, space),
-                    Explanation::Member { .. }
+                let is_member = matches!(explain(&cube, &ds, o, space), Explanation::Member { .. });
+                assert_eq!(
+                    is_member,
+                    cube.is_skyline_in(o, space),
+                    "P{} in {space}",
+                    o + 1
                 );
-                assert_eq!(is_member, cube.is_skyline_in(o, space), "P{} in {space}", o + 1);
             }
         }
     }

@@ -17,6 +17,7 @@
 use crate::matrices::SeedView;
 use crate::seeds::SeedGroup;
 use crate::transversal::{minimize_antichain, ClauseSet};
+use skycube_parallel::{par_map_indexed, Parallelism};
 use skycube_types::{DimMask, ObjId, SkylineGroup, Value};
 use std::collections::HashMap;
 
@@ -53,6 +54,45 @@ pub fn extend_to_full(
         extend_one(view, sg, &non_seeds, index.as_ref(), &mut scratch, &mut out);
     }
     out
+}
+
+/// Parallel [`extend_to_full`]: the per-seed-group accommodation steps are
+/// independent (each reads the shared view/index and writes only its own
+/// derived groups), so they fan out across threads — each worker with its
+/// own scratch buffers — and the per-group outputs are concatenated in
+/// seed-group order, yielding the identical `Vec` as the sequential loop.
+/// With one thread this *is* the sequential loop.
+pub fn extend_to_full_par(
+    view: &SeedView<'_>,
+    seed_groups: &[SeedGroup],
+    strategy: RelevanceStrategy,
+    par: Parallelism,
+) -> Vec<SkylineGroup> {
+    if par.is_sequential() {
+        return extend_to_full(view, seed_groups, strategy);
+    }
+    let ds = view.dataset();
+    let non_seeds = non_seed_ids(view);
+    let index = match strategy {
+        RelevanceStrategy::Index => Some(NonSeedIndex::build(ds, &non_seeds)),
+        RelevanceStrategy::Scan => None,
+    };
+    par_map_indexed(par, seed_groups.len(), |i| {
+        let mut out = Vec::new();
+        let mut scratch = Scratch::default();
+        extend_one(
+            view,
+            &seed_groups[i],
+            &non_seeds,
+            index.as_ref(),
+            &mut scratch,
+            &mut out,
+        );
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Ids not in the full-space skyline, ascending.
@@ -169,7 +209,11 @@ fn extend_one(
 
     // 2. Fast path: untouched seed group.
     if s.relevant.is_empty() {
-        out.push(SkylineGroup::new(seed_ids, sg.subspace, sg.decisive.clone()));
+        out.push(SkylineGroup::new(
+            seed_ids,
+            sg.subspace,
+            sg.decisive.clone(),
+        ));
         return;
     }
 
@@ -329,6 +373,24 @@ mod tests {
                 full_lattice(&ds, RelevanceStrategy::Scan),
                 "trial {trial}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_extension_is_vec_identical() {
+        let ds = running_example();
+        let seeds = skycube_skyline::skyline(&ds, ds.full_space());
+        let view = SeedView::new(&ds, seeds);
+        let sgs = seed_skyline_groups(&view);
+        for strategy in [RelevanceStrategy::Index, RelevanceStrategy::Scan] {
+            let seq = extend_to_full(&view, &sgs, strategy);
+            for threads in [1, 2, 4] {
+                assert_eq!(
+                    extend_to_full_par(&view, &sgs, strategy, Parallelism::new(threads)),
+                    seq,
+                    "strategy {strategy:?} threads {threads}"
+                );
+            }
         }
     }
 

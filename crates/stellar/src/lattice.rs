@@ -45,9 +45,7 @@ impl GroupLattice {
         let mut children: Vec<Vec<usize>> = vec![Vec::new(); k];
         for i in 0..k {
             for &j in &below[i] {
-                let direct = !below[i]
-                    .iter()
-                    .any(|&m| m != j && below[m].contains(&j));
+                let direct = !below[i].iter().any(|&m| m != j && below[m].contains(&j));
                 if direct {
                     parents[i].push(j);
                     children[j].push(i);
@@ -91,7 +89,9 @@ impl GroupLattice {
             for j in 0..k {
                 if i != j
                     && is_subset(&self.groups[i].members, &self.groups[j].members)
-                    && !self.groups[i].subspace.is_superset_of(self.groups[j].subspace)
+                    && !self.groups[i]
+                        .subspace
+                        .is_superset_of(self.groups[j].subspace)
                 {
                     return false;
                 }
@@ -176,8 +176,10 @@ mod tests {
 
         // Singletons are the roots.
         let roots = lat.roots();
-        let root_sizes: Vec<usize> =
-            roots.iter().map(|&i| lat.groups()[i].members.len()).collect();
+        let root_sizes: Vec<usize> = roots
+            .iter()
+            .map(|&i| lat.groups()[i].members.len())
+            .collect();
         assert_eq!(root_sizes, vec![1, 1, 1]);
 
         // (P2P5, AD) covers (P2) and (P5); (P2P3P5, D) covers (P2P5) and
@@ -227,10 +229,7 @@ mod tests {
             for (j, gj) in cube.groups().iter().enumerate() {
                 if is_subset(&gi.members, &gj.members) {
                     assert!(
-                        is_subset(
-                            &seed_lattice[map[i]].members,
-                            &seed_lattice[map[j]].members
-                        ),
+                        is_subset(&seed_lattice[map[i]].members, &seed_lattice[map[j]].members),
                         "order broken between {gi:?} and {gj:?}"
                     );
                 }

@@ -43,18 +43,20 @@ mod transversal;
 
 pub use analysis::{lattice_to_dot, subspace_group_partition, subspace_report, CompressionStats};
 pub use audit::{audit_cube, AuditConfig, AuditError};
+pub use cgroups::maximal_cgroups_par;
 pub use cgroups::{maximal_cgroups, MaxCGroup};
 pub use cube::CompressedSkylineCube;
 pub use explain::{explain, explain_text, Explanation};
-pub use extend::{extend_to_full, RelevanceStrategy};
+pub use extend::{extend_to_full, extend_to_full_par, RelevanceStrategy};
 pub use lattice::{quotient_map, GroupLattice};
 pub use maintenance::StellarEngine;
 pub use matrices::SeedView;
 pub use persist::{load_cube, read_cube, save_cube, write_cube};
-pub use seeds::{seed_skyline_groups, SeedGroup};
+pub use seeds::{seed_skyline_groups, seed_skyline_groups_par, SeedGroup};
+pub use skycube_parallel::Parallelism;
 pub use transversal::{minimize_antichain, ClauseSet};
 
-use skycube_skyline::Algorithm;
+use skycube_skyline::{skyline_parallel, Algorithm};
 use skycube_types::{Dataset, ObjId, SkylineGroup};
 
 /// Configurable Stellar runner.
@@ -74,15 +76,22 @@ use skycube_types::{Dataset, ObjId, SkylineGroup};
 pub struct Stellar {
     algorithm: Algorithm,
     strategy: RelevanceStrategy,
+    parallelism: Parallelism,
 }
 
 impl Stellar {
-    /// Runner with default configuration (SFS skyline, indexed relevance).
+    /// Runner with default configuration (SFS skyline, indexed relevance,
+    /// one worker per logical core — a single-core machine, or
+    /// [`Stellar::with_threads`]`(1)`, selects today's exact sequential
+    /// path).
     pub fn new() -> Self {
         Stellar::default()
     }
 
-    /// Choose the full-space skyline algorithm (step 1).
+    /// Choose the full-space skyline algorithm (step 1). Only honored on
+    /// the sequential path: with more than one thread configured, seeds
+    /// come from the partitioned parallel skyline instead — the output
+    /// set is identical either way.
     pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
         self
@@ -91,6 +100,21 @@ impl Stellar {
     /// Choose how relevant non-seeds are located (step 5).
     pub fn with_strategy(mut self, strategy: RelevanceStrategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Set the worker-thread count for every pipeline stage; `1` selects
+    /// the exact sequential path.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn with_threads(self, threads: usize) -> Self {
+        self.with_parallelism(Parallelism::new(threads))
+    }
+
+    /// Set the [`Parallelism`] configuration for every pipeline stage.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
         self
     }
 
@@ -104,6 +128,11 @@ impl Stellar {
         self.strategy
     }
 
+    /// The configured parallelism.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
     /// Compute the compressed skyline cube of `ds`.
     pub fn compute(&self, ds: &Dataset) -> CompressedSkylineCube {
         if ds.is_empty() {
@@ -112,10 +141,15 @@ impl Stellar {
         // The paper's preamble: objects identical on every dimension are
         // bound together and always appear together in groups.
         let (bound, reps) = ds.bind_duplicates();
-        let seeds_bound = self.algorithm.run(&bound, bound.full_space());
+        let par = self.parallelism;
+        let seeds_bound = if par.is_sequential() {
+            self.algorithm.run(&bound, bound.full_space())
+        } else {
+            skyline_parallel(&bound, bound.full_space(), par)
+        };
         let view = SeedView::new(&bound, seeds_bound);
-        let seed_groups = seed_skyline_groups(&view);
-        let groups_bound = extend_to_full(&view, &seed_groups, self.strategy);
+        let seed_groups = seed_skyline_groups_par(&view, par);
+        let groups_bound = extend_to_full_par(&view, &seed_groups, self.strategy, par);
 
         // Re-expand bound duplicates into the original id space.
         let expand = |ids: &[ObjId]| -> Vec<ObjId> {
@@ -154,8 +188,7 @@ mod tests {
         cube.validate_against(&ds).unwrap();
 
         // Signatures of Figure 3(b), as rendered by the library.
-        let mut sigs: Vec<String> =
-            cube.groups().iter().map(|g| g.signature(&ds)).collect();
+        let mut sigs: Vec<String> = cube.groups().iter().map(|g| g.signature(&ds)).collect();
         sigs.sort();
         assert_eq!(
             sigs,
@@ -192,6 +225,17 @@ mod tests {
         for alg in Algorithm::ALL {
             let cube = Stellar::new().with_algorithm(alg).compute(&ds);
             assert_eq!(normalize_groups(cube.groups().to_vec()), base);
+        }
+    }
+
+    #[test]
+    fn parallel_cube_is_identical_to_sequential() {
+        let ds = running_example();
+        let seq = Stellar::new().with_threads(1).compute(&ds);
+        for threads in [2, 4] {
+            let par = Stellar::new().with_threads(threads).compute(&ds);
+            assert_eq!(par.seeds(), seq.seeds(), "threads {threads}");
+            assert_eq!(par.groups(), seq.groups(), "threads {threads}");
         }
     }
 

@@ -133,8 +133,8 @@ impl StellarEngine {
             // Rebuild the duplicate binding over the surviving rows (O(n)),
             // keep the seed lattice, redo step 5.
             let cached = self.cached.as_mut().expect("cached_available checked");
-            let ds = Dataset::from_rows(self.dims, self.rows.clone())
-                .expect("rows stay well formed");
+            let ds =
+                Dataset::from_rows(self.dims, self.rows.clone()).expect("rows stay well formed");
             let (bound, reps) = ds.bind_duplicates();
             // Seed ids above the removed one shift down by one; seed rows
             // are untouched, so the cached seed *groups* (which index into
@@ -145,7 +145,11 @@ impl StellarEngine {
                 .iter()
                 .map(|&s| {
                     let old_orig = cached.reps[s as usize][0];
-                    let new_orig = if old_orig > id { old_orig - 1 } else { old_orig };
+                    let new_orig = if old_orig > id {
+                        old_orig - 1
+                    } else {
+                        old_orig
+                    };
                     (0..bound.len() as u32)
                         .find(|&b| {
                             bound.row(b) == {
@@ -160,8 +164,7 @@ impl StellarEngine {
             cached.reps = reps;
             cached.seeds_bound = seeds_bound;
             let view = SeedView::new(&cached.bound, cached.seeds_bound.clone());
-            let groups_bound =
-                extend_to_full(&view, &cached.seed_groups, self.runner.strategy());
+            let groups_bound = extend_to_full(&view, &cached.seed_groups, self.runner.strategy());
             self.cube = assemble(
                 self.dims,
                 self.rows.len(),
@@ -229,23 +232,22 @@ impl StellarEngine {
 
         // Maintain the bound dataset: either the row duplicates an existing
         // bound tuple or becomes a fresh bound object.
-        let existing = (0..cached.bound.len() as u32)
-            .find(|&b| cached.bound.row(b) == new_row.as_slice());
+        let existing =
+            (0..cached.bound.len() as u32).find(|&b| cached.bound.row(b) == new_row.as_slice());
         match existing {
             Some(b) => cached.reps[b as usize].push(new_id),
             None => {
-                let mut rows: Vec<Vec<Value>> =
-                    (0..cached.bound.len() as u32).map(|b| cached.bound.row(b).to_vec()).collect();
+                let mut rows: Vec<Vec<Value>> = (0..cached.bound.len() as u32)
+                    .map(|b| cached.bound.row(b).to_vec())
+                    .collect();
                 rows.push(new_row.clone());
-                cached.bound =
-                    Dataset::from_rows(self.dims, rows).expect("rows stay well formed");
+                cached.bound = Dataset::from_rows(self.dims, rows).expect("rows stay well formed");
                 cached.reps.push(vec![new_id]);
             }
         }
 
         let view = SeedView::new(&cached.bound, cached.seeds_bound.clone());
-        let groups_bound =
-            extend_to_full(&view, &cached.seed_groups, self.runner.strategy());
+        let groups_bound = extend_to_full(&view, &cached.seed_groups, self.runner.strategy());
         self.cube = assemble(
             self.dims,
             self.rows.len(),
@@ -312,7 +314,9 @@ mod tests {
         engine.insert(vec![7, 4, 12, 3]).unwrap();
         assert_eq!(engine.maintenance_stats(), (1, 0));
         assert_cubes_equal(&engine);
-        assert!(engine.cube().is_skyline_in(5, skycube_types::DimMask::parse("B").unwrap()));
+        assert!(engine
+            .cube()
+            .is_skyline_in(5, skycube_types::DimMask::parse("B").unwrap()));
     }
 
     #[test]

@@ -24,7 +24,10 @@ pub struct SeedView<'a> {
 impl<'a> SeedView<'a> {
     /// Wrap a dataset and its full-space skyline (ascending ids).
     pub fn new(ds: &'a Dataset, seeds: Vec<ObjId>) -> Self {
-        debug_assert!(seeds.windows(2).all(|w| w[0] < w[1]), "seeds must be sorted");
+        debug_assert!(
+            seeds.windows(2).all(|w| w[0] < w[1]),
+            "seeds must be sorted"
+        );
         SeedView { ds, seeds }
     }
 

@@ -183,9 +183,7 @@ mod tests {
         assert!(read_cube("".as_bytes()).is_err());
         assert!(read_cube("#wrong\n".as_bytes()).is_err());
         assert!(read_cube("#skycube v1 dims=0 objects=5\n#seeds\n".as_bytes()).is_err());
-        assert!(
-            read_cube("#skycube v1 dims=4 objects=5\n#seeds x\n".as_bytes()).is_err()
-        );
+        assert!(read_cube("#skycube v1 dims=4 objects=5\n#seeds x\n".as_bytes()).is_err());
         let bad_group = "#skycube v1 dims=4 objects=5\n#seeds 1\ngroup ZZ9 A 1\n";
         assert!(read_cube(bad_group.as_bytes()).is_err());
         let no_members = "#skycube v1 dims=4 objects=5\n#seeds 1\ngroup AD A\n";

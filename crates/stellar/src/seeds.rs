@@ -5,9 +5,10 @@
 //! set contains an empty clause is dominated-or-tied somewhere in every
 //! candidate subspace and is dropped — it is not a skyline group.
 
-use crate::cgroups::{maximal_cgroups, MaxCGroup};
+use crate::cgroups::{maximal_cgroups, maximal_cgroups_par, MaxCGroup};
 use crate::matrices::SeedView;
 use crate::transversal::ClauseSet;
+use skycube_parallel::{par_map_indexed, Parallelism};
 use skycube_types::DimMask;
 
 /// A seed skyline group: members are indexes into the seed array, `subspace`
@@ -47,6 +48,49 @@ pub fn seed_skyline_groups(view: &SeedView<'_>) -> Vec<SeedGroup> {
         }
     }
     out
+}
+
+/// Parallel [`seed_skyline_groups`]: the c-groups are enumerated in
+/// parallel ([`maximal_cgroups_par`]), then partitioned into runs sharing
+/// an anchor (the enumeration emits them grouped by smallest member) and
+/// each run's clause generation fans out across threads with its own
+/// dominance-row cache. Per-run outputs are concatenated in anchor order,
+/// so the result is the identical `Vec` as the sequential pipeline. With
+/// one thread this *is* the sequential pipeline.
+pub fn seed_skyline_groups_par(view: &SeedView<'_>, par: Parallelism) -> Vec<SeedGroup> {
+    if par.is_sequential() {
+        return seed_skyline_groups(view);
+    }
+    let cgroups = maximal_cgroups_par(view, par);
+    // Run boundaries: maximal runs of equal anchor (= members[0]).
+    let mut runs: Vec<std::ops::Range<usize>> = Vec::new();
+    let mut start = 0;
+    for i in 1..=cgroups.len() {
+        if i == cgroups.len() || cgroups[i].members[0] != cgroups[start].members[0] {
+            runs.push(start..i);
+            start = i;
+        }
+    }
+    par_map_indexed(par, runs.len(), |r| {
+        let run = &cgroups[runs[r].clone()];
+        let mut out = Vec::with_capacity(run.len());
+        let mut member_flags = vec![false; view.len()];
+        let mut dom_row: Vec<DimMask> = Vec::new();
+        view.dom_row(run[0].members[0], &mut dom_row);
+        for cg in run {
+            if let Some(decisive) = decisive_subspaces(cg, &dom_row, &mut member_flags) {
+                out.push(SeedGroup {
+                    members: cg.members.clone(),
+                    subspace: cg.subspace,
+                    decisive,
+                });
+            }
+        }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Corollary 1 for one maximal c-group: one clause `B ∩ dom(rep, w)` per
@@ -145,13 +189,26 @@ mod tests {
     }
 
     #[test]
+    fn parallel_seed_groups_are_vec_identical() {
+        let ds = running_example();
+        let view = SeedView::new(&ds, vec![1, 3, 4]);
+        let seq = seed_skyline_groups(&view);
+        for threads in [1, 2, 4] {
+            assert_eq!(
+                seed_skyline_groups_par(&view, Parallelism::new(threads)),
+                seq,
+                "threads {threads}"
+            );
+        }
+    }
+
+    #[test]
     fn dominated_pair_group_is_dropped() {
         // Seeds u=(0,5,1), v=(5,0,1), w=(1,1,0): the pair group {u,v} shares
         // C with value 1, but w's C value 0 dominates it in C — clause
         // C ∩ dom(u,w) = C ∩ ∅ … w has smaller C, so dom(u,w) over C is
         // empty → the c-group (uv, C) must be dropped.
-        let ds = Dataset::from_rows(3, vec![vec![0, 5, 1], vec![5, 0, 1], vec![1, 1, 0]])
-            .unwrap();
+        let ds = Dataset::from_rows(3, vec![vec![0, 5, 1], vec![5, 0, 1], vec![1, 1, 0]]).unwrap();
         let view = SeedView::new(&ds, vec![0, 1, 2]);
         let groups = seed_skyline_groups(&view);
         assert!(groups.iter().all(|g| g.members != vec![0, 1]));

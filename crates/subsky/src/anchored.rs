@@ -44,7 +44,10 @@ impl<'a> AnchoredSubskyIndex<'a> {
         let m = anchors.max(1);
         let dims = ds.dims();
         if ds.is_empty() {
-            return AnchoredSubskyIndex { ds, lists: Vec::new() };
+            return AnchoredSubskyIndex {
+                ds,
+                lists: Vec::new(),
+            };
         }
 
         // Band the objects by coordinate sum, one anchor per band: the
@@ -67,7 +70,10 @@ impl<'a> AnchoredSubskyIndex<'a> {
         // Assign each object to the anchor minimizing its key.
         let key = |anchor: &[Value], o: ObjId| -> Value {
             let row = ds.row(o);
-            (0..dims).map(|d| anchor[d] - row[d]).max().expect("dims ≥ 1")
+            (0..dims)
+                .map(|d| anchor[d] - row[d])
+                .max()
+                .expect("dims ≥ 1")
         };
         let mut assigned: Vec<Vec<(Value, ObjId)>> = vec![Vec::new(); corners.len()];
         for o in ds.ids() {

@@ -48,9 +48,8 @@ pub struct SubskyIndex<'a> {
 impl<'a> SubskyIndex<'a> {
     /// Build the index: one sort, O(n log n).
     pub fn build(ds: &'a Dataset) -> Self {
-        let min_coord = |o: ObjId| -> Value {
-            ds.row(o).iter().copied().min().unwrap_or(Value::MAX)
-        };
+        let min_coord =
+            |o: ObjId| -> Value { ds.row(o).iter().copied().min().unwrap_or(Value::MAX) };
         let mut order: Vec<ObjId> = ds.ids().collect();
         order.sort_unstable_by_key(|&o| min_coord(o));
         let keys = order.iter().map(|&o| min_coord(o)).collect();
@@ -107,11 +106,7 @@ impl<'a> SubskyIndex<'a> {
             }
             window.push(u);
             let row = ds.row(u);
-            let max_c = space
-                .iter()
-                .map(|d| row[d])
-                .max()
-                .expect("non-empty space");
+            let max_c = space.iter().map(|d| row[d]).max().expect("non-empty space");
             bound = Some(match bound {
                 None => max_c,
                 Some(b) => b.min(max_c),

@@ -463,11 +463,8 @@ mod tests {
 
     #[test]
     fn compare_covers_all_relations() {
-        let ds = Dataset::from_rows(
-            2,
-            vec![vec![1, 1], vec![2, 2], vec![1, 1], vec![0, 3]],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(2, vec![vec![1, 1], vec![2, 2], vec![1, 1], vec![0, 3]]).unwrap();
         let full = DimMask::full(2);
         assert_eq!(ds.compare(0, 1, full), DomRelation::Dominates);
         assert_eq!(ds.compare(1, 0, full), DomRelation::DominatedBy);
@@ -479,10 +476,7 @@ mod tests {
     fn compare_respects_subspace() {
         let ds = running_example();
         // In subspace X=A: P2 (2) vs P1 (5).
-        assert_eq!(
-            ds.compare(1, 0, DimMask::single(0)),
-            DomRelation::Dominates
-        );
+        assert_eq!(ds.compare(1, 0, DimMask::single(0)), DomRelation::Dominates);
         // In B, P2 and P1 are equal (6 = 6).
         assert_eq!(ds.compare(1, 0, DimMask::single(1)), DomRelation::Equal);
     }
@@ -545,11 +539,8 @@ mod tests {
 
     #[test]
     fn bind_duplicates_collapses_identical_tuples() {
-        let ds = Dataset::from_rows(
-            2,
-            vec![vec![1, 2], vec![3, 4], vec![1, 2], vec![1, 2]],
-        )
-        .unwrap();
+        let ds =
+            Dataset::from_rows(2, vec![vec![1, 2], vec![3, 4], vec![1, 2], vec![1, 2]]).unwrap();
         let (bound, reps) = ds.bind_duplicates();
         assert_eq!(bound.len(), 2);
         assert_eq!(bound.row(0), &[1, 2]);

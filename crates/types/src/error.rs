@@ -43,10 +43,7 @@ impl fmt::Display for Error {
                 row,
                 expected,
                 actual,
-            } => write!(
-                f,
-                "row {row} has {actual} values, expected {expected}"
-            ),
+            } => write!(f, "row {row} has {actual} values, expected {expected}"),
             Error::Parse { line, token } => {
                 write!(f, "line {line}: cannot parse value {token:?}")
             }

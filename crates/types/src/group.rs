@@ -47,7 +47,10 @@ impl SkylineGroup {
     /// The shared projection `G_B` as `(dim, value)` pairs, ascending dims.
     pub fn shared_projection(&self, ds: &Dataset) -> Vec<(usize, Value)> {
         let rep = self.members[0];
-        self.subspace.iter().map(|d| (d, ds.value(rep, d))).collect()
+        self.subspace
+            .iter()
+            .map(|d| (d, ds.value(rep, d)))
+            .collect()
     }
 
     /// The paper's signature `⟨G_B, C_1, …, C_k⟩`, rendered like
@@ -83,8 +86,7 @@ impl SkylineGroup {
     /// decisive subspace `C ⊆ A ⊆ B` exists. By the paper's Section 2, every
     /// member of the group is then a skyline object in `A`.
     pub fn covers_subspace(&self, space: DimMask) -> bool {
-        space.is_subset_of(self.subspace)
-            && self.decisive.iter().any(|c| c.is_subset_of(space))
+        space.is_subset_of(self.subspace) && self.decisive.iter().any(|c| c.is_subset_of(space))
     }
 }
 

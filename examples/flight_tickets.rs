@@ -51,10 +51,7 @@ fn main() {
         println!("\nskyline{name}: {} routes", sky.len());
         for &r in sky.iter().take(5) {
             let row = ds.row(r);
-            println!(
-                "  route #{r}: ${} / {}h / {} stops",
-                row[0], row[1], row[2]
-            );
+            println!("  route #{r}: ${} / {}h / {} stops", row[0], row[1], row[2]);
         }
         if sky.len() > 5 {
             println!("  …");
@@ -70,9 +67,7 @@ fn main() {
         .expect("non-empty skyline");
     println!("\nWhy is route #{cheapest} interesting?");
     for (decisive, maximal) in cube.membership_intervals(cheapest) {
-        let dims = |m: DimMask| {
-            m.iter().map(|d| ATTRS[d]).collect::<Vec<_>>().join("+")
-        };
+        let dims = |m: DimMask| m.iter().map(|d| ATTRS[d]).collect::<Vec<_>>().join("+");
         for c in decisive {
             println!(
                 "  minimal winning combination {{{}}} (and every extension up to {{{}}})",

@@ -32,7 +32,11 @@ fn main() {
     let full = ds.full_space();
 
     let sky = skyline(&ds, full);
-    println!("{} hotels; {} on the 4-attribute skyline", ds.len(), sky.len());
+    println!(
+        "{} hotels; {} on the 4-attribute skyline",
+        ds.len(),
+        sky.len()
+    );
 
     // Too many? The k-dominant skyline tightens the criterion: a hotel
     // survives only if nothing beats it on every 3-subset of attributes.
@@ -44,7 +48,10 @@ fn main() {
     // Need backups? The 3-skyband adds hotels beaten by at most 2 others —
     // the exact candidate set for any top-3 ranking with monotone weights.
     let band = k_skyband(&ds, full, 3);
-    println!("3-skyband (top-3 candidates under any monotone scoring): {}", band.len());
+    println!(
+        "3-skyband (top-3 candidates under any monotone scoring): {}",
+        band.len()
+    );
 
     // Hard constraints: ≤ €260 a night, ≤ 500 m to the beach.
     let ranges: Ranges = vec![Some((0, 260)), Some((0, 500)), None, None];

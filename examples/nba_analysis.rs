@@ -46,9 +46,7 @@ fn main() {
         let row = raw.row(p);
         println!(
             "  player #{p}: skyline in {n} subspaces — {} seasons, {} games, {} pts",
-            row[0],
-            row[1],
-            row[16]
+            row[0], row[1], row[16]
         );
     }
 
@@ -57,7 +55,10 @@ fn main() {
         println!("\nDecisive statistic combinations of player #{star}:");
         for (decisive, maximal) in cube.membership_intervals(star).into_iter().take(4) {
             let names = |m: DimMask| {
-                m.iter().map(|d| NBA_COLUMNS[d]).collect::<Vec<_>>().join("+")
+                m.iter()
+                    .map(|d| NBA_COLUMNS[d])
+                    .collect::<Vec<_>>()
+                    .join("+")
             };
             for c in decisive.into_iter().take(3) {
                 println!("  {{{}}} ⊆ … ⊆ {{{}}}", names(c), names(maximal));

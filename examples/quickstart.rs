@@ -17,7 +17,10 @@ fn main() {
 
     println!(
         "Full-space skyline (seed objects): {:?}",
-        cube.seeds().iter().map(|&o| format!("P{}", o + 1)).collect::<Vec<_>>()
+        cube.seeds()
+            .iter()
+            .map(|&o| format!("P{}", o + 1))
+            .collect::<Vec<_>>()
     );
     println!("\nSkyline groups and signatures (Figure 3(b)):");
     let mut sigs: Vec<String> = cube.groups().iter().map(|g| g.signature(&ds)).collect();

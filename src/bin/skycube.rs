@@ -59,8 +59,9 @@ commands:
   generate --dist <correlated|independent|anti-correlated> --count N --dims D
            [--seed S] --out FILE.csv
   generate --nba [--count N] [--seed S] --out FILE.csv
-  build    --data FILE.csv --out CUBE.txt     materialize the cube (Stellar)
-  stats    --data FILE.csv                    counts: seeds, groups, skycube size
+  build    --data FILE.csv --out CUBE.txt [--threads N]
+                                              materialize the cube (Stellar)
+  stats    --data FILE.csv [--threads N]      counts: seeds, groups, skycube size
   skyline  --cube CUBE.txt --space LETTERS    subspace skyline query
   member   --cube CUBE.txt --object ID --space LETTERS
   top      --cube CUBE.txt --k N              most frequent skyline objects";
@@ -131,11 +132,26 @@ fn load_cube(opts: &Opts) -> Result<CompressedSkylineCube, String> {
     stellar::load_cube(req(opts, "cube")?).map_err(|e| e.to_string())
 }
 
+/// The Stellar runner for `--threads N` (default: one worker per core;
+/// `1` is the exact sequential path).
+fn runner(opts: &Opts) -> Result<Stellar, String> {
+    match opts.get("threads") {
+        None => Ok(Stellar::new()),
+        Some(t) => {
+            let threads: usize = num(t, "thread count")?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".to_owned());
+            }
+            Ok(Stellar::new().with_threads(threads))
+        }
+    }
+}
+
 fn cmd_build(opts: &Opts) -> Result<(), String> {
     let ds = load_data(opts)?;
     let out = req(opts, "out")?;
     let t = std::time::Instant::now();
-    let cube = compute_cube(&ds);
+    let cube = runner(opts)?.compute(&ds);
     stellar::save_cube(&cube, out).map_err(|e| e.to_string())?;
     println!(
         "built cube in {:.2?}: {} groups over {} objects → {out}",
@@ -148,7 +164,7 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
 
 fn cmd_stats(opts: &Opts) -> Result<(), String> {
     let ds = load_data(opts)?;
-    let cube = compute_cube(&ds);
+    let cube = runner(opts)?.compute(&ds);
     println!("objects:                  {}", cube.num_objects());
     println!("dimensions:               {}", cube.dims());
     println!("full-space skyline:       {}", cube.seeds().len());
@@ -172,7 +188,7 @@ fn parse_space(s: &str, dims: usize) -> Result<DimMask, String> {
 fn cmd_skyline(opts: &Opts) -> Result<(), String> {
     let cube = load_cube(opts)?;
     let space = parse_space(req(opts, "space")?, cube.dims())?;
-    let sky = cube.subspace_skyline(space);
+    let sky = cube.try_subspace_skyline(space)?;
     println!("skyline({space}) has {} objects:", sky.len());
     for o in sky {
         println!("  {o}");

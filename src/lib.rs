@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub use skycube_datagen as datagen;
+pub use skycube_parallel as parallel;
 pub use skycube_skyey as skyey;
 pub use skycube_skyline as algorithms;
 pub use skycube_stellar as stellar;
@@ -47,14 +48,13 @@ pub use skycube_types as types;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use skycube_datagen::{generate, nba_table, nba_table_sized, Distribution};
+    pub use skycube_parallel::Parallelism;
     pub use skycube_skyey::{skyey_groups, SkyCube};
-    pub use skycube_skyline::{skyline, Algorithm};
+    pub use skycube_skyline::{skyline, skyline_parallel, Algorithm};
     pub use skycube_stellar::{
         compute_cube, CompressedSkylineCube, GroupLattice, RelevanceStrategy, Stellar,
         StellarEngine,
     };
     pub use skycube_subsky::{AnchoredSubskyIndex, SubskyIndex};
-    pub use skycube_types::{
-        running_example, Dataset, DimMask, ObjId, Order, SkylineGroup, Value,
-    };
+    pub use skycube_types::{running_example, Dataset, DimMask, ObjId, Order, SkylineGroup, Value};
 }

@@ -25,6 +25,10 @@ fn stdout(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
 #[test]
 fn generate_build_query_roundtrip() {
     let dir = tmpdir("roundtrip");
@@ -34,8 +38,17 @@ fn generate_build_query_roundtrip() {
     let cube_s = cube.to_str().unwrap();
 
     let out = run(&[
-        "generate", "--dist", "independent", "--count", "500", "--dims", "4", "--seed",
-        "9", "--out", data_s,
+        "generate",
+        "--dist",
+        "independent",
+        "--count",
+        "500",
+        "--dims",
+        "4",
+        "--seed",
+        "9",
+        "--out",
+        data_s,
     ]);
     assert!(out.status.success(), "{out:?}");
     assert!(stdout(&out).contains("500 objects × 4 dims"));
@@ -60,8 +73,7 @@ fn generate_build_query_roundtrip() {
 
     // CLI skyline answer must equal a direct computation on the CSV data.
     let ds = skycube::datagen::load_csv(&data).unwrap();
-    let direct =
-        skycube::algorithms::skyline(&ds, skycube::types::DimMask::parse("AB").unwrap());
+    let direct = skycube::algorithms::skyline(&ds, skycube::types::DimMask::parse("AB").unwrap());
     let text = stdout(&run(&["skyline", "--cube", cube_s, "--space", "AB"]));
     let listed: Vec<u32> = text
         .lines()
@@ -77,11 +89,32 @@ fn member_query_reports_intervals() {
     let data = dir.join("d.csv");
     let cube = dir.join("c.txt");
     run(&[
-        "generate", "--dist", "correlated", "--count", "200", "--dims", "3", "--out",
+        "generate",
+        "--dist",
+        "correlated",
+        "--count",
+        "200",
+        "--dims",
+        "3",
+        "--out",
         data.to_str().unwrap(),
     ]);
-    run(&["build", "--data", data.to_str().unwrap(), "--out", cube.to_str().unwrap()]);
-    let out = run(&["member", "--cube", cube.to_str().unwrap(), "--object", "0", "--space", "A"]);
+    run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        cube.to_str().unwrap(),
+    ]);
+    let out = run(&[
+        "member",
+        "--cube",
+        cube.to_str().unwrap(),
+        "--object",
+        "0",
+        "--space",
+        "A",
+    ]);
     assert!(out.status.success());
     let text = stdout(&out);
     assert!(text.contains("IS in") || text.contains("is NOT in"));
@@ -92,7 +125,12 @@ fn nba_generation() {
     let dir = tmpdir("nba");
     let data = dir.join("nba.csv");
     let out = run(&[
-        "generate", "--nba", "--count", "300", "--out", data.to_str().unwrap(),
+        "generate",
+        "--nba",
+        "--count",
+        "300",
+        "--out",
+        data.to_str().unwrap(),
     ]);
     assert!(out.status.success(), "{out:?}");
     let ds = skycube::datagen::load_csv(&data).unwrap();
@@ -114,12 +152,178 @@ fn errors_are_reported() {
     let data = dir.join("d.csv");
     let cube = dir.join("c.txt");
     run(&[
-        "generate", "--dist", "independent", "--count", "50", "--dims", "3", "--out",
+        "generate",
+        "--dist",
+        "independent",
+        "--count",
+        "50",
+        "--dims",
+        "3",
+        "--out",
         data.to_str().unwrap(),
     ]);
-    run(&["build", "--data", data.to_str().unwrap(), "--out", cube.to_str().unwrap()]);
+    run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        cube.to_str().unwrap(),
+    ]);
     let out = run(&["skyline", "--cube", cube.to_str().unwrap(), "--space", "Z"]);
     assert!(!out.status.success());
-    let out = run(&["member", "--cube", cube.to_str().unwrap(), "--object", "9999", "--space", "A"]);
+    let out = run(&[
+        "member",
+        "--cube",
+        cube.to_str().unwrap(),
+        "--object",
+        "9999",
+        "--space",
+        "A",
+    ]);
     assert!(!out.status.success());
+}
+
+#[test]
+fn out_of_range_space_letters_are_diagnosed() {
+    // Letters beyond the dataset's dimensionality must fail with a clear
+    // diagnostic, not a panic or a silent empty answer.
+    let dir = tmpdir("space_range");
+    let data = dir.join("d.csv");
+    let cube = dir.join("c.txt");
+    run(&[
+        "generate",
+        "--dist",
+        "independent",
+        "--count",
+        "50",
+        "--dims",
+        "3",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+    run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        cube.to_str().unwrap(),
+    ]);
+
+    // "ABCDE" parses as a mask but names dimensions D and E that a 3-d
+    // dataset does not have.
+    let out = run(&[
+        "skyline",
+        "--cube",
+        cube.to_str().unwrap(),
+        "--space",
+        "ABCDE",
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    let err = stderr(&out);
+    assert!(
+        err.contains("ABCDE"),
+        "diagnostic must name the bad subspace: {err}"
+    );
+    assert!(
+        err.contains("3-d"),
+        "diagnostic must name the dataset dims: {err}"
+    );
+
+    // Same rule for membership queries.
+    let out = run(&[
+        "member",
+        "--cube",
+        cube.to_str().unwrap(),
+        "--object",
+        "0",
+        "--space",
+        "D",
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    assert!(stderr(&out).contains('D'));
+
+    // A valid in-range space still works on the very same cube.
+    let out = run(&[
+        "skyline",
+        "--cube",
+        cube.to_str().unwrap(),
+        "--space",
+        "ABC",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+}
+
+#[test]
+fn threads_option_is_validated_and_honored() {
+    let dir = tmpdir("threads");
+    let data = dir.join("d.csv");
+    let cube1 = dir.join("c1.txt");
+    let cube4 = dir.join("c4.txt");
+    run(&[
+        "generate",
+        "--dist",
+        "anti-correlated",
+        "--count",
+        "300",
+        "--dims",
+        "4",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+
+    // --threads 0 is rejected with a diagnostic.
+    let out = run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        cube1.to_str().unwrap(),
+        "--threads",
+        "0",
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    assert!(stderr(&out).contains("--threads"));
+
+    // Non-numeric thread counts are rejected too.
+    let out = run(&[
+        "stats",
+        "--data",
+        data.to_str().unwrap(),
+        "--threads",
+        "lots",
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+
+    // Valid thread counts build identical cubes (sequential vs parallel).
+    let out = run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        cube1.to_str().unwrap(),
+        "--threads",
+        "1",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        cube4.to_str().unwrap(),
+        "--threads",
+        "4",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let c1 = std::fs::read_to_string(&cube1).unwrap();
+    let c4 = std::fs::read_to_string(&cube4).unwrap();
+    assert_eq!(
+        c1, c4,
+        "cube files must be byte-identical across thread counts"
+    );
+
+    // stats accepts --threads as well.
+    let out = run(&["stats", "--data", data.to_str().unwrap(), "--threads", "2"]);
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("skyline groups:"));
 }

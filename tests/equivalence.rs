@@ -14,10 +14,7 @@ fn assert_equivalent(ds: &Dataset, label: &str) {
         .unwrap_or_else(|e| panic!("{label}: invalid cube: {e}"));
     let stellar_groups = normalize_groups(cube.groups().to_vec());
     let skyey = normalize_groups(skyey_groups(ds));
-    assert_eq!(
-        stellar_groups, skyey,
-        "{label}: Stellar and Skyey disagree"
-    );
+    assert_eq!(stellar_groups, skyey, "{label}: Stellar and Skyey disagree");
     // Derived metrics must agree as well.
     assert_eq!(
         cube.skycube_size(),
@@ -121,7 +118,6 @@ fn adversarial_shapes() {
     let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![i, i, i]).collect();
     assert_equivalent(&Dataset::from_rows(3, rows).unwrap(), "chain");
     // Shared minimum in one dimension.
-    let ds = Dataset::from_rows(2, vec![vec![0, 5], vec![0, 3], vec![0, 9], vec![2, 0]])
-        .unwrap();
+    let ds = Dataset::from_rows(2, vec![vec![0, 5], vec![0, 3], vec![0, 9], vec![2, 0]]).unwrap();
     assert_equivalent(&ds, "shared minimum column");
 }

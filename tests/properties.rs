@@ -16,6 +16,19 @@ fn dataset(max_dims: usize, max_n: usize, domain: Value) -> impl Strategy<Value 
     })
 }
 
+/// Strategy: a dataset drawn from one of the paper's three synthetic
+/// distributions (correlated, independent, anti-correlated).
+fn paper_dataset() -> impl Strategy<Value = Dataset> {
+    (0u8..3, 1usize..=4, 4usize..=40, 0u64..1024).prop_map(|(d, dims, n, seed)| {
+        let dist = match d {
+            0 => Distribution::Correlated,
+            1 => Distribution::Independent,
+            _ => Distribution::AntiCorrelated,
+        };
+        generate(dist, n, dims, seed)
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
@@ -251,6 +264,57 @@ proptest! {
                 index.skyline(space),
                 skycube::algorithms::skyline_naive(&ds, space),
                 "anchors {} subspace {}", anchors, space
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_skyline_equals_sequential(ds in paper_dataset()) {
+        let full = ds.full_space();
+        let expect = skyline(&ds, full);
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(
+                skyline_parallel(&ds, full, Parallelism::new(threads)),
+                expect.clone(),
+                "threads {}", threads
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_stellar_cube_equals_sequential(ds in paper_dataset()) {
+        // The parallel Stellar pipeline is order-preserving, so seeds,
+        // groups, and decisive subspaces must be Vec-identical — not merely
+        // equal as sets — for every thread count.
+        let seq = Stellar::new().with_threads(1).compute(&ds);
+        for threads in [2usize, 4] {
+            let par = Stellar::new().with_threads(threads).compute(&ds);
+            prop_assert_eq!(par.seeds(), seq.seeds(), "threads {}", threads);
+            prop_assert_eq!(par.groups(), seq.groups(), "threads {}", threads);
+        }
+    }
+
+    #[test]
+    fn parallel_skyey_equals_sequential(ds in paper_dataset()) {
+        let seq_groups = skycube_types::normalize_groups(skyey_groups(&ds));
+        let seq_total = skycube::skyey::skycube_total_size(&ds);
+        let seq_by_k = skycube::skyey::skycube_sizes_by_dimensionality(&ds);
+        for threads in [1usize, 2, 4] {
+            let par = Parallelism::new(threads);
+            prop_assert_eq!(
+                skycube_types::normalize_groups(skycube::skyey::skyey_groups_par(&ds, par)),
+                seq_groups.clone(),
+                "threads {}", threads
+            );
+            prop_assert_eq!(
+                skycube::skyey::skycube_total_size_par(&ds, par),
+                seq_total,
+                "threads {}", threads
+            );
+            prop_assert_eq!(
+                skycube::skyey::skycube_sizes_by_dimensionality_par(&ds, par),
+                seq_by_k.clone(),
+                "threads {}", threads
             );
         }
     }

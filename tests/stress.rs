@@ -112,7 +112,13 @@ fn stress_all_skyline_algorithms_at_scale() {
             Algorithm::Bbs,
             Algorithm::Salsa,
         ] {
-            assert_eq!(alg.run(&ds, full), expect, "{} on {}", alg.name(), dist.name());
+            assert_eq!(
+                alg.run(&ds, full),
+                expect,
+                "{} on {}",
+                alg.name(),
+                dist.name()
+            );
         }
     }
 }

@@ -74,8 +74,14 @@ fn csv_and_cube_formats_roundtrip_at_scale() {
     stellar::save_cube(&cube, &cube_path).unwrap();
     let reloaded = stellar::load_cube(&cube_path).unwrap();
     assert_eq!(reloaded.num_groups(), cube.num_groups());
-    for space in [DimMask::parse("AC").unwrap(), DimMask::parse("BDE").unwrap()] {
-        assert_eq!(reloaded.subspace_skyline(space), cube.subspace_skyline(space));
+    for space in [
+        DimMask::parse("AC").unwrap(),
+        DimMask::parse("BDE").unwrap(),
+    ] {
+        assert_eq!(
+            reloaded.subspace_skyline(space),
+            cube.subspace_skyline(space)
+        );
     }
     std::fs::remove_file(data_path).ok();
     std::fs::remove_file(cube_path).ok();
@@ -94,7 +100,10 @@ fn engine_batch_stream_at_scale() {
     assert_eq!(engine.cube().seeds(), fresh.seeds());
     let (fast, full) = engine.maintenance_stats();
     assert_eq!(fast + full, 60);
-    assert!(fast > full, "most random inserts are dominated: {fast}/{full}");
+    assert!(
+        fast > full,
+        "most random inserts are dominated: {fast}/{full}"
+    );
 }
 
 #[test]
