@@ -13,6 +13,9 @@ echo '== tier-1: build + test (root package)'
 cargo build --release
 cargo test -q
 
+echo '== bench harness bins (kernel-ablation rot gate)'
+cargo build --release -p skycube-bench --bins
+
 if [ "${WORKSPACE:-0}" = "1" ]; then
     echo '== workspace tests'
     cargo test --workspace -q

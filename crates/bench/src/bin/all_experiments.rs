@@ -1,14 +1,18 @@
 //! Run the entire evaluation suite (Figures 8–12) and print an
-//! `EXPERIMENTS.md`-ready report.
-use skycube_bench::{figures, HarnessArgs};
+//! `EXPERIMENTS.md`-ready report. `--json PATH` additionally writes every
+//! measurement — including the kernel ablation — machine-readably.
+use skycube_bench::{figures, write_json_report, HarnessArgs};
 
 fn main() {
     let args = HarnessArgs::parse();
     println!("# Experimental report — Stellar vs Skyey (ICDE 2007 reproduction)\n");
-    figures::fig08(args);
-    figures::fig09(args);
-    figures::fig10(args);
-    figures::fig11(args);
-    figures::fig12(args);
-    figures::threads_ablation(args);
+    let mut records = Vec::new();
+    records.extend(figures::fig08(&args));
+    records.extend(figures::fig09(&args));
+    records.extend(figures::fig10(&args));
+    records.extend(figures::fig11(&args));
+    records.extend(figures::fig12(&args));
+    records.extend(figures::threads_ablation(&args));
+    records.extend(figures::kernels_ablation(&args));
+    write_json_report(&args, "all_experiments", &records);
 }

@@ -1,5 +1,6 @@
 //! Reproduce Figure 10 of the paper. See `--help` for options.
 fn main() {
     let args = skycube_bench::HarnessArgs::parse();
-    skycube_bench::figures::fig10(args);
+    let records = skycube_bench::figures::fig10(&args);
+    skycube_bench::write_json_report(&args, "fig10", &records);
 }

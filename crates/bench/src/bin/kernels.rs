@@ -1,0 +1,8 @@
+//! Scalar-vs-columnar dominance-kernel ablation on the acceptance
+//! workloads. See `--help` for options; `--json PATH` writes
+//! `BENCH_kernels.json`.
+fn main() {
+    let args = skycube_bench::HarnessArgs::parse();
+    let records = skycube_bench::figures::kernels_ablation(&args);
+    skycube_bench::write_json_report(&args, "kernels", &records);
+}

@@ -2,5 +2,6 @@
 //! Figures 11/12 at increasing worker-thread counts. See `--help`.
 fn main() {
     let args = skycube_bench::HarnessArgs::parse();
-    skycube_bench::figures::threads_ablation(args);
+    let records = skycube_bench::figures::threads_ablation(&args);
+    skycube_bench::write_json_report(&args, "threads", &records);
 }

@@ -3,7 +3,7 @@
 
 use crate::{
     count_metrics, count_metrics_skyey, header, row, run_skyey, run_stellar, secs, table_header,
-    HarnessArgs,
+    HarnessArgs, JsonRecord,
 };
 use skycube_datagen::{generate, nba_table_sized, Distribution, NBA_PLAYERS};
 use skycube_types::Dataset;
@@ -20,7 +20,7 @@ fn nba(full: bool) -> (Dataset, Vec<usize>) {
 
 /// Figure 8: Scalability w.r.t. dimensionality on the (synthetic) NBA data
 /// set — runtime of Skyey and Stellar using the first `d` dimensions.
-pub fn fig08(args: HarnessArgs) {
+pub fn fig08(args: &HarnessArgs) -> Vec<JsonRecord> {
     let (ds, dims) = nba(args.full);
     header(
         &format!(
@@ -29,6 +29,7 @@ pub fn fig08(args: HarnessArgs) {
         ),
         args.full,
     );
+    let mut records = Vec::new();
     table_header(&["d", "Skyey (s)", "Stellar (s)", "Skyey/Stellar"]);
     for &d in &dims {
         let slice = ds.prefix_dims(d).unwrap();
@@ -43,13 +44,23 @@ pub fn fig08(args: HarnessArgs) {
             secs(st.seconds),
             format!("{:.1}×", sk.seconds / st.seconds.max(1e-9)),
         ]);
+        records.push(
+            JsonRecord::new()
+                .str("figure", "fig08")
+                .int("n", ds.len() as i64)
+                .int("d", d as i64)
+                .num("skyey_seconds", sk.seconds)
+                .num("stellar_seconds", st.seconds)
+                .int("groups", st.groups as i64),
+        );
     }
     println!();
+    records
 }
 
 /// Figure 9: Numbers of skyline groups and subspace skyline objects in the
 /// NBA data set, by dimensionality.
-pub fn fig09(args: HarnessArgs) {
+pub fn fig09(args: &HarnessArgs) -> Vec<JsonRecord> {
     let (ds, dims) = nba(args.full);
     header(
         &format!(
@@ -58,6 +69,7 @@ pub fn fig09(args: HarnessArgs) {
         ),
         args.full,
     );
+    let mut records = Vec::new();
     table_header(&["d", "skyline groups", "subspace skyline objects"]);
     for &d in &dims {
         let slice = ds.prefix_dims(d).unwrap();
@@ -66,8 +78,17 @@ pub fn fig09(args: HarnessArgs) {
             assert_eq!((groups, objects), count_metrics_skyey(&slice));
         }
         row(&[d.to_string(), groups.to_string(), objects.to_string()]);
+        records.push(
+            JsonRecord::new()
+                .str("figure", "fig09")
+                .int("n", ds.len() as i64)
+                .int("d", d as i64)
+                .int("groups", groups as i64)
+                .int("subspace_skyline_objects", objects as i64),
+        );
     }
     println!();
+    records
 }
 
 /// Workload grid of Figures 10 and 11: tuples count and dimensionalities per
@@ -98,11 +119,12 @@ fn synthetic_grid(full: bool) -> Vec<(Distribution, usize, Vec<usize>)> {
 
 /// Figure 10: skyline distribution (group count vs subspace-skyline-object
 /// count) in the three synthetic distributions.
-pub fn fig10(args: HarnessArgs) {
+pub fn fig10(args: &HarnessArgs) -> Vec<JsonRecord> {
     header(
         "Figure 10 — skyline distribution in three synthetic data sets",
         args.full,
     );
+    let mut records = Vec::new();
     for (dist, n, dims) in synthetic_grid(args.full) {
         println!(
             "### ({}) {} distributed, {} tuples",
@@ -118,17 +140,28 @@ pub fn fig10(args: HarnessArgs) {
                 assert_eq!((groups, objects), count_metrics_skyey(&ds));
             }
             row(&[d.to_string(), groups.to_string(), objects.to_string()]);
+            records.push(
+                JsonRecord::new()
+                    .str("figure", "fig10")
+                    .str("distribution", dist.name())
+                    .int("n", n as i64)
+                    .int("d", d as i64)
+                    .int("groups", groups as i64)
+                    .int("subspace_skyline_objects", objects as i64),
+            );
         }
         println!();
     }
+    records
 }
 
 /// Figure 11: runtime vs dimensionality in the three synthetic data sets.
-pub fn fig11(args: HarnessArgs) {
+pub fn fig11(args: &HarnessArgs) -> Vec<JsonRecord> {
     header(
         "Figure 11 — runtime vs dimensionality in three synthetic data sets",
         args.full,
     );
+    let mut records = Vec::new();
     for (dist, n, dims) in synthetic_grid(args.full) {
         println!(
             "### ({}) {} distributed, {} tuples",
@@ -150,18 +183,30 @@ pub fn fig11(args: HarnessArgs) {
                 secs(st.seconds),
                 format!("{:.1}×", sk.seconds / st.seconds.max(1e-9)),
             ]);
+            records.push(
+                JsonRecord::new()
+                    .str("figure", "fig11")
+                    .str("distribution", dist.name())
+                    .int("n", n as i64)
+                    .int("d", d as i64)
+                    .num("skyey_seconds", sk.seconds)
+                    .num("stellar_seconds", st.seconds)
+                    .int("groups", st.groups as i64),
+            );
         }
         println!();
     }
+    records
 }
 
 /// Figure 12: scalability w.r.t. database size — correlated 6-d,
 /// independent 4-d, anti-correlated 4-d.
-pub fn fig12(args: HarnessArgs) {
+pub fn fig12(args: &HarnessArgs) -> Vec<JsonRecord> {
     header(
         "Figure 12 — runtime vs database size in three synthetic data sets",
         args.full,
     );
+    let mut records = Vec::new();
     let grid: Vec<(Distribution, usize, Vec<usize>)> = if args.full {
         vec![
             (
@@ -224,9 +269,20 @@ pub fn fig12(args: HarnessArgs) {
                 secs(st.seconds),
                 format!("{:.1}×", sk.seconds / st.seconds.max(1e-9)),
             ]);
+            records.push(
+                JsonRecord::new()
+                    .str("figure", "fig12")
+                    .str("distribution", dist.name())
+                    .int("n", n as i64)
+                    .int("d", d as i64)
+                    .num("skyey_seconds", sk.seconds)
+                    .num("stellar_seconds", st.seconds)
+                    .int("groups", st.groups as i64),
+            );
         }
         println!();
     }
+    records
 }
 
 /// Threads ablation: the Figure 11/12 anti-correlated workload re-run at
@@ -236,20 +292,21 @@ pub fn fig12(args: HarnessArgs) {
 ///
 /// On a single-core machine the ablation cannot show a speedup, so it is
 /// skipped gracefully with a note instead of reporting meaningless numbers.
-pub fn threads_ablation(args: HarnessArgs) {
+pub fn threads_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (n, d) = if args.full { (100_000, 4) } else { (20_000, 4) };
     header(
         &format!("Threads ablation — Stellar build, anti-correlated {d}-d, {n} tuples"),
         args.full,
     );
+    let mut records = Vec::new();
     if cores < 2 {
         println!(
             "_skipped: only {cores} hardware thread available — \
              the ablation needs a multi-core machine to show a speedup_"
         );
         println!();
-        return;
+        return records;
     }
     let ds = generate(Distribution::AntiCorrelated, n, d, SEED ^ d as u64);
     let mut threads: Vec<usize> = std::iter::successors(Some(1usize), |&t| Some(t * 2))
@@ -276,8 +333,124 @@ pub fn threads_ablation(args: HarnessArgs) {
             format!("{:.2}×", base.seconds / m.seconds.max(1e-9)),
             m.groups.to_string(),
         ]);
+        records.push(
+            JsonRecord::new()
+                .str("figure", "threads")
+                .int("n", n as i64)
+                .int("d", d as i64)
+                .int("threads", t as i64)
+                .num("stellar_seconds", m.seconds)
+                .num("speedup", base.seconds / m.seconds.max(1e-9))
+                .int("groups", m.groups as i64),
+        );
     }
     println!();
+    records
+}
+
+/// Kernel ablation — the acceptance workloads of the columnar substrate:
+/// (a) the full-space skyline of an anti-correlated 500k-tuple set, and
+/// (b) Stellar seed-lattice construction (seeds → mask rows → seed groups)
+/// on an anti-correlated set with a large seed population, each timed under
+/// the scalar and the columnar dominance kernels. Both workloads must
+/// produce identical outputs under either kernel (asserted, not optional).
+pub fn kernels_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
+    use skycube_skyline::{skyline_sfs_kernel, SortKey};
+    use skycube_stellar::{seed_skyline_groups, SeedView};
+    use skycube_types::DominanceKernel;
+
+    let mut records = Vec::new();
+    header(
+        "Kernel ablation — scalar vs columnar dominance kernels",
+        args.full,
+    );
+
+    // (a) Full-space skyline, anti-correlated, n = 500k.
+    let (n, d) = (500_000, 4);
+    let ds = generate(Distribution::AntiCorrelated, n, d, SEED ^ 0xC0);
+    println!("### (a) full-space skyline (SFS), anti-correlated {d}-d, {n} tuples");
+    table_header(&["kernel", "seconds", "skyline size"]);
+    let mut timings = Vec::new();
+    let mut sizes = Vec::new();
+    for kernel in DominanceKernel::ALL {
+        let t = std::time::Instant::now();
+        let sky = skyline_sfs_kernel(&ds, ds.full_space(), SortKey::Sum, kernel);
+        let seconds = t.elapsed().as_secs_f64();
+        row(&[
+            kernel.name().to_string(),
+            secs(seconds),
+            sky.len().to_string(),
+        ]);
+        records.push(
+            JsonRecord::new()
+                .str("figure", "kernels")
+                .str("workload", "skyline-anticorrelated-500k")
+                .str("kernel", kernel.name())
+                .int("n", n as i64)
+                .int("d", d as i64)
+                .num("seconds", seconds)
+                .int("skyline_size", sky.len() as i64),
+        );
+        timings.push(seconds);
+        sizes.push(sky.len());
+    }
+    assert_eq!(sizes[0], sizes[1], "kernels disagreed on the skyline");
+    let sky_speedup = timings[0] / timings[1].max(1e-9);
+    println!();
+    println!("scalar/columnar: {sky_speedup:.2}×");
+    println!();
+
+    // (b) Stellar seed lattice: full-space skyline + mask rows + seed
+    // groups, on a workload with a big enough seed set for the row sweeps
+    // to dominate.
+    let (n, d) = if args.full { (100_000, 5) } else { (50_000, 5) };
+    let ds = generate(Distribution::AntiCorrelated, n, d, SEED ^ 0xC1);
+    println!("### (b) Stellar seed-lattice construction, anti-correlated {d}-d, {n} tuples");
+    table_header(&["kernel", "seconds", "seeds", "seed groups"]);
+    let mut timings = Vec::new();
+    let mut shapes = Vec::new();
+    for kernel in DominanceKernel::ALL {
+        let t = std::time::Instant::now();
+        let seeds = skyline_sfs_kernel(&ds, ds.full_space(), SortKey::Sum, kernel);
+        let view = SeedView::with_kernel(&ds, seeds, kernel);
+        let groups = seed_skyline_groups(&view);
+        let seconds = t.elapsed().as_secs_f64();
+        row(&[
+            kernel.name().to_string(),
+            secs(seconds),
+            view.len().to_string(),
+            groups.len().to_string(),
+        ]);
+        records.push(
+            JsonRecord::new()
+                .str("figure", "kernels")
+                .str("workload", "stellar-seed-lattice")
+                .str("kernel", kernel.name())
+                .int("n", n as i64)
+                .int("d", d as i64)
+                .num("seconds", seconds)
+                .int("seeds", view.len() as i64)
+                .int("seed_groups", groups.len() as i64),
+        );
+        timings.push(seconds);
+        shapes.push((view.len(), groups.len()));
+    }
+    assert_eq!(
+        shapes[0], shapes[1],
+        "kernels disagreed on the seed lattice"
+    );
+    let lattice_speedup = timings[0] / timings[1].max(1e-9);
+    println!();
+    println!("scalar/columnar: {lattice_speedup:.2}×");
+    println!();
+    records.push(
+        JsonRecord::new()
+            .str("figure", "kernels")
+            .str("workload", "summary")
+            .num("skyline_scalar_over_columnar", sky_speedup)
+            .num("seed_lattice_scalar_over_columnar", lattice_speedup),
+    );
+    records
 }
 
 fn panel(dist: Distribution) -> &'static str {

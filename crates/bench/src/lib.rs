@@ -78,30 +78,168 @@ pub fn count_metrics_skyey(ds: &Dataset) -> (usize, u64) {
 }
 
 /// Common command-line switches of the figure binaries.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct HarnessArgs {
     /// Run the paper's original workload sizes.
     pub full: bool,
     /// Cross-check Stellar and Skyey outputs while measuring.
     pub verify: bool,
+    /// Where to write the machine-readable report: a directory (the file
+    /// becomes `DIR/BENCH_<name>.json`) or an explicit `.json` path.
+    pub json: Option<String>,
 }
 
 impl HarnessArgs {
     /// Parse from `std::env::args`, ignoring unknown switches.
     pub fn parse() -> Self {
         let mut args = HarnessArgs::default();
-        for a in std::env::args().skip(1) {
+        let mut it = std::env::args().skip(1);
+        while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => args.full = true,
                 "--verify" => args.verify = true,
+                "--json" => match it.next() {
+                    Some(path) => args.json = Some(path),
+                    None => {
+                        eprintln!("error: --json requires a path");
+                        std::process::exit(2);
+                    }
+                },
                 "--help" | "-h" => {
-                    eprintln!("options: --full (paper-size workloads), --verify (cross-check Stellar vs Skyey)");
+                    eprintln!(
+                        "options: --full (paper-size workloads), --verify (cross-check \
+                         Stellar vs Skyey), --json PATH (write BENCH_<name>.json under \
+                         directory PATH, or to PATH itself when it ends in .json)"
+                    );
                     std::process::exit(0);
                 }
-                other => eprintln!("note: ignoring unknown option {other}"),
+                other => match other.strip_prefix("--json=") {
+                    Some(path) => args.json = Some(path.to_string()),
+                    None => eprintln!("note: ignoring unknown option {other}"),
+                },
             }
         }
         args
+    }
+}
+
+/// A JSON scalar for the machine-readable reports (hand-rolled — the
+/// workspace is offline and vendors no serde).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A string (escaped on render).
+    Str(String),
+    /// A finite float, rendered with full precision.
+    Num(f64),
+    /// An integer.
+    Int(i64),
+}
+
+impl JsonValue {
+    fn render(&self, out: &mut String) {
+        match self {
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Num(n) if n.is_finite() => out.push_str(&format!("{n}")),
+            JsonValue::Num(_) => out.push_str("null"),
+            JsonValue::Int(i) => out.push_str(&format!("{i}")),
+        }
+    }
+}
+
+/// One measurement record: an ordered list of `key: value` fields, rendered
+/// as a JSON object.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JsonRecord {
+    /// Field list in insertion order.
+    pub fields: Vec<(String, JsonValue)>,
+}
+
+impl JsonRecord {
+    /// Empty record.
+    pub fn new() -> Self {
+        JsonRecord::default()
+    }
+
+    /// Append a string field (builder style).
+    pub fn str(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields
+            .push((key.to_string(), JsonValue::Str(value.into())));
+        self
+    }
+
+    /// Append a float field (builder style).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Num(value)));
+        self
+    }
+
+    /// Append an integer field (builder style).
+    pub fn int(mut self, key: &str, value: i64) -> Self {
+        self.fields.push((key.to_string(), JsonValue::Int(value)));
+        self
+    }
+
+    fn render(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            JsonValue::Str(k.clone()).render(out);
+            out.push_str(": ");
+            v.render(out);
+        }
+        out.push('}');
+    }
+}
+
+/// Render a full report — name plus record list — as pretty-enough JSON.
+pub fn render_json_report(name: &str, records: &[JsonRecord]) -> String {
+    let mut out = String::from("{\n  \"name\": ");
+    JsonValue::Str(name.to_string()).render(&mut out);
+    out.push_str(",\n  \"records\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("    ");
+        r.render(&mut out);
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Honor `--json PATH`: write `BENCH_<name>.json` under the directory `PATH`
+/// (or to `PATH` itself when it ends in `.json`). No-op without the flag.
+pub fn write_json_report(args: &HarnessArgs, name: &str, records: &[JsonRecord]) {
+    let Some(path) = &args.json else {
+        return;
+    };
+    let file = if path.ends_with(".json") {
+        std::path::PathBuf::from(path)
+    } else {
+        std::path::Path::new(path).join(format!("BENCH_{name}.json"))
+    };
+    match std::fs::write(&file, render_json_report(name, records)) {
+        Ok(()) => eprintln!("wrote {}", file.display()),
+        Err(e) => {
+            eprintln!("error: cannot write {}: {e}", file.display());
+            std::process::exit(1);
+        }
     }
 }
 
@@ -164,6 +302,39 @@ mod tests {
         assert_eq!(secs(0.0000005), "0.5µs");
         assert_eq!(secs(0.5), "500.0ms");
         assert_eq!(secs(2.5), "2.50s");
+    }
+
+    #[test]
+    fn json_report_renders_records() {
+        let recs = vec![
+            JsonRecord::new()
+                .str("figure", "fig08")
+                .int("d", 4)
+                .num("seconds", 0.25),
+            JsonRecord::new().str("note", "quote \" and \\ back\nslash"),
+        ];
+        let s = render_json_report("demo", &recs);
+        assert!(s.contains("\"name\": \"demo\""), "{s}");
+        assert!(
+            s.contains("{\"figure\": \"fig08\", \"d\": 4, \"seconds\": 0.25},"),
+            "{s}"
+        );
+        assert!(s.contains("quote \\\" and \\\\ back\\nslash"), "{s}");
+    }
+
+    #[test]
+    fn json_report_written_under_directory() {
+        let dir = std::env::temp_dir().join("skycube-bench-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = HarnessArgs {
+            json: Some(dir.to_string_lossy().into_owned()),
+            ..HarnessArgs::default()
+        };
+        let recs = vec![JsonRecord::new().int("x", 1)];
+        write_json_report(&args, "unit", &recs);
+        let body = std::fs::read_to_string(dir.join("BENCH_unit.json")).unwrap();
+        assert!(body.contains("\"x\": 1"), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 

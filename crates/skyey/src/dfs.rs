@@ -13,8 +13,8 @@
 //! suffices.
 
 use skycube_parallel::{par_map_indexed, Parallelism};
-use skycube_skyline::filter_presorted;
-use skycube_types::{Dataset, DimMask, ObjId};
+use skycube_skyline::filter_presorted_with;
+use skycube_types::{ColumnView, Dataset, DimMask, DominanceKernel, ObjId};
 
 /// Visit every non-empty subspace of `ds` with its skyline (skyline ids are
 /// in lexicographic scan order, not ascending id order).
@@ -22,30 +22,65 @@ use skycube_types::{Dataset, DimMask, ObjId};
 /// Subspaces are visited in set-enumeration (DFS) order; the closure also
 /// receives the depth-shared sorted order's skyline output only — callers
 /// needing ascending ids should sort.
-pub fn for_each_subspace_skyline<F: FnMut(DimMask, &[ObjId])>(ds: &Dataset, mut f: F) {
+pub fn for_each_subspace_skyline<F: FnMut(DimMask, &[ObjId])>(ds: &Dataset, f: F) {
+    for_each_subspace_skyline_with(ds, DominanceKernel::default(), f);
+}
+
+/// [`for_each_subspace_skyline`] with an explicit dominance kernel.
+///
+/// Under the columnar kernel a single [`ColumnView::with_rank_orders`] per
+/// computation provides each top-level branch's starting order (the
+/// dimension's argsort, no per-branch sort) and dense ranks for the
+/// tie refinements, and every per-node SFS pass sweeps a column-wise
+/// window. The visitation sequence — subspaces and per-subspace skyline
+/// scan orders — is identical to the scalar kernel's: both order objects by
+/// `(value, id)` per dimension, and rank-keyed tie sorts compare exactly
+/// like value-keyed ones.
+pub fn for_each_subspace_skyline_with<F: FnMut(DimMask, &[ObjId])>(
+    ds: &Dataset,
+    kernel: DominanceKernel,
+    mut f: F,
+) {
     let n = ds.dims();
     if ds.is_empty() || n == 0 {
         return;
     }
+    let view = branch_view(ds, kernel);
     for d in 0..n {
-        for_each_subspace_skyline_from(ds, d, &mut f);
+        for_each_subspace_skyline_from(ds, view.as_ref(), d, &mut f);
     }
+}
+
+/// The per-computation columnar state shared by every DFS branch (`None`
+/// under the scalar kernel): full-dataset columns plus one argsort and one
+/// dense rank array per dimension.
+pub(crate) fn branch_view(ds: &Dataset, kernel: DominanceKernel) -> Option<ColumnView> {
+    (kernel.is_columnar() && !ds.is_empty() && ds.dims() > 0)
+        .then(|| ColumnView::with_rank_orders(ds))
 }
 
 /// One top-level branch of the set-enumeration DFS: visit every subspace
 /// whose smallest dimension is `d`, in DFS order, with its skyline. Each
 /// branch carries its own sorted order and tie-refinement state, which is
-/// what lets branches run on separate threads.
+/// what lets branches run on separate threads (the shared `view` is
+/// read-only).
 pub(crate) fn for_each_subspace_skyline_from<F: FnMut(DimMask, &[ObjId])>(
     ds: &Dataset,
+    view: Option<&ColumnView>,
     d: usize,
     f: &mut F,
 ) {
-    // Order for the single-dimension subspace {d}.
-    let mut order: Vec<ObjId> = ds.ids().collect();
-    order.sort_unstable_by_key(|&o| ds.value(o, d));
+    // Order for the single-dimension subspace {d}: ascending (value, id).
+    let order: Vec<ObjId> = match view {
+        Some(v) => v.order(d).to_vec(),
+        None => {
+            let mut order: Vec<ObjId> = ds.ids().collect();
+            order.sort_unstable_by_key(|&o| (ds.value(o, d), o));
+            order
+        }
+    };
     let mut skyline_buf: Vec<ObjId> = Vec::new();
-    recurse(ds, DimMask::single(d), d, &order, &mut skyline_buf, f);
+    recurse(ds, view, DimMask::single(d), d, &order, &mut skyline_buf, f);
 }
 
 /// Every non-empty subspace paired with its skyline (in lexicographic scan
@@ -58,13 +93,24 @@ pub(crate) fn for_each_subspace_skyline_from<F: FnMut(DimMask, &[ObjId])>(
 /// concatenated in branch order. With one thread the branches run inline,
 /// sequentially.
 pub fn subspace_skylines_par(ds: &Dataset, par: Parallelism) -> Vec<(DimMask, Vec<ObjId>)> {
+    subspace_skylines_par_with(ds, par, DominanceKernel::default())
+}
+
+/// [`subspace_skylines_par`] with an explicit dominance kernel. The shared
+/// columnar view is built once and read by every branch thread.
+pub fn subspace_skylines_par_with(
+    ds: &Dataset,
+    par: Parallelism,
+    kernel: DominanceKernel,
+) -> Vec<(DimMask, Vec<ObjId>)> {
     let n = ds.dims();
     if ds.is_empty() || n == 0 {
         return Vec::new();
     }
+    let view = branch_view(ds, kernel);
     par_map_indexed(par, n, |d| {
         let mut out: Vec<(DimMask, Vec<ObjId>)> = Vec::new();
-        for_each_subspace_skyline_from(ds, d, &mut |space, sky| {
+        for_each_subspace_skyline_from(ds, view.as_ref(), d, &mut |space, sky| {
             out.push((space, sky.to_vec()));
         });
         out
@@ -76,6 +122,7 @@ pub fn subspace_skylines_par(ds: &Dataset, par: Parallelism) -> Vec<(DimMask, Ve
 
 fn recurse<F: FnMut(DimMask, &[ObjId])>(
     ds: &Dataset,
+    view: Option<&ColumnView>,
     space: DimMask,
     last_dim: usize,
     order: &[ObjId],
@@ -83,22 +130,34 @@ fn recurse<F: FnMut(DimMask, &[ObjId])>(
     f: &mut F,
 ) {
     // Skyline of this subspace from the presorted order.
-    *skyline_buf = filter_presorted(ds, space, order);
+    let kernel = match view {
+        Some(_) => DominanceKernel::Columnar,
+        None => DominanceKernel::Scalar,
+    };
+    *skyline_buf = filter_presorted_with(ds, space, order, kernel);
     f(space, skyline_buf);
 
     // Extend by every later dimension, refining tie blocks only.
     for d in last_dim + 1..ds.dims() {
         let child_space = space.with(d);
         let mut child = order.to_vec();
-        refine_ties(ds, space, d, &mut child);
-        recurse(ds, child_space, d, &child, skyline_buf, f);
+        refine_ties(ds, view, space, d, &mut child);
+        recurse(ds, view, child_space, d, &child, skyline_buf, f);
     }
 }
 
 /// Stable tie refinement: within each run of equal projections over `space`,
 /// sort by dimension `d`. Afterwards `order` is lexicographic for
-/// `space ∪ {d}`.
-fn refine_ties(ds: &Dataset, space: DimMask, d: usize, order: &mut [ObjId]) {
+/// `space ∪ {d}`. Under the columnar kernel the sort key is the dimension's
+/// dense rank — a `u32` lookup that compares exactly like the `i64` value,
+/// so both kernels produce the same permutation.
+fn refine_ties(
+    ds: &Dataset,
+    view: Option<&ColumnView>,
+    space: DimMask,
+    d: usize,
+    order: &mut [ObjId],
+) {
     let mut start = 0;
     while start < order.len() {
         let mut end = start + 1;
@@ -108,7 +167,13 @@ fn refine_ties(ds: &Dataset, space: DimMask, d: usize, order: &mut [ObjId]) {
             end += 1;
         }
         if end - start > 1 {
-            order[start..end].sort_unstable_by_key(|&o| ds.value(o, d));
+            match view {
+                Some(v) => {
+                    let rank = v.rank(d);
+                    order[start..end].sort_unstable_by_key(|&o| rank[o as usize]);
+                }
+                None => order[start..end].sort_unstable_by_key(|&o| ds.value(o, d)),
+            }
         }
         start = end;
     }
@@ -180,6 +245,30 @@ mod tests {
     }
 
     #[test]
+    fn kernels_visit_identical_sequences() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..10 {
+            let dims = rng.gen_range(1..=5);
+            let n = rng.gen_range(1..=60);
+            let rows: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..dims).map(|_| rng.gen_range(0..4)).collect())
+                .collect();
+            let ds = Dataset::from_rows(dims, rows).unwrap();
+            let mut scalar: Vec<(DimMask, Vec<ObjId>)> = Vec::new();
+            for_each_subspace_skyline_with(&ds, DominanceKernel::Scalar, |space, sky| {
+                scalar.push((space, sky.to_vec()));
+            });
+            let mut columnar: Vec<(DimMask, Vec<ObjId>)> = Vec::new();
+            for_each_subspace_skyline_with(&ds, DominanceKernel::Columnar, |space, sky| {
+                columnar.push((space, sky.to_vec()));
+            });
+            assert_eq!(scalar, columnar, "trial {trial}");
+        }
+    }
+
+    #[test]
     fn empty_dataset_visits_nothing() {
         let ds = Dataset::from_rows(3, vec![]).unwrap();
         let mut count = 0;
@@ -194,7 +283,7 @@ mod tests {
         let mut order: Vec<ObjId> = ds.ids().collect();
         let b = DimMask::single(1);
         order.sort_unstable_by_key(|&o| ds.value(o, 1));
-        refine_ties(&ds, b, 3, &mut order);
+        refine_ties(&ds, None, b, 3, &mut order);
         for w in order.windows(2) {
             assert_ne!(
                 ds.cmp_lex(w[0], w[1], b.with(3)),

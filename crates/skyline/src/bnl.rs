@@ -7,7 +7,7 @@
 //! easily) no temp-file passes are needed and the window at end-of-scan *is*
 //! the skyline.
 
-use skycube_types::{Dataset, DimMask, DomRelation, ObjId};
+use skycube_types::{ColumnarWindow, Dataset, DimMask, DomRelation, DominanceKernel, ObjId};
 
 /// Compute the skyline of `space` with block nested loops.
 ///
@@ -16,10 +16,34 @@ use skycube_types::{Dataset, DimMask, DomRelation, ObjId};
 /// # Panics
 /// Panics if `space` is empty.
 pub fn skyline_bnl(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
+    skyline_bnl_with(ds, space, DominanceKernel::default())
+}
+
+/// [`skyline_bnl`] with an explicit dominance kernel.
+///
+/// The columnar path keeps the BNL window column-wise: each incoming object
+/// is classified against every member with one flags sweep, then admitted or
+/// discarded ([`ColumnarWindow::admit`]). Because window members are
+/// mutually non-dominating, "some member dominates u" and "u evicts some
+/// member" are mutually exclusive, so check-then-evict produces exactly the
+/// scalar window set.
+///
+/// # Panics
+/// Panics if `space` is empty.
+pub fn skyline_bnl_with(ds: &Dataset, space: DimMask, kernel: DominanceKernel) -> Vec<ObjId> {
     assert!(
         !space.is_empty(),
         "skyline of the empty subspace is undefined"
     );
+    if kernel.is_columnar() {
+        let mut window = ColumnarWindow::new(ds.dims());
+        for u in ds.ids() {
+            window.admit(u, ds.row(u), space);
+        }
+        let mut out = window.into_ids();
+        out.sort_unstable();
+        return out;
+    }
     let mut window: Vec<ObjId> = Vec::new();
     'scan: for u in ds.ids() {
         let mut i = 0;

@@ -7,7 +7,7 @@
 //! asymptotic improvement for tiny dimensionality; the cross-filter merge is
 //! what performs best at the paper's scales and keeps the code auditable.
 
-use skycube_types::{Dataset, DimMask, ObjId};
+use skycube_types::{ColumnarWindow, Dataset, DimMask, DominanceKernel, ObjId};
 
 /// Below this size the recursion bottoms out into a BNL pass.
 const LEAF_SIZE: usize = 64;
@@ -74,6 +74,43 @@ pub(crate) fn merge(ds: &Dataset, space: DimMask, left: &[ObjId], right: &[ObjId
             .iter()
             .copied()
             .filter(|&u| !left.iter().any(|&v| ds.dominates(v, u, space))),
+    );
+    out
+}
+
+/// [`merge`] with an explicit dominance kernel. The columnar path loads each
+/// side into a [`ColumnarWindow`] once and answers every "does the other
+/// side dominate me?" probe with a blocked column sweep; survivors keep
+/// their input order, exactly like the scalar merge.
+pub(crate) fn merge_with(
+    ds: &Dataset,
+    space: DimMask,
+    left: &[ObjId],
+    right: &[ObjId],
+    kernel: DominanceKernel,
+) -> Vec<ObjId> {
+    if !kernel.is_columnar() {
+        return merge(ds, space, left, right);
+    }
+    let mut lw = ColumnarWindow::with_capacity(ds.dims(), left.len());
+    for &v in left {
+        lw.push(v, ds.row(v));
+    }
+    let mut rw = ColumnarWindow::with_capacity(ds.dims(), right.len());
+    for &v in right {
+        rw.push(v, ds.row(v));
+    }
+    let mut out: Vec<ObjId> = Vec::with_capacity(left.len() + right.len());
+    out.extend(
+        left.iter()
+            .copied()
+            .filter(|&u| !rw.any_dominates(ds.row(u), space)),
+    );
+    out.extend(
+        right
+            .iter()
+            .copied()
+            .filter(|&u| !lw.any_dominates(ds.row(u), space)),
     );
     out
 }

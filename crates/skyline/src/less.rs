@@ -7,8 +7,8 @@
 //! points before they are ever sorted; the surviving points are then sorted
 //! by a monotone key and finished with the usual skyline-filter pass.
 
-use crate::sfs::filter_presorted;
-use skycube_types::{Dataset, DimMask, DomRelation, ObjId};
+use crate::sfs::{filter_presorted, filter_presorted_with};
+use skycube_types::{ColumnarWindow, Dataset, DimMask, DomRelation, DominanceKernel, ObjId};
 
 /// Capacity of the elimination-filter window. Godfrey et al. observe a small
 /// window (about one memory page) captures nearly all of the benefit.
@@ -21,10 +21,27 @@ const EF_CAPACITY: usize = 16;
 /// # Panics
 /// Panics if `space` is empty.
 pub fn skyline_less(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
+    skyline_less_with(ds, space, DominanceKernel::default())
+}
+
+/// [`skyline_less`] with an explicit dominance kernel.
+///
+/// The columnar path stores the EF window column-wise (sweeping it per probe
+/// instead of chasing rows) and runs the final filter pass through
+/// [`filter_presorted_with`]. EF membership may differ from the scalar path
+/// on sum ties, but the EF only ever discards dominated points and the final
+/// pass removes every dominated survivor, so the output is identical.
+///
+/// # Panics
+/// Panics if `space` is empty.
+pub fn skyline_less_with(ds: &Dataset, space: DimMask, kernel: DominanceKernel) -> Vec<ObjId> {
     assert!(
         !space.is_empty(),
         "skyline of the empty subspace is undefined"
     );
+    if kernel.is_columnar() {
+        return less_columnar(ds, space);
+    }
 
     // Pass 0: elimination-filter scan. The EF window keeps the points with
     // the smallest sums seen so far; anything dominated by a window point is
@@ -55,6 +72,41 @@ pub fn skyline_less(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
     survivors.sort_unstable_by_key(|&(k, _)| k);
     let order: Vec<ObjId> = survivors.into_iter().map(|(_, o)| o).collect();
     let mut skyline = filter_presorted(ds, space, &order);
+    skyline.sort_unstable();
+    skyline
+}
+
+fn less_columnar(ds: &Dataset, space: DimMask) -> Vec<ObjId> {
+    let mut ef = ColumnarWindow::with_capacity(ds.dims(), EF_CAPACITY);
+    let mut ef_keys: Vec<i128> = Vec::with_capacity(EF_CAPACITY);
+    let mut survivors: Vec<(i128, ObjId)> = Vec::with_capacity(ds.len());
+    for u in ds.ids() {
+        let key = ds.sum_over(u, space);
+        let row = ds.row(u);
+        if ef.any_dominates(row, space) {
+            continue;
+        }
+        survivors.push((key, u));
+        if ef_keys.len() < EF_CAPACITY {
+            ef.push(u, row);
+            ef_keys.push(key);
+        } else {
+            let (worst, &worst_key) = ef_keys
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &k)| k)
+                .expect("window non-empty");
+            if key < worst_key {
+                ef.swap_remove(worst);
+                ef_keys.swap_remove(worst);
+                ef.push(u, row);
+                ef_keys.push(key);
+            }
+        }
+    }
+    survivors.sort_unstable_by_key(|&(k, _)| k);
+    let order: Vec<ObjId> = survivors.into_iter().map(|(_, o)| o).collect();
+    let mut skyline = filter_presorted_with(ds, space, &order, DominanceKernel::Columnar);
     skyline.sort_unstable();
     skyline
 }

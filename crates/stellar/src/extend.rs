@@ -18,7 +18,7 @@ use crate::matrices::SeedView;
 use crate::seeds::SeedGroup;
 use crate::transversal::{minimize_antichain, ClauseSet};
 use skycube_parallel::{par_map_indexed, Parallelism};
-use skycube_types::{DimMask, ObjId, SkylineGroup, Value};
+use skycube_types::{ColumnView, DimMask, ObjId, SkylineGroup, Value};
 use std::collections::HashMap;
 
 /// How candidate relevant non-seeds are located per seed group.
@@ -47,11 +47,20 @@ pub fn extend_to_full(
         RelevanceStrategy::Index => Some(NonSeedIndex::build(ds, &non_seeds)),
         RelevanceStrategy::Scan => None,
     };
+    let non_cols = non_seed_columns(view, strategy, &non_seeds);
 
     let mut out: Vec<SkylineGroup> = Vec::new();
     let mut scratch = Scratch::default();
     for sg in seed_groups {
-        extend_one(view, sg, &non_seeds, index.as_ref(), &mut scratch, &mut out);
+        extend_one(
+            view,
+            sg,
+            &non_seeds,
+            index.as_ref(),
+            non_cols.as_ref(),
+            &mut scratch,
+            &mut out,
+        );
     }
     out
 }
@@ -77,6 +86,7 @@ pub fn extend_to_full_par(
         RelevanceStrategy::Index => Some(NonSeedIndex::build(ds, &non_seeds)),
         RelevanceStrategy::Scan => None,
     };
+    let non_cols = non_seed_columns(view, strategy, &non_seeds);
     par_map_indexed(par, seed_groups.len(), |i| {
         let mut out = Vec::new();
         let mut scratch = Scratch::default();
@@ -85,6 +95,7 @@ pub fn extend_to_full_par(
             &seed_groups[i],
             &non_seeds,
             index.as_ref(),
+            non_cols.as_ref(),
             &mut scratch,
             &mut out,
         );
@@ -93,6 +104,18 @@ pub fn extend_to_full_par(
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// Columnar view of the non-seeds, built once per extension when the scan
+/// strategy will sweep all of them per seed group under the columnar
+/// kernel. Position `p` of the view is `non_seeds[p]`.
+fn non_seed_columns(
+    view: &SeedView<'_>,
+    strategy: RelevanceStrategy,
+    non_seeds: &[ObjId],
+) -> Option<ColumnView> {
+    (strategy == RelevanceStrategy::Scan && view.kernel().is_columnar())
+        .then(|| ColumnView::for_ids(view.dataset(), non_seeds))
 }
 
 /// Ids not in the full-space skyline, ascending.
@@ -163,6 +186,7 @@ struct Scratch {
     closed: Vec<DimMask>,
     members_buf: Vec<ObjId>,
     cands: Vec<DimMask>,
+    mask_row: Vec<DimMask>,
 }
 
 fn extend_one(
@@ -170,6 +194,7 @@ fn extend_one(
     sg: &SeedGroup,
     non_seeds: &[ObjId],
     index: Option<&NonSeedIndex>,
+    non_cols: Option<&ColumnView>,
     s: &mut Scratch,
     out: &mut Vec<SkylineGroup>,
 ) {
@@ -180,8 +205,8 @@ fn extend_one(
 
     // 1. Relevant non-seeds: sharing mask within B′ contains some decisive.
     s.relevant.clear();
-    match index {
-        Some(idx) => {
+    match (index, non_cols) {
+        (Some(idx), _) => {
             let mut seen: Vec<ObjId> = Vec::new();
             for &c in &sg.decisive {
                 idx.matching(rep_row, c, &mut s.candidates);
@@ -197,7 +222,17 @@ fn extend_one(
                 s.relevant.push((m, p));
             }
         }
-        None => {
+        (None, Some(cols)) => {
+            // Columnar scan: one equality sweep restricted to B′ yields
+            // every non-seed's sharing mask at once.
+            cols.equality_row(rep_row, sg.subspace, &mut s.mask_row);
+            for (p, &m) in s.mask_row.iter().enumerate() {
+                if sg.decisive.iter().any(|&c| c.is_subset_of(m)) {
+                    s.relevant.push((m, non_seeds[p]));
+                }
+            }
+        }
+        (None, None) => {
             for &p in non_seeds {
                 let m = ds.co_mask(rep, p) & sg.subspace;
                 if sg.decisive.iter().any(|&c| c.is_subset_of(m)) {

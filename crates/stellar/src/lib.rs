@@ -56,7 +56,8 @@ pub use seeds::{seed_skyline_groups, seed_skyline_groups_par, SeedGroup};
 pub use skycube_parallel::Parallelism;
 pub use transversal::{minimize_antichain, ClauseSet};
 
-use skycube_skyline::{skyline_parallel, Algorithm};
+use skycube_skyline::{skyline_parallel_with, Algorithm};
+pub use skycube_types::DominanceKernel;
 use skycube_types::{Dataset, ObjId, SkylineGroup};
 
 /// Configurable Stellar runner.
@@ -77,6 +78,7 @@ pub struct Stellar {
     algorithm: Algorithm,
     strategy: RelevanceStrategy,
     parallelism: Parallelism,
+    kernel: DominanceKernel,
 }
 
 impl Stellar {
@@ -118,6 +120,15 @@ impl Stellar {
         self
     }
 
+    /// Choose the dominance kernel for every comparison-heavy stage: the
+    /// full-space skyline, the seed mask rows, and the non-seed
+    /// accommodation scan. The default is [`DominanceKernel::Columnar`];
+    /// `Scalar` selects the per-pair reference path.
+    pub fn with_kernel(mut self, kernel: DominanceKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
     /// The configured full-space skyline algorithm.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
@@ -133,6 +144,11 @@ impl Stellar {
         self.parallelism
     }
 
+    /// The configured dominance kernel.
+    pub fn kernel(&self) -> DominanceKernel {
+        self.kernel
+    }
+
     /// Compute the compressed skyline cube of `ds`.
     pub fn compute(&self, ds: &Dataset) -> CompressedSkylineCube {
         if ds.is_empty() {
@@ -143,11 +159,12 @@ impl Stellar {
         let (bound, reps) = ds.bind_duplicates();
         let par = self.parallelism;
         let seeds_bound = if par.is_sequential() {
-            self.algorithm.run(&bound, bound.full_space())
+            self.algorithm
+                .run_with(&bound, bound.full_space(), self.kernel)
         } else {
-            skyline_parallel(&bound, bound.full_space(), par)
+            skyline_parallel_with(&bound, bound.full_space(), par, self.kernel)
         };
-        let view = SeedView::new(&bound, seeds_bound);
+        let view = SeedView::with_kernel(&bound, seeds_bound, self.kernel);
         let seed_groups = seed_skyline_groups_par(&view, par);
         let groups_bound = extend_to_full_par(&view, &seed_groups, self.strategy, par);
 
@@ -225,6 +242,26 @@ mod tests {
         for alg in Algorithm::ALL {
             let cube = Stellar::new().with_algorithm(alg).compute(&ds);
             assert_eq!(normalize_groups(cube.groups().to_vec()), base);
+        }
+    }
+
+    #[test]
+    fn scalar_and_columnar_kernels_yield_the_same_cube() {
+        let ds = running_example();
+        let scalar = Stellar::new()
+            .with_kernel(DominanceKernel::Scalar)
+            .compute(&ds);
+        for strategy in [RelevanceStrategy::Index, RelevanceStrategy::Scan] {
+            let columnar = Stellar::new()
+                .with_kernel(DominanceKernel::Columnar)
+                .with_strategy(strategy)
+                .compute(&ds);
+            assert_eq!(columnar.seeds(), scalar.seeds(), "strategy {strategy:?}");
+            assert_eq!(
+                normalize_groups(columnar.groups().to_vec()),
+                normalize_groups(scalar.groups().to_vec()),
+                "strategy {strategy:?}"
+            );
         }
     }
 

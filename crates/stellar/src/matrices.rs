@@ -9,26 +9,50 @@
 //! paper (`co = D − dom(u,v) − dom(v,u)`) means the coincidence matrix is
 //! derivable, but computing equality masks directly is just as cheap.
 
-use skycube_types::{Dataset, DimMask, ObjId};
+use skycube_types::{ColumnView, Dataset, DimMask, DominanceKernel, ObjId};
 
 /// Seed objects plus row-wise access to their pairwise masks.
 ///
 /// Seed indexes (`usize` positions into [`SeedView::seeds`]) are the working
 /// currency of the seed-lattice algorithms; they translate back to dataset
 /// [`ObjId`]s via [`SeedView::id`].
+///
+/// Under the default [`DominanceKernel::Columnar`], the seed rows are loaded
+/// into a [`ColumnView`] once at construction, so every mask row is a batch
+/// of contiguous per-dimension column sweeps; seed index `i` is exactly view
+/// position `i`.
 pub struct SeedView<'a> {
     ds: &'a Dataset,
     seeds: Vec<ObjId>,
+    kernel: DominanceKernel,
+    cols: Option<ColumnView>,
 }
 
 impl<'a> SeedView<'a> {
-    /// Wrap a dataset and its full-space skyline (ascending ids).
+    /// Wrap a dataset and its full-space skyline with the default kernel.
+    ///
+    /// The seed list is canonicalized — sorted ascending with duplicates
+    /// removed — so an unsorted caller can no longer produce a silently
+    /// wrong lattice (the set-enumeration search requires ascending seeds).
     pub fn new(ds: &'a Dataset, seeds: Vec<ObjId>) -> Self {
-        debug_assert!(
-            seeds.windows(2).all(|w| w[0] < w[1]),
-            "seeds must be sorted"
-        );
-        SeedView { ds, seeds }
+        SeedView::with_kernel(ds, seeds, DominanceKernel::default())
+    }
+
+    /// [`SeedView::new`] with an explicit dominance kernel.
+    pub fn with_kernel(ds: &'a Dataset, mut seeds: Vec<ObjId>, kernel: DominanceKernel) -> Self {
+        if !seeds.windows(2).all(|w| w[0] < w[1]) {
+            seeds.sort_unstable();
+            seeds.dedup();
+        }
+        let cols = kernel
+            .is_columnar()
+            .then(|| ColumnView::for_ids(ds, &seeds));
+        SeedView {
+            ds,
+            seeds,
+            kernel,
+            cols,
+        }
     }
 
     /// Number of seed objects `|F(S)|`.
@@ -49,6 +73,12 @@ impl<'a> SeedView<'a> {
         self.ds
     }
 
+    /// The dominance kernel this view routes its mask rows through.
+    #[inline]
+    pub fn kernel(&self) -> DominanceKernel {
+        self.kernel
+    }
+
     /// All seed object ids, ascending.
     #[inline]
     pub fn seeds(&self) -> &[ObjId] {
@@ -64,6 +94,10 @@ impl<'a> SeedView<'a> {
     /// Fill `row` with the coincidence masks `co(seed_i, seed_j)` for all `j`.
     pub fn co_row(&self, i: usize, row: &mut Vec<DimMask>) {
         let u = self.seeds[i];
+        if let Some(cols) = &self.cols {
+            cols.equality_row(self.ds.row(u), self.ds.full_space(), row);
+            return;
+        }
         row.clear();
         row.extend(self.seeds.iter().map(|&v| self.ds.co_mask(u, v)));
     }
@@ -72,6 +106,10 @@ impl<'a> SeedView<'a> {
     /// the dimensions on which seed `i` has a strictly smaller value.
     pub fn dom_row(&self, i: usize, row: &mut Vec<DimMask>) {
         let u = self.seeds[i];
+        if let Some(cols) = &self.cols {
+            cols.dominance_row(self.ds.row(u), self.ds.full_space(), row);
+            return;
+        }
         row.clear();
         row.extend(self.seeds.iter().map(|&v| self.ds.dom_mask(u, v)));
     }
@@ -150,6 +188,35 @@ mod tests {
                 assert_eq!(co[j], full - dom_i[j] - dom_j[i]);
             }
         }
+    }
+
+    #[test]
+    fn kernels_produce_identical_rows() {
+        let ds = running_example();
+        let scalar = SeedView::with_kernel(&ds, vec![1, 3, 4], DominanceKernel::Scalar);
+        let columnar = SeedView::with_kernel(&ds, vec![1, 3, 4], DominanceKernel::Columnar);
+        assert_eq!(scalar.kernel(), DominanceKernel::Scalar);
+        assert_eq!(columnar.kernel(), DominanceKernel::Columnar);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for i in 0..scalar.len() {
+            scalar.dom_row(i, &mut a);
+            columnar.dom_row(i, &mut b);
+            assert_eq!(a, b, "dom row {i}");
+            scalar.co_row(i, &mut a);
+            columnar.co_row(i, &mut b);
+            assert_eq!(a, b, "co row {i}");
+        }
+    }
+
+    #[test]
+    fn unsorted_seeds_are_canonicalized() {
+        let ds = running_example();
+        let view = SeedView::new(&ds, vec![4, 1, 3, 1]);
+        assert_eq!(view.seeds(), &[1, 3, 4]);
+        // Rows must be computed against the canonical order.
+        let mut dom = Vec::new();
+        view.dom_row(0, &mut dom);
+        assert_eq!(dom[1], DimMask::parse("AD").unwrap());
     }
 
     #[test]

@@ -246,6 +246,22 @@ impl Dataset {
     /// Compare `u` and `v` inside `space`.
     pub fn compare(&self, u: ObjId, v: ObjId, space: DimMask) -> DomRelation {
         let (ru, rv) = (self.row(u), self.row(v));
+        if space == DimMask::full(self.dims) {
+            // Full-space fast path: compare the contiguous row slices
+            // directly instead of decoding the mask one bit at a time.
+            let mut u_better = false;
+            let mut v_better = false;
+            for (a, b) in ru.iter().zip(rv) {
+                u_better |= a < b;
+                v_better |= b < a;
+            }
+            return match (u_better, v_better) {
+                (true, false) => DomRelation::Dominates,
+                (false, true) => DomRelation::DominatedBy,
+                (false, false) => DomRelation::Equal,
+                (true, true) => DomRelation::Incomparable,
+            };
+        }
         let mut u_better = false;
         let mut v_better = false;
         for d in space.iter() {

@@ -9,12 +9,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod columnar;
 mod dataset;
 mod dims;
 mod error;
 mod group;
 mod value;
 
+pub use columnar::{
+    relation_from_flags, ColumnView, ColumnarWindow, DominanceKernel, FLAG_CANDIDATE_BETTER,
+    FLAG_PROBE_BETTER,
+};
 pub use dataset::{running_example, Dataset, DomRelation, ObjId};
 pub use dims::{DimIter, DimMask, SubsetIter, MAX_DIMS};
 pub use error::{Error, Result};

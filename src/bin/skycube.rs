@@ -59,9 +59,10 @@ commands:
   generate --dist <correlated|independent|anti-correlated> --count N --dims D
            [--seed S] --out FILE.csv
   generate --nba [--count N] [--seed S] --out FILE.csv
-  build    --data FILE.csv --out CUBE.txt [--threads N]
+  build    --data FILE.csv --out CUBE.txt [--threads N] [--kernel scalar|columnar]
                                               materialize the cube (Stellar)
-  stats    --data FILE.csv [--threads N]      counts: seeds, groups, skycube size
+  stats    --data FILE.csv [--threads N] [--kernel scalar|columnar]
+                                              counts: seeds, groups, skycube size
   skyline  --cube CUBE.txt --space LETTERS    subspace skyline query
   member   --cube CUBE.txt --object ID --space LETTERS
   top      --cube CUBE.txt --k N              most frequent skyline objects";
@@ -133,18 +134,23 @@ fn load_cube(opts: &Opts) -> Result<CompressedSkylineCube, String> {
 }
 
 /// The Stellar runner for `--threads N` (default: one worker per core;
-/// `1` is the exact sequential path).
+/// `1` is the exact sequential path) and `--kernel scalar|columnar`
+/// (default: columnar).
 fn runner(opts: &Opts) -> Result<Stellar, String> {
-    match opts.get("threads") {
-        None => Ok(Stellar::new()),
-        Some(t) => {
-            let threads: usize = num(t, "thread count")?;
-            if threads == 0 {
-                return Err("--threads must be at least 1".to_owned());
-            }
-            Ok(Stellar::new().with_threads(threads))
+    let mut runner = Stellar::new();
+    if let Some(t) = opts.get("threads") {
+        let threads: usize = num(t, "thread count")?;
+        if threads == 0 {
+            return Err("--threads must be at least 1".to_owned());
         }
+        runner = runner.with_threads(threads);
     }
+    if let Some(k) = opts.get("kernel") {
+        let kernel = DominanceKernel::parse(k)
+            .ok_or_else(|| format!("bad --kernel {k:?} (expected scalar or columnar)"))?;
+        runner = runner.with_kernel(kernel);
+    }
+    Ok(runner)
 }
 
 fn cmd_build(opts: &Opts) -> Result<(), String> {

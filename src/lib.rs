@@ -56,5 +56,8 @@ pub mod prelude {
         StellarEngine,
     };
     pub use skycube_subsky::{AnchoredSubskyIndex, SubskyIndex};
-    pub use skycube_types::{running_example, Dataset, DimMask, ObjId, Order, SkylineGroup, Value};
+    pub use skycube_types::{
+        running_example, ColumnView, Dataset, DimMask, DominanceKernel, ObjId, Order, SkylineGroup,
+        Value,
+    };
 }

@@ -327,3 +327,59 @@ fn threads_option_is_validated_and_honored() {
     assert!(out.status.success(), "{out:?}");
     assert!(stdout(&out).contains("skyline groups:"));
 }
+
+#[test]
+fn kernel_option_is_validated_and_honored() {
+    let dir = tmpdir("kernel");
+    let data = dir.join("d.csv");
+    let scalar_cube = dir.join("scalar.txt");
+    let columnar_cube = dir.join("columnar.txt");
+    run(&[
+        "generate",
+        "--dist",
+        "anti-correlated",
+        "--count",
+        "300",
+        "--dims",
+        "4",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+
+    // A bad kernel name is rejected with a diagnostic naming the value.
+    let out = run(&[
+        "stats",
+        "--data",
+        data.to_str().unwrap(),
+        "--kernel",
+        "simd",
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    assert!(stderr(&out).contains("--kernel"), "{}", stderr(&out));
+    assert!(stderr(&out).contains("simd"), "{}", stderr(&out));
+
+    // Scalar and columnar kernels build byte-identical cubes.
+    let out = run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        scalar_cube.to_str().unwrap(),
+        "--kernel",
+        "scalar",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let out = run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--out",
+        columnar_cube.to_str().unwrap(),
+        "--kernel",
+        "columnar",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let s = std::fs::read_to_string(&scalar_cube).unwrap();
+    let c = std::fs::read_to_string(&columnar_cube).unwrap();
+    assert_eq!(s, c, "cube files must be byte-identical across kernels");
+}

@@ -295,6 +295,111 @@ proptest! {
     }
 
     #[test]
+    fn columnar_row_kernels_match_scalar(
+        ds in paper_dataset(),
+        raw in 0u32..64,
+        pick in 0usize..4096,
+    ) {
+        use skycube::types::DomRelation;
+        let space = DimMask(raw) & ds.full_space();
+        let view = ColumnView::new(&ds);
+        let u = (pick % ds.len()) as ObjId;
+        let (mut dom, mut eq, mut rel) = (Vec::new(), Vec::new(), Vec::new());
+        view.dominance_row(ds.row(u), space, &mut dom);
+        view.equality_row(ds.row(u), space, &mut eq);
+        view.compare_many(ds.row(u), space, &mut rel);
+        for (p, v) in ds.ids().enumerate() {
+            prop_assert_eq!(dom[p], ds.dom_mask(u, v) & space, "dom u={} v={}", u, v);
+            prop_assert_eq!(eq[p], ds.co_mask(u, v) & space, "co u={} v={}", u, v);
+            prop_assert_eq!(rel[p], ds.compare(u, v, space), "rel u={} v={}", u, v);
+            prop_assert_eq!(
+                rel[p] == DomRelation::Dominates,
+                ds.dominates(u, v, space)
+            );
+            prop_assert_eq!(eq[p] == space, ds.coincides(u, v, space));
+        }
+    }
+
+    #[test]
+    fn skyline_engines_agree_across_kernels(ds in paper_dataset(), raw in 0u32..64) {
+        let space = match DimMask(raw) & ds.full_space() {
+            m if m.is_empty() => ds.full_space(),
+            m => m,
+        };
+        let expect = Algorithm::Naive.run(&ds, space);
+        for alg in Algorithm::ALL {
+            for kernel in DominanceKernel::ALL {
+                prop_assert_eq!(
+                    alg.run_with(&ds, space, kernel),
+                    expect.clone(),
+                    "{} under {}", alg.name(), kernel.name()
+                );
+            }
+        }
+        for threads in [1usize, 2, 4] {
+            for kernel in DominanceKernel::ALL {
+                prop_assert_eq!(
+                    skycube::algorithms::skyline_parallel_with(
+                        &ds, space, Parallelism::new(threads), kernel),
+                    expect.clone(),
+                    "parallel, {} threads under {}", threads, kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stellar_cube_identical_across_kernels(ds in paper_dataset()) {
+        let base = Stellar::new()
+            .with_kernel(DominanceKernel::Scalar)
+            .with_threads(1)
+            .compute(&ds);
+        let base_groups = skycube_types::normalize_groups(base.groups().to_vec());
+        for threads in [1usize, 2, 4] {
+            for kernel in DominanceKernel::ALL {
+                let cube = Stellar::new()
+                    .with_kernel(kernel)
+                    .with_threads(threads)
+                    .compute(&ds);
+                prop_assert_eq!(
+                    cube.seeds(), base.seeds(),
+                    "seeds, {} threads under {}", threads, kernel.name()
+                );
+                prop_assert_eq!(
+                    skycube_types::normalize_groups(cube.groups().to_vec()),
+                    base_groups.clone(),
+                    "groups, {} threads under {}", threads, kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn skyey_identical_across_kernels(ds in paper_dataset()) {
+        let base_seq = skycube::skyey::subspace_skylines_par_with(
+            &ds, Parallelism::new(1), DominanceKernel::Scalar);
+        let base_groups = skycube_types::normalize_groups(
+            skycube::skyey::skyey_groups_with(&ds, DominanceKernel::Scalar));
+        for threads in [1usize, 2, 4] {
+            for kernel in DominanceKernel::ALL {
+                prop_assert_eq!(
+                    skycube::skyey::subspace_skylines_par_with(
+                        &ds, Parallelism::new(threads), kernel),
+                    base_seq.clone(),
+                    "visitation, {} threads under {}", threads, kernel.name()
+                );
+                prop_assert_eq!(
+                    skycube_types::normalize_groups(
+                        skycube::skyey::skyey_groups_par_with(
+                            &ds, Parallelism::new(threads), kernel)),
+                    base_groups.clone(),
+                    "groups, {} threads under {}", threads, kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn parallel_skyey_equals_sequential(ds in paper_dataset()) {
         let seq_groups = skycube_types::normalize_groups(skyey_groups(&ds));
         let seq_total = skycube::skyey::skycube_total_size(&ds);
