@@ -13,8 +13,30 @@ echo '== tier-1: build + test (root package)'
 cargo build --release
 cargo test -q
 
-echo '== bench harness bins (kernel-ablation rot gate)'
+echo '== bench harness bins (kernel- and query-ablation rot gate)'
 cargo build --release -p skycube-bench --bins
+
+echo '== query-layer smoke: every --source answers a 2-line workload'
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+./target/release/skycube generate --dist independent --count 300 --dims 4 \
+    --seed 5 --out "$SMOKE_DIR/data.csv"
+printf 'skyline ABD\ntop 3\n' > "$SMOKE_DIR/workload.txt"
+for src in stellar stellar-scan skyey subsky direct; do
+    ./target/release/skycube query --data "$SMOKE_DIR/data.csv" \
+        --source "$src" --workload "$SMOKE_DIR/workload.txt" --cache 4 \
+        > "$SMOKE_DIR/out.$src"
+done
+# Answers (everything except the trailing stats line) must be identical
+# across sources.
+grep -v '^#' "$SMOKE_DIR/out.stellar" > "$SMOKE_DIR/expect.txt"
+for src in stellar-scan skyey subsky direct; do
+    grep -v '^#' "$SMOKE_DIR/out.$src" > "$SMOKE_DIR/got.txt"
+    if ! diff "$SMOKE_DIR/expect.txt" "$SMOKE_DIR/got.txt" > /dev/null; then
+        echo "query smoke: $src disagrees with stellar" >&2
+        exit 1
+    fi
+done
 
 if [ "${WORKSPACE:-0}" = "1" ]; then
     echo '== workspace tests'

@@ -1,0 +1,9 @@
+//! Query-layer ablation: scan baseline vs `CubeIndex` vs `CubeIndex`
+//! behind the LRU subspace cache, on the Figure 10 all-subspaces sweep and
+//! a repeated-query workload. See `--help` for options; `--json PATH`
+//! writes `BENCH_queries.json`.
+fn main() {
+    let args = skycube_bench::HarnessArgs::parse();
+    let records = skycube_bench::figures::queries_ablation(&args);
+    skycube_bench::write_json_report(&args, "queries", &records);
+}

@@ -1,0 +1,153 @@
+//! Batched workload execution over any [`SkylineSource`].
+//!
+//! [`run_batch`] fans a parsed workload out over `crates/parallel` (results
+//! come back in input order regardless of thread count) and collects
+//! per-run [`QueryStats`]: wall-clock time, the delta of groups the source
+//! touched, and — for cached sources — the delta of cache hits and misses.
+
+use crate::source::SkylineSource;
+use crate::workload::Query;
+use skycube_parallel::{par_map_slice, Parallelism};
+use skycube_types::ObjId;
+use std::time::Instant;
+
+/// One query's answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Answer {
+    /// Skyline objects, ascending ids.
+    Skyline(Vec<ObjId>),
+    /// Whether the object is a skyline object of the subspace.
+    Member(bool),
+    /// The object's subspace-skyline membership count.
+    Count(u64),
+    /// Top-k frequent objects with counts, count descending then id.
+    Top(Vec<(ObjId, u64)>),
+}
+
+/// Aggregate statistics for one [`run_batch`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryStats {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Number of queries that returned an error.
+    pub errors: usize,
+    /// Wall-clock seconds for the whole batch.
+    pub seconds: f64,
+    /// Groups (or group-like candidates) the source examined during the
+    /// batch; `0` for sources without the notion.
+    pub groups_touched: u64,
+    /// Skyline queries answered from the cache during the batch, if the
+    /// source is cached.
+    pub cache_hits: u64,
+    /// Skyline queries that missed the cache during the batch, if the
+    /// source is cached.
+    pub cache_misses: u64,
+}
+
+/// Answers (in workload order) plus run statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// One result per query, in the order the workload listed them.
+    pub answers: Vec<Result<Answer, String>>,
+    /// Aggregate counters for the run.
+    pub stats: QueryStats,
+}
+
+fn answer_one(source: &dyn SkylineSource, query: &Query) -> Result<Answer, String> {
+    match *query {
+        Query::Skyline(space) => source.subspace_skyline(space).map(Answer::Skyline),
+        Query::Member(o, space) => source.is_skyline_in(o, space).map(Answer::Member),
+        Query::Count(o) => source.membership_count(o).map(Answer::Count),
+        Query::Top(k) => Ok(Answer::Top(source.top_k_frequent(k))),
+    }
+}
+
+/// Execute `queries` against `source`, fanning out over `par` threads.
+///
+/// Answers are returned in workload order. Counter deltas (groups touched,
+/// cache hits/misses) are measured across the batch, so a source can be
+/// reused for several batches and each outcome reports only its own work.
+pub fn run_batch(source: &dyn SkylineSource, queries: &[Query], par: Parallelism) -> BatchOutcome {
+    let touched_before = source.groups_touched();
+    let cache_before = source.cache_stats().unwrap_or_default();
+    let start = Instant::now();
+    let answers = par_map_slice(par, queries, |q| answer_one(source, q));
+    let seconds = start.elapsed().as_secs_f64();
+    let cache_after = source.cache_stats().unwrap_or_default();
+    let stats = QueryStats {
+        queries: queries.len(),
+        errors: answers.iter().filter(|a| a.is_err()).count(),
+        seconds,
+        groups_touched: source.groups_touched() - touched_before,
+        cache_hits: cache_after.hits - cache_before.hits,
+        cache_misses: cache_after.misses - cache_before.misses,
+    };
+    BatchOutcome { answers, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::CachedSource;
+    use crate::source::{DirectSource, IndexedCubeSource};
+    use crate::workload::parse_workload;
+    use skycube_stellar::compute_cube;
+    use skycube_types::running_example;
+
+    const WORKLOAD: &str = "skyline BD\nmember 4 BD\nmember 0 BD\ncount 4\ntop 2\nskyline Z\n";
+
+    #[test]
+    fn batch_preserves_workload_order_and_counts_errors() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let source = IndexedCubeSource::new(&cube);
+        let queries = parse_workload(WORKLOAD).unwrap();
+        let outcome = run_batch(&source, &queries, Parallelism::sequential());
+        assert_eq!(outcome.answers.len(), 6);
+        assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![2, 4])));
+        assert_eq!(outcome.answers[1], Ok(Answer::Member(true)));
+        assert_eq!(outcome.answers[2], Ok(Answer::Member(false)));
+        assert_eq!(outcome.answers[3], Ok(Answer::Count(10)));
+        assert_eq!(outcome.answers[4], Ok(Answer::Top(vec![(1, 10), (4, 10)])));
+        assert!(outcome.answers[5].is_err());
+        assert_eq!(outcome.stats.queries, 6);
+        assert_eq!(outcome.stats.errors, 1);
+        assert!(outcome.stats.groups_touched > 0);
+    }
+
+    #[test]
+    fn threaded_batches_match_the_sequential_answers() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let queries = parse_workload(WORKLOAD).unwrap();
+        let sequential = {
+            let source = IndexedCubeSource::new(&cube);
+            run_batch(&source, &queries, Parallelism::sequential()).answers
+        };
+        for threads in [2, 4] {
+            let source = IndexedCubeSource::new(&cube);
+            let outcome = run_batch(&source, &queries, Parallelism::new(threads));
+            assert_eq!(outcome.answers, sequential, "threads = {threads}");
+            let direct = DirectSource::new(&ds);
+            let outcome = run_batch(&direct, &queries, Parallelism::new(threads));
+            assert_eq!(outcome.answers, sequential, "direct, threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn stats_report_per_batch_deltas() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let source = CachedSource::new(IndexedCubeSource::new(&cube), 8);
+        let queries = parse_workload("skyline BD\nskyline BD\nskyline BD\n").unwrap();
+        let first = run_batch(&source, &queries, Parallelism::sequential());
+        assert_eq!(first.stats.cache_misses, 1);
+        assert_eq!(first.stats.cache_hits, 2);
+        let second = run_batch(&source, &queries, Parallelism::sequential());
+        // Deltas, not cumulative totals: the repeat batch is all hits and
+        // touches the index not at all.
+        assert_eq!(second.stats.cache_misses, 0);
+        assert_eq!(second.stats.cache_hits, 3);
+        assert_eq!(second.stats.groups_touched, 0);
+    }
+}

@@ -1,0 +1,237 @@
+//! An LRU subspace→skyline cache and the [`CachedSource`] wrapper that
+//! puts it in front of any [`SkylineSource`].
+//!
+//! Fig. 10-style workloads revisit subspaces heavily (there are only
+//! `2^d − 1` of them), so even a small cache converts repeat skyline
+//! queries into hash lookups. Only *successful* `subspace_skyline` answers
+//! are cached; the point-query and analytic families are already cheap on
+//! the indexed path and pass straight through.
+
+use crate::source::SkylineSource;
+use skycube_types::{DimMask, ObjId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Snapshot of a cache's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Skyline queries answered from the cache.
+    pub hits: u64,
+    /// Skyline queries that had to go to the underlying source.
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Maximum number of resident entries.
+    pub capacity: usize,
+}
+
+struct CacheInner {
+    map: HashMap<DimMask, (u64, Vec<ObjId>)>,
+    tick: u64,
+}
+
+/// A thread-safe least-recently-used map from subspace to skyline.
+///
+/// Eviction scans for the minimum recency stamp, which is O(capacity);
+/// capacities here are small (at most the `2^d − 1` subspaces of a
+/// low-dimensional cube), so the scan is cheaper than an intrusive list.
+pub struct SubspaceCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl SubspaceCache {
+    /// A cache holding at most `capacity` skylines. Capacity is clamped to
+    /// at least 1.
+    pub fn new(capacity: usize) -> Self {
+        SubspaceCache {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `space`, refreshing its recency on a hit.
+    pub fn get(&self, space: DimMask) -> Option<Vec<ObjId>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&space) {
+            Some((stamp, sky)) => {
+                *stamp = tick;
+                let sky = sky.clone();
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(sky)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `space`'s skyline, evicting the least recently
+    /// used entry if the cache is full.
+    pub fn put(&self, space: DimMask, skyline: Vec<ObjId>) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&space) {
+            if let Some(&oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (stamp, _))| *stamp)
+                .map(|(space, _)| space)
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(space, (tick, skyline));
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().map.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// A [`SkylineSource`] wrapper that serves repeated `subspace_skyline`
+/// queries from a [`SubspaceCache`]. All other queries delegate untouched.
+pub struct CachedSource<S> {
+    inner: S,
+    cache: SubspaceCache,
+}
+
+impl<S: SkylineSource> CachedSource<S> {
+    /// Wrap `inner` with a cache of `capacity` skylines.
+    pub fn new(inner: S, capacity: usize) -> Self {
+        CachedSource {
+            inner,
+            cache: SubspaceCache::new(capacity),
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: SkylineSource> SkylineSource for CachedSource<S> {
+    fn label(&self) -> &'static str {
+        self.inner.label()
+    }
+
+    fn dims(&self) -> usize {
+        self.inner.dims()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.inner.num_objects()
+    }
+
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        if let Some(sky) = self.cache.get(space) {
+            return Ok(sky);
+        }
+        let sky = self.inner.subspace_skyline(space)?;
+        self.cache.put(space, sky.clone());
+        Ok(sky)
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+        self.inner.is_skyline_in(o, space)
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+        self.inner.membership_count(o)
+    }
+
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        self.inner.top_k_frequent(k)
+    }
+
+    fn groups_touched(&self) -> u64 {
+        self.inner.groups_touched()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.cache.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::IndexedCubeSource;
+    use skycube_stellar::compute_cube;
+    use skycube_types::running_example;
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let cache = SubspaceCache::new(2);
+        let a = DimMask::from_dims([0]);
+        let b = DimMask::from_dims([1]);
+        let c = DimMask::from_dims([2]);
+        cache.put(a, vec![1]);
+        cache.put(b, vec![2]);
+        assert_eq!(cache.get(a), Some(vec![1])); // refresh a: b is now LRU
+        cache.put(c, vec![3]); // evicts b
+        assert_eq!(cache.get(b), None);
+        assert_eq!(cache.get(a), Some(vec![1]));
+        assert_eq!(cache.get(c), Some(vec![3]));
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.capacity), (2, 2));
+        assert_eq!((stats.hits, stats.misses), (3, 1));
+    }
+
+    #[test]
+    fn capacity_zero_is_clamped_to_one() {
+        let cache = SubspaceCache::new(0);
+        cache.put(DimMask::from_dims([0]), vec![1]);
+        assert_eq!(cache.stats().capacity, 1);
+        assert_eq!(cache.get(DimMask::from_dims([0])), Some(vec![1]));
+    }
+
+    #[test]
+    fn cached_source_answers_repeats_from_the_cache() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let source = CachedSource::new(IndexedCubeSource::new(&cube), 8);
+        let space = DimMask::parse("BD").unwrap();
+        let first = source.subspace_skyline(space).unwrap();
+        let touched_after_first = source.groups_touched();
+        let second = source.subspace_skyline(space).unwrap();
+        assert_eq!(first, second);
+        // The repeat never reached the index.
+        assert_eq!(source.groups_touched(), touched_after_first);
+        let stats = source.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let source = CachedSource::new(IndexedCubeSource::new(&cube), 8);
+        assert!(source.subspace_skyline(DimMask::EMPTY).is_err());
+        assert!(source.subspace_skyline(DimMask::EMPTY).is_err());
+        let stats = source.cache_stats().unwrap();
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.entries, 0);
+    }
+}

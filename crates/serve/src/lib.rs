@@ -1,0 +1,49 @@
+//! **Serving-grade query layer** over the workspace's answer engines.
+//!
+//! The paper's pitch is that the compressed cube makes subspace-skyline
+//! queries cheap; this crate is where that pitch meets query traffic. It
+//! unifies the four ways the workspace can answer the paper's query
+//! families behind one [`SkylineSource`] trait:
+//!
+//! - the **indexed Stellar cube** ([`IndexedCubeSource`], backed by
+//!   [`skycube_stellar::CubeIndex`]) — the serving path;
+//! - the **scan-path Stellar cube** ([`ScanCubeSource`]) — the reference
+//!   implementation the index is property-tested against;
+//! - the materialized **SkyCube** of Yuan et al. ([`SkyCubeSource`]);
+//! - the **SUBSKY** sorted index ([`SubskySource`]);
+//! - **direct computation** from the dataset ([`DirectSource`]).
+//!
+//! On top of the trait sit an LRU subspace→skyline cache
+//! ([`CachedSource`]) and a batched executor ([`run_batch`]) that fans a
+//! parsed workload ([`parse_workload`]) out over `crates/parallel` and
+//! reports per-source [`QueryStats`].
+//!
+//! ```
+//! use skycube_serve::{parse_workload, run_batch, Answer, IndexedCubeSource};
+//! use skycube_stellar::compute_cube;
+//! use skycube_types::running_example;
+//! use skycube_parallel::Parallelism;
+//!
+//! let ds = running_example();
+//! let cube = compute_cube(&ds);
+//! let source = IndexedCubeSource::new(&cube);
+//! let queries = parse_workload("skyline BD\ncount 4\n").unwrap();
+//! let outcome = run_batch(&source, &queries, Parallelism::sequential());
+//! assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![2, 4])));
+//! assert_eq!(outcome.answers[1], Ok(Answer::Count(10)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod cache;
+mod source;
+mod workload;
+
+pub use batch::{run_batch, Answer, BatchOutcome, QueryStats};
+pub use cache::{CacheStats, CachedSource, SubspaceCache};
+pub use source::{
+    DirectSource, IndexedCubeSource, ScanCubeSource, SkyCubeSource, SkylineSource, SubskySource,
+};
+pub use workload::{parse_query_line, parse_workload, Query};

@@ -1,0 +1,559 @@
+//! The unified [`SkylineSource`] trait and its five implementations.
+
+use crate::cache::CacheStats;
+use skycube_skyey::SkyCube;
+use skycube_skyline::Algorithm;
+use skycube_stellar::{CompressedSkylineCube, CubeIndex, IndexScratch};
+use skycube_subsky::SubskyIndex;
+use skycube_types::{Dataset, DimMask, DominanceKernel, ObjId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One answer engine for the paper's query families, behind a uniform,
+/// thread-shareable interface. All implementations must return *identical*
+/// answers (pinned by the cross-source property tests): skylines ascending
+/// by id, frequencies ordered count-descending with ties by ascending id.
+pub trait SkylineSource: Sync {
+    /// Short name for reports and CLI output.
+    fn label(&self) -> &'static str;
+
+    /// Dimensionality of the full space.
+    fn dims(&self) -> usize;
+
+    /// Number of objects in the underlying dataset.
+    fn num_objects(&self) -> usize;
+
+    /// The skyline of `space`, ascending ids, or a diagnostic for an
+    /// invalid subspace.
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String>;
+
+    /// Whether object `o` is a skyline object of `space`.
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String>;
+
+    /// The number of subspaces in which `o` is a skyline object.
+    fn membership_count(&self, o: ObjId) -> Result<u64, String>;
+
+    /// The `k` most frequent subspace-skyline objects with their counts,
+    /// count descending, ties by ascending id.
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)>;
+
+    /// Cumulative number of groups (or group-like candidates) examined by
+    /// this source since construction; `0` for engines without groups.
+    fn groups_touched(&self) -> u64 {
+        0
+    }
+
+    /// Cache counters, for sources wrapped in a [`crate::CachedSource`].
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+}
+
+/// Shared validation: `space` must be non-empty and within the full space.
+pub(crate) fn check_space(space: DimMask, dims: usize) -> Result<(), String> {
+    if space.is_empty() {
+        return Err("invalid subspace: the empty subspace has no skyline".to_owned());
+    }
+    if !space.is_subset_of(DimMask::full(dims)) {
+        return Err(format!(
+            "invalid subspace {space}: not a subspace of the {dims}-dimensional full space {}",
+            DimMask::full(dims)
+        ));
+    }
+    Ok(())
+}
+
+/// Shared validation: `o` must be a known object id.
+pub(crate) fn check_object(o: ObjId, num_objects: usize) -> Result<(), String> {
+    if (o as usize) < num_objects {
+        Ok(())
+    } else {
+        Err(format!(
+            "object {o} out of range (dataset has {num_objects} objects)"
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stellar, indexed
+// ---------------------------------------------------------------------
+
+/// The serving path: a compressed skyline cube answered through its
+/// [`CubeIndex`]. The index is forced at construction so the first query
+/// pays no build cost, and a scratch pool keeps the hot loop allocation-free
+/// across threads.
+pub struct IndexedCubeSource<'a> {
+    index: &'a CubeIndex,
+    touched: AtomicU64,
+    scratch_pool: Mutex<Vec<IndexScratch>>,
+}
+
+impl<'a> IndexedCubeSource<'a> {
+    /// Build the source (and the cube's index, if not built yet).
+    pub fn new(cube: &'a CompressedSkylineCube) -> Self {
+        IndexedCubeSource {
+            index: cube.index(),
+            touched: AtomicU64::new(0),
+            scratch_pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &CubeIndex {
+        self.index
+    }
+}
+
+impl SkylineSource for IndexedCubeSource<'_> {
+    fn label(&self) -> &'static str {
+        "stellar"
+    }
+
+    fn dims(&self) -> usize {
+        self.index.dims()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.index.num_objects()
+    }
+
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        let mut scratch = self.scratch_pool.lock().unwrap().pop().unwrap_or_default();
+        let mut out = Vec::new();
+        let result = self
+            .index
+            .try_subspace_skyline_into(space, &mut scratch, &mut out);
+        self.scratch_pool.lock().unwrap().push(scratch);
+        let probe = result?;
+        self.touched
+            .fetch_add(probe.candidates as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+        check_space(space, self.dims())?;
+        check_object(o, self.num_objects())?;
+        Ok(self.index.is_skyline_in(o, space))
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+        check_object(o, self.num_objects())?;
+        Ok(self.index.membership_count(o))
+    }
+
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        self.index.top_k_frequent(k)
+    }
+
+    fn groups_touched(&self) -> u64 {
+        self.touched.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stellar, scan path (reference)
+// ---------------------------------------------------------------------
+
+/// The legacy scan path over the same cube: every skyline query walks the
+/// full group list and collect-sort-dedups. Kept as the baseline the index
+/// is benchmarked and property-tested against.
+pub struct ScanCubeSource<'a> {
+    cube: &'a CompressedSkylineCube,
+    touched: AtomicU64,
+}
+
+impl<'a> ScanCubeSource<'a> {
+    /// Wrap a cube without building its index.
+    pub fn new(cube: &'a CompressedSkylineCube) -> Self {
+        ScanCubeSource {
+            cube,
+            touched: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SkylineSource for ScanCubeSource<'_> {
+    fn label(&self) -> &'static str {
+        "stellar-scan"
+    }
+
+    fn dims(&self) -> usize {
+        self.cube.dims()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.cube.num_objects()
+    }
+
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        let out = self.cube.try_subspace_skyline(space)?;
+        self.touched
+            .fetch_add(self.cube.num_groups() as u64, Ordering::Relaxed);
+        Ok(out)
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+        check_space(space, self.dims())?;
+        check_object(o, self.num_objects())?;
+        Ok(self.cube.is_skyline_in(o, space))
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+        check_object(o, self.num_objects())?;
+        Ok(self.cube.membership_count(o))
+    }
+
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        self.cube.top_k_frequent(k)
+    }
+
+    fn groups_touched(&self) -> u64 {
+        self.touched.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Skyey's materialized SkyCube
+// ---------------------------------------------------------------------
+
+/// The materialized all-subspaces SkyCube: every skyline is a lookup; the
+/// analytics enumerate the stored subspaces.
+pub struct SkyCubeSource<'a> {
+    cube: &'a SkyCube,
+    num_objects: usize,
+}
+
+impl<'a> SkyCubeSource<'a> {
+    /// Wrap a materialized SkyCube. `num_objects` is the dataset size (the
+    /// SkyCube itself only stores skylines).
+    pub fn new(cube: &'a SkyCube, num_objects: usize) -> Self {
+        SkyCubeSource { cube, num_objects }
+    }
+}
+
+impl SkylineSource for SkyCubeSource<'_> {
+    fn label(&self) -> &'static str {
+        "skyey"
+    }
+
+    fn dims(&self) -> usize {
+        self.cube.dims()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        check_space(space, self.dims())?;
+        self.cube
+            .skyline(space)
+            .map(<[ObjId]>::to_vec)
+            .ok_or_else(|| format!("subspace {space} not materialized"))
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+        check_object(o, self.num_objects)?;
+        let sky = self.subspace_skyline(space)?;
+        Ok(sky.binary_search(&o).is_ok())
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+        check_object(o, self.num_objects)?;
+        Ok(self
+            .cube
+            .iter()
+            .filter(|(_, sky)| sky.binary_search(&o).is_ok())
+            .count() as u64)
+    }
+
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        let mut freq = vec![0u64; self.num_objects];
+        for (_, sky) in self.cube.iter() {
+            for &o in sky {
+                freq[o as usize] += 1;
+            }
+        }
+        rank_frequencies(&freq, k)
+    }
+}
+
+// ---------------------------------------------------------------------
+// SUBSKY sorted index
+// ---------------------------------------------------------------------
+
+/// The SUBSKY one-dimensional sorted index: every query is an
+/// early-terminating scan; the analytics enumerate subspaces on the fly.
+pub struct SubskySource<'a> {
+    index: SubskyIndex<'a>,
+}
+
+impl<'a> SubskySource<'a> {
+    /// Build the sorted index over `ds` with the default kernel.
+    pub fn new(ds: &'a Dataset) -> Self {
+        SubskySource {
+            index: SubskyIndex::build(ds),
+        }
+    }
+
+    /// Build with an explicit dominance kernel for the query-time scans.
+    pub fn with_kernel(ds: &'a Dataset, kernel: DominanceKernel) -> Self {
+        SubskySource {
+            index: SubskyIndex::build_with(ds, kernel),
+        }
+    }
+}
+
+impl SkylineSource for SubskySource<'_> {
+    fn label(&self) -> &'static str {
+        "subsky"
+    }
+
+    fn dims(&self) -> usize {
+        self.index.dataset().dims()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.index.len()
+    }
+
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        check_space(space, self.dims())?;
+        Ok(self.index.skyline(space))
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+        check_object(o, self.num_objects())?;
+        let sky = self.subspace_skyline(space)?;
+        Ok(sky.binary_search(&o).is_ok())
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+        check_object(o, self.num_objects())?;
+        let full = DimMask::full(self.dims());
+        Ok(full
+            .subsets()
+            .filter(|&s| self.index.skyline(s).binary_search(&o).is_ok())
+            .count() as u64)
+    }
+
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        let mut freq = vec![0u64; self.num_objects()];
+        for s in DimMask::full(self.dims()).subsets() {
+            for o in self.index.skyline(s) {
+                freq[o as usize] += 1;
+            }
+        }
+        rank_frequencies(&freq, k)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Direct computation
+// ---------------------------------------------------------------------
+
+/// The no-precomputation fallback: every query runs a skyline algorithm
+/// straight on the dataset.
+pub struct DirectSource<'a> {
+    ds: &'a Dataset,
+    algorithm: Algorithm,
+    kernel: DominanceKernel,
+}
+
+impl<'a> DirectSource<'a> {
+    /// Answer directly from `ds` with the default algorithm and kernel.
+    pub fn new(ds: &'a Dataset) -> Self {
+        DirectSource {
+            ds,
+            algorithm: Algorithm::default(),
+            kernel: DominanceKernel::default(),
+        }
+    }
+
+    /// Choose the dominance kernel for the per-query skyline runs.
+    pub fn with_kernel(mut self, kernel: DominanceKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Choose the skyline algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+impl SkylineSource for DirectSource<'_> {
+    fn label(&self) -> &'static str {
+        "direct"
+    }
+
+    fn dims(&self) -> usize {
+        self.ds.dims()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.ds.len()
+    }
+
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        check_space(space, self.dims())?;
+        Ok(self.algorithm.run_with(self.ds, space, self.kernel))
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+        check_space(space, self.dims())?;
+        check_object(o, self.num_objects())?;
+        Ok(self.ds.ids().all(|v| !self.ds.dominates(v, o, space)))
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+        check_object(o, self.num_objects())?;
+        let full = DimMask::full(self.dims());
+        let mut count = 0u64;
+        for s in full.subsets() {
+            if self.ds.ids().all(|v| !self.ds.dominates(v, o, s)) {
+                count += 1;
+            }
+        }
+        Ok(count)
+    }
+
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        let mut freq = vec![0u64; self.num_objects()];
+        for s in DimMask::full(self.dims()).subsets() {
+            for o in self.algorithm.run_with(self.ds, s, self.kernel) {
+                freq[o as usize] += 1;
+            }
+        }
+        rank_frequencies(&freq, k)
+    }
+}
+
+/// Turn a per-object frequency table into the canonical top-k ranking:
+/// count descending, ties by ascending id, zero-count objects dropped.
+fn rank_frequencies(freq: &[u64], k: usize) -> Vec<(ObjId, u64)> {
+    let mut ranked: Vec<(ObjId, u64)> = freq
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(o, &f)| (o as ObjId, f))
+        .collect();
+    ranked.sort_unstable_by_key(|&(o, f)| (std::cmp::Reverse(f), o));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_stellar::compute_cube;
+    use skycube_types::running_example;
+
+    fn mask(s: &str) -> DimMask {
+        DimMask::parse(s).unwrap()
+    }
+
+    #[test]
+    fn all_sources_agree_on_running_example() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let skycube = SkyCube::compute(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        let scan = ScanCubeSource::new(&cube);
+        let skyey = SkyCubeSource::new(&skycube, ds.len());
+        let subsky = SubskySource::new(&ds);
+        let direct = DirectSource::new(&ds);
+        let sources: [&dyn SkylineSource; 5] = [&indexed, &scan, &skyey, &subsky, &direct];
+        for space in ds.full_space().subsets() {
+            let expect = scan.subspace_skyline(space).unwrap();
+            for s in sources {
+                assert_eq!(
+                    s.subspace_skyline(space).unwrap(),
+                    expect,
+                    "{} subspace {space}",
+                    s.label()
+                );
+            }
+            for o in 0..ds.len() as ObjId {
+                let expect = scan.is_skyline_in(o, space).unwrap();
+                for s in sources {
+                    assert_eq!(
+                        s.is_skyline_in(o, space).unwrap(),
+                        expect,
+                        "{} object {o} subspace {space}",
+                        s.label()
+                    );
+                }
+            }
+        }
+        for o in 0..ds.len() as ObjId {
+            let expect = scan.membership_count(o).unwrap();
+            for s in sources {
+                assert_eq!(s.membership_count(o).unwrap(), expect, "{}", s.label());
+            }
+        }
+        let expect = scan.top_k_frequent(10);
+        for s in sources {
+            assert_eq!(s.top_k_frequent(10), expect, "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn top_k_ties_break_by_ascending_id_in_every_source() {
+        // P2 (id 1) and P5 (id 4) tie at 10 memberships in the running
+        // example; every source must put id 1 first.
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let skycube = SkyCube::compute(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        let scan = ScanCubeSource::new(&cube);
+        let skyey = SkyCubeSource::new(&skycube, ds.len());
+        let subsky = SubskySource::new(&ds);
+        let direct = DirectSource::new(&ds);
+        let sources: [&dyn SkylineSource; 5] = [&indexed, &scan, &skyey, &subsky, &direct];
+        for s in sources {
+            let top = s.top_k_frequent(2);
+            assert_eq!(top, vec![(1, 10), (4, 10)], "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_are_diagnosed_uniformly() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let skycube = SkyCube::compute(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        let scan = ScanCubeSource::new(&cube);
+        let skyey = SkyCubeSource::new(&skycube, ds.len());
+        let subsky = SubskySource::new(&ds);
+        let direct = DirectSource::new(&ds);
+        let sources: [&dyn SkylineSource; 5] = [&indexed, &scan, &skyey, &subsky, &direct];
+        for s in sources {
+            assert!(s.subspace_skyline(DimMask::EMPTY).is_err(), "{}", s.label());
+            assert!(
+                s.subspace_skyline(DimMask::single(9)).is_err(),
+                "{}",
+                s.label()
+            );
+            assert!(s.membership_count(999).is_err(), "{}", s.label());
+            assert!(s.is_skyline_in(999, mask("A")).is_err(), "{}", s.label());
+        }
+    }
+
+    #[test]
+    fn indexed_source_counts_touched_groups() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        assert_eq!(indexed.groups_touched(), 0);
+        indexed.subspace_skyline(mask("BD")).unwrap();
+        let after_one = indexed.groups_touched();
+        assert!(after_one > 0);
+        let scan = ScanCubeSource::new(&cube);
+        scan.subspace_skyline(mask("BD")).unwrap();
+        assert_eq!(scan.groups_touched(), cube.num_groups() as u64);
+        // The index touches no more candidates than the scan touches groups.
+        assert!(after_one <= scan.groups_touched());
+    }
+}

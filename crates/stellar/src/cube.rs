@@ -3,7 +3,9 @@
 //! on it (Section 1): subspace-skyline extraction, object→subspace
 //! membership, and multidimensional (per-dimensionality) skyline analysis.
 
+use crate::index::CubeIndex;
 use skycube_types::{Dataset, DimMask, ObjId, SkylineGroup};
+use std::sync::OnceLock;
 
 /// The materialized compressed skyline cube over one dataset.
 ///
@@ -20,6 +22,10 @@ pub struct CompressedSkylineCube {
     /// `member_groups[o]` = indexes of the groups containing object `o`
     /// (empty for objects in no subspace skyline).
     member_groups: Vec<Vec<u32>>,
+    /// The serving index, built on first use (see [`CubeIndex`]); cube
+    /// construction itself stays index-free so the build benchmarks measure
+    /// the paper's algorithm alone.
+    index: OnceLock<CubeIndex>,
 }
 
 impl CompressedSkylineCube {
@@ -43,7 +49,15 @@ impl CompressedSkylineCube {
             seeds,
             groups,
             member_groups,
+            index: OnceLock::new(),
         }
+    }
+
+    /// The serving index over this cube (CSR member runs, posting lists,
+    /// precomputed membership counts — see [`CubeIndex`]). Built once on
+    /// first call and cached; every later call is free.
+    pub fn index(&self) -> &CubeIndex {
+        self.index.get_or_init(|| CubeIndex::build(self))
     }
 
     /// Dimensionality of the full space.
@@ -139,10 +153,11 @@ impl CompressedSkylineCube {
 
     /// The subspace-membership summary of object `o`: for each group it
     /// belongs to, the interval(s) `[C_i, B]` of subspaces where it is a
-    /// skyline member. Returns `(decisive, maximal)` pairs.
-    pub fn membership_intervals(&self, o: ObjId) -> Vec<(Vec<DimMask>, DimMask)> {
+    /// skyline member. Returns borrowed `(decisive, maximal)` pairs — no
+    /// per-call clone of the decisive antichains.
+    pub fn membership_intervals(&self, o: ObjId) -> Vec<(&[DimMask], DimMask)> {
         self.groups_of(o)
-            .map(|g| (g.decisive.clone(), g.subspace))
+            .map(|g| (g.decisive.as_slice(), g.subspace))
             .collect()
     }
 
@@ -233,7 +248,7 @@ impl CompressedSkylineCube {
 /// antichain is wide (real data at high dimensionality can produce dozens of
 /// decisives per group), direct enumeration of the `2^|B|` subspaces of the
 /// maximal subspace, which is bounded by the dimensionality instead.
-fn covered_subspace_count(g: &SkylineGroup) -> u64 {
+pub(crate) fn covered_subspace_count(g: &SkylineGroup) -> u64 {
     if g.decisive.len() <= g.subspace.len().min(20) {
         covered_by_inclusion_exclusion(g)
     } else {
@@ -454,6 +469,48 @@ mod tests {
         // Truncation.
         assert_eq!(cube.top_k_frequent(2).len(), 2);
         assert!(cube.top_k_frequent(0).is_empty());
+    }
+
+    #[test]
+    fn top_k_frequent_is_deterministic_under_ties() {
+        // Two singleton groups with identical coverage (subspaces A and AB
+        // each): equal counts, so ascending id must decide the order — and
+        // the serving index must agree with the scan path.
+        let groups = vec![
+            SkylineGroup::new(vec![3], mask("AB"), vec![mask("A")]),
+            SkylineGroup::new(vec![1], mask("AB"), vec![mask("A")]),
+        ];
+        let cube = CompressedSkylineCube::new(2, 5, vec![1, 3], groups);
+        assert_eq!(cube.top_k_frequent(5), vec![(1, 2), (3, 2)]);
+        assert_eq!(cube.index().top_k_frequent(5), vec![(1, 2), (3, 2)]);
+        assert_eq!(cube.top_k_frequent(1), vec![(1, 2)]);
+        assert_eq!(cube.index().top_k_frequent(1), vec![(1, 2)]);
+    }
+
+    #[test]
+    fn membership_intervals_borrow_group_antichains() {
+        let cube = figure_3b_cube();
+        let intervals = cube.membership_intervals(4);
+        assert!(!intervals.is_empty());
+        for (decisive, maximal) in intervals {
+            assert!(!decisive.is_empty());
+            assert!(decisive.iter().all(|c| c.is_subset_of(maximal)));
+        }
+    }
+
+    #[test]
+    fn lazy_index_agrees_with_scan_queries() {
+        let cube = figure_3b_cube();
+        let index = cube.index();
+        for space in DimMask::full(4).subsets() {
+            assert_eq!(index.subspace_skyline(space), cube.subspace_skyline(space));
+        }
+        // The cloned cube re-derives an identical index.
+        let clone = cube.clone();
+        assert_eq!(
+            clone.index().top_k_frequent(10),
+            cube.index().top_k_frequent(10)
+        );
     }
 
     #[test]

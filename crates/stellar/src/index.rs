@@ -1,0 +1,584 @@
+//! The serving index over a computed cube: CSR-flattened group storage with
+//! per-dimension posting lists, popcount buckets and precomputed membership
+//! counts, so the paper's three query families run without rescanning the
+//! group list (the scan path in [`CompressedSkylineCube`] stays as the
+//! reference implementation).
+//!
+//! Layout:
+//!
+//! - **CSR members** — one contiguous `members` array plus per-group offsets;
+//!   each run is sorted ascending, so a subspace skyline is a k-way merge of
+//!   the matching runs instead of a collect-sort-dedup.
+//! - **Interned decisive antichains** — groups sharing the same decisive set
+//!   (extremely common: most groups have a single one-dimensional decisive)
+//!   point into one shared pool.
+//! - **Per-dimension posting lists** — `postings[d]` holds the groups whose
+//!   maximal subspace contains dimension `d`; a query on subspace `A` only
+//!   examines the shortest posting list among `A`'s dimensions.
+//! - **Popcount buckets** — groups bucketed by `|B|`; a query on `A` can
+//!   alternatively sweep only the buckets with `|B| ≥ |A|`, whichever
+//!   candidate set is smaller.
+//! - **Precomputed analytics** — per-group covered-subspace counts, per-object
+//!   membership counts, and the full frequency ranking (count descending, id
+//!   ascending), making `membership_count` O(1) and `top_k_frequent` O(k).
+
+use crate::cube::{covered_subspace_count, CompressedSkylineCube};
+use skycube_types::{DimMask, ObjId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// Per-query work counters reported by the index, for `QueryStats` in the
+/// serving layer and for the prefilter tests below.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IndexProbe {
+    /// Candidate groups examined by the prefilter.
+    pub candidates: usize,
+    /// Groups that actually cover the queried subspace.
+    pub matched: usize,
+}
+
+/// Reusable per-thread scratch for [`CubeIndex::try_subspace_skyline_into`],
+/// so a query loop allocates nothing after warm-up.
+#[derive(Clone, Debug, Default)]
+pub struct IndexScratch {
+    groups: Vec<u32>,
+    heap: BinaryHeap<Reverse<(ObjId, u32)>>,
+    cursors: Vec<usize>,
+    /// Stamp array for O(1) dedup across decisive posting lists.
+    seen: Vec<u32>,
+    epoch: u32,
+}
+
+/// The immutable serving index built from a [`CompressedSkylineCube`].
+///
+/// Answers are pinned identical to the cube's scan path by unit and property
+/// tests; the index only changes *how* the groups are found and merged.
+#[derive(Clone, Debug)]
+pub struct CubeIndex {
+    dims: usize,
+    num_objects: usize,
+    /// All group member runs, concatenated; run `g` is
+    /// `members[member_offsets[g]..member_offsets[g + 1]]`, sorted ascending.
+    members: Vec<ObjId>,
+    member_offsets: Vec<usize>,
+    /// Interned decisive pool; group `g`'s antichain is
+    /// `decisive_pool[s..s + l]` with `(s, l) = decisive_spans[g]`.
+    decisive_pool: Vec<DimMask>,
+    decisive_spans: Vec<(u32, u32)>,
+    /// Per-group maximal subspace `B`.
+    subspaces: Vec<DimMask>,
+    /// Per-group size of the smallest decisive subspace — a query on a
+    /// smaller subspace can never be covered.
+    min_decisive_len: Vec<u8>,
+    /// `postings[d]` = ascending ids of the groups with `d ∈ B`.
+    postings: Vec<Vec<u32>>,
+    /// Decisive posting lists: for each distinct decisive subspace `C`, the
+    /// ascending ids of the groups with `C` in their antichain. A query on
+    /// `A` unions the lists of all `C ⊆ A` — the dimension-bucketed lattice
+    /// lookup — so no antichain is walked at query time.
+    decisive_postings: HashMap<DimMask, Vec<u32>>,
+    /// `buckets[k]` = ascending ids of the groups with `|B| = k + 1`.
+    buckets: Vec<Vec<u32>>,
+    /// `bucket_suffix[k]` = number of groups with `|B| ≥ k + 1`.
+    bucket_suffix: Vec<usize>,
+    /// CSR of object → group ids (mirrors the cube's `member_groups`).
+    obj_groups: Vec<u32>,
+    obj_group_offsets: Vec<usize>,
+    /// Per-object membership count (number of subspaces where the object is
+    /// a skyline member).
+    freq_by_obj: Vec<u64>,
+    /// `(object, count)` with `count > 0`, ordered count descending then id
+    /// ascending — the full `top_k_frequent` ranking.
+    freq_ranked: Vec<(ObjId, u64)>,
+}
+
+impl CubeIndex {
+    /// Build the index from a computed cube. Cost is one pass over the
+    /// groups plus the per-group covered-subspace counts the scan path would
+    /// otherwise pay on every `membership_count` query.
+    pub fn build(cube: &CompressedSkylineCube) -> CubeIndex {
+        let dims = cube.dims();
+        let groups = cube.groups();
+        let n = cube.num_objects();
+
+        let mut members = Vec::with_capacity(groups.iter().map(|g| g.members.len()).sum());
+        let mut member_offsets = Vec::with_capacity(groups.len() + 1);
+        let mut decisive_pool: Vec<DimMask> = Vec::new();
+        let mut decisive_spans = Vec::with_capacity(groups.len());
+        let mut interned: HashMap<&[DimMask], (u32, u32)> = HashMap::new();
+        let mut subspaces = Vec::with_capacity(groups.len());
+        let mut min_decisive_len = Vec::with_capacity(groups.len());
+        let mut postings = vec![Vec::new(); dims];
+        let mut decisive_postings: HashMap<DimMask, Vec<u32>> = HashMap::new();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); dims];
+        let mut freq_by_obj = vec![0u64; n];
+
+        member_offsets.push(0);
+        for (gi, g) in groups.iter().enumerate() {
+            members.extend_from_slice(&g.members);
+            member_offsets.push(members.len());
+            let span = *interned.entry(g.decisive.as_slice()).or_insert_with(|| {
+                let start = decisive_pool.len() as u32;
+                decisive_pool.extend_from_slice(&g.decisive);
+                (start, g.decisive.len() as u32)
+            });
+            decisive_spans.push(span);
+            subspaces.push(g.subspace);
+            min_decisive_len.push(g.decisive.iter().map(|c| c.len()).min().unwrap_or(0) as u8);
+            for d in g.subspace.iter() {
+                postings[d].push(gi as u32);
+            }
+            for &c in &g.decisive {
+                decisive_postings.entry(c).or_default().push(gi as u32);
+            }
+            if !g.subspace.is_empty() {
+                buckets[g.subspace.len() - 1].push(gi as u32);
+            }
+            let covered = covered_subspace_count(g);
+            for &m in &g.members {
+                freq_by_obj[m as usize] += covered;
+            }
+        }
+
+        let mut bucket_suffix = vec![0usize; dims + 1];
+        for k in (0..dims).rev() {
+            bucket_suffix[k] = bucket_suffix[k + 1] + buckets[k].len();
+        }
+        bucket_suffix.truncate(dims.max(1));
+
+        let mut obj_group_offsets = Vec::with_capacity(n + 1);
+        let mut counts = vec![0usize; n];
+        for g in groups {
+            for &m in &g.members {
+                counts[m as usize] += 1;
+            }
+        }
+        obj_group_offsets.push(0);
+        for &c in &counts {
+            obj_group_offsets.push(obj_group_offsets.last().unwrap() + c);
+        }
+        let mut obj_groups = vec![0u32; *obj_group_offsets.last().unwrap()];
+        let mut cursor = obj_group_offsets.clone();
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in &g.members {
+                obj_groups[cursor[m as usize]] = gi as u32;
+                cursor[m as usize] += 1;
+            }
+        }
+
+        let mut freq_ranked: Vec<(ObjId, u64)> = freq_by_obj
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f > 0)
+            .map(|(o, &f)| (o as ObjId, f))
+            .collect();
+        freq_ranked.sort_unstable_by_key(|&(o, f)| (Reverse(f), o));
+
+        CubeIndex {
+            dims,
+            num_objects: n,
+            members,
+            member_offsets,
+            decisive_pool,
+            decisive_spans,
+            subspaces,
+            min_decisive_len,
+            postings,
+            decisive_postings,
+            buckets,
+            bucket_suffix,
+            obj_groups,
+            obj_group_offsets,
+            freq_by_obj,
+            freq_ranked,
+        }
+    }
+
+    /// Dimensionality of the full space.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of objects in the underlying dataset.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Number of indexed groups.
+    pub fn num_groups(&self) -> usize {
+        self.subspaces.len()
+    }
+
+    /// Number of distinct interned decisive antichains.
+    pub fn num_interned_antichains(&self) -> usize {
+        let mut spans: Vec<(u32, u32)> = self.decisive_spans.clone();
+        spans.sort_unstable();
+        spans.dedup();
+        spans.len()
+    }
+
+    fn member_run(&self, g: u32) -> &[ObjId] {
+        &self.members[self.member_offsets[g as usize]..self.member_offsets[g as usize + 1]]
+    }
+
+    fn decisive_of(&self, g: u32) -> &[DimMask] {
+        let (s, l) = self.decisive_spans[g as usize];
+        &self.decisive_pool[s as usize..(s + l) as usize]
+    }
+
+    /// Whether group `g` covers `space`: `space ⊆ B` and some decisive
+    /// `C ⊆ space`. The `min_decisive_len` gate skips the antichain walk for
+    /// subspaces that are too small to contain any decisive.
+    #[inline]
+    fn covers(&self, g: u32, space: DimMask, k: usize) -> bool {
+        space.is_subset_of(self.subspaces[g as usize])
+            && self.min_decisive_len[g as usize] as usize <= k
+            && self.decisive_of(g).iter().any(|c| c.is_subset_of(space))
+    }
+
+    /// Collect the ids of the groups covering `space` into `scratch.groups`,
+    /// using the cheapest of three prefilters. `space` must be valid.
+    ///
+    /// 1. **Decisive route** (the common case, `2^|A|` small): union the
+    ///    decisive posting lists of every `C ⊆ A`; each listed group is
+    ///    decisively qualified, so only the `A ⊆ B` bit test remains. A
+    ///    stamp array dedups groups reachable through several decisives.
+    /// 2. **Popcount-bucket route**: sweep only the groups with `|B| ≥ |A|`.
+    /// 3. **Dimension-posting route**: sweep the shortest posting list among
+    ///    `A`'s dimensions.
+    fn groups_covering(&self, space: DimMask, scratch: &mut IndexScratch) -> IndexProbe {
+        scratch.groups.clear();
+        let k = space.len();
+        let mut probe = IndexProbe::default();
+        let n_groups = self.subspaces.len();
+        let subset_route_cheap = k < 63 && ((1u64 << k) - 1) <= n_groups.max(1) as u64;
+        if subset_route_cheap {
+            if scratch.seen.len() != n_groups {
+                scratch.seen = vec![0; n_groups];
+                scratch.epoch = 0;
+            }
+            scratch.epoch = scratch.epoch.wrapping_add(1);
+            if scratch.epoch == 0 {
+                scratch.seen.fill(0);
+                scratch.epoch = 1;
+            }
+            let epoch = scratch.epoch;
+            for c in space.subsets() {
+                if let Some(list) = self.decisive_postings.get(&c) {
+                    for &g in list {
+                        probe.candidates += 1;
+                        if scratch.seen[g as usize] != epoch {
+                            scratch.seen[g as usize] = epoch;
+                            if space.is_subset_of(self.subspaces[g as usize]) {
+                                scratch.groups.push(g);
+                            }
+                        }
+                    }
+                }
+            }
+        } else {
+            let shortest = space
+                .iter()
+                .map(|d| &self.postings[d])
+                .min_by_key(|p| p.len())
+                .expect("non-empty subspace");
+            let via_buckets = self.bucket_suffix.get(k - 1).copied().unwrap_or(0);
+            if via_buckets < shortest.len() {
+                for bucket in &self.buckets[k - 1..] {
+                    for &g in bucket {
+                        probe.candidates += 1;
+                        if self.covers(g, space, k) {
+                            scratch.groups.push(g);
+                        }
+                    }
+                }
+            } else {
+                for &g in shortest {
+                    probe.candidates += 1;
+                    if self.covers(g, space, k) {
+                        scratch.groups.push(g);
+                    }
+                }
+            }
+        }
+        probe.matched = scratch.groups.len();
+        probe
+    }
+
+    /// The skyline of `space`, ascending ids — identical to
+    /// [`CompressedSkylineCube::subspace_skyline`].
+    ///
+    /// # Panics
+    /// Panics when `space` is empty or outside the full space.
+    pub fn subspace_skyline(&self, space: DimMask) -> Vec<ObjId> {
+        self.try_subspace_skyline(space)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The skyline of `space`, or a diagnostic for an invalid subspace.
+    pub fn try_subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        self.try_subspace_skyline_into(space, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// The allocation-free query loop: answer into `out` reusing `scratch`,
+    /// returning the prefilter work counters.
+    pub fn try_subspace_skyline_into(
+        &self,
+        space: DimMask,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<ObjId>,
+    ) -> Result<IndexProbe, String> {
+        out.clear();
+        if space.is_empty() {
+            return Err("invalid subspace: the empty subspace has no skyline".to_owned());
+        }
+        if !space.is_subset_of(DimMask::full(self.dims)) {
+            return Err(format!(
+                "invalid subspace {space}: not a subspace of the {}-dimensional full space {}",
+                self.dims,
+                DimMask::full(self.dims)
+            ));
+        }
+        let probe = self.groups_covering(space, scratch);
+        match scratch.groups.as_slice() {
+            [] => {}
+            [g] => out.extend_from_slice(self.member_run(*g)),
+            [a, b] => merge_two(self.member_run(*a), self.member_run(*b), out),
+            groups => {
+                // K-way merge with dedup over the pre-sorted member runs.
+                scratch.heap.clear();
+                scratch.cursors.clear();
+                scratch.cursors.resize(groups.len(), 1);
+                for (i, &g) in groups.iter().enumerate() {
+                    let run = self.member_run(g);
+                    if let Some(&first) = run.first() {
+                        scratch.heap.push(Reverse((first, i as u32)));
+                    }
+                }
+                while let Some(Reverse((v, r))) = scratch.heap.pop() {
+                    if out.last() != Some(&v) {
+                        out.push(v);
+                    }
+                    let run = self.member_run(groups[r as usize]);
+                    let cur = &mut scratch.cursors[r as usize];
+                    if *cur < run.len() {
+                        scratch.heap.push(Reverse((run[*cur], r)));
+                        *cur += 1;
+                    }
+                }
+            }
+        }
+        Ok(probe)
+    }
+
+    /// Whether object `o` is a skyline object of `space` — identical to
+    /// [`CompressedSkylineCube::is_skyline_in`], but over the CSR
+    /// object→group postings.
+    pub fn is_skyline_in(&self, o: ObjId, space: DimMask) -> bool {
+        let k = space.len();
+        self.obj_groups[self.obj_group_offsets[o as usize]..self.obj_group_offsets[o as usize + 1]]
+            .iter()
+            .any(|&g| self.covers(g, space, k))
+    }
+
+    /// The number of subspaces in which `o` is a skyline object — O(1) from
+    /// the precomputed per-object counts.
+    pub fn membership_count(&self, o: ObjId) -> u64 {
+        self.freq_by_obj[o as usize]
+    }
+
+    /// The membership intervals of `o` as borrowed `(decisive, maximal)`
+    /// pairs into the interned pool.
+    pub fn membership_intervals(&self, o: ObjId) -> Vec<(&[DimMask], DimMask)> {
+        self.obj_groups[self.obj_group_offsets[o as usize]..self.obj_group_offsets[o as usize + 1]]
+            .iter()
+            .map(|&g| (self.decisive_of(g), self.subspaces[g as usize]))
+            .collect()
+    }
+
+    /// The `k` most frequent subspace-skyline objects, count descending and
+    /// ties by ascending id — O(k) from the precomputed ranking.
+    pub fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        self.freq_ranked[..k.min(self.freq_ranked.len())].to_vec()
+    }
+}
+
+/// Merge two sorted runs into `out`, deduplicating.
+fn merge_two(a: &[ObjId], b: &[ObjId], out: &mut Vec<ObjId>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        let v = match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                i += 1;
+                a[i - 1]
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                b[j - 1]
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+                a[i - 1]
+            }
+        };
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compute_cube;
+    use skycube_datagen::{generate, Distribution};
+    use skycube_types::running_example;
+
+    #[test]
+    fn index_matches_scan_path_on_running_example() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let index = cube.index();
+        assert_eq!(index.dims(), cube.dims());
+        assert_eq!(index.num_groups(), cube.num_groups());
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                index.subspace_skyline(space),
+                cube.subspace_skyline(space),
+                "subspace {space}"
+            );
+            for o in 0..ds.len() as ObjId {
+                assert_eq!(
+                    index.is_skyline_in(o, space),
+                    cube.is_skyline_in(o, space),
+                    "object {o} subspace {space}"
+                );
+            }
+        }
+        for o in 0..ds.len() as ObjId {
+            assert_eq!(index.membership_count(o), cube.membership_count(o));
+        }
+        assert_eq!(index.top_k_frequent(10), cube.top_k_frequent(10));
+    }
+
+    #[test]
+    fn index_matches_scan_path_on_generated_data() {
+        for dist in Distribution::ALL {
+            let ds = generate(dist, 600, 4, 77);
+            let cube = compute_cube(&ds);
+            let index = cube.index();
+            for space in ds.full_space().subsets() {
+                assert_eq!(
+                    index.subspace_skyline(space),
+                    cube.subspace_skyline(space),
+                    "{} subspace {space}",
+                    dist.name()
+                );
+            }
+            for o in 0..ds.len() as ObjId {
+                assert_eq!(index.membership_count(o), cube.membership_count(o));
+            }
+            assert_eq!(index.top_k_frequent(25), cube.top_k_frequent(25));
+        }
+    }
+
+    #[test]
+    fn prefilter_examines_fewer_groups_than_a_scan() {
+        let ds = generate(Distribution::Independent, 2_000, 5, 13);
+        let cube = compute_cube(&ds);
+        let index = cube.index();
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        let mut total_candidates = 0usize;
+        let mut queries = 0usize;
+        for space in ds.full_space().subsets() {
+            let probe = index
+                .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                .unwrap();
+            assert!(probe.matched <= probe.candidates);
+            total_candidates += probe.candidates;
+            queries += 1;
+        }
+        // The whole point of the index: strictly fewer candidate
+        // examinations than `queries × num_groups` (the scan path's cost).
+        assert!(
+            total_candidates < queries * index.num_groups(),
+            "prefilter did not narrow: {total_candidates} vs {}",
+            queries * index.num_groups()
+        );
+    }
+
+    #[test]
+    fn interning_shares_common_antichains() {
+        let ds = generate(Distribution::Independent, 2_000, 4, 29);
+        let cube = compute_cube(&ds);
+        let index = cube.index();
+        assert!(index.num_interned_antichains() <= index.num_groups());
+    }
+
+    #[test]
+    fn scratch_reuse_is_observationally_pure() {
+        let ds = generate(Distribution::AntiCorrelated, 400, 4, 31);
+        let cube = compute_cube(&ds);
+        let index = cube.index();
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            for space in ds.full_space().subsets() {
+                index
+                    .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                    .unwrap();
+                assert_eq!(out, cube.subspace_skyline(space), "subspace {space}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_subspaces_are_diagnosed() {
+        let cube = compute_cube(&running_example());
+        let index = cube.index();
+        assert!(index
+            .try_subspace_skyline(DimMask::EMPTY)
+            .unwrap_err()
+            .contains("empty subspace"));
+        assert!(index
+            .try_subspace_skyline(DimMask::single(9))
+            .unwrap_err()
+            .contains("not a subspace"));
+    }
+
+    #[test]
+    fn membership_intervals_borrow_interned_pool() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let index = cube.index();
+        for o in 0..ds.len() as ObjId {
+            let from_cube = cube.membership_intervals(o);
+            let from_index = index.membership_intervals(o);
+            let mut a: Vec<(Vec<DimMask>, DimMask)> =
+                from_cube.iter().map(|&(d, m)| (d.to_vec(), m)).collect();
+            let mut b: Vec<(Vec<DimMask>, DimMask)> =
+                from_index.iter().map(|&(d, m)| (d.to_vec(), m)).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "object {o}");
+        }
+    }
+
+    #[test]
+    fn merge_two_dedups_and_orders() {
+        let mut out = Vec::new();
+        merge_two(&[1, 3, 5], &[2, 3, 6], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 5, 6]);
+        out.clear();
+        merge_two(&[], &[4, 7], &mut out);
+        assert_eq!(out, vec![4, 7]);
+    }
+}

@@ -34,6 +34,7 @@ mod cgroups;
 mod cube;
 mod explain;
 mod extend;
+mod index;
 mod lattice;
 mod maintenance;
 mod matrices;
@@ -48,6 +49,7 @@ pub use cgroups::{maximal_cgroups, MaxCGroup};
 pub use cube::CompressedSkylineCube;
 pub use explain::{explain, explain_text, Explanation};
 pub use extend::{extend_to_full, extend_to_full_par, RelevanceStrategy};
+pub use index::{CubeIndex, IndexProbe, IndexScratch};
 pub use lattice::{quotient_map, GroupLattice};
 pub use maintenance::StellarEngine;
 pub use matrices::SeedView;

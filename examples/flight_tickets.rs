@@ -68,7 +68,7 @@ fn main() {
     println!("\nWhy is route #{cheapest} interesting?");
     for (decisive, maximal) in cube.membership_intervals(cheapest) {
         let dims = |m: DimMask| m.iter().map(|d| ATTRS[d]).collect::<Vec<_>>().join("+");
-        for c in decisive {
+        for &c in decisive {
             println!(
                 "  minimal winning combination {{{}}} (and every extension up to {{{}}})",
                 dims(c),

@@ -60,7 +60,7 @@ fn main() {
                     .collect::<Vec<_>>()
                     .join("+")
             };
-            for c in decisive.into_iter().take(3) {
+            for &c in decisive.iter().take(3) {
                 println!("  {{{}}} ⊆ … ⊆ {{{}}}", names(c), names(maximal));
             }
         }

@@ -9,6 +9,7 @@
 //! skycube skyline  --cube cube.txt --space ACD
 //! skycube member   --cube cube.txt --object 42 --space ACD
 //! skycube top      --cube cube.txt --k 10
+//! skycube query    --data data.csv --source stellar --workload queries.txt
 //! ```
 
 use skycube::datagen;
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "skyline" => cmd_skyline(&opts),
         "member" => cmd_member(&opts),
         "top" => cmd_top(&opts),
+        "query" => cmd_query(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,7 +67,14 @@ commands:
                                               counts: seeds, groups, skycube size
   skyline  --cube CUBE.txt --space LETTERS    subspace skyline query
   member   --cube CUBE.txt --object ID --space LETTERS
-  top      --cube CUBE.txt --k N              most frequent skyline objects";
+  top      --cube CUBE.txt --k N              most frequent skyline objects
+  query    --data FILE.csv [--cube CUBE.txt]  run a batch query workload
+           [--source stellar|stellar-scan|skyey|subsky|direct]
+           [--workload FILE|-] [--cache N] [--threads N]
+           [--kernel scalar|columnar]
+           workload lines: 'skyline ABD', 'member 17 ABD', 'count 17',
+           'top 5'; blank lines and # comments are ignored; --workload -
+           (the default) reads from stdin";
 
 type Opts = HashMap<String, String>;
 
@@ -228,6 +237,136 @@ fn cmd_top(opts: &Opts) -> Result<(), String> {
     println!("top-{k} most frequent subspace-skyline objects:");
     for (o, n) in cube.top_k_frequent(k) {
         println!("  object {o}: {n} subspaces");
+    }
+    Ok(())
+}
+
+/// `query`: parse a workload (file or stdin), answer it through the chosen
+/// [`SkylineSource`], print one answer per line plus a `#`-prefixed stats
+/// summary.
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let text = match opts.get("workload").map(String::as_str) {
+        None | Some("-") => {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading workload from stdin: {e}"))?;
+            buf
+        }
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("reading workload {path:?}: {e}"))?
+        }
+    };
+    let queries = parse_workload(&text).map_err(|e| format!("bad workload: {e}"))?;
+    let par = match opts.get("threads") {
+        Some(t) => {
+            let threads: usize = num(t, "thread count")?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".to_owned());
+            }
+            Parallelism::new(threads)
+        }
+        None => Parallelism::available(),
+    };
+    let kernel = match opts.get("kernel") {
+        Some(k) => DominanceKernel::parse(k)
+            .ok_or_else(|| format!("bad --kernel {k:?} (expected scalar or columnar)"))?,
+        None => DominanceKernel::default(),
+    };
+    let cache = match opts.get("cache") {
+        Some(n) => Some(num::<usize>(n, "cache capacity")?),
+        None => None,
+    };
+
+    // A stellar cube comes from --cube when given, otherwise it (like every
+    // other engine) is built from --data.
+    let stellar_cube = |opts: &Opts| -> Result<CompressedSkylineCube, String> {
+        if opts.contains_key("cube") {
+            load_cube(opts)
+        } else {
+            Ok(runner(opts)?.compute(&load_data(opts)?))
+        }
+    };
+    match opts.get("source").map_or("stellar", String::as_str) {
+        "stellar" => {
+            let cube = stellar_cube(opts)?;
+            serve_workload(IndexedCubeSource::new(&cube), &queries, par, cache)
+        }
+        "stellar-scan" => {
+            let cube = stellar_cube(opts)?;
+            serve_workload(ScanCubeSource::new(&cube), &queries, par, cache)
+        }
+        "skyey" => {
+            let ds = load_data(opts)?;
+            let skycube = SkyCube::compute_with(&ds, kernel);
+            serve_workload(SkyCubeSource::new(&skycube, ds.len()), &queries, par, cache)
+        }
+        "subsky" => {
+            let ds = load_data(opts)?;
+            serve_workload(SubskySource::with_kernel(&ds, kernel), &queries, par, cache)
+        }
+        "direct" => {
+            let ds = load_data(opts)?;
+            serve_workload(
+                DirectSource::new(&ds).with_kernel(kernel),
+                &queries,
+                par,
+                cache,
+            )
+        }
+        other => Err(format!(
+            "unknown --source {other:?} (expected stellar, stellar-scan, skyey, subsky or direct)"
+        )),
+    }
+}
+
+fn serve_workload<S: SkylineSource>(
+    source: S,
+    queries: &[Query],
+    par: Parallelism,
+    cache: Option<usize>,
+) -> Result<(), String> {
+    match cache {
+        Some(n) => report_batch(&CachedSource::new(source, n), queries, par),
+        None => report_batch(&source, queries, par),
+    }
+}
+
+fn report_batch(
+    source: &dyn SkylineSource,
+    queries: &[Query],
+    par: Parallelism,
+) -> Result<(), String> {
+    let outcome = run_batch(source, queries, par);
+    for (query, answer) in queries.iter().zip(&outcome.answers) {
+        match answer {
+            Ok(Answer::Skyline(sky)) => {
+                let ids: Vec<String> = sky.iter().map(ToString::to_string).collect();
+                println!("{query} -> {}", ids.join(" "));
+            }
+            Ok(Answer::Member(yes)) => println!("{query} -> {yes}"),
+            Ok(Answer::Count(n)) => println!("{query} -> {n}"),
+            Ok(Answer::Top(ranked)) => {
+                let pairs: Vec<String> = ranked.iter().map(|(o, n)| format!("{o}:{n}")).collect();
+                println!("{query} -> {}", pairs.join(" "));
+            }
+            Err(e) => println!("{query} -> error: {e}"),
+        }
+    }
+    let s = outcome.stats;
+    println!(
+        "# source={} queries={} errors={} seconds={:.6} groups_touched={} cache_hits={} cache_misses={}",
+        source.label(),
+        s.queries,
+        s.errors,
+        s.seconds,
+        s.groups_touched,
+        s.cache_hits,
+        s.cache_misses
+    );
+    if s.errors > 0 {
+        return Err(format!("{} of {} queries failed", s.errors, s.queries));
     }
     Ok(())
 }

@@ -14,7 +14,9 @@
 //! - [`stellar`] — the compressed-skyline-cube computation and query API;
 //! - [`skyey`] — the baseline and oracle;
 //! - [`subsky`] — on-the-fly subspace skyline retrieval (Tao et al. \[13\]);
-//! - [`datagen`] — synthetic workloads (Börzsönyi distributions, NBA-like).
+//! - [`datagen`] — synthetic workloads (Börzsönyi distributions, NBA-like);
+//! - [`serve`] — the serving-grade query layer: one [`serve::SkylineSource`]
+//!   trait over every engine, an LRU subspace cache, a batch executor.
 //!
 //! ## Quickstart
 //!
@@ -39,6 +41,7 @@
 
 pub use skycube_datagen as datagen;
 pub use skycube_parallel as parallel;
+pub use skycube_serve as serve;
 pub use skycube_skyey as skyey;
 pub use skycube_skyline as algorithms;
 pub use skycube_stellar as stellar;
@@ -49,6 +52,10 @@ pub use skycube_types as types;
 pub mod prelude {
     pub use skycube_datagen::{generate, nba_table, nba_table_sized, Distribution};
     pub use skycube_parallel::Parallelism;
+    pub use skycube_serve::{
+        parse_workload, run_batch, Answer, CachedSource, DirectSource, IndexedCubeSource, Query,
+        ScanCubeSource, SkyCubeSource, SkylineSource, SubskySource,
+    };
     pub use skycube_skyey::{skyey_groups, SkyCube};
     pub use skycube_skyline::{skyline, skyline_parallel, Algorithm};
     pub use skycube_stellar::{

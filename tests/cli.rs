@@ -21,6 +21,25 @@ fn run(args: &[&str]) -> Output {
         .expect("spawn skycube binary")
 }
 
+fn run_with_stdin(args: &[&str], input: &str) -> Output {
+    use std::io::Write;
+    use std::process::Stdio;
+    let mut child = Command::new(bin())
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn skycube binary");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write workload to stdin");
+    child.wait_with_output().expect("collect output")
+}
+
 fn stdout(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
@@ -326,6 +345,203 @@ fn threads_option_is_validated_and_honored() {
     let out = run(&["stats", "--data", data.to_str().unwrap(), "--threads", "2"]);
     assert!(out.status.success(), "{out:?}");
     assert!(stdout(&out).contains("skyline groups:"));
+}
+
+/// Answer lines of a `query` run (everything except the trailing `#` stats
+/// summary).
+fn answer_lines(out: &Output) -> Vec<String> {
+    stdout(out)
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn query_subcommand_agrees_across_all_sources() {
+    let dir = tmpdir("query_sources");
+    let data = dir.join("d.csv");
+    let cube = dir.join("c.txt");
+    let workload = dir.join("w.txt");
+    let data_s = data.to_str().unwrap();
+    run(&[
+        "generate",
+        "--dist",
+        "independent",
+        "--count",
+        "250",
+        "--dims",
+        "4",
+        "--seed",
+        "11",
+        "--out",
+        data_s,
+    ]);
+    run(&["build", "--data", data_s, "--out", cube.to_str().unwrap()]);
+    std::fs::write(
+        &workload,
+        "# mixed workload\nskyline ABD\nskyline AC\nmember 17 ABD\ncount 17\ntop 5\n",
+    )
+    .unwrap();
+    let workload_s = workload.to_str().unwrap();
+
+    let mut answers: Vec<Vec<String>> = Vec::new();
+    for source in ["stellar", "stellar-scan", "skyey", "subsky", "direct"] {
+        let out = run(&[
+            "query",
+            "--data",
+            data_s,
+            "--source",
+            source,
+            "--workload",
+            workload_s,
+        ]);
+        assert!(out.status.success(), "{source}: {out:?}");
+        let text = stdout(&out);
+        assert!(
+            text.contains(&format!("# source={source}")),
+            "stats line must name the source: {text}"
+        );
+        answers.push(answer_lines(&out));
+    }
+    for pair in answers.windows(2) {
+        assert_eq!(pair[0], pair[1], "sources must answer identically");
+    }
+    assert_eq!(answers[0].len(), 5);
+
+    // Stellar can also serve from a prebuilt cube file.
+    let out = run(&[
+        "query",
+        "--cube",
+        cube.to_str().unwrap(),
+        "--source",
+        "stellar",
+        "--workload",
+        workload_s,
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    assert_eq!(answer_lines(&out), answers[0]);
+}
+
+#[test]
+fn query_reads_workload_from_stdin() {
+    let dir = tmpdir("query_stdin");
+    let data = dir.join("d.csv");
+    let data_s = data.to_str().unwrap();
+    run(&[
+        "generate",
+        "--dist",
+        "correlated",
+        "--count",
+        "120",
+        "--dims",
+        "3",
+        "--out",
+        data_s,
+    ]);
+    let out = run_with_stdin(&["query", "--data", data_s], "skyline AB\ntop 2\n");
+    assert!(out.status.success(), "{out:?}");
+    let lines = answer_lines(&out);
+    assert_eq!(lines.len(), 2);
+    assert!(lines[0].starts_with("skyline AB -> "), "{lines:?}");
+    assert!(lines[1].starts_with("top 2 -> "), "{lines:?}");
+}
+
+#[test]
+fn query_cache_and_threads_are_honored() {
+    let dir = tmpdir("query_cache");
+    let data = dir.join("d.csv");
+    let data_s = data.to_str().unwrap();
+    run(&[
+        "generate",
+        "--dist",
+        "independent",
+        "--count",
+        "200",
+        "--dims",
+        "4",
+        "--out",
+        data_s,
+    ]);
+    // The same skyline three times: a capacity-8 cache answers two of them.
+    let workload = "skyline ABCD\nskyline ABCD\nskyline ABCD\n";
+    let out = run_with_stdin(
+        &["query", "--data", data_s, "--cache", "8", "--threads", "1"],
+        workload,
+    );
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("cache_hits=2"), "{text}");
+    assert!(text.contains("cache_misses=1"), "{text}");
+
+    // Thread counts change execution, never answers.
+    let baseline = answer_lines(&out);
+    for threads in ["2", "4"] {
+        let out = run_with_stdin(&["query", "--data", data_s, "--threads", threads], workload);
+        assert!(out.status.success(), "{out:?}");
+        assert_eq!(answer_lines(&out), baseline, "threads = {threads}");
+    }
+    // --threads 0 is rejected like everywhere else.
+    let out = run_with_stdin(&["query", "--data", data_s, "--threads", "0"], workload);
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("--threads"));
+}
+
+#[test]
+fn query_workload_diagnostics_name_the_line() {
+    let dir = tmpdir("query_diag");
+    let data = dir.join("d.csv");
+    let data_s = data.to_str().unwrap();
+    run(&[
+        "generate",
+        "--dist",
+        "independent",
+        "--count",
+        "50",
+        "--dims",
+        "3",
+        "--out",
+        data_s,
+    ]);
+
+    // A malformed third line fails the whole batch before execution, and
+    // the diagnostic names the line and the offending token.
+    let out = run_with_stdin(
+        &["query", "--data", data_s],
+        "skyline AB\ncount 3\nfetch AB\n",
+    );
+    assert!(!out.status.success(), "{out:?}");
+    let err = stderr(&out);
+    assert!(err.contains("line 3"), "{err}");
+    assert!(err.contains("fetch"), "{err}");
+
+    // Missing arguments and bad ids are diagnosed the same way.
+    let out = run_with_stdin(&["query", "--data", data_s], "member 4\n");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("line 1"), "{}", stderr(&out));
+    let out = run_with_stdin(&["query", "--data", data_s], "count twelve\n");
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("twelve"), "{}", stderr(&out));
+
+    // A well-formed query that fails at run time (subspace D on 3-d data)
+    // reports per-line errors and a failing exit code.
+    let out = run_with_stdin(&["query", "--data", data_s], "skyline ABC\nskyline D\n");
+    assert!(!out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("skyline D -> error:"), "{text}");
+    assert!(
+        stderr(&out).contains("1 of 2 queries failed"),
+        "{}",
+        stderr(&out)
+    );
+
+    // An unknown source is rejected with the valid choices.
+    let out = run_with_stdin(
+        &["query", "--data", data_s, "--source", "oracle"],
+        "skyline AB\n",
+    );
+    assert!(!out.status.success());
+    assert!(stderr(&out).contains("oracle"), "{}", stderr(&out));
 }
 
 #[test]

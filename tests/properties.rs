@@ -400,6 +400,108 @@ proptest! {
     }
 
     #[test]
+    fn skyline_sources_agree_on_random_datasets(ds in paper_dataset()) {
+        // The serve-layer contract: every SkylineSource implementation —
+        // indexed cube, scan-path cube, materialized SkyCube, SUBSKY index,
+        // direct computation — and the legacy cube query path answer every
+        // query family identically, under either dominance kernel.
+        use skycube::serve::{
+            DirectSource, IndexedCubeSource, ScanCubeSource, SkyCubeSource, SkylineSource,
+            SubskySource,
+        };
+        let cube = compute_cube(&ds);
+        for kernel in DominanceKernel::ALL {
+            let skycube = SkyCube::compute_with(&ds, kernel);
+            let indexed = IndexedCubeSource::new(&cube);
+            let scan = ScanCubeSource::new(&cube);
+            let skyey = SkyCubeSource::new(&skycube, ds.len());
+            let subsky = SubskySource::with_kernel(&ds, kernel);
+            let direct = DirectSource::new(&ds).with_kernel(kernel);
+            let sources: [&dyn SkylineSource; 5] =
+                [&indexed, &scan, &skyey, &subsky, &direct];
+            for space in ds.full_space().subsets() {
+                // Oracle: the naive skyline; legacy scan path must match too.
+                let expect = skycube::algorithms::skyline_naive(&ds, space);
+                prop_assert_eq!(&cube.subspace_skyline(space), &expect);
+                for s in sources {
+                    prop_assert_eq!(
+                        &s.subspace_skyline(space).unwrap(), &expect,
+                        "{} subspace {} under {}", s.label(), space, kernel.name()
+                    );
+                }
+            }
+            // Membership probes on a sample of objects (subsky/direct pay
+            // a full subspace enumeration per count).
+            let probes = [0, (ds.len() as ObjId) / 2, ds.len() as ObjId - 1];
+            let space = ds.full_space();
+            for &o in &probes {
+                let expect = cube.is_skyline_in(o, space);
+                let count = cube.membership_count(o);
+                for s in sources {
+                    prop_assert_eq!(
+                        s.is_skyline_in(o, space).unwrap(), expect,
+                        "{} object {} under {}", s.label(), o, kernel.name()
+                    );
+                    prop_assert_eq!(
+                        s.membership_count(o).unwrap(), count,
+                        "{} object {} under {}", s.label(), o, kernel.name()
+                    );
+                }
+            }
+            let expect = cube.top_k_frequent(5);
+            for s in sources {
+                prop_assert_eq!(
+                    s.top_k_frequent(5), expect.clone(),
+                    "{} under {}", s.label(), kernel.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_queries_identical_across_sources_threads_and_cache(ds in paper_dataset()) {
+        // run_batch preserves workload order and answers identically for
+        // every source, thread count, and with or without the LRU cache.
+        use skycube::serve::{
+            run_batch, CachedSource, DirectSource, IndexedCubeSource, Query, ScanCubeSource,
+            SkylineSource, SubskySource,
+        };
+        let cube = compute_cube(&ds);
+        let mut queries: Vec<Query> = ds.full_space().subsets().map(Query::Skyline).collect();
+        // Repeat the sweep so the cache sees hits, then mix in the other
+        // query families.
+        queries.extend(ds.full_space().subsets().map(Query::Skyline));
+        queries.push(Query::Member(0, ds.full_space()));
+        queries.push(Query::Count(0));
+        queries.push(Query::Top(3));
+        let baseline = {
+            let source = ScanCubeSource::new(&cube);
+            run_batch(&source, &queries, Parallelism::sequential()).answers
+        };
+        for threads in [1usize, 2, 4] {
+            let par = Parallelism::new(threads);
+            let indexed = IndexedCubeSource::new(&cube);
+            let subsky = SubskySource::new(&ds);
+            let direct = DirectSource::new(&ds);
+            let sources: [&dyn SkylineSource; 3] = [&indexed, &subsky, &direct];
+            for s in sources {
+                prop_assert_eq!(
+                    &run_batch(s, &queries, par).answers, &baseline,
+                    "{} at {} threads", s.label(), threads
+                );
+            }
+            let cached = CachedSource::new(IndexedCubeSource::new(&cube), 4);
+            let outcome = run_batch(&cached, &queries, par);
+            prop_assert_eq!(&outcome.answers, &baseline, "cached at {} threads", threads);
+            prop_assert_eq!(
+                outcome.stats.cache_hits + outcome.stats.cache_misses,
+                2 * (1u64 << ds.dims()) - 2,
+                "every skyline query must hit or miss the cache"
+            );
+        }
+    }
+
+    #[test]
     fn parallel_skyey_equals_sequential(ds in paper_dataset()) {
         let seq_groups = skycube_types::normalize_groups(skyey_groups(&ds));
         let seq_total = skycube::skyey::skycube_total_size(&ds);
