@@ -22,7 +22,7 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 ./target/release/skycube generate --dist independent --count 300 --dims 4 \
     --seed 5 --out "$SMOKE_DIR/data.csv"
 printf 'skyline ABD\ntop 3\n' > "$SMOKE_DIR/workload.txt"
-for src in stellar stellar-scan skyey subsky direct; do
+for src in stellar stellar-scan skyey subsky subsky-anchored direct; do
     ./target/release/skycube query --data "$SMOKE_DIR/data.csv" \
         --source "$src" --workload "$SMOKE_DIR/workload.txt" --cache 4 \
         > "$SMOKE_DIR/out.$src"
@@ -30,13 +30,24 @@ done
 # Answers (everything except the trailing stats line) must be identical
 # across sources.
 grep -v '^#' "$SMOKE_DIR/out.stellar" > "$SMOKE_DIR/expect.txt"
-for src in stellar-scan skyey subsky direct; do
+for src in stellar-scan skyey subsky subsky-anchored direct; do
     grep -v '^#' "$SMOKE_DIR/out.$src" > "$SMOKE_DIR/got.txt"
     if ! diff "$SMOKE_DIR/expect.txt" "$SMOKE_DIR/got.txt" > /dev/null; then
         echo "query smoke: $src disagrees with stellar" >&2
         exit 1
     fi
 done
+
+echo '== queries bench smoke: adaptive routes + memo self-verify'
+# --verify asserts indexed == scan, >= 2 non-heap merge routes fired, and
+# memo hits on the warmed sweep; the grep is a belt-and-braces check that
+# the route-coverage summary actually landed in the JSON.
+./target/release/queries --smoke --verify --json "$SMOKE_DIR/queries.json" \
+    > "$SMOKE_DIR/queries.out"
+if ! grep -q '"non_heap_routes_fired": [2-9]' "$SMOKE_DIR/queries.json"; then
+    echo "queries smoke: fewer than 2 non-heap merge routes fired" >&2
+    exit 1
+fi
 
 if [ "${WORKSPACE:-0}" = "1" ]; then
     echo '== workspace tests'

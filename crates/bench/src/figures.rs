@@ -464,13 +464,25 @@ pub fn kernels_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
 pub fn queries_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
     use skycube_parallel::Parallelism;
     use skycube_serve::{
-        run_batch, CachedSource, IndexedCubeSource, Query, ScanCubeSource, SkylineSource,
+        run_batch, Answer, CachedSource, IndexedCubeSource, Query, ScanCubeSource, SkylineSource,
     };
-    use skycube_stellar::compute_cube;
-    use skycube_types::DimMask;
+    use skycube_stellar::{compute_cube, IndexScratch, MergeRoute};
+    use skycube_types::{DimMask, ObjId};
 
-    let (n, d) = if args.full { (100_000, 6) } else { (20_000, 6) };
-    let rounds = if args.full { 8 } else { 5 };
+    let (n, d) = if args.full {
+        (100_000, 6)
+    } else if args.smoke {
+        (4_000, 6)
+    } else {
+        (20_000, 6)
+    };
+    let rounds = if args.full {
+        8
+    } else if args.smoke {
+        3
+    } else {
+        5
+    };
     header(
         &format!("Queries ablation — scan vs CubeIndex vs CubeIndex+cache, independent {d}-d, {n} tuples"),
         args.full,
@@ -595,6 +607,102 @@ pub fn queries_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
     println!();
     println!("cold/cached: {cache_speedup:.2}×");
     println!();
+
+    // (c) Adaptive-route coverage: which merge routes the router actually
+    // picked during one timed sweep, plus the lattice-memo outcome split.
+    // Counters come from the per-batch `IndexStats` delta of the best rep
+    // in (a), so they describe exactly one `repeated` pass.
+    println!("### (c) adaptive merge-route coverage over the sweep");
+    let istats = indexed_out
+        .stats
+        .index
+        .expect("indexed source reports route stats");
+    table_header(&["route", "queries", "nanos"]);
+    for route in MergeRoute::ALL {
+        let r = istats.routes[route.index()];
+        row(&[
+            route.name().to_string(),
+            r.queries.to_string(),
+            r.nanos.to_string(),
+        ]);
+        records.push(
+            JsonRecord::new()
+                .str("figure", "queries")
+                .str("workload", "route-coverage")
+                .str("route", route.name())
+                .int("queries", r.queries as i64)
+                .int("nanos", r.nanos as i64),
+        );
+    }
+    let non_heap_routes_fired = MergeRoute::ALL
+        .iter()
+        .filter(|r| **r != MergeRoute::Heap && istats.routes[r.index()].queries > 0)
+        .count();
+    println!();
+    println!(
+        "non-heap routes fired: {non_heap_routes_fired}; memo exact={} ancestor={} miss={}",
+        istats.memo_exact, istats.memo_ancestor, istats.memo_miss
+    );
+    println!();
+
+    // (d) Per-route forced ablation: the same sweep pushed through each
+    // general merge route (memo bypassed), answers asserted against the
+    // scan baseline. Quantifies what the adaptive router buys over any
+    // single fixed route.
+    println!("### (d) forced merge-route ablation — {rounds} rounds each");
+    table_header(&["route", "seconds", "queries/s"]);
+    let expected: Vec<Vec<ObjId>> = scan_out.answers[..sweep.len()]
+        .iter()
+        .map(|a| match a {
+            Ok(Answer::Skyline(sky)) => sky.clone(),
+            other => unreachable!("sweep answers are skylines, got {other:?}"),
+        })
+        .collect();
+    let mut scratch = IndexScratch::default();
+    let mut routed = Vec::new();
+    for route in [
+        MergeRoute::Heap,
+        MergeRoute::Gallop,
+        MergeRoute::Flat,
+        MergeRoute::Winner,
+    ] {
+        let t = std::time::Instant::now();
+        for _ in 0..rounds {
+            for (qi, q) in sweep.iter().enumerate() {
+                let Query::Skyline(space) = *q else {
+                    unreachable!("sweep is skyline-only")
+                };
+                index
+                    .try_subspace_skyline_routed(space, route, &mut scratch, &mut routed)
+                    .expect("sweep subspaces are valid");
+                assert_eq!(
+                    routed,
+                    expected[qi],
+                    "forced route {} diverged from the scan baseline on {space}",
+                    route.name()
+                );
+            }
+        }
+        let seconds = t.elapsed().as_secs_f64();
+        let queries = rounds * sweep.len();
+        row(&[
+            route.name().to_string(),
+            secs(seconds),
+            format!("{:.0}", queries as f64 / seconds.max(1e-9)),
+        ]);
+        records.push(
+            JsonRecord::new()
+                .str("figure", "queries")
+                .str("workload", "route-ablation")
+                .str("route", route.name())
+                .int("n", n as i64)
+                .int("d", d as i64)
+                .int("queries", queries as i64)
+                .num("seconds", seconds),
+        );
+    }
+    println!();
+
     if args.verify {
         assert!(
             sweep_speedup > 1.0,
@@ -604,14 +712,31 @@ pub fn queries_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
             cache_speedup > 1.0,
             "cache must beat the cold index on repeats (got {cache_speedup:.2}×)"
         );
+        assert!(
+            non_heap_routes_fired >= 2,
+            "the adaptive router must exercise at least two non-heap routes \
+             on the sweep (got {non_heap_routes_fired})"
+        );
+        assert!(
+            istats.memo_exact > 0,
+            "the warmed sweep must hit the lattice memo"
+        );
     }
+    let memo = index.memo_stats();
     records.push(
         JsonRecord::new()
             .str("figure", "queries")
             .str("workload", "summary")
             .num("index_build_seconds", build_seconds)
             .num("scan_over_indexed", sweep_speedup)
-            .num("cold_over_cached", cache_speedup),
+            .num("cold_over_cached", cache_speedup)
+            .int("non_heap_routes_fired", non_heap_routes_fired as i64)
+            .int("memo_exact", istats.memo_exact as i64)
+            .int("memo_ancestor", istats.memo_ancestor as i64)
+            .int("memo_miss", istats.memo_miss as i64)
+            .int("memo_entries", memo.entries as i64)
+            .int("memo_stores", memo.stores as i64)
+            .int("memo_evictions", memo.evictions as i64),
     );
     records
 }

@@ -82,6 +82,9 @@ pub fn count_metrics_skyey(ds: &Dataset) -> (usize, u64) {
 pub struct HarnessArgs {
     /// Run the paper's original workload sizes.
     pub full: bool,
+    /// Run an extra-small CI-friendly workload (seconds, not minutes).
+    /// `--full` wins when both are given.
+    pub smoke: bool,
     /// Cross-check Stellar and Skyey outputs while measuring.
     pub verify: bool,
     /// Where to write the machine-readable report: a directory (the file
@@ -97,6 +100,7 @@ impl HarnessArgs {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--full" => args.full = true,
+                "--smoke" => args.smoke = true,
                 "--verify" => args.verify = true,
                 "--json" => match it.next() {
                     Some(path) => args.json = Some(path),
@@ -107,9 +111,10 @@ impl HarnessArgs {
                 },
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --full (paper-size workloads), --verify (cross-check \
-                         Stellar vs Skyey), --json PATH (write BENCH_<name>.json under \
-                         directory PATH, or to PATH itself when it ends in .json)"
+                        "options: --full (paper-size workloads), --smoke (extra-small \
+                         CI workloads), --verify (cross-check Stellar vs Skyey), \
+                         --json PATH (write BENCH_<name>.json under directory PATH, \
+                         or to PATH itself when it ends in .json)"
                     );
                     std::process::exit(0);
                 }

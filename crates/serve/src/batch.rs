@@ -5,7 +5,7 @@
 //! per-run [`QueryStats`]: wall-clock time, the delta of groups the source
 //! touched, and — for cached sources — the delta of cache hits and misses.
 
-use crate::source::SkylineSource;
+use crate::source::{IndexStats, SkylineSource};
 use crate::workload::Query;
 use skycube_parallel::{par_map_slice, Parallelism};
 use skycube_types::ObjId;
@@ -42,6 +42,10 @@ pub struct QueryStats {
     /// Skyline queries that missed the cache during the batch, if the
     /// source is cached.
     pub cache_misses: u64,
+    /// Index-side profiling deltas (merge routes, workload histograms,
+    /// memo hits) for the batch, if the source serves through a
+    /// [`skycube_stellar::CubeIndex`].
+    pub index: Option<IndexStats>,
 }
 
 /// Answers (in workload order) plus run statistics.
@@ -70,10 +74,14 @@ fn answer_one(source: &dyn SkylineSource, query: &Query) -> Result<Answer, Strin
 pub fn run_batch(source: &dyn SkylineSource, queries: &[Query], par: Parallelism) -> BatchOutcome {
     let touched_before = source.groups_touched();
     let cache_before = source.cache_stats().unwrap_or_default();
+    let index_before = source.index_stats();
     let start = Instant::now();
     let answers = par_map_slice(par, queries, |q| answer_one(source, q));
     let seconds = start.elapsed().as_secs_f64();
     let cache_after = source.cache_stats().unwrap_or_default();
+    let index = source
+        .index_stats()
+        .map(|after| IndexStats::delta(&index_before.unwrap_or_default(), &after));
     let stats = QueryStats {
         queries: queries.len(),
         errors: answers.iter().filter(|a| a.is_err()).count(),
@@ -81,6 +89,7 @@ pub fn run_batch(source: &dyn SkylineSource, queries: &[Query], par: Parallelism
         groups_touched: source.groups_touched() - touched_before,
         cache_hits: cache_after.hits - cache_before.hits,
         cache_misses: cache_after.misses - cache_before.misses,
+        index,
     };
     BatchOutcome { answers, stats }
 }
@@ -149,5 +158,33 @@ mod tests {
         assert_eq!(second.stats.cache_misses, 0);
         assert_eq!(second.stats.cache_hits, 3);
         assert_eq!(second.stats.groups_touched, 0);
+    }
+
+    #[test]
+    fn batch_stats_carry_index_route_deltas() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let source = IndexedCubeSource::new(&cube);
+        let workload: String = ds
+            .full_space()
+            .subsets()
+            .map(|s| format!("skyline {s}\n"))
+            .collect();
+        let queries = parse_workload(&workload).unwrap();
+        let outcome = run_batch(&source, &queries, Parallelism::sequential());
+        let index = outcome.stats.index.expect("indexed source reports stats");
+        assert_eq!(index.total_queries(), queries.len() as u64);
+        // A repeat batch reports only its own work, now memo-accelerated.
+        let outcome = run_batch(&source, &queries, Parallelism::sequential());
+        let index = outcome.stats.index.unwrap();
+        assert_eq!(index.total_queries(), queries.len() as u64);
+        assert!(index.memo_exact > 0, "{index:?}");
+        // Sources without an index report none; cached wrappers forward.
+        let direct = DirectSource::new(&ds);
+        let outcome = run_batch(&direct, &queries, Parallelism::sequential());
+        assert_eq!(outcome.stats.index, None);
+        let cached = CachedSource::new(IndexedCubeSource::new(&cube), 8);
+        let outcome = run_batch(&cached, &queries, Parallelism::sequential());
+        assert!(outcome.stats.index.is_some());
     }
 }

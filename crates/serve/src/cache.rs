@@ -107,6 +107,13 @@ impl SubspaceCache {
             capacity: self.capacity,
         }
     }
+
+    /// Drop every resident entry (counters are preserved). The invalidation
+    /// hook for maintenance: call after the underlying data changes so no
+    /// stale skyline is ever served.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().map.clear();
+    }
 }
 
 /// A [`SkylineSource`] wrapper that serves repeated `subspace_skyline`
@@ -128,6 +135,13 @@ impl<S: SkylineSource> CachedSource<S> {
     /// The wrapped source.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// Clear every cached skyline. Call when the data behind the wrapped
+    /// source changed (e.g. on a [`skycube_stellar::StellarEngine`]
+    /// generation bump) — the cache cannot observe that itself.
+    pub fn invalidate(&self) {
+        self.cache.clear();
     }
 }
 
@@ -171,6 +185,10 @@ impl<S: SkylineSource> SkylineSource for CachedSource<S> {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn index_stats(&self) -> Option<crate::source::IndexStats> {
+        self.inner.index_stats()
     }
 }
 
@@ -233,5 +251,55 @@ mod tests {
         let stats = source.cache_stats().unwrap();
         assert_eq!(stats.hits, 0);
         assert_eq!(stats.entries, 0);
+    }
+
+    #[test]
+    fn invalidate_drops_entries_but_keeps_counters() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let source = CachedSource::new(IndexedCubeSource::new(&cube), 8);
+        let space = DimMask::parse("BD").unwrap();
+        source.subspace_skyline(space).unwrap();
+        source.subspace_skyline(space).unwrap();
+        let stats = source.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+        source.invalidate();
+        let stats = source.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 0));
+        // The next query is a miss that goes back to the index.
+        source.subspace_skyline(space).unwrap();
+        let stats = source.cache_stats().unwrap();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+    }
+
+    /// Regression for the maintenance staleness bug: an insert replaces the
+    /// engine's cube (and invalidates its lazy index), but a serving-tier
+    /// cache keyed by subspace lives outside the engine and MUST be cleared
+    /// on a generation bump, or it keeps serving the pre-insert skyline.
+    #[test]
+    fn cached_indexed_source_stays_fresh_across_engine_inserts() {
+        use skycube_stellar::StellarEngine;
+        let mut engine = StellarEngine::new(&running_example());
+        let space = DimMask::parse("B").unwrap();
+        let cache = SubspaceCache::new(8);
+        let generation = engine.generation();
+        {
+            let source = IndexedCubeSource::new(engine.cube());
+            let sky = source.subspace_skyline(space).unwrap();
+            assert_eq!(sky, vec![2, 3, 4]);
+            cache.put(space, sky);
+        }
+        assert_eq!(cache.get(space), Some(vec![2, 3, 4]));
+        // The new object takes over subspace B outright (B = 0): the cached
+        // entry above is now stale.
+        engine.insert(vec![9, 0, 11, 9]).unwrap();
+        assert_ne!(engine.generation(), generation, "insert must bump");
+        cache.clear();
+        assert_eq!(cache.get(space), None, "stale answer served after insert");
+        let source = IndexedCubeSource::new(engine.cube());
+        let sky = source.subspace_skyline(space).unwrap();
+        assert_eq!(sky, vec![5]);
+        cache.put(space, sky);
+        assert_eq!(cache.get(space), Some(vec![5]));
     }
 }

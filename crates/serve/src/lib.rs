@@ -11,6 +11,7 @@
 //!   implementation the index is property-tested against;
 //! - the materialized **SkyCube** of Yuan et al. ([`SkyCubeSource`]);
 //! - the **SUBSKY** sorted index ([`SubskySource`]);
+//! - the **SUBSKY** multi-anchor index ([`AnchoredSubskySource`]);
 //! - **direct computation** from the dataset ([`DirectSource`]).
 //!
 //! On top of the trait sit an LRU subspace→skyline cache
@@ -44,6 +45,7 @@ mod workload;
 pub use batch::{run_batch, Answer, BatchOutcome, QueryStats};
 pub use cache::{CacheStats, CachedSource, SubspaceCache};
 pub use source::{
-    DirectSource, IndexedCubeSource, ScanCubeSource, SkyCubeSource, SkylineSource, SubskySource,
+    AnchoredSubskySource, DirectSource, IndexStats, IndexedCubeSource, RouteStats, ScanCubeSource,
+    SkyCubeSource, SkylineSource, SubskySource,
 };
 pub use workload::{parse_query_line, parse_workload, Query};

@@ -1,13 +1,78 @@
-//! The unified [`SkylineSource`] trait and its five implementations.
+//! The unified [`SkylineSource`] trait and its six implementations.
 
 use crate::cache::CacheStats;
 use skycube_skyey::SkyCube;
 use skycube_skyline::Algorithm;
-use skycube_stellar::{CompressedSkylineCube, CubeIndex, IndexScratch};
-use skycube_subsky::SubskyIndex;
+use skycube_stellar::{CompressedSkylineCube, CubeIndex, IndexScratch, MemoOutcome};
+use skycube_subsky::{AnchoredSubskyIndex, SubskyIndex};
 use skycube_types::{Dataset, DimMask, DominanceKernel, ObjId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
+
+/// Per-merge-route counters for one [`IndexedCubeSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouteStats {
+    /// Skyline queries answered through this route.
+    pub queries: u64,
+    /// Cumulative wall-clock nanoseconds spent in queries on this route
+    /// (prefilter + merge, excluding scratch-pool handoff).
+    pub nanos: u64,
+}
+
+/// Index-side profiling counters surfaced through
+/// [`SkylineSource::index_stats`]: per-route query counts and timings,
+/// log₂ histograms of the merge workload, and lattice-memo participation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    /// One cell per [`skycube_stellar::MergeRoute`], indexed by
+    /// [`skycube_stellar::MergeRoute::index`].
+    pub routes: [RouteStats; 5],
+    /// `runs_hist[b]` = skyline queries whose merged run count fell in
+    /// log₂ bucket `b` (`0` for zero runs, else `⌊log₂ n⌋ + 1`, capped).
+    pub runs_hist: [u64; 16],
+    /// Same bucketing over elements merged (pre-dedup).
+    pub elems_hist: [u64; 16],
+    /// Skyline queries answered from an exact memo entry.
+    pub memo_exact: u64,
+    /// Skyline queries seeded from a memoized ancestor subspace.
+    pub memo_ancestor: u64,
+    /// Skyline queries that consulted the memo and missed.
+    pub memo_miss: u64,
+}
+
+impl IndexStats {
+    /// Total skyline queries across every route.
+    pub fn total_queries(&self) -> u64 {
+        self.routes.iter().map(|r| r.queries).sum()
+    }
+
+    /// Field-wise `after − before`, for per-batch deltas.
+    pub fn delta(before: &IndexStats, after: &IndexStats) -> IndexStats {
+        let mut out = IndexStats::default();
+        for i in 0..out.routes.len() {
+            out.routes[i].queries = after.routes[i].queries - before.routes[i].queries;
+            out.routes[i].nanos = after.routes[i].nanos - before.routes[i].nanos;
+        }
+        for i in 0..out.runs_hist.len() {
+            out.runs_hist[i] = after.runs_hist[i] - before.runs_hist[i];
+            out.elems_hist[i] = after.elems_hist[i] - before.elems_hist[i];
+        }
+        out.memo_exact = after.memo_exact - before.memo_exact;
+        out.memo_ancestor = after.memo_ancestor - before.memo_ancestor;
+        out.memo_miss = after.memo_miss - before.memo_miss;
+        out
+    }
+}
+
+/// Log₂ histogram bucket: 0 for 0, else `⌊log₂ n⌋ + 1`, capped at 15.
+pub(crate) fn hist_bucket(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        ((usize::BITS - n.leading_zeros()) as usize).min(15)
+    }
+}
 
 /// One answer engine for the paper's query families, behind a uniform,
 /// thread-shareable interface. All implementations must return *identical*
@@ -45,6 +110,12 @@ pub trait SkylineSource: Sync {
 
     /// Cache counters, for sources wrapped in a [`crate::CachedSource`].
     fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Cumulative index-side profiling counters (merge routes, workload
+    /// histograms, memo hits); `None` for sources without a [`CubeIndex`].
+    fn index_stats(&self) -> Option<IndexStats> {
         None
     }
 }
@@ -86,6 +157,7 @@ pub struct IndexedCubeSource<'a> {
     index: &'a CubeIndex,
     touched: AtomicU64,
     scratch_pool: Mutex<Vec<IndexScratch>>,
+    stats: Mutex<IndexStats>,
 }
 
 impl<'a> IndexedCubeSource<'a> {
@@ -95,12 +167,28 @@ impl<'a> IndexedCubeSource<'a> {
             index: cube.index(),
             touched: AtomicU64::new(0),
             scratch_pool: Mutex::new(Vec::new()),
+            stats: Mutex::new(IndexStats::default()),
         }
     }
 
     /// The underlying index.
     pub fn index(&self) -> &CubeIndex {
         self.index
+    }
+
+    fn record(&self, probe: &skycube_stellar::IndexProbe, nanos: u64) {
+        let mut stats = self.stats.lock().unwrap();
+        let r = probe.route.index();
+        stats.routes[r].queries += 1;
+        stats.routes[r].nanos += nanos;
+        stats.runs_hist[hist_bucket(probe.runs_merged)] += 1;
+        stats.elems_hist[hist_bucket(probe.elements_merged)] += 1;
+        match probe.memo {
+            MemoOutcome::Exact => stats.memo_exact += 1,
+            MemoOutcome::Ancestor => stats.memo_ancestor += 1,
+            MemoOutcome::Miss => stats.memo_miss += 1,
+            MemoOutcome::Bypass => {}
+        }
     }
 }
 
@@ -120,13 +208,16 @@ impl SkylineSource for IndexedCubeSource<'_> {
     fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
         let mut scratch = self.scratch_pool.lock().unwrap().pop().unwrap_or_default();
         let mut out = Vec::new();
+        let start = Instant::now();
         let result = self
             .index
             .try_subspace_skyline_into(space, &mut scratch, &mut out);
+        let nanos = start.elapsed().as_nanos() as u64;
         self.scratch_pool.lock().unwrap().push(scratch);
         let probe = result?;
         self.touched
             .fetch_add(probe.candidates as u64, Ordering::Relaxed);
+        self.record(&probe, nanos);
         Ok(out)
     }
 
@@ -147,6 +238,10 @@ impl SkylineSource for IndexedCubeSource<'_> {
 
     fn groups_touched(&self) -> u64 {
         self.touched.load(Ordering::Relaxed)
+    }
+
+    fn index_stats(&self) -> Option<IndexStats> {
+        Some(*self.stats.lock().unwrap())
     }
 }
 
@@ -349,6 +444,88 @@ impl SkylineSource for SubskySource<'_> {
 }
 
 // ---------------------------------------------------------------------
+// SUBSKY multi-anchor index
+// ---------------------------------------------------------------------
+
+/// The multi-anchor SUBSKY index: objects are banded around anchor corners
+/// and each query early-terminates per anchor list — the paper's "real
+/// data" variant of the sorted index.
+pub struct AnchoredSubskySource<'a> {
+    index: AnchoredSubskyIndex<'a>,
+    dims: usize,
+    num_objects: usize,
+}
+
+impl<'a> AnchoredSubskySource<'a> {
+    /// Default anchor count when none is configured.
+    pub const DEFAULT_ANCHORS: usize = 4;
+
+    /// Build with [`Self::DEFAULT_ANCHORS`] anchor corners.
+    pub fn new(ds: &'a Dataset) -> Self {
+        Self::with_anchors(ds, Self::DEFAULT_ANCHORS)
+    }
+
+    /// Build with an explicit anchor count (clamped to ≥ 1 by the index).
+    pub fn with_anchors(ds: &'a Dataset, anchors: usize) -> Self {
+        AnchoredSubskySource {
+            index: AnchoredSubskyIndex::build(ds, anchors),
+            dims: ds.dims(),
+            num_objects: ds.len(),
+        }
+    }
+
+    /// Number of anchor lists actually materialized.
+    pub fn num_anchors(&self) -> usize {
+        self.index.num_anchors()
+    }
+}
+
+impl SkylineSource for AnchoredSubskySource<'_> {
+    fn label(&self) -> &'static str {
+        "subsky-anchored"
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+        // The underlying index panics on invalid subspaces; validate first.
+        check_space(space, self.dims)?;
+        Ok(self.index.skyline(space))
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+        check_object(o, self.num_objects)?;
+        let sky = self.subspace_skyline(space)?;
+        Ok(sky.binary_search(&o).is_ok())
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+        check_object(o, self.num_objects)?;
+        let full = DimMask::full(self.dims);
+        Ok(full
+            .subsets()
+            .filter(|&s| self.index.skyline(s).binary_search(&o).is_ok())
+            .count() as u64)
+    }
+
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        let mut freq = vec![0u64; self.num_objects];
+        for s in DimMask::full(self.dims).subsets() {
+            for o in self.index.skyline(s) {
+                freq[o as usize] += 1;
+            }
+        }
+        rank_frequencies(&freq, k)
+    }
+}
+
+// ---------------------------------------------------------------------
 // Direct computation
 // ---------------------------------------------------------------------
 
@@ -463,8 +640,10 @@ mod tests {
         let scan = ScanCubeSource::new(&cube);
         let skyey = SkyCubeSource::new(&skycube, ds.len());
         let subsky = SubskySource::new(&ds);
+        let anchored = AnchoredSubskySource::new(&ds);
         let direct = DirectSource::new(&ds);
-        let sources: [&dyn SkylineSource; 5] = [&indexed, &scan, &skyey, &subsky, &direct];
+        let sources: [&dyn SkylineSource; 6] =
+            [&indexed, &scan, &skyey, &subsky, &anchored, &direct];
         for space in ds.full_space().subsets() {
             let expect = scan.subspace_skyline(space).unwrap();
             for s in sources {
@@ -510,8 +689,10 @@ mod tests {
         let scan = ScanCubeSource::new(&cube);
         let skyey = SkyCubeSource::new(&skycube, ds.len());
         let subsky = SubskySource::new(&ds);
+        let anchored = AnchoredSubskySource::new(&ds);
         let direct = DirectSource::new(&ds);
-        let sources: [&dyn SkylineSource; 5] = [&indexed, &scan, &skyey, &subsky, &direct];
+        let sources: [&dyn SkylineSource; 6] =
+            [&indexed, &scan, &skyey, &subsky, &anchored, &direct];
         for s in sources {
             let top = s.top_k_frequent(2);
             assert_eq!(top, vec![(1, 10), (4, 10)], "{}", s.label());
@@ -527,8 +708,10 @@ mod tests {
         let scan = ScanCubeSource::new(&cube);
         let skyey = SkyCubeSource::new(&skycube, ds.len());
         let subsky = SubskySource::new(&ds);
+        let anchored = AnchoredSubskySource::new(&ds);
         let direct = DirectSource::new(&ds);
-        let sources: [&dyn SkylineSource; 5] = [&indexed, &scan, &skyey, &subsky, &direct];
+        let sources: [&dyn SkylineSource; 6] =
+            [&indexed, &scan, &skyey, &subsky, &anchored, &direct];
         for s in sources {
             assert!(s.subspace_skyline(DimMask::EMPTY).is_err(), "{}", s.label());
             assert!(
@@ -555,5 +738,70 @@ mod tests {
         assert_eq!(scan.groups_touched(), cube.num_groups() as u64);
         // The index touches no more candidates than the scan touches groups.
         assert!(after_one <= scan.groups_touched());
+    }
+
+    #[test]
+    fn indexed_source_profiles_routes_and_memo() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        assert_eq!(indexed.index_stats(), Some(IndexStats::default()));
+        // Two sweeps: the second one is all exact memo hits.
+        for _ in 0..2 {
+            for space in ds.full_space().subsets() {
+                indexed.subspace_skyline(space).unwrap();
+            }
+        }
+        let stats = indexed.index_stats().unwrap();
+        let sweeps = 2 * (1u64 << ds.dims()) - 2;
+        assert_eq!(stats.total_queries(), sweeps);
+        assert_eq!(stats.runs_hist.iter().sum::<u64>(), sweeps);
+        assert_eq!(stats.elems_hist.iter().sum::<u64>(), sweeps);
+        assert_eq!(
+            stats.memo_exact + stats.memo_ancestor + stats.memo_miss,
+            sweeps
+        );
+        // Every subspace that took the decisive prefilter in sweep 1 is an
+        // exact hit in sweep 2 (the full space goes through the bucket
+        // sweep here and is never stored).
+        assert!(stats.memo_exact + 1 >= sweeps / 2, "{stats:?}");
+        // Non-indexed sources expose nothing.
+        assert_eq!(ScanCubeSource::new(&cube).index_stats(), None);
+        assert_eq!(DirectSource::new(&ds).index_stats(), None);
+    }
+
+    #[test]
+    fn index_stats_delta_subtracts_fieldwise() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        indexed.subspace_skyline(mask("BD")).unwrap();
+        let before = indexed.index_stats().unwrap();
+        indexed.subspace_skyline(mask("B")).unwrap();
+        let after = indexed.index_stats().unwrap();
+        let delta = IndexStats::delta(&before, &after);
+        assert_eq!(delta.total_queries(), 1);
+        assert_eq!(delta.runs_hist.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn anchored_source_reports_its_shape() {
+        let ds = running_example();
+        let anchored = AnchoredSubskySource::with_anchors(&ds, 2);
+        assert_eq!(anchored.label(), "subsky-anchored");
+        assert!(anchored.num_anchors() >= 1);
+        assert_eq!(anchored.dims(), ds.dims());
+        assert_eq!(anchored.num_objects(), ds.len());
+        assert_eq!(anchored.subspace_skyline(mask("B")).unwrap(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn hist_bucket_is_log2_with_zero_bucket() {
+        assert_eq!(hist_bucket(0), 0);
+        assert_eq!(hist_bucket(1), 1);
+        assert_eq!(hist_bucket(2), 2);
+        assert_eq!(hist_bucket(3), 2);
+        assert_eq!(hist_bucket(4), 3);
+        assert_eq!(hist_bucket(usize::MAX), 15);
     }
 }

@@ -60,6 +60,18 @@ impl CompressedSkylineCube {
         self.index.get_or_init(|| CubeIndex::build(self))
     }
 
+    /// Whether the lazy serving index has been built.
+    pub fn has_index(&self) -> bool {
+        self.index.get().is_some()
+    }
+
+    /// Drop the lazy serving index (and with it its lattice memo), forcing
+    /// a rebuild on next use. Maintenance paths that mutate the cube in
+    /// place must call this so stale postings are never served.
+    pub fn invalidate_index(&mut self) {
+        self.index.take();
+    }
+
     /// Dimensionality of the full space.
     pub fn dims(&self) -> usize {
         self.dims

@@ -21,12 +21,129 @@
 //! - **Precomputed analytics** — per-group covered-subspace counts, per-object
 //!   membership counts, and the full frequency ranking (count descending, id
 //!   ascending), making `membership_count` O(1) and `top_k_frequent` O(k).
+//!
+//! # Merge routes
+//!
+//! The merge stage is adaptive: once the covering runs are known, the query
+//! is routed by run shape (`k` runs, `total` elements, `max_len` longest run):
+//!
+//! | route    | condition (checked in order)                          |
+//! |----------|-------------------------------------------------------|
+//! | `Short`  | `k ≤ 2` — empty / copy / two-way linear merge         |
+//! | `Gallop` | `max_len ≥ 16` and `max_len ≥ 4 × (total − max_len)`  |
+//! | `Flat`   | `k ≤ 8` — concat, `sort_unstable`, `dedup`            |
+//! | `Heap`   | `total ≤ 2 × k` — many short runs, binary heap        |
+//! | `Winner` | otherwise — tournament tree, one replay path per pop  |
+//!
+//! The chosen route and the merge workload are reported in [`IndexProbe`].
+//!
+//! # Lattice memo
+//!
+//! The full covering set of a subspace is *not* monotone along the lattice
+//! (`A ⊆ P` does not imply every group covering `A` covers `P`), but the
+//! decisively-qualified set `D(A) = {g : ∃C ∈ decisive(g), C ⊆ A}` is:
+//! `A ⊆ P ⟹ D(A) ⊆ D(P)`. The per-index [`LatticeMemo`] therefore stores
+//! `D(·)` as sorted group-id lists. An exact hit replaces the posting-union
+//! prefilter with one `A ⊆ B` bit test per id; an ancestor hit filters the
+//! smallest memoized superset's list instead of touching postings at all.
+//! The memo is bounded (entries and total ids) with LRU eviction, and
+//! [`CubeIndex::invalidate_memo`] empties it for maintenance paths.
 
 use crate::cube::{covered_subspace_count, CompressedSkylineCube};
 use skycube_types::{DimMask, ObjId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum number of memoized subspaces per index.
+const MEMO_MAX_ENTRIES: usize = 512;
+/// Maximum total group ids held across all memo entries.
+const MEMO_MAX_IDS: usize = 1 << 20;
+/// Largest single list worth memoizing.
+const MEMO_ENTRY_MAX_IDS: usize = 1 << 16;
+/// A galloping merge needs a giant run at least this long ...
+const GALLOP_MIN_GIANT: usize = 16;
+/// ... and at least this many times longer than all other runs combined.
+const GALLOP_SKEW: usize = 4;
+/// Up to this many runs, concat + sort + dedup beats heap bookkeeping.
+const FLAT_MAX_RUNS: usize = 8;
+/// With more runs, the heap wins only when runs are short on average
+/// (`total ≤ HEAP_SHORT_AVG × runs`); otherwise the winner tree's single
+/// replay path per pop is cheaper.
+const HEAP_SHORT_AVG: usize = 2;
+
+/// Which merge implementation answered a query; see the module docs for the
+/// routing conditions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MergeRoute {
+    /// 0–2 runs: empty answer, run copy, or two-way linear merge.
+    #[default]
+    Short,
+    /// Binary heap k-way merge (many short runs).
+    Heap,
+    /// Exponential-search merge of the concatenated small runs into one
+    /// giant run (skewed run lengths).
+    Gallop,
+    /// Concat, `sort_unstable`, `dedup` (few runs).
+    Flat,
+    /// Tournament (winner) tree k-way merge (many long runs).
+    Winner,
+}
+
+impl MergeRoute {
+    /// All routes, in `index()` order.
+    pub const ALL: [MergeRoute; 5] = [
+        MergeRoute::Short,
+        MergeRoute::Heap,
+        MergeRoute::Gallop,
+        MergeRoute::Flat,
+        MergeRoute::Winner,
+    ];
+
+    /// Stable display name (used by `--stats` and the bench reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            MergeRoute::Short => "short",
+            MergeRoute::Heap => "heap",
+            MergeRoute::Gallop => "gallop",
+            MergeRoute::Flat => "flat",
+            MergeRoute::Winner => "winner",
+        }
+    }
+
+    /// Dense index into per-route counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// How the lattice memo participated in a query.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MemoOutcome {
+    /// The memo was not consulted (forced-route queries bypass it).
+    #[default]
+    Bypass,
+    /// No usable entry; the prefilter ran from the posting lists.
+    Miss,
+    /// The queried subspace itself was memoized.
+    Exact,
+    /// A strict superset was memoized; its list was filtered down.
+    Ancestor,
+}
+
+impl MemoOutcome {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemoOutcome::Bypass => "bypass",
+            MemoOutcome::Miss => "miss",
+            MemoOutcome::Exact => "exact",
+            MemoOutcome::Ancestor => "ancestor",
+        }
+    }
+}
 
 /// Per-query work counters reported by the index, for `QueryStats` in the
 /// serving layer and for the prefilter tests below.
@@ -36,15 +153,195 @@ pub struct IndexProbe {
     pub candidates: usize,
     /// Groups that actually cover the queried subspace.
     pub matched: usize,
+    /// Merge implementation that produced the answer.
+    pub route: MergeRoute,
+    /// How the lattice memo participated.
+    pub memo: MemoOutcome,
+    /// Number of member runs merged (equals `matched`).
+    pub runs_merged: usize,
+    /// Total elements across the merged runs (before dedup).
+    pub elements_merged: usize,
+}
+
+/// Lattice-memo counters, cheap to copy into serving-layer stats.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Queries answered from an exact memo entry.
+    pub exact_hits: u64,
+    /// Queries seeded from a memoized strict superset.
+    pub ancestor_hits: u64,
+    /// Queries that consulted the memo and found nothing usable.
+    pub misses: u64,
+    /// Lists inserted.
+    pub stores: u64,
+    /// Entries removed to stay within budget.
+    pub evictions: u64,
+    /// Times the memo was explicitly emptied.
+    pub invalidations: u64,
+    /// Live entries.
+    pub entries: usize,
+    /// Total group ids across live entries.
+    pub ids: usize,
+}
+
+#[derive(Debug, Default)]
+struct MemoInner {
+    map: HashMap<DimMask, MemoEntry>,
+    tick: u64,
+    total_ids: usize,
+}
+
+#[derive(Debug)]
+struct MemoEntry {
+    stamp: u64,
+    ids: Vec<u32>,
+}
+
+/// Bounded per-index memo of decisively-qualified sets `D(A)`, keyed by
+/// subspace. Interior-mutable so the shared `&CubeIndex` serving path can
+/// populate it; cloning an index starts with a cold memo.
+#[derive(Debug, Default)]
+struct LatticeMemo {
+    inner: Mutex<MemoInner>,
+    exact_hits: AtomicU64,
+    ancestor_hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    evictions: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Clone for LatticeMemo {
+    fn clone(&self) -> Self {
+        LatticeMemo::default()
+    }
+}
+
+impl LatticeMemo {
+    /// Copy the best available list for `space` into `dst`: the exact entry
+    /// if present, else the smallest memoized strict superset whose list is
+    /// narrower than half the group universe (a wider one would not beat the
+    /// posting prefilter).
+    fn lookup(&self, space: DimMask, n_groups: usize, dst: &mut Vec<u32>) -> MemoOutcome {
+        dst.clear();
+        let mut inner = self.inner.lock().expect("memo poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(entry) = inner.map.get_mut(&space) {
+            entry.stamp = tick;
+            dst.extend_from_slice(&entry.ids);
+            drop(inner);
+            self.exact_hits.fetch_add(1, Ordering::Relaxed);
+            return MemoOutcome::Exact;
+        }
+        let best = inner
+            .map
+            .iter()
+            .filter(|(&p, e)| space.is_subset_of(p) && e.ids.len() * 2 <= n_groups.max(1))
+            .min_by_key(|(_, e)| e.ids.len())
+            .map(|(&p, _)| p);
+        if let Some(p) = best {
+            let entry = inner.map.get_mut(&p).expect("key just found");
+            entry.stamp = tick;
+            dst.extend_from_slice(&entry.ids);
+            drop(inner);
+            self.ancestor_hits.fetch_add(1, Ordering::Relaxed);
+            return MemoOutcome::Ancestor;
+        }
+        drop(inner);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        MemoOutcome::Miss
+    }
+
+    /// Insert `D(space) = ids` (sorted ascending), evicting least-recently
+    /// touched entries until the entry/id budgets hold.
+    fn store(&self, space: DimMask, ids: &[u32]) {
+        if ids.len() > MEMO_ENTRY_MAX_IDS {
+            return;
+        }
+        let mut evicted = 0u64;
+        {
+            let mut inner = self.inner.lock().expect("memo poisoned");
+            if let Some(old) = inner.map.remove(&space) {
+                inner.total_ids -= old.ids.len();
+            }
+            while !inner.map.is_empty()
+                && (inner.map.len() >= MEMO_MAX_ENTRIES
+                    || inner.total_ids + ids.len() > MEMO_MAX_IDS)
+            {
+                let victim = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.stamp)
+                    .map(|(&p, _)| p)
+                    .expect("non-empty map");
+                let gone = inner.map.remove(&victim).expect("victim present");
+                inner.total_ids -= gone.ids.len();
+                evicted += 1;
+            }
+            inner.tick += 1;
+            let stamp = inner.tick;
+            inner.total_ids += ids.len();
+            inner.map.insert(
+                space,
+                MemoEntry {
+                    stamp,
+                    ids: ids.to_vec(),
+                },
+            );
+        }
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    fn invalidate(&self) {
+        let mut inner = self.inner.lock().expect("memo poisoned");
+        inner.map.clear();
+        inner.total_ids = 0;
+        drop(inner);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn stats(&self) -> MemoStats {
+        let (entries, ids) = {
+            let inner = self.inner.lock().expect("memo poisoned");
+            (inner.map.len(), inner.total_ids)
+        };
+        MemoStats {
+            exact_hits: self.exact_hits.load(Ordering::Relaxed),
+            ancestor_hits: self.ancestor_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries,
+            ids,
+        }
+    }
 }
 
 /// Reusable per-thread scratch for [`CubeIndex::try_subspace_skyline_into`],
 /// so a query loop allocates nothing after warm-up.
 #[derive(Clone, Debug, Default)]
 pub struct IndexScratch {
+    /// Covering group ids for the current query.
     groups: Vec<u32>,
-    heap: BinaryHeap<Reverse<(ObjId, u32)>>,
+    /// Decisively-qualified ids (the memo payload `D(A)`).
+    qualified: Vec<u32>,
+    /// Ids copied out of a memo entry.
+    memo_ids: Vec<u32>,
+    /// `(start, end)` member-run bounds of the covering groups.
+    spans: Vec<(usize, usize)>,
+    /// Binary-heap route state: packed `(value << 32) | run` keys.
+    heap: BinaryHeap<Reverse<u64>>,
+    /// Per-run cursors for the heap and winner routes.
     cursors: Vec<usize>,
+    /// Winner-tree nodes (packed keys, `u64::MAX` = exhausted).
+    tree: Vec<u64>,
+    /// Concatenated non-giant runs for the gallop route.
+    small: Vec<ObjId>,
     /// Stamp array for O(1) dedup across decisive posting lists.
     seen: Vec<u32>,
     epoch: u32,
@@ -91,6 +388,8 @@ pub struct CubeIndex {
     /// `(object, count)` with `count > 0`, ordered count descending then id
     /// ascending — the full `top_k_frequent` ranking.
     freq_ranked: Vec<(ObjId, u64)>,
+    /// Bounded memo of decisively-qualified sets along the lattice.
+    memo: LatticeMemo,
 }
 
 impl CubeIndex {
@@ -192,6 +491,7 @@ impl CubeIndex {
             obj_group_offsets,
             freq_by_obj,
             freq_ranked,
+            memo: LatticeMemo::default(),
         }
     }
 
@@ -218,6 +518,17 @@ impl CubeIndex {
         spans.len()
     }
 
+    /// Lattice-memo counters (hit rates, occupancy, invalidations).
+    pub fn memo_stats(&self) -> MemoStats {
+        self.memo.stats()
+    }
+
+    /// Empty the lattice memo. Maintenance paths that mutate the underlying
+    /// cube must call this (or drop the index) before serving again.
+    pub fn invalidate_memo(&self) {
+        self.memo.invalidate();
+    }
+
     fn member_run(&self, g: u32) -> &[ObjId] {
         &self.members[self.member_offsets[g as usize]..self.member_offsets[g as usize + 1]]
     }
@@ -227,18 +538,25 @@ impl CubeIndex {
         &self.decisive_pool[s as usize..(s + l) as usize]
     }
 
+    /// Whether some decisive subspace of `g` fits inside `space` (the
+    /// monotone half of the covering test; `k = space.len()`).
+    #[inline]
+    fn decisively_qualified(&self, g: u32, space: DimMask, k: usize) -> bool {
+        self.min_decisive_len[g as usize] as usize <= k
+            && self.decisive_of(g).iter().any(|c| c.is_subset_of(space))
+    }
+
     /// Whether group `g` covers `space`: `space ⊆ B` and some decisive
     /// `C ⊆ space`. The `min_decisive_len` gate skips the antichain walk for
     /// subspaces that are too small to contain any decisive.
     #[inline]
     fn covers(&self, g: u32, space: DimMask, k: usize) -> bool {
-        space.is_subset_of(self.subspaces[g as usize])
-            && self.min_decisive_len[g as usize] as usize <= k
-            && self.decisive_of(g).iter().any(|c| c.is_subset_of(space))
+        space.is_subset_of(self.subspaces[g as usize]) && self.decisively_qualified(g, space, k)
     }
 
     /// Collect the ids of the groups covering `space` into `scratch.groups`,
-    /// using the cheapest of three prefilters. `space` must be valid.
+    /// consulting the lattice memo first (unless bypassed) and falling back
+    /// to the cheapest of three prefilters. `space` must be valid.
     ///
     /// 1. **Decisive route** (the common case, `2^|A|` small): union the
     ///    decisive posting lists of every `C ⊆ A`; each listed group is
@@ -247,11 +565,53 @@ impl CubeIndex {
     /// 2. **Popcount-bucket route**: sweep only the groups with `|B| ≥ |A|`.
     /// 3. **Dimension-posting route**: sweep the shortest posting list among
     ///    `A`'s dimensions.
-    fn groups_covering(&self, space: DimMask, scratch: &mut IndexScratch) -> IndexProbe {
+    ///
+    /// Routes 1 and both memo paths also recover `D(A)` (into
+    /// `scratch.qualified`), which is stored back into the memo; the sweep
+    /// routes only visit a slice of the universe, so they cannot.
+    fn collect_covering(
+        &self,
+        space: DimMask,
+        scratch: &mut IndexScratch,
+        use_memo: bool,
+        probe: &mut IndexProbe,
+    ) {
         scratch.groups.clear();
+        scratch.qualified.clear();
         let k = space.len();
-        let mut probe = IndexProbe::default();
         let n_groups = self.subspaces.len();
+        if use_memo {
+            match self.memo.lookup(space, n_groups, &mut scratch.memo_ids) {
+                MemoOutcome::Exact => {
+                    probe.memo = MemoOutcome::Exact;
+                    for &g in &scratch.memo_ids {
+                        probe.candidates += 1;
+                        if space.is_subset_of(self.subspaces[g as usize]) {
+                            scratch.groups.push(g);
+                        }
+                    }
+                    probe.matched = scratch.groups.len();
+                    return;
+                }
+                MemoOutcome::Ancestor => {
+                    probe.memo = MemoOutcome::Ancestor;
+                    for &g in &scratch.memo_ids {
+                        probe.candidates += 1;
+                        if self.decisively_qualified(g, space, k) {
+                            scratch.qualified.push(g);
+                            if space.is_subset_of(self.subspaces[g as usize]) {
+                                scratch.groups.push(g);
+                            }
+                        }
+                    }
+                    self.memo.store(space, &scratch.qualified);
+                    probe.matched = scratch.groups.len();
+                    return;
+                }
+                MemoOutcome::Miss => probe.memo = MemoOutcome::Miss,
+                MemoOutcome::Bypass => unreachable!("lookup never bypasses"),
+            }
+        }
         let subset_route_cheap = k < 63 && ((1u64 << k) - 1) <= n_groups.max(1) as u64;
         if subset_route_cheap {
             if scratch.seen.len() != n_groups {
@@ -270,12 +630,19 @@ impl CubeIndex {
                         probe.candidates += 1;
                         if scratch.seen[g as usize] != epoch {
                             scratch.seen[g as usize] = epoch;
+                            scratch.qualified.push(g);
                             if space.is_subset_of(self.subspaces[g as usize]) {
                                 scratch.groups.push(g);
                             }
                         }
                     }
                 }
+            }
+            if use_memo {
+                // Posting traversal interleaves the lists; the memo contract
+                // is a sorted `D(A)`.
+                scratch.qualified.sort_unstable();
+                self.memo.store(space, &scratch.qualified);
             }
         } else {
             let shortest = space
@@ -303,7 +670,6 @@ impl CubeIndex {
             }
         }
         probe.matched = scratch.groups.len();
-        probe
     }
 
     /// The skyline of `space`, ascending ids — identical to
@@ -325,10 +691,37 @@ impl CubeIndex {
     }
 
     /// The allocation-free query loop: answer into `out` reusing `scratch`,
-    /// returning the prefilter work counters.
+    /// returning the prefilter and merge work counters. Routes adaptively
+    /// and uses the lattice memo.
     pub fn try_subspace_skyline_into(
         &self,
         space: DimMask,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<ObjId>,
+    ) -> Result<IndexProbe, String> {
+        self.answer_into(space, None, true, scratch, out)
+    }
+
+    /// Like [`Self::try_subspace_skyline_into`], but forcing one merge route
+    /// and bypassing the memo — the per-route ablation and the all-routes
+    /// equality tests. Queries matching ≤ 2 runs always take the `Short`
+    /// path (the general routes would answer identically, just slower);
+    /// forcing `Short` with more runs falls back to `Heap`.
+    pub fn try_subspace_skyline_routed(
+        &self,
+        space: DimMask,
+        route: MergeRoute,
+        scratch: &mut IndexScratch,
+        out: &mut Vec<ObjId>,
+    ) -> Result<IndexProbe, String> {
+        self.answer_into(space, Some(route), false, scratch, out)
+    }
+
+    fn answer_into(
+        &self,
+        space: DimMask,
+        forced: Option<MergeRoute>,
+        use_memo: bool,
         scratch: &mut IndexScratch,
         out: &mut Vec<ObjId>,
     ) -> Result<IndexProbe, String> {
@@ -343,34 +736,74 @@ impl CubeIndex {
                 DimMask::full(self.dims)
             ));
         }
-        let probe = self.groups_covering(space, scratch);
-        match scratch.groups.as_slice() {
-            [] => {}
-            [g] => out.extend_from_slice(self.member_run(*g)),
-            [a, b] => merge_two(self.member_run(*a), self.member_run(*b), out),
-            groups => {
-                // K-way merge with dedup over the pre-sorted member runs.
-                scratch.heap.clear();
-                scratch.cursors.clear();
-                scratch.cursors.resize(groups.len(), 1);
-                for (i, &g) in groups.iter().enumerate() {
-                    let run = self.member_run(g);
-                    if let Some(&first) = run.first() {
-                        scratch.heap.push(Reverse((first, i as u32)));
-                    }
-                }
-                while let Some(Reverse((v, r))) = scratch.heap.pop() {
-                    if out.last() != Some(&v) {
-                        out.push(v);
-                    }
-                    let run = self.member_run(groups[r as usize]);
-                    let cur = &mut scratch.cursors[r as usize];
-                    if *cur < run.len() {
-                        scratch.heap.push(Reverse((run[*cur], r)));
-                        *cur += 1;
-                    }
-                }
+        let mut probe = IndexProbe::default();
+        self.collect_covering(space, scratch, use_memo, &mut probe);
+
+        scratch.spans.clear();
+        let mut total = 0usize;
+        let mut max_len = 0usize;
+        for &g in &scratch.groups {
+            let s = self.member_offsets[g as usize];
+            let e = self.member_offsets[g as usize + 1];
+            scratch.spans.push((s, e));
+            total += e - s;
+            max_len = max_len.max(e - s);
+        }
+        probe.runs_merged = scratch.spans.len();
+        probe.elements_merged = total;
+
+        let runs = scratch.spans.len();
+        let route = if runs <= 2 {
+            MergeRoute::Short
+        } else {
+            match forced {
+                Some(MergeRoute::Short) | None => choose_route(runs, total, max_len),
+                Some(r) => r,
             }
+        };
+        probe.route = route;
+
+        match route {
+            MergeRoute::Short => match scratch.groups.as_slice() {
+                [] => {}
+                [g] => out.extend_from_slice(self.member_run(*g)),
+                [a, b] => merge_two(self.member_run(*a), self.member_run(*b), out),
+                _ => unreachable!("short route is only chosen for ≤ 2 runs"),
+            },
+            MergeRoute::Heap => merge_heap(
+                &self.members,
+                &scratch.spans,
+                &mut scratch.cursors,
+                &mut scratch.heap,
+                out,
+            ),
+            MergeRoute::Flat => merge_flat(&self.members, &scratch.spans, out),
+            MergeRoute::Gallop => {
+                let giant = scratch
+                    .spans
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &(s, e))| e - s)
+                    .map(|(i, _)| i)
+                    .expect("≥ 3 runs on the gallop route");
+                scratch.small.clear();
+                for (i, &(s, e)) in scratch.spans.iter().enumerate() {
+                    if i != giant {
+                        scratch.small.extend_from_slice(&self.members[s..e]);
+                    }
+                }
+                scratch.small.sort_unstable();
+                scratch.small.dedup();
+                let (s, e) = scratch.spans[giant];
+                merge_gallop(&self.members[s..e], &scratch.small, out);
+            }
+            MergeRoute::Winner => merge_winner(
+                &self.members,
+                &scratch.spans,
+                &mut scratch.cursors,
+                &mut scratch.tree,
+                out,
+            ),
         }
         Ok(probe)
     }
@@ -407,6 +840,29 @@ impl CubeIndex {
     }
 }
 
+/// Pick the merge route for ≥ 3 runs from the run shape; see the module
+/// docs for the decision table.
+fn choose_route(runs: usize, total: usize, max_len: usize) -> MergeRoute {
+    debug_assert!(runs >= 3);
+    let rest = total - max_len;
+    if max_len >= GALLOP_MIN_GIANT && max_len >= GALLOP_SKEW * rest.max(1) {
+        MergeRoute::Gallop
+    } else if runs <= FLAT_MAX_RUNS {
+        MergeRoute::Flat
+    } else if total <= HEAP_SHORT_AVG * runs {
+        MergeRoute::Heap
+    } else {
+        MergeRoute::Winner
+    }
+}
+
+/// Pack a merge key: value in the high half so ordering is by value first,
+/// run index in the low half as the deterministic tiebreak.
+#[inline]
+fn pack(v: ObjId, run: u32) -> u64 {
+    ((v as u64) << 32) | run as u64
+}
+
 /// Merge two sorted runs into `out`, deduplicating.
 fn merge_two(a: &[ObjId], b: &[ObjId], out: &mut Vec<ObjId>) {
     let (mut i, mut j) = (0, 0);
@@ -432,6 +888,144 @@ fn merge_two(a: &[ObjId], b: &[ObjId], out: &mut Vec<ObjId>) {
     }
     out.extend_from_slice(&a[i..]);
     out.extend_from_slice(&b[j..]);
+}
+
+/// Flat route: concatenate every run, sort, dedup. For a handful of runs the
+/// pattern-defeating sort on mostly-sorted input beats any cursor machinery.
+fn merge_flat(members: &[ObjId], spans: &[(usize, usize)], out: &mut Vec<ObjId>) {
+    for &(s, e) in spans {
+        out.extend_from_slice(&members[s..e]);
+    }
+    out.sort_unstable();
+    out.dedup();
+}
+
+/// Heap route: classic k-way merge over packed keys, two sift paths per
+/// element — cheapest when runs are short so the heap stays tiny.
+fn merge_heap(
+    members: &[ObjId],
+    spans: &[(usize, usize)],
+    cursors: &mut Vec<usize>,
+    heap: &mut BinaryHeap<Reverse<u64>>,
+    out: &mut Vec<ObjId>,
+) {
+    heap.clear();
+    cursors.clear();
+    cursors.resize(spans.len(), 0);
+    for (i, &(s, e)) in spans.iter().enumerate() {
+        if s < e {
+            heap.push(Reverse(pack(members[s], i as u32)));
+            cursors[i] = s + 1;
+        }
+    }
+    while let Some(Reverse(key)) = heap.pop() {
+        let v = (key >> 32) as ObjId;
+        let r = (key & u32::MAX as u64) as usize;
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        let cur = cursors[r];
+        if cur < spans[r].1 {
+            heap.push(Reverse(pack(members[cur], r as u32)));
+            cursors[r] = cur + 1;
+        }
+    }
+}
+
+/// Winner route: a tournament tree with the runs as leaves (padded to a
+/// power of two, exhausted = `u64::MAX`). Each pop replays one leaf-to-root
+/// path — `⌈log₂ runs⌉` comparisons instead of the heap's two sift paths.
+fn merge_winner(
+    members: &[ObjId],
+    spans: &[(usize, usize)],
+    cursors: &mut Vec<usize>,
+    tree: &mut Vec<u64>,
+    out: &mut Vec<ObjId>,
+) {
+    let m = spans.len();
+    let cap = m.next_power_of_two().max(1);
+    tree.clear();
+    tree.resize(2 * cap, u64::MAX);
+    cursors.clear();
+    cursors.resize(m, 0);
+    for (i, &(s, e)) in spans.iter().enumerate() {
+        if s < e {
+            tree[cap + i] = pack(members[s], i as u32);
+            cursors[i] = s + 1;
+        } else {
+            cursors[i] = e;
+        }
+    }
+    for i in (1..cap).rev() {
+        tree[i] = tree[2 * i].min(tree[2 * i + 1]);
+    }
+    loop {
+        let key = tree[1];
+        if key == u64::MAX {
+            break;
+        }
+        let v = (key >> 32) as ObjId;
+        let r = (key & u32::MAX as u64) as usize;
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        let cur = cursors[r];
+        let mut node = cap + r;
+        tree[node] = if cur < spans[r].1 {
+            cursors[r] = cur + 1;
+            pack(members[cur], r as u32)
+        } else {
+            u64::MAX
+        };
+        while node > 1 {
+            node /= 2;
+            tree[node] = tree[2 * node].min(tree[2 * node + 1]);
+        }
+    }
+}
+
+/// Gallop route: `small` (sorted, deduped) is threaded through `giant` with
+/// exponential + binary search, copying the untouched giant stretches in
+/// bulk — sublinear in `giant.len()` when the skew is real.
+fn merge_gallop(giant: &[ObjId], small: &[ObjId], out: &mut Vec<ObjId>) {
+    let mut gi = 0usize;
+    for &v in small {
+        let lb = gallop_lower_bound(giant, gi, v);
+        out.extend_from_slice(&giant[gi..lb]);
+        gi = lb;
+        out.push(v);
+        if gi < giant.len() && giant[gi] == v {
+            gi += 1;
+        }
+    }
+    out.extend_from_slice(&giant[gi..]);
+}
+
+/// Smallest index `i ≥ from` with `run[i] ≥ v` (or `run.len()`), found by
+/// doubling steps then binary search inside the bracketed window.
+fn gallop_lower_bound(run: &[ObjId], from: usize, v: ObjId) -> usize {
+    if from >= run.len() || run[from] >= v {
+        return from;
+    }
+    let mut step = 1usize;
+    let mut prev = from;
+    let mut cur = from + step;
+    while cur < run.len() && run[cur] < v {
+        prev = cur;
+        step <<= 1;
+        cur = from + step;
+    }
+    let mut lo = prev + 1;
+    let mut hi = cur.min(run.len());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if run[mid] < v {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
 }
 
 #[cfg(test)]
@@ -580,5 +1174,286 @@ mod tests {
         out.clear();
         merge_two(&[], &[4, 7], &mut out);
         assert_eq!(out, vec![4, 7]);
+    }
+
+    /// Flatten crafted runs into the `(members, spans)` layout the merge
+    /// routines consume.
+    fn layout(runs: &[Vec<ObjId>]) -> (Vec<ObjId>, Vec<(usize, usize)>) {
+        let mut members = Vec::new();
+        let mut spans = Vec::new();
+        for run in runs {
+            let s = members.len();
+            members.extend_from_slice(run);
+            spans.push((s, members.len()));
+        }
+        (members, spans)
+    }
+
+    /// Reference merge: concat, sort, dedup.
+    fn reference(runs: &[Vec<ObjId>]) -> Vec<ObjId> {
+        let mut all: Vec<ObjId> = runs.iter().flatten().copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+
+    fn run_all_merges(runs: &[Vec<ObjId>], label: &str) {
+        let (members, spans) = layout(runs);
+        let expected = reference(runs);
+        let mut cursors = Vec::new();
+        let mut heap = BinaryHeap::new();
+        let mut tree = Vec::new();
+        let mut out = Vec::new();
+
+        merge_flat(&members, &spans, &mut out);
+        assert_eq!(out, expected, "flat: {label}");
+
+        out.clear();
+        merge_heap(&members, &spans, &mut cursors, &mut heap, &mut out);
+        assert_eq!(out, expected, "heap: {label}");
+
+        out.clear();
+        merge_winner(&members, &spans, &mut cursors, &mut tree, &mut out);
+        assert_eq!(out, expected, "winner: {label}");
+
+        // Gallop: giant = longest run, the rest concat-sorted-deduped.
+        if let Some(gi) = spans
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &(s, e))| e - s)
+            .map(|(i, _)| i)
+        {
+            let mut small = Vec::new();
+            for (i, &(s, e)) in spans.iter().enumerate() {
+                if i != gi {
+                    small.extend_from_slice(&members[s..e]);
+                }
+            }
+            small.sort_unstable();
+            small.dedup();
+            let (s, e) = spans[gi];
+            out.clear();
+            merge_gallop(&members[s..e], &small, &mut out);
+            assert_eq!(out, expected, "gallop: {label}");
+        }
+    }
+
+    #[test]
+    fn general_merges_agree_on_adversarial_run_shapes() {
+        // Empty runs interleaved with non-empty ones.
+        run_all_merges(
+            &[vec![], vec![3, 9], vec![], vec![1, 9, 12], vec![]],
+            "empty runs",
+        );
+        // All runs empty.
+        run_all_merges(&[vec![], vec![], vec![]], "all empty");
+        // One giant run plus many singletons (the gallop regime).
+        let giant: Vec<ObjId> = (0..500).map(|i| i * 3).collect();
+        let mut runs = vec![giant];
+        for i in 0..20 {
+            runs.push(vec![i * 71 + 2]);
+        }
+        run_all_merges(&runs, "giant + singletons");
+        // Fully duplicated runs.
+        let dup: Vec<ObjId> = vec![5, 6, 7, 100, 200];
+        run_all_merges(&[dup.clone(), dup.clone(), dup.clone(), dup], "duplicates");
+        // Disjoint equal-length runs.
+        run_all_merges(
+            &[
+                (0..40).map(|i| i * 4).collect(),
+                (0..40).map(|i| i * 4 + 1).collect(),
+                (0..40).map(|i| i * 4 + 2).collect(),
+                (0..40).map(|i| i * 4 + 3).collect(),
+            ],
+            "interleaved",
+        );
+        // Single run (forced general routes must still work).
+        run_all_merges(&[vec![2, 4, 8]], "single run");
+    }
+
+    #[test]
+    fn gallop_lower_bound_brackets_correctly() {
+        let run: Vec<ObjId> = vec![2, 4, 6, 8, 10, 12, 14];
+        for from in 0..=run.len() {
+            for v in 0..16u32 {
+                let expect = (from..run.len())
+                    .find(|&i| run[i] >= v)
+                    .unwrap_or(run.len());
+                assert_eq!(
+                    gallop_lower_bound(&run, from, v),
+                    expect,
+                    "from={from} v={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_chooser_matches_documented_thresholds() {
+        // Skewed: giant of 100 vs rest of 10 → gallop.
+        assert_eq!(choose_route(5, 110, 100), MergeRoute::Gallop);
+        // Giant too small for galloping to pay off.
+        assert_eq!(choose_route(3, 14, 12), MergeRoute::Flat);
+        // Few balanced runs → flat.
+        assert_eq!(choose_route(8, 800, 100), MergeRoute::Flat);
+        // Many short runs → heap.
+        assert_eq!(choose_route(50, 80, 4), MergeRoute::Heap);
+        // Many long balanced runs → winner tree.
+        assert_eq!(choose_route(50, 5_000, 120), MergeRoute::Winner);
+    }
+
+    #[test]
+    fn forced_routes_agree_with_auto_routing() {
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            let ds = generate(dist, 800, 5, 41);
+            let cube = compute_cube(&ds);
+            let index = cube.index();
+            let mut scratch = IndexScratch::default();
+            let mut out = Vec::new();
+            let mut forced_out = Vec::new();
+            for space in ds.full_space().subsets() {
+                index
+                    .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                    .unwrap();
+                for route in MergeRoute::ALL {
+                    let probe = index
+                        .try_subspace_skyline_routed(space, route, &mut scratch, &mut forced_out)
+                        .unwrap();
+                    assert_eq!(
+                        forced_out,
+                        out,
+                        "{} route {} subspace {space}",
+                        dist.name(),
+                        route.name()
+                    );
+                    assert_eq!(probe.memo, MemoOutcome::Bypass);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_reports_route_and_merge_workload() {
+        let ds = generate(Distribution::Independent, 800, 5, 59);
+        let cube = compute_cube(&ds);
+        let index = cube.index();
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        for space in ds.full_space().subsets() {
+            let probe = index
+                .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(probe.runs_merged, probe.matched);
+            assert!(probe.elements_merged >= out.len());
+            if probe.runs_merged <= 2 {
+                assert_eq!(probe.route, MergeRoute::Short);
+            } else {
+                assert_ne!(probe.route, MergeRoute::Short);
+            }
+        }
+    }
+
+    #[test]
+    fn memo_exact_and_ancestor_hits_preserve_answers() {
+        let ds = generate(Distribution::Independent, 1_000, 5, 67);
+        let cube = compute_cube(&ds);
+        let index = CubeIndex::build(&cube);
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        let spaces: Vec<DimMask> = ds.full_space().subsets().collect();
+        // Two passes: the first populates the memo (misses + ancestor
+        // seeds), the second must be all exact hits — with answers pinned to
+        // the scan path both times.
+        for pass in 0..2 {
+            for &space in &spaces {
+                let probe = index
+                    .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                    .unwrap();
+                assert_eq!(out, cube.subspace_skyline(space), "pass {pass} {space}");
+                if pass == 1 {
+                    assert_eq!(probe.memo, MemoOutcome::Exact, "pass 1 {space}");
+                }
+            }
+        }
+        let stats = index.memo_stats();
+        assert!(stats.stores > 0, "memo never stored: {stats:?}");
+        assert_eq!(stats.exact_hits, spaces.len() as u64, "{stats:?}");
+        assert!(stats.entries > 0 && stats.ids > 0);
+    }
+
+    #[test]
+    fn memo_ancestor_seeding_fires_and_is_correct() {
+        let ds = generate(Distribution::Correlated, 1_200, 6, 83);
+        let cube = compute_cube(&ds);
+        let index = CubeIndex::build(&cube);
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        // Query big subspaces first so their D(·) lists are memoized, then
+        // children: subsets() yields ascending masks, so reverse for
+        // parents-first order.
+        let mut spaces: Vec<DimMask> = ds.full_space().subsets().collect();
+        spaces.reverse();
+        let mut ancestor_hits = 0;
+        for &space in &spaces {
+            let probe = index
+                .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, cube.subspace_skyline(space), "subspace {space}");
+            if probe.memo == MemoOutcome::Ancestor {
+                ancestor_hits += 1;
+            }
+        }
+        assert_eq!(index.memo_stats().ancestor_hits, ancestor_hits);
+    }
+
+    #[test]
+    fn memo_invalidation_empties_the_memo() {
+        let ds = generate(Distribution::Independent, 400, 4, 91);
+        let cube = compute_cube(&ds);
+        let index = CubeIndex::build(&cube);
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        for space in ds.full_space().subsets() {
+            index
+                .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                .unwrap();
+        }
+        assert!(index.memo_stats().entries > 0);
+        index.invalidate_memo();
+        let stats = index.memo_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.ids, 0);
+        assert_eq!(stats.invalidations, 1);
+        // And the index still answers correctly from cold.
+        for space in ds.full_space().subsets() {
+            index
+                .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, cube.subspace_skyline(space), "post-invalidate {space}");
+        }
+    }
+
+    #[test]
+    fn cloned_index_starts_with_a_cold_memo() {
+        let ds = generate(Distribution::Independent, 300, 4, 97);
+        let cube = compute_cube(&ds);
+        let index = CubeIndex::build(&cube);
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        for space in ds.full_space().subsets() {
+            index
+                .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                .unwrap();
+        }
+        let cloned = index.clone();
+        let stats = cloned.memo_stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.exact_hits, 0);
+        for space in ds.full_space().subsets() {
+            cloned
+                .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, cube.subspace_skyline(space), "cloned {space}");
+        }
     }
 }

@@ -29,6 +29,9 @@ pub struct StellarEngine {
     fast_path_inserts: usize,
     /// Statistics: how many inserts forced a recomputation.
     full_recomputes: usize,
+    /// Bumped on every successful mutation; serving layers key caches on it
+    /// to detect staleness across inserts/deletes.
+    generation: u64,
 }
 
 struct CachedSeedLattice {
@@ -55,6 +58,7 @@ impl StellarEngine {
             cached: None,
             fast_path_inserts: 0,
             full_recomputes: 0,
+            generation: 0,
         };
         engine.recompute();
         engine
@@ -85,7 +89,19 @@ impl StellarEngine {
         (self.fast_path_inserts, self.full_recomputes)
     }
 
+    /// The cube generation: bumped by every successful [`Self::insert`] and
+    /// [`Self::delete`]. Any serving-layer state derived from an earlier
+    /// generation's cube — a built [`crate::CubeIndex`], a subspace answer
+    /// cache — is stale and must be dropped or cleared when this changes.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Insert one object and refresh the cube. Returns the new object's id.
+    ///
+    /// Any lazily built [`crate::CubeIndex`] over the previous cube (and its
+    /// lattice memo) is explicitly invalidated; callers holding answer
+    /// caches over this engine should watch [`Self::generation`].
     pub fn insert(&mut self, row: Vec<Value>) -> Result<skycube_types::ObjId> {
         if row.len() != self.dims {
             return Err(skycube_types::Error::RowLengthMismatch {
@@ -97,6 +113,7 @@ impl StellarEngine {
         let id = self.rows.len() as skycube_types::ObjId;
         let dominated = self.strictly_dominated(&row);
         self.rows.push(row);
+        self.cube.invalidate_index();
         if dominated && self.cached.is_some() {
             self.refresh_extension_only();
             self.fast_path_inserts += 1;
@@ -104,6 +121,7 @@ impl StellarEngine {
             self.recompute();
             self.full_recomputes += 1;
         }
+        self.generation += 1;
         Ok(id)
     }
 
@@ -125,6 +143,7 @@ impl StellarEngine {
         }
         let was_seed = self.cube.seeds().binary_search(&id).is_ok();
         let row = self.rows.remove(id as usize);
+        self.cube.invalidate_index();
         let cached_available = self.cached.is_some();
         if self.rows.is_empty() || was_seed || !cached_available {
             self.recompute();
@@ -174,6 +193,7 @@ impl StellarEngine {
             );
             self.fast_path_inserts += 1;
         }
+        self.generation += 1;
         Ok(row)
     }
 
@@ -440,5 +460,53 @@ mod tests {
         assert!(engine.insert(vec![1, 2]).is_err());
         assert_eq!(engine.len(), 5);
         assert!(!engine.is_empty());
+    }
+
+    #[test]
+    fn mutations_bump_generation_and_drop_the_lazy_index() {
+        let mut engine = StellarEngine::new(&running_example());
+        assert_eq!(engine.generation(), 0);
+        // Build the lazy index, then insert: the served answer must reflect
+        // the new object, not the stale index.
+        let space = skycube_types::DimMask::parse("B").unwrap();
+        let before = engine.cube().index().subspace_skyline(space);
+        assert_eq!(before, vec![2, 3, 4]);
+        assert!(engine.cube().has_index());
+        // (0,0,0,0) dominates everything: full recompute, new sole seed.
+        engine.insert(vec![0, 0, 0, 0]).unwrap();
+        assert_eq!(engine.generation(), 1);
+        assert!(!engine.cube().has_index(), "stale index survived insert");
+        assert_eq!(engine.cube().index().subspace_skyline(space), vec![5]);
+        // Fast-path insert and delete also bump and invalidate.
+        engine.cube().index();
+        engine.insert(vec![9, 9, 11, 9]).unwrap();
+        assert_eq!(engine.generation(), 2);
+        assert!(!engine.cube().has_index(), "stale index survived fast path");
+        engine.cube().index();
+        engine.delete(6).unwrap();
+        assert_eq!(engine.generation(), 3);
+        assert!(!engine.cube().has_index(), "stale index survived delete");
+        // Failed mutations bump nothing.
+        assert!(engine.insert(vec![1]).is_err());
+        assert!(engine.delete(99).is_err());
+        assert_eq!(engine.generation(), 3);
+    }
+
+    #[test]
+    fn invalidate_index_resets_the_once_lock() {
+        let ds = running_example();
+        let mut cube = compute_cube(&ds);
+        assert!(!cube.has_index());
+        cube.index();
+        assert!(cube.has_index());
+        cube.invalidate_index();
+        assert!(!cube.has_index());
+        // The rebuilt index still answers correctly.
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                cube.index().subspace_skyline(space),
+                cube.subspace_skyline(space)
+            );
+        }
     }
 }

@@ -69,12 +69,13 @@ commands:
   member   --cube CUBE.txt --object ID --space LETTERS
   top      --cube CUBE.txt --k N              most frequent skyline objects
   query    --data FILE.csv [--cube CUBE.txt]  run a batch query workload
-           [--source stellar|stellar-scan|skyey|subsky|direct]
+           [--source stellar|stellar-scan|skyey|subsky|subsky-anchored|direct]
            [--workload FILE|-] [--cache N] [--threads N]
-           [--kernel scalar|columnar]
+           [--kernel scalar|columnar] [--anchors N] [--stats]
            workload lines: 'skyline ABD', 'member 17 ABD', 'count 17',
            'top 5'; blank lines and # comments are ignored; --workload -
-           (the default) reads from stdin";
+           (the default) reads from stdin; --stats prints per-merge-route
+           timings and lattice-memo counters for the indexed source";
 
 type Opts = HashMap<String, String>;
 
@@ -86,7 +87,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             return Err(format!("expected --option, got {k:?}"));
         };
         // Flags without values.
-        if key == "nba" {
+        if key == "nba" || key == "stats" {
             opts.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -278,6 +279,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         Some(n) => Some(num::<usize>(n, "cache capacity")?),
         None => None,
     };
+    let stats = opts.contains_key("stats");
 
     // A stellar cube comes from --cube when given, otherwise it (like every
     // other engine) is built from --data.
@@ -291,20 +293,46 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     match opts.get("source").map_or("stellar", String::as_str) {
         "stellar" => {
             let cube = stellar_cube(opts)?;
-            serve_workload(IndexedCubeSource::new(&cube), &queries, par, cache)
+            serve_workload(IndexedCubeSource::new(&cube), &queries, par, cache, stats)
         }
         "stellar-scan" => {
             let cube = stellar_cube(opts)?;
-            serve_workload(ScanCubeSource::new(&cube), &queries, par, cache)
+            serve_workload(ScanCubeSource::new(&cube), &queries, par, cache, stats)
         }
         "skyey" => {
             let ds = load_data(opts)?;
             let skycube = SkyCube::compute_with(&ds, kernel);
-            serve_workload(SkyCubeSource::new(&skycube, ds.len()), &queries, par, cache)
+            serve_workload(
+                SkyCubeSource::new(&skycube, ds.len()),
+                &queries,
+                par,
+                cache,
+                stats,
+            )
         }
         "subsky" => {
             let ds = load_data(opts)?;
-            serve_workload(SubskySource::with_kernel(&ds, kernel), &queries, par, cache)
+            serve_workload(
+                SubskySource::with_kernel(&ds, kernel),
+                &queries,
+                par,
+                cache,
+                stats,
+            )
+        }
+        "subsky-anchored" => {
+            let ds = load_data(opts)?;
+            let anchors = match opts.get("anchors") {
+                Some(n) => num::<usize>(n, "anchor count")?,
+                None => AnchoredSubskySource::DEFAULT_ANCHORS,
+            };
+            serve_workload(
+                AnchoredSubskySource::with_anchors(&ds, anchors),
+                &queries,
+                par,
+                cache,
+                stats,
+            )
         }
         "direct" => {
             let ds = load_data(opts)?;
@@ -313,10 +341,12 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
                 &queries,
                 par,
                 cache,
+                stats,
             )
         }
         other => Err(format!(
-            "unknown --source {other:?} (expected stellar, stellar-scan, skyey, subsky or direct)"
+            "unknown --source {other:?} (expected stellar, stellar-scan, skyey, subsky, \
+             subsky-anchored or direct)"
         )),
     }
 }
@@ -326,10 +356,11 @@ fn serve_workload<S: SkylineSource>(
     queries: &[Query],
     par: Parallelism,
     cache: Option<usize>,
+    stats: bool,
 ) -> Result<(), String> {
     match cache {
-        Some(n) => report_batch(&CachedSource::new(source, n), queries, par),
-        None => report_batch(&source, queries, par),
+        Some(n) => report_batch(&CachedSource::new(source, n), queries, par, stats),
+        None => report_batch(&source, queries, par, stats),
     }
 }
 
@@ -337,6 +368,7 @@ fn report_batch(
     source: &dyn SkylineSource,
     queries: &[Query],
     par: Parallelism,
+    stats: bool,
 ) -> Result<(), String> {
     let outcome = run_batch(source, queries, par);
     for (query, answer) in queries.iter().zip(&outcome.answers) {
@@ -365,8 +397,40 @@ fn report_batch(
         s.cache_hits,
         s.cache_misses
     );
+    if stats {
+        match s.index {
+            Some(index) => report_index_stats(&index),
+            None => println!("# index stats unavailable for source={}", source.label()),
+        }
+    }
     if s.errors > 0 {
         return Err(format!("{} of {} queries failed", s.errors, s.queries));
     }
     Ok(())
+}
+
+/// Print the `--stats` breakdown: one line per merge route, the lattice-memo
+/// outcome counters, and the log₂ workload histograms.
+fn report_index_stats(index: &skycube::serve::IndexStats) {
+    for route in stellar::MergeRoute::ALL {
+        let r = index.routes[route.index()];
+        println!(
+            "# route={} queries={} nanos={}",
+            route.name(),
+            r.queries,
+            r.nanos
+        );
+    }
+    println!(
+        "# memo exact={} ancestor={} miss={}",
+        index.memo_exact, index.memo_ancestor, index.memo_miss
+    );
+    let join = |hist: &[u64; 16]| {
+        hist.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    println!("# runs_hist={}", join(&index.runs_hist));
+    println!("# elems_hist={}", join(&index.elems_hist));
 }

@@ -386,7 +386,14 @@ fn query_subcommand_agrees_across_all_sources() {
     let workload_s = workload.to_str().unwrap();
 
     let mut answers: Vec<Vec<String>> = Vec::new();
-    for source in ["stellar", "stellar-scan", "skyey", "subsky", "direct"] {
+    for source in [
+        "stellar",
+        "stellar-scan",
+        "skyey",
+        "subsky",
+        "subsky-anchored",
+        "direct",
+    ] {
         let out = run(&[
             "query",
             "--data",
@@ -542,6 +549,94 @@ fn query_workload_diagnostics_name_the_line() {
     );
     assert!(!out.status.success());
     assert!(stderr(&out).contains("oracle"), "{}", stderr(&out));
+}
+
+#[test]
+fn query_stats_flag_prints_route_and_memo_lines() {
+    let dir = tmpdir("query_stats");
+    let data = dir.join("d.csv");
+    let data_s = data.to_str().unwrap();
+    run(&[
+        "generate",
+        "--dist",
+        "anti-correlated",
+        "--count",
+        "400",
+        "--dims",
+        "5",
+        "--out",
+        data_s,
+    ]);
+    // Sweep every subspace twice: the repeat pass is served by the lattice
+    // memo, so the memo line must report exact hits.
+    let mut workload = String::new();
+    for _ in 0..2 {
+        for space in ["A", "B", "AB", "ABC", "ABCD", "ABCDE", "CDE", "BD"] {
+            workload.push_str(&format!("skyline {space}\n"));
+        }
+    }
+    let out = run_with_stdin(
+        &["query", "--data", data_s, "--threads", "1", "--stats"],
+        &workload,
+    );
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    for route in ["short", "heap", "gallop", "flat", "winner"] {
+        assert!(text.contains(&format!("# route={route} ")), "{text}");
+    }
+    assert!(text.contains("# memo exact="), "{text}");
+    assert!(text.contains("# runs_hist="), "{text}");
+    assert!(text.contains("# elems_hist="), "{text}");
+    let memo_line = text
+        .lines()
+        .find(|l| l.starts_with("# memo"))
+        .expect("memo line");
+    assert!(
+        !memo_line.contains("exact=0 "),
+        "repeat sweep must hit the memo: {memo_line}"
+    );
+
+    // Sources without a CubeIndex say so instead of printing zeros.
+    let out = run_with_stdin(
+        &["query", "--data", data_s, "--source", "direct", "--stats"],
+        "skyline AB\n",
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(
+        stdout(&out).contains("# index stats unavailable for source=direct"),
+        "{}",
+        stdout(&out)
+    );
+
+    // --anchors is honored (and validated) by the anchored SUBSKY source.
+    let out = run_with_stdin(
+        &[
+            "query",
+            "--data",
+            data_s,
+            "--source",
+            "subsky-anchored",
+            "--anchors",
+            "6",
+        ],
+        "skyline ABC\n",
+    );
+    assert!(out.status.success(), "{out:?}");
+    assert!(stdout(&out).contains("# source=subsky-anchored"), "{out:?}");
+    let out = run_with_stdin(
+        &[
+            "query",
+            "--data",
+            data_s,
+            "--source",
+            "subsky-anchored",
+            "--anchors",
+            "many",
+        ],
+        "skyline ABC\n",
+    );
+    assert!(!out.status.success(), "{out:?}");
+    assert!(stderr(&out).contains("many"), "{}", stderr(&out));
 }
 
 #[test]

@@ -402,12 +402,13 @@ proptest! {
     #[test]
     fn skyline_sources_agree_on_random_datasets(ds in paper_dataset()) {
         // The serve-layer contract: every SkylineSource implementation —
-        // indexed cube, scan-path cube, materialized SkyCube, SUBSKY index,
-        // direct computation — and the legacy cube query path answer every
-        // query family identically, under either dominance kernel.
+        // indexed cube, scan-path cube, materialized SkyCube, single- and
+        // multi-anchor SUBSKY indexes, direct computation — and the legacy
+        // cube query path answer every query family identically, under
+        // either dominance kernel.
         use skycube::serve::{
-            DirectSource, IndexedCubeSource, ScanCubeSource, SkyCubeSource, SkylineSource,
-            SubskySource,
+            AnchoredSubskySource, DirectSource, IndexedCubeSource, ScanCubeSource, SkyCubeSource,
+            SkylineSource, SubskySource,
         };
         let cube = compute_cube(&ds);
         for kernel in DominanceKernel::ALL {
@@ -416,9 +417,10 @@ proptest! {
             let scan = ScanCubeSource::new(&cube);
             let skyey = SkyCubeSource::new(&skycube, ds.len());
             let subsky = SubskySource::with_kernel(&ds, kernel);
+            let anchored = AnchoredSubskySource::new(&ds);
             let direct = DirectSource::new(&ds).with_kernel(kernel);
-            let sources: [&dyn SkylineSource; 5] =
-                [&indexed, &scan, &skyey, &subsky, &direct];
+            let sources: [&dyn SkylineSource; 6] =
+                [&indexed, &scan, &skyey, &subsky, &anchored, &direct];
             for space in ds.full_space().subsets() {
                 // Oracle: the naive skyline; legacy scan path must match too.
                 let expect = skycube::algorithms::skyline_naive(&ds, space);
@@ -454,6 +456,45 @@ proptest! {
                     s.top_k_frequent(5), expect.clone(),
                     "{} under {}", s.label(), kernel.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn all_merge_routes_agree_on_random_datasets(ds in paper_dataset()) {
+        // The adaptive router's contract: for every subspace of a cube
+        // built under either dominance kernel, every forced merge route,
+        // the auto-routed cold path, and the memo-warmed repeat all equal
+        // the naive skyline. The second auto pass exercises the
+        // lattice-memo prefilter (exact and ancestor hits) on the same
+        // scratch state the forced routes just used.
+        use skycube::stellar::{IndexScratch, MergeRoute};
+        for kernel in DominanceKernel::ALL {
+            let cube = Stellar::new().with_kernel(kernel).compute(&ds);
+            let index = cube.index();
+            let mut scratch = IndexScratch::default();
+            let mut out = Vec::new();
+            for space in ds.full_space().subsets() {
+                let expect = skycube::algorithms::skyline_naive(&ds, space);
+                for route in MergeRoute::ALL {
+                    index
+                        .try_subspace_skyline_routed(space, route, &mut scratch, &mut out)
+                        .unwrap();
+                    prop_assert_eq!(
+                        &out, &expect,
+                        "forced {} on {} under {}", route.name(), space, kernel.name()
+                    );
+                }
+                for pass in ["cold", "memo-warm"] {
+                    let probe = index
+                        .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                        .unwrap();
+                    prop_assert_eq!(
+                        &out, &expect,
+                        "auto ({}, route {}) on {} under {}",
+                        pass, probe.route.name(), space, kernel.name()
+                    );
+                }
             }
         }
     }
