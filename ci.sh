@@ -49,6 +49,24 @@ if ! grep -q '"non_heap_routes_fired": [2-9]' "$SMOKE_DIR/queries.json"; then
     exit 1
 fi
 
+echo '== fault-injection suite (--features faults)'
+# The deterministic fault matrix: every injected fault must end in a
+# classified ServeError or a demoted-but-correct answer, never an abort.
+cargo test -q --features faults --test faults
+cargo test -q -p skycube-serve --features faults
+
+echo '== fault smoke: injected route panics demote to exit 0'
+cargo build --release --features faults
+# Panic backtraces from the injected faults land on stderr by design;
+# discard them and judge only the exit code and the demotion counter.
+./target/release/skycube query --data "$SMOKE_DIR/data.csv" \
+    --source stellar --workload "$SMOKE_DIR/workload.txt" \
+    --inject-faults panic-route > "$SMOKE_DIR/out.faults" 2>/dev/null
+if ! grep -Eq 'demotions=[1-9]' "$SMOKE_DIR/out.faults"; then
+    echo "fault smoke: the injected panic never demoted" >&2
+    exit 1
+fi
+
 if [ "${WORKSPACE:-0}" = "1" ]; then
     echo '== workspace tests'
     cargo test --workspace -q

@@ -4,12 +4,20 @@
 //! come back in input order regardless of thread count) and collects
 //! per-run [`QueryStats`]: wall-clock time, the delta of groups the source
 //! touched, and — for cached sources — the delta of cache hits and misses.
+//!
+//! [`run_batch_with`] adds the hardening knobs: a per-query deadline
+//! (enforced cooperatively inside sources that support it, post-hoc
+//! otherwise) and per-query panic isolation — a query that panics inside
+//! its source yields [`ServeError::SourcePanicked`] on its own line while
+//! the rest of the batch completes normally.
 
+use crate::error::ServeError;
 use crate::source::{IndexStats, SkylineSource};
 use crate::workload::Query;
 use skycube_parallel::{par_map_slice, Parallelism};
 use skycube_types::ObjId;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 /// One query's answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,23 +54,52 @@ pub struct QueryStats {
     /// memo hits) for the batch, if the source serves through a
     /// [`skycube_stellar::CubeIndex`].
     pub index: Option<IndexStats>,
+    /// Queries the source demoted to a cheaper rung during the batch, if
+    /// it is a [`crate::FallbackSource`] ladder.
+    pub demotions: u64,
 }
 
 /// Answers (in workload order) plus run statistics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchOutcome {
     /// One result per query, in the order the workload listed them.
-    pub answers: Vec<Result<Answer, String>>,
+    pub answers: Vec<Result<Answer, ServeError>>,
     /// Aggregate counters for the run.
     pub stats: QueryStats,
 }
 
-fn answer_one(source: &dyn SkylineSource, query: &Query) -> Result<Answer, String> {
+/// Hardening knobs for [`run_batch_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchOptions {
+    /// Per-query time budget. Each query's absolute deadline is stamped
+    /// when it starts (not when the batch starts), so a long batch does
+    /// not starve its tail. `None` runs unbounded.
+    pub deadline: Option<Duration>,
+}
+
+fn answer_one(
+    source: &dyn SkylineSource,
+    query: &Query,
+    deadline: Option<Instant>,
+) -> Result<Answer, ServeError> {
     match *query {
-        Query::Skyline(space) => source.subspace_skyline(space).map(Answer::Skyline),
+        Query::Skyline(space) => source
+            .subspace_skyline_within(space, deadline)
+            .map(Answer::Skyline),
         Query::Member(o, space) => source.is_skyline_in(o, space).map(Answer::Member),
         Query::Count(o) => source.membership_count(o).map(Answer::Count),
         Query::Top(k) => Ok(Answer::Top(source.top_k_frequent(k))),
+    }
+}
+
+/// Best-effort text from a caught panic payload.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -72,11 +109,44 @@ fn answer_one(source: &dyn SkylineSource, query: &Query) -> Result<Answer, Strin
 /// cache hits/misses) are measured across the batch, so a source can be
 /// reused for several batches and each outcome reports only its own work.
 pub fn run_batch(source: &dyn SkylineSource, queries: &[Query], par: Parallelism) -> BatchOutcome {
+    run_batch_with(source, queries, par, &BatchOptions::default())
+}
+
+/// [`run_batch`] with explicit [`BatchOptions`].
+///
+/// Every query runs inside `catch_unwind`, so a source that panics
+/// mid-query produces a [`ServeError::SourcePanicked`] line instead of
+/// tearing the batch (and its worker thread) down. Deadline overruns are
+/// reported as [`ServeError::DeadlineExceeded`] carrying the configured
+/// budget.
+pub fn run_batch_with(
+    source: &dyn SkylineSource,
+    queries: &[Query],
+    par: Parallelism,
+    options: &BatchOptions,
+) -> BatchOutcome {
+    let budget_ms = options
+        .deadline
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or_default();
     let touched_before = source.groups_touched();
     let cache_before = source.cache_stats().unwrap_or_default();
     let index_before = source.index_stats();
+    let demotions_before = source.demotions();
     let start = Instant::now();
-    let answers = par_map_slice(par, queries, |q| answer_one(source, q));
+    let answers = par_map_slice(par, queries, |q| {
+        let deadline = options.deadline.map(|d| Instant::now() + d);
+        // AssertUnwindSafe: a panicking source may leave interior state
+        // (scratch pools, caches) locked mid-update; every such structure
+        // in this crate recovers from poisoning on its next lock.
+        match catch_unwind(AssertUnwindSafe(|| answer_one(source, q, deadline))) {
+            Ok(Err(ServeError::DeadlineExceeded { .. })) => {
+                Err(ServeError::DeadlineExceeded { budget_ms })
+            }
+            Ok(result) => result,
+            Err(payload) => Err(ServeError::SourcePanicked(panic_message(payload.as_ref()))),
+        }
+    });
     let seconds = start.elapsed().as_secs_f64();
     let cache_after = source.cache_stats().unwrap_or_default();
     let index = source
@@ -90,6 +160,7 @@ pub fn run_batch(source: &dyn SkylineSource, queries: &[Query], par: Parallelism
         cache_hits: cache_after.hits - cache_before.hits,
         cache_misses: cache_after.misses - cache_before.misses,
         index,
+        demotions: source.demotions() - demotions_before,
     };
     BatchOutcome { answers, stats }
 }
@@ -158,6 +229,164 @@ mod tests {
         assert_eq!(second.stats.cache_misses, 0);
         assert_eq!(second.stats.cache_hits, 3);
         assert_eq!(second.stats.groups_touched, 0);
+    }
+
+    #[test]
+    fn a_panicking_query_fails_alone_not_the_batch() {
+        struct PanickySource;
+        impl SkylineSource for PanickySource {
+            fn label(&self) -> &'static str {
+                "panicky"
+            }
+            fn dims(&self) -> usize {
+                4
+            }
+            fn num_objects(&self) -> usize {
+                5
+            }
+            fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+                if space.len() == 2 {
+                    panic!("synthetic panic on {space}");
+                }
+                Ok(vec![0])
+            }
+            fn is_skyline_in(&self, _o: ObjId, _space: DimMask) -> Result<bool, ServeError> {
+                Ok(true)
+            }
+            fn membership_count(&self, _o: ObjId) -> Result<u64, ServeError> {
+                Ok(1)
+            }
+            fn top_k_frequent(&self, _k: usize) -> Vec<(ObjId, u64)> {
+                Vec::new()
+            }
+        }
+        use skycube_types::DimMask;
+        let queries = parse_workload("skyline A\nskyline BD\ncount 3\n").unwrap();
+        for threads in [1, 3] {
+            let outcome = run_batch(&PanickySource, &queries, Parallelism::new(threads));
+            assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![0])));
+            let err = outcome.answers[1].clone().unwrap_err();
+            assert_eq!(err.kind(), "panic");
+            assert!(err.to_string().contains("synthetic panic"), "{err}");
+            assert_eq!(outcome.answers[2], Ok(Answer::Count(1)));
+            assert_eq!(outcome.stats.errors, 1);
+        }
+    }
+
+    #[test]
+    fn deadlines_classify_overruns_with_the_budget() {
+        struct SlowSource;
+        impl SkylineSource for SlowSource {
+            fn label(&self) -> &'static str {
+                "slow"
+            }
+            fn dims(&self) -> usize {
+                4
+            }
+            fn num_objects(&self) -> usize {
+                5
+            }
+            fn subspace_skyline(&self, _space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                Ok(vec![0])
+            }
+            fn is_skyline_in(&self, _o: ObjId, _space: DimMask) -> Result<bool, ServeError> {
+                Ok(true)
+            }
+            fn membership_count(&self, _o: ObjId) -> Result<u64, ServeError> {
+                Ok(1)
+            }
+            fn top_k_frequent(&self, _k: usize) -> Vec<(ObjId, u64)> {
+                Vec::new()
+            }
+        }
+        use skycube_types::DimMask;
+        let queries = parse_workload("skyline A\n").unwrap();
+        let options = BatchOptions {
+            deadline: Some(std::time::Duration::from_millis(1)),
+        };
+        let outcome = run_batch_with(&SlowSource, &queries, Parallelism::sequential(), &options);
+        assert_eq!(
+            outcome.answers[0],
+            Err(ServeError::DeadlineExceeded { budget_ms: 1 })
+        );
+        assert!(outcome.answers[0]
+            .clone()
+            .unwrap_err()
+            .to_string()
+            .contains("1 ms"));
+        // A generous budget answers normally.
+        let options = BatchOptions {
+            deadline: Some(std::time::Duration::from_secs(60)),
+        };
+        let outcome = run_batch_with(&SlowSource, &queries, Parallelism::sequential(), &options);
+        assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![0])));
+    }
+
+    #[test]
+    fn indexed_source_honors_batch_deadlines_cooperatively() {
+        // The indexed path enforces deadlines at its checkpoints rather
+        // than post-hoc: an already-expired budget is caught before any
+        // route work happens.
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let source = IndexedCubeSource::new(&cube);
+        let queries = parse_workload("skyline BD\n").unwrap();
+        let options = BatchOptions {
+            deadline: Some(std::time::Duration::ZERO),
+        };
+        let outcome = run_batch_with(&source, &queries, Parallelism::sequential(), &options);
+        assert_eq!(
+            outcome.answers[0],
+            Err(ServeError::DeadlineExceeded { budget_ms: 0 })
+        );
+        // The scratch pool survives the abandoned query: the next
+        // unbounded batch answers normally.
+        let outcome = run_batch(&source, &queries, Parallelism::sequential());
+        assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![2, 4])));
+    }
+
+    #[test]
+    fn batch_stats_count_ladder_demotions() {
+        use crate::fallback::FallbackSource;
+        struct FailingSource;
+        impl SkylineSource for FailingSource {
+            fn label(&self) -> &'static str {
+                "failing"
+            }
+            fn dims(&self) -> usize {
+                4
+            }
+            fn num_objects(&self) -> usize {
+                5
+            }
+            fn subspace_skyline(&self, _space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+                Err(ServeError::Internal("always fails".to_owned()))
+            }
+            fn is_skyline_in(&self, _o: ObjId, _space: DimMask) -> Result<bool, ServeError> {
+                Err(ServeError::Internal("always fails".to_owned()))
+            }
+            fn membership_count(&self, _o: ObjId) -> Result<u64, ServeError> {
+                Err(ServeError::Internal("always fails".to_owned()))
+            }
+            fn top_k_frequent(&self, _k: usize) -> Vec<(ObjId, u64)> {
+                Vec::new()
+            }
+        }
+        use skycube_types::DimMask;
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let scan = crate::source::ScanCubeSource::new(&cube);
+        let failing = FailingSource;
+        let ladder = FallbackSource::new(&failing).then(&scan);
+        let queries = parse_workload("skyline BD\nskyline A\n").unwrap();
+        let outcome = run_batch(&ladder, &queries, Parallelism::sequential());
+        assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![2, 4])));
+        assert_eq!(outcome.stats.errors, 0);
+        assert_eq!(outcome.stats.demotions, 2);
+        // A second batch reports only its own demotions.
+        let outcome = run_batch(&ladder, &queries, Parallelism::sequential());
+        assert_eq!(outcome.stats.demotions, 2);
     }
 
     #[test]

@@ -6,12 +6,22 @@
 //! queries into hash lookups. Only *successful* `subspace_skyline` answers
 //! are cached; the point-query and analytic families are already cheap on
 //! the indexed path and pass straight through.
+//!
+//! Two robustness properties matter at serving time. First, the cache
+//! recovers from **mutex poisoning**: if a thread panics while holding the
+//! lock the map may be half-updated, so recovery clears every resident
+//! entry (a cold cache is always correct) and counts the event. Second,
+//! admission is **byte-budgeted** when configured: an entry larger than the
+//! remaining budget is refused with
+//! [`ServeError::ResourceExhausted`] instead of growing without bound.
 
+use crate::error::ServeError;
 use crate::source::SkylineSource;
 use skycube_types::{DimMask, ObjId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
 
 /// Snapshot of a cache's counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -24,11 +34,16 @@ pub struct CacheStats {
     pub entries: usize,
     /// Maximum number of resident entries.
     pub capacity: usize,
+    /// Inserts refused by the byte-budget admission control.
+    pub rejected: u64,
+    /// Times the cache recovered from a poisoned lock by clearing itself.
+    pub poison_recoveries: u64,
 }
 
 struct CacheInner {
     map: HashMap<DimMask, (u64, Vec<ObjId>)>,
     tick: u64,
+    bytes: usize,
 }
 
 /// A thread-safe least-recently-used map from subspace to skyline.
@@ -39,28 +54,70 @@ struct CacheInner {
 pub struct SubspaceCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
+    byte_budget: Option<usize>,
     hits: AtomicU64,
     misses: AtomicU64,
+    rejected: AtomicU64,
+    poison_recoveries: AtomicU64,
+}
+
+/// Bytes an entry's skyline occupies (payload only; the map overhead is
+/// bounded by `capacity` regardless).
+fn entry_bytes(skyline: &[ObjId]) -> usize {
+    std::mem::size_of_val(skyline)
 }
 
 impl SubspaceCache {
-    /// A cache holding at most `capacity` skylines. Capacity is clamped to
-    /// at least 1.
+    /// A cache holding at most `capacity` skylines, with no byte budget.
+    /// Capacity is clamped to at least 1.
     pub fn new(capacity: usize) -> Self {
+        Self::build(capacity, None)
+    }
+
+    /// A cache holding at most `capacity` skylines whose payloads together
+    /// stay within `byte_budget` bytes; oversized inserts are refused with
+    /// [`ServeError::ResourceExhausted`].
+    pub fn with_byte_budget(capacity: usize, byte_budget: usize) -> Self {
+        Self::build(capacity, Some(byte_budget))
+    }
+
+    fn build(capacity: usize, byte_budget: Option<usize>) -> Self {
         SubspaceCache {
             inner: Mutex::new(CacheInner {
                 map: HashMap::new(),
                 tick: 0,
+                bytes: 0,
             }),
             capacity: capacity.max(1),
+            byte_budget,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            poison_recoveries: AtomicU64::new(0),
+        }
+    }
+
+    /// Lock the map, recovering from poisoning. A panic while the lock was
+    /// held may have left the map half-updated (eviction done, insert not),
+    /// so recovery drops every entry — a cold cache is always correct —
+    /// and counts the event in [`CacheStats::poison_recoveries`].
+    fn lock_inner(&self) -> MutexGuard<'_, CacheInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.inner.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.bytes = 0;
+                self.poison_recoveries.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
         }
     }
 
     /// Look up `space`, refreshing its recency on a hit.
     pub fn get(&self, space: DimMask) -> Option<Vec<ObjId>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&space) {
@@ -80,22 +137,53 @@ impl SubspaceCache {
     }
 
     /// Insert (or refresh) `space`'s skyline, evicting the least recently
-    /// used entry if the cache is full.
+    /// used entry if the cache is full. An entry the byte budget refuses is
+    /// silently dropped (the answer was already computed; only reuse is
+    /// lost) — use [`Self::try_put`] to observe the refusal.
     pub fn put(&self, space: DimMask, skyline: Vec<ObjId>) {
-        let mut inner = self.inner.lock().unwrap();
+        let _ = self.try_put(space, skyline);
+    }
+
+    /// Insert (or refresh) `space`'s skyline, or refuse it with
+    /// [`ServeError::ResourceExhausted`] if its payload exceeds the byte
+    /// budget. Entries within budget may still evict the LRU entry.
+    pub fn try_put(&self, space: DimMask, skyline: Vec<ObjId>) -> Result<(), ServeError> {
+        let new_bytes = entry_bytes(&skyline);
+        if let Some(budget) = self.byte_budget {
+            if new_bytes > budget {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::ResourceExhausted(format!(
+                    "cache entry for {space} is {new_bytes} bytes, over the {budget}-byte budget"
+                )));
+            }
+        }
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
-        if inner.map.len() >= self.capacity && !inner.map.contains_key(&space) {
-            if let Some(&oldest) = inner
+        if let Some((_, old)) = inner.map.remove(&space) {
+            inner.bytes -= entry_bytes(&old);
+        }
+        // Evict until both the entry count and the byte budget fit.
+        while inner.map.len() >= self.capacity
+            || self
+                .byte_budget
+                .is_some_and(|budget| inner.bytes + new_bytes > budget)
+        {
+            let Some(&oldest) = inner
                 .map
                 .iter()
                 .min_by_key(|(_, (stamp, _))| *stamp)
                 .map(|(space, _)| space)
-            {
-                inner.map.remove(&oldest);
+            else {
+                break;
+            };
+            if let Some((_, old)) = inner.map.remove(&oldest) {
+                inner.bytes -= entry_bytes(&old);
             }
         }
+        inner.bytes += new_bytes;
         inner.map.insert(space, (tick, skyline));
+        Ok(())
     }
 
     /// Current counters.
@@ -103,8 +191,10 @@ impl SubspaceCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.inner.lock().unwrap().map.len(),
+            entries: self.lock_inner().map.len(),
             capacity: self.capacity,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            poison_recoveries: self.poison_recoveries.load(Ordering::Relaxed),
         }
     }
 
@@ -112,7 +202,23 @@ impl SubspaceCache {
     /// hook for maintenance: call after the underlying data changes so no
     /// stale skyline is ever served.
     pub fn clear(&self) {
-        self.inner.lock().unwrap().map.clear();
+        let mut inner = self.lock_inner();
+        inner.map.clear();
+        inner.bytes = 0;
+    }
+
+    /// Fault injection: panic while holding the cache lock on a scoped
+    /// thread, leaving the mutex poisoned so the next access exercises the
+    /// clear-and-recover path.
+    #[cfg(feature = "faults")]
+    pub fn poison(&self) {
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = self.inner.lock();
+                panic!("fault injection: poisoning the subspace cache lock");
+            })
+            .join()
+        });
     }
 }
 
@@ -126,15 +232,23 @@ pub struct CachedSource<S> {
 impl<S: SkylineSource> CachedSource<S> {
     /// Wrap `inner` with a cache of `capacity` skylines.
     pub fn new(inner: S, capacity: usize) -> Self {
-        CachedSource {
-            inner,
-            cache: SubspaceCache::new(capacity),
-        }
+        Self::with_cache(inner, SubspaceCache::new(capacity))
+    }
+
+    /// Wrap `inner` with an explicitly configured cache (e.g. one built by
+    /// [`SubspaceCache::with_byte_budget`]).
+    pub fn with_cache(inner: S, cache: SubspaceCache) -> Self {
+        CachedSource { inner, cache }
     }
 
     /// The wrapped source.
     pub fn inner(&self) -> &S {
         &self.inner
+    }
+
+    /// The cache itself (for fault injection and budget inspection).
+    pub fn cache(&self) -> &SubspaceCache {
+        &self.cache
     }
 
     /// Clear every cached skyline. Call when the data behind the wrapped
@@ -158,7 +272,7 @@ impl<S: SkylineSource> SkylineSource for CachedSource<S> {
         self.inner.num_objects()
     }
 
-    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
         if let Some(sky) = self.cache.get(space) {
             return Ok(sky);
         }
@@ -167,11 +281,24 @@ impl<S: SkylineSource> SkylineSource for CachedSource<S> {
         Ok(sky)
     }
 
-    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+    fn subspace_skyline_within(
+        &self,
+        space: DimMask,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<ObjId>, ServeError> {
+        if let Some(sky) = self.cache.get(space) {
+            return Ok(sky);
+        }
+        let sky = self.inner.subspace_skyline_within(space, deadline)?;
+        self.cache.put(space, sky.clone());
+        Ok(sky)
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
         self.inner.is_skyline_in(o, space)
     }
 
-    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError> {
         self.inner.membership_count(o)
     }
 
@@ -189,6 +316,10 @@ impl<S: SkylineSource> SkylineSource for CachedSource<S> {
 
     fn index_stats(&self) -> Option<crate::source::IndexStats> {
         self.inner.index_stats()
+    }
+
+    fn demotions(&self) -> u64 {
+        self.inner.demotions()
     }
 }
 
@@ -223,6 +354,70 @@ mod tests {
         cache.put(DimMask::from_dims([0]), vec![1]);
         assert_eq!(cache.stats().capacity, 1);
         assert_eq!(cache.get(DimMask::from_dims([0])), Some(vec![1]));
+    }
+
+    #[test]
+    fn byte_budget_refuses_oversized_entries() {
+        let id_bytes = std::mem::size_of::<ObjId>();
+        // Room for two 2-element skylines, not a 5-element one.
+        let cache = SubspaceCache::with_byte_budget(8, 4 * id_bytes);
+        let a = DimMask::from_dims([0]);
+        let b = DimMask::from_dims([1]);
+        let big = DimMask::from_dims([2]);
+        cache.try_put(a, vec![1, 2]).unwrap();
+        cache.try_put(b, vec![3, 4]).unwrap();
+        let err = cache.try_put(big, vec![1, 2, 3, 4, 5]).unwrap_err();
+        assert_eq!(err.kind(), "resource-exhausted");
+        assert!(err.to_string().contains("byte"));
+        // The refusal evicted nothing and is counted.
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.rejected, 1);
+        // `put` drops the oversized entry silently but still counts it.
+        cache.put(big, vec![1, 2, 3, 4, 5]);
+        assert_eq!(cache.stats().rejected, 2);
+        assert_eq!(cache.get(big), None);
+    }
+
+    #[test]
+    fn byte_budget_evicts_to_fit_admissible_entries() {
+        let id_bytes = std::mem::size_of::<ObjId>();
+        let cache = SubspaceCache::with_byte_budget(8, 4 * id_bytes);
+        let a = DimMask::from_dims([0]);
+        let b = DimMask::from_dims([1]);
+        let c = DimMask::from_dims([2]);
+        cache.try_put(a, vec![1, 2]).unwrap();
+        cache.try_put(b, vec![3, 4]).unwrap();
+        // c fits the budget only after evicting the LRU entry (a).
+        cache.try_put(c, vec![5, 6]).unwrap();
+        assert_eq!(cache.get(a), None);
+        assert_eq!(cache.get(b), Some(vec![3, 4]));
+        assert_eq!(cache.get(c), Some(vec![5, 6]));
+    }
+
+    #[test]
+    fn poisoned_cache_recovers_by_clearing() {
+        let cache = SubspaceCache::new(8);
+        let a = DimMask::from_dims([0]);
+        cache.put(a, vec![1]);
+        assert_eq!(cache.get(a), Some(vec![1]));
+        // Panic while holding the lock, from a scoped thread.
+        let _ = std::thread::scope(|s| {
+            s.spawn(|| {
+                let _guard = cache.inner.lock();
+                panic!("poisoning the cache for the test");
+            })
+            .join()
+        });
+        // The cache answers (cold) instead of panicking, and counts it.
+        assert_eq!(cache.get(a), None);
+        let stats = cache.stats();
+        assert_eq!(stats.poison_recoveries, 1);
+        assert_eq!(stats.entries, 0);
+        // It keeps working afterwards, with no further recoveries.
+        cache.put(a, vec![2]);
+        assert_eq!(cache.get(a), Some(vec![2]));
+        assert_eq!(cache.stats().poison_recoveries, 1);
     }
 
     #[test]

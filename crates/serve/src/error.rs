@@ -1,0 +1,187 @@
+//! The serving tier's error taxonomy.
+//!
+//! Every fallible operation in this crate returns a [`ServeError`] instead
+//! of a bare `String` (or a panic): callers can match on the variant,
+//! report the stable [`ServeError::kind`] code, and — in the
+//! [`crate::FallbackSource`] ladder — decide whether a failure is worth
+//! retrying on a cheaper source ([`ServeError::is_demotable`]).
+
+use skycube_stellar::QueryError;
+use std::fmt;
+
+/// A classified serving-tier failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The queried subspace is empty or outside the full space — the
+    /// caller's fault; every source would reject it identically.
+    BadSubspace(String),
+    /// The object id is beyond the dataset — also the caller's fault.
+    BadObject(String),
+    /// A workload line failed to parse; carries the 1-based line number.
+    BadWorkload {
+        /// 1-based line number of the offending workload line.
+        line: usize,
+        /// What was wrong with it.
+        message: String,
+    },
+    /// A persisted cube failed to load or validate.
+    CorruptCube(String),
+    /// The query ran past its deadline at a cooperative checkpoint.
+    DeadlineExceeded {
+        /// The configured per-query budget, in milliseconds (0 when the
+        /// budget was expressed as an absolute deadline only).
+        budget_ms: u64,
+    },
+    /// A source panicked while answering; the panic was caught and the
+    /// batch survived.
+    SourcePanicked(String),
+    /// An admission control refused the work (e.g. a cache entry above the
+    /// byte budget) rather than exhausting memory.
+    ResourceExhausted(String),
+    /// An invariant the serving tier relies on failed — a bug, not a bad
+    /// input.
+    Internal(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code for the variant, used in CLI output
+    /// and test assertions (`bad-subspace`, `bad-object`, `bad-workload`,
+    /// `corrupt-cube`, `deadline`, `panic`, `resource-exhausted`,
+    /// `internal`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::BadSubspace(_) => "bad-subspace",
+            ServeError::BadObject(_) => "bad-object",
+            ServeError::BadWorkload { .. } => "bad-workload",
+            ServeError::CorruptCube(_) => "corrupt-cube",
+            ServeError::DeadlineExceeded { .. } => "deadline",
+            ServeError::SourcePanicked(_) => "panic",
+            ServeError::ResourceExhausted(_) => "resource-exhausted",
+            ServeError::Internal(_) => "internal",
+        }
+    }
+
+    /// Whether a [`crate::FallbackSource`] should retry this failure on the
+    /// next rung. Caller-fault errors (`BadSubspace`, `BadObject`,
+    /// `BadWorkload`) are not demotable — every rung would reject them the
+    /// same way, so demoting only burns work and miscounts the ladder.
+    pub fn is_demotable(&self) -> bool {
+        !matches!(
+            self,
+            ServeError::BadSubspace(_) | ServeError::BadObject(_) | ServeError::BadWorkload { .. }
+        )
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadSubspace(msg)
+            | ServeError::BadObject(msg)
+            | ServeError::Internal(msg) => write!(f, "{msg}"),
+            ServeError::BadWorkload { line, message } => write!(f, "line {line}: {message}"),
+            ServeError::CorruptCube(msg) => write!(f, "corrupt cube: {msg}"),
+            ServeError::DeadlineExceeded { budget_ms } => {
+                if *budget_ms > 0 {
+                    write!(f, "query exceeded its {budget_ms} ms deadline")
+                } else {
+                    write!(f, "query exceeded its deadline")
+                }
+            }
+            ServeError::SourcePanicked(msg) => write!(f, "source panicked: {msg}"),
+            ServeError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<QueryError> for ServeError {
+    fn from(e: QueryError) -> Self {
+        match e {
+            QueryError::EmptySubspace | QueryError::SubspaceOutOfRange { .. } => {
+                ServeError::BadSubspace(e.to_string())
+            }
+            QueryError::ObjectOutOfRange { .. } => ServeError::BadObject(e.to_string()),
+            QueryError::DeadlineExceeded => ServeError::DeadlineExceeded { budget_ms: 0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_types::DimMask;
+
+    #[test]
+    fn kinds_are_stable_and_displayed() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::BadSubspace("bad".into()), "bad-subspace"),
+            (ServeError::BadObject("bad".into()), "bad-object"),
+            (
+                ServeError::BadWorkload {
+                    line: 2,
+                    message: "nope".into(),
+                },
+                "bad-workload",
+            ),
+            (ServeError::CorruptCube("short".into()), "corrupt-cube"),
+            (ServeError::DeadlineExceeded { budget_ms: 5 }, "deadline"),
+            (ServeError::SourcePanicked("boom".into()), "panic"),
+            (
+                ServeError::ResourceExhausted("too big".into()),
+                "resource-exhausted",
+            ),
+            (ServeError::Internal("bug".into()), "internal"),
+        ];
+        for (e, kind) in cases {
+            assert_eq!(e.kind(), kind);
+            assert!(!e.to_string().is_empty());
+        }
+        assert_eq!(
+            ServeError::BadWorkload {
+                line: 2,
+                message: "nope".into()
+            }
+            .to_string(),
+            "line 2: nope"
+        );
+    }
+
+    #[test]
+    fn caller_faults_are_not_demotable() {
+        assert!(!ServeError::BadSubspace("x".into()).is_demotable());
+        assert!(!ServeError::BadObject("x".into()).is_demotable());
+        assert!(!ServeError::BadWorkload {
+            line: 1,
+            message: "x".into()
+        }
+        .is_demotable());
+        assert!(ServeError::DeadlineExceeded { budget_ms: 1 }.is_demotable());
+        assert!(ServeError::SourcePanicked("x".into()).is_demotable());
+        assert!(ServeError::CorruptCube("x".into()).is_demotable());
+        assert!(ServeError::ResourceExhausted("x".into()).is_demotable());
+        assert!(ServeError::Internal("x".into()).is_demotable());
+    }
+
+    #[test]
+    fn query_errors_convert_with_the_right_kind() {
+        let e: ServeError = QueryError::EmptySubspace.into();
+        assert_eq!(e.kind(), "bad-subspace");
+        let e: ServeError = QueryError::SubspaceOutOfRange {
+            space: DimMask::single(9),
+            dims: 4,
+        }
+        .into();
+        assert_eq!(e.kind(), "bad-subspace");
+        assert!(e.to_string().contains("not a subspace"));
+        let e: ServeError = QueryError::ObjectOutOfRange {
+            object: 9,
+            num_objects: 5,
+        }
+        .into();
+        assert_eq!(e.kind(), "bad-object");
+        let e: ServeError = QueryError::DeadlineExceeded.into();
+        assert_eq!(e.kind(), "deadline");
+    }
+}

@@ -1,0 +1,302 @@
+//! Graceful degradation: the [`FallbackSource`] ladder.
+//!
+//! A serving deployment keeps several ways to answer the same query
+//! families at different cost/robustness points: the indexed cube (fast,
+//! most machinery), the cube scan (slower, almost no machinery), and
+//! direct computation from the dataset (slowest, no precomputed state at
+//! all). `FallbackSource` chains them: a query runs on the first rung, and
+//! if that rung fails with a *demotable* error — a panic, a blown
+//! deadline, corrupt state — the query is retried on the next rung, and
+//! the demotion is counted in [`SkylineSource::demotions`].
+//!
+//! Two deliberate policy choices:
+//!
+//! - **Caller faults never demote.** An invalid subspace or object id
+//!   would be rejected identically by every rung
+//!   ([`ServeError::is_demotable`] is false), so the ladder returns the
+//!   first rung's diagnostic immediately.
+//! - **Fallback rungs run without a deadline.** Once the fast path has
+//!   been demoted, the contract becomes *demoted-but-correct*: a late
+//!   right answer beats a repeated timeout from a rung that is slower by
+//!   construction. The demotion count is how callers observe the latency
+//!   contract was missed.
+
+use crate::cache::CacheStats;
+use crate::error::ServeError;
+use crate::source::{IndexStats, SkylineSource};
+use skycube_types::{DimMask, ObjId};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A ladder of [`SkylineSource`]s tried in order until one answers.
+///
+/// The ladder reports the *primary* rung's identity (label, dims, stats)
+/// so that installing it is invisible to reporting when nothing goes
+/// wrong; only [`Self::demotions`] reveals degraded traffic.
+pub struct FallbackSource<'a> {
+    rungs: Vec<&'a dyn SkylineSource>,
+    demotions: AtomicU64,
+}
+
+impl<'a> FallbackSource<'a> {
+    /// A ladder with `primary` as its only rung (add more with
+    /// [`Self::then`]).
+    pub fn new(primary: &'a dyn SkylineSource) -> Self {
+        FallbackSource {
+            rungs: vec![primary],
+            demotions: AtomicU64::new(0),
+        }
+    }
+
+    /// Append a cheaper rung to fall back to.
+    pub fn then(mut self, next: &'a dyn SkylineSource) -> Self {
+        self.rungs.push(next);
+        self
+    }
+
+    /// Number of rungs in the ladder.
+    pub fn num_rungs(&self) -> usize {
+        self.rungs.len()
+    }
+
+    /// Run `f` down the ladder. Rung 0 gets the caller's deadline; later
+    /// rungs run unbounded (see the module docs). A rung's panic is caught
+    /// and treated as a demotable failure; if the *last* rung panics, the
+    /// panic resumes so the batch executor classifies it.
+    fn run<T>(
+        &self,
+        deadline: Option<Instant>,
+        f: impl Fn(&dyn SkylineSource, Option<Instant>) -> Result<T, ServeError>,
+    ) -> Result<T, ServeError> {
+        let mut last_err: Option<ServeError> = None;
+        for (i, rung) in self.rungs.iter().enumerate() {
+            let rung_deadline = if i == 0 { deadline } else { None };
+            let last = i + 1 == self.rungs.len();
+            // AssertUnwindSafe: panicking rungs may poison interior locks;
+            // every lock in this crate recovers on its next acquisition.
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(*rung, rung_deadline)));
+            let err = match outcome {
+                Ok(Ok(v)) => return Ok(v),
+                Ok(Err(e)) if !e.is_demotable() => return Err(e),
+                Ok(Err(e)) => e,
+                Err(payload) if last => resume_unwind(payload),
+                Err(payload) => {
+                    ServeError::SourcePanicked(crate::batch::panic_message(payload.as_ref()))
+                }
+            };
+            if last {
+                return Err(err);
+            }
+            self.demotions.fetch_add(1, Ordering::Relaxed);
+            last_err = Some(err);
+        }
+        // Unreachable with ≥1 rung; keep a diagnostic rather than a panic.
+        Err(last_err
+            .unwrap_or_else(|| ServeError::Internal("fallback ladder has no rungs".to_owned())))
+    }
+}
+
+impl SkylineSource for FallbackSource<'_> {
+    fn label(&self) -> &'static str {
+        self.rungs[0].label()
+    }
+
+    fn dims(&self) -> usize {
+        self.rungs[0].dims()
+    }
+
+    fn num_objects(&self) -> usize {
+        self.rungs[0].num_objects()
+    }
+
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        self.run(None, |s, d| s.subspace_skyline_within(space, d))
+    }
+
+    fn subspace_skyline_within(
+        &self,
+        space: DimMask,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<ObjId>, ServeError> {
+        self.run(deadline, |s, d| s.subspace_skyline_within(space, d))
+    }
+
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
+        self.run(None, |s, _| s.is_skyline_in(o, space))
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError> {
+        self.run(None, |s, _| s.membership_count(o))
+    }
+
+    fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
+        // Infallible in the trait; demote only on panic.
+        for (i, rung) in self.rungs.iter().enumerate() {
+            let last = i + 1 == self.rungs.len();
+            match catch_unwind(AssertUnwindSafe(|| rung.top_k_frequent(k))) {
+                Ok(v) => return v,
+                Err(payload) if last => resume_unwind(payload),
+                Err(_) => {
+                    self.demotions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn groups_touched(&self) -> u64 {
+        self.rungs.iter().map(|r| r.groups_touched()).sum()
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        self.rungs[0].cache_stats()
+    }
+
+    fn index_stats(&self) -> Option<IndexStats> {
+        self.rungs[0].index_stats()
+    }
+
+    fn demotions(&self) -> u64 {
+        self.demotions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{DirectSource, IndexedCubeSource, ScanCubeSource};
+    use skycube_stellar::compute_cube;
+    use skycube_types::running_example;
+
+    /// A source that always fails its skyline queries with a demotable
+    /// error (or a panic), for exercising the ladder.
+    struct BrokenSource {
+        panics: bool,
+    }
+
+    impl SkylineSource for BrokenSource {
+        fn label(&self) -> &'static str {
+            "broken"
+        }
+        fn dims(&self) -> usize {
+            4
+        }
+        fn num_objects(&self) -> usize {
+            5
+        }
+        fn subspace_skyline(&self, _space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+            if self.panics {
+                panic!("broken source panicked");
+            }
+            Err(ServeError::Internal("broken source".to_owned()))
+        }
+        fn is_skyline_in(&self, _o: ObjId, _space: DimMask) -> Result<bool, ServeError> {
+            Err(ServeError::Internal("broken source".to_owned()))
+        }
+        fn membership_count(&self, _o: ObjId) -> Result<u64, ServeError> {
+            Err(ServeError::Internal("broken source".to_owned()))
+        }
+        fn top_k_frequent(&self, _k: usize) -> Vec<(ObjId, u64)> {
+            panic!("broken source panicked");
+        }
+    }
+
+    #[test]
+    fn healthy_primary_never_demotes() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        let scan = ScanCubeSource::new(&cube);
+        let ladder = FallbackSource::new(&indexed).then(&scan);
+        assert_eq!(ladder.label(), "stellar");
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                ladder.subspace_skyline(space).unwrap(),
+                scan.subspace_skyline(space).unwrap()
+            );
+        }
+        assert_eq!(ladder.demotions(), 0);
+        assert!(ladder.index_stats().is_some());
+    }
+
+    #[test]
+    fn failing_primary_demotes_to_the_next_rung() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let broken = BrokenSource { panics: false };
+        let scan = ScanCubeSource::new(&cube);
+        let direct = DirectSource::new(&ds);
+        let ladder = FallbackSource::new(&broken).then(&scan).then(&direct);
+        let space = DimMask::parse("BD").unwrap();
+        assert_eq!(
+            ladder.subspace_skyline(space).unwrap(),
+            scan.subspace_skyline(space).unwrap()
+        );
+        assert_eq!(ladder.demotions(), 1);
+        assert_eq!(ladder.membership_count(4).unwrap(), 10);
+        assert_eq!(ladder.demotions(), 2);
+    }
+
+    #[test]
+    fn panicking_primary_demotes_instead_of_unwinding() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let broken = BrokenSource { panics: true };
+        let scan = ScanCubeSource::new(&cube);
+        let ladder = FallbackSource::new(&broken).then(&scan);
+        let space = DimMask::parse("BD").unwrap();
+        assert_eq!(
+            ladder.subspace_skyline(space).unwrap(),
+            scan.subspace_skyline(space).unwrap()
+        );
+        assert_eq!(ladder.demotions(), 1);
+        // The infallible analytic also rides the ladder.
+        assert_eq!(ladder.top_k_frequent(2), scan.top_k_frequent(2));
+        assert_eq!(ladder.demotions(), 2);
+    }
+
+    #[test]
+    fn caller_faults_return_without_demoting() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        let scan = ScanCubeSource::new(&cube);
+        let ladder = FallbackSource::new(&indexed).then(&scan);
+        let err = ladder.subspace_skyline(DimMask::EMPTY).unwrap_err();
+        assert_eq!(err.kind(), "bad-subspace");
+        let err = ladder.membership_count(999).unwrap_err();
+        assert_eq!(err.kind(), "bad-object");
+        assert_eq!(ladder.demotions(), 0);
+    }
+
+    #[test]
+    fn exhausted_ladder_reports_the_last_error() {
+        let broken = BrokenSource { panics: false };
+        let also_broken = BrokenSource { panics: false };
+        let ladder = FallbackSource::new(&broken).then(&also_broken);
+        let err = ladder
+            .subspace_skyline(DimMask::parse("A").unwrap())
+            .unwrap_err();
+        assert_eq!(err.kind(), "internal");
+        // One demotion (broken → also_broken); the final failure is not a
+        // demotion, it is the answer.
+        assert_eq!(ladder.demotions(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_on_the_primary_demotes_and_still_answers() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let indexed = IndexedCubeSource::new(&cube);
+        let scan = ScanCubeSource::new(&cube);
+        let ladder = FallbackSource::new(&indexed).then(&scan);
+        let space = DimMask::parse("BD").unwrap();
+        // A deadline in the past trips the index's first checkpoint; the
+        // scan rung then answers unbounded.
+        let past = Instant::now() - std::time::Duration::from_millis(10);
+        let sky = ladder.subspace_skyline_within(space, Some(past)).unwrap();
+        assert_eq!(sky, scan.subspace_skyline(space).unwrap());
+        assert_eq!(ladder.demotions(), 1);
+    }
+}

@@ -39,11 +39,17 @@
 
 mod batch;
 mod cache;
+mod error;
+mod fallback;
+#[cfg(feature = "faults")]
+pub mod faults;
 mod source;
 mod workload;
 
-pub use batch::{run_batch, Answer, BatchOutcome, QueryStats};
+pub use batch::{run_batch, run_batch_with, Answer, BatchOptions, BatchOutcome, QueryStats};
 pub use cache::{CacheStats, CachedSource, SubspaceCache};
+pub use error::ServeError;
+pub use fallback::FallbackSource;
 pub use source::{
     AnchoredSubskySource, DirectSource, IndexStats, IndexedCubeSource, RouteStats, ScanCubeSource,
     SkyCubeSource, SkylineSource, SubskySource,

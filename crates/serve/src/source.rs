@@ -1,14 +1,24 @@
 //! The unified [`SkylineSource`] trait and its six implementations.
 
 use crate::cache::CacheStats;
+use crate::error::ServeError;
 use skycube_skyey::SkyCube;
 use skycube_skyline::Algorithm;
-use skycube_stellar::{CompressedSkylineCube, CubeIndex, IndexScratch, MemoOutcome};
+use skycube_stellar::{CompressedSkylineCube, CubeIndex, IndexScratch, MemoOutcome, QueryBudget};
 use skycube_subsky::{AnchoredSubskyIndex, SubskyIndex};
 use skycube_types::{Dataset, DimMask, DominanceKernel, ObjId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Lock `m`, recovering from mutex poisoning instead of panicking. Used
+/// only for state that stays valid across a holder's panic (scratch pools
+/// whose contents are reinitialized per query, monotone counters) — state
+/// that can be left half-updated must also be cleared on recovery (see
+/// [`crate::SubspaceCache`]).
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Per-merge-route counters for one [`IndexedCubeSource`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -88,15 +98,33 @@ pub trait SkylineSource: Sync {
     /// Number of objects in the underlying dataset.
     fn num_objects(&self) -> usize;
 
-    /// The skyline of `space`, ascending ids, or a diagnostic for an
-    /// invalid subspace.
-    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String>;
+    /// The skyline of `space`, ascending ids, or a classified
+    /// [`ServeError`] for an invalid subspace.
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError>;
+
+    /// The skyline of `space` under an optional absolute deadline.
+    ///
+    /// The default implementation computes the full answer and enforces the
+    /// deadline post-hoc; sources with cooperative checkpoints (the indexed
+    /// path, via [`skycube_stellar::QueryBudget`]) override it to abandon
+    /// work at route boundaries instead.
+    fn subspace_skyline_within(
+        &self,
+        space: DimMask,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<ObjId>, ServeError> {
+        let out = self.subspace_skyline(space)?;
+        match deadline {
+            Some(d) if Instant::now() >= d => Err(ServeError::DeadlineExceeded { budget_ms: 0 }),
+            _ => Ok(out),
+        }
+    }
 
     /// Whether object `o` is a skyline object of `space`.
-    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String>;
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError>;
 
     /// The number of subspaces in which `o` is a skyline object.
-    fn membership_count(&self, o: ObjId) -> Result<u64, String>;
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError>;
 
     /// The `k` most frequent subspace-skyline objects with their counts,
     /// count descending, ties by ascending id.
@@ -118,30 +146,38 @@ pub trait SkylineSource: Sync {
     fn index_stats(&self) -> Option<IndexStats> {
         None
     }
+
+    /// Cumulative queries this source demoted to a cheaper rung; `0` for
+    /// everything but [`crate::FallbackSource`].
+    fn demotions(&self) -> u64 {
+        0
+    }
 }
 
 /// Shared validation: `space` must be non-empty and within the full space.
-pub(crate) fn check_space(space: DimMask, dims: usize) -> Result<(), String> {
+pub(crate) fn check_space(space: DimMask, dims: usize) -> Result<(), ServeError> {
     if space.is_empty() {
-        return Err("invalid subspace: the empty subspace has no skyline".to_owned());
+        return Err(ServeError::BadSubspace(
+            "invalid subspace: the empty subspace has no skyline".to_owned(),
+        ));
     }
     if !space.is_subset_of(DimMask::full(dims)) {
-        return Err(format!(
+        return Err(ServeError::BadSubspace(format!(
             "invalid subspace {space}: not a subspace of the {dims}-dimensional full space {}",
             DimMask::full(dims)
-        ));
+        )));
     }
     Ok(())
 }
 
 /// Shared validation: `o` must be a known object id.
-pub(crate) fn check_object(o: ObjId, num_objects: usize) -> Result<(), String> {
+pub(crate) fn check_object(o: ObjId, num_objects: usize) -> Result<(), ServeError> {
     if (o as usize) < num_objects {
         Ok(())
     } else {
-        Err(format!(
+        Err(ServeError::BadObject(format!(
             "object {o} out of range (dataset has {num_objects} objects)"
-        ))
+        )))
     }
 }
 
@@ -177,7 +213,7 @@ impl<'a> IndexedCubeSource<'a> {
     }
 
     fn record(&self, probe: &skycube_stellar::IndexProbe, nanos: u64) {
-        let mut stats = self.stats.lock().unwrap();
+        let mut stats = lock_recover(&self.stats);
         let r = probe.route.index();
         stats.routes[r].queries += 1;
         stats.routes[r].nanos += nanos;
@@ -189,6 +225,30 @@ impl<'a> IndexedCubeSource<'a> {
             MemoOutcome::Miss => stats.memo_miss += 1,
             MemoOutcome::Bypass => {}
         }
+    }
+
+    /// Answer `space` with a pooled scratch, installing `deadline` as the
+    /// scratch's [`QueryBudget`] so the index can abandon work at its
+    /// cooperative checkpoints.
+    fn answer(&self, space: DimMask, deadline: Option<Instant>) -> Result<Vec<ObjId>, ServeError> {
+        let mut scratch = lock_recover(&self.scratch_pool).pop().unwrap_or_default();
+        scratch.set_budget(match deadline {
+            Some(d) => QueryBudget::with_deadline(d),
+            None => QueryBudget::unlimited(),
+        });
+        let mut out = Vec::new();
+        let start = Instant::now();
+        let result = self
+            .index
+            .try_subspace_skyline_into(space, &mut scratch, &mut out);
+        let nanos = start.elapsed().as_nanos() as u64;
+        scratch.set_budget(QueryBudget::unlimited());
+        lock_recover(&self.scratch_pool).push(scratch);
+        let probe = result?;
+        self.touched
+            .fetch_add(probe.candidates as u64, Ordering::Relaxed);
+        self.record(&probe, nanos);
+        Ok(out)
     }
 }
 
@@ -205,31 +265,24 @@ impl SkylineSource for IndexedCubeSource<'_> {
         self.index.num_objects()
     }
 
-    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
-        let mut scratch = self.scratch_pool.lock().unwrap().pop().unwrap_or_default();
-        let mut out = Vec::new();
-        let start = Instant::now();
-        let result = self
-            .index
-            .try_subspace_skyline_into(space, &mut scratch, &mut out);
-        let nanos = start.elapsed().as_nanos() as u64;
-        self.scratch_pool.lock().unwrap().push(scratch);
-        let probe = result?;
-        self.touched
-            .fetch_add(probe.candidates as u64, Ordering::Relaxed);
-        self.record(&probe, nanos);
-        Ok(out)
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        self.answer(space, None)
     }
 
-    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
-        check_space(space, self.dims())?;
-        check_object(o, self.num_objects())?;
-        Ok(self.index.is_skyline_in(o, space))
+    fn subspace_skyline_within(
+        &self,
+        space: DimMask,
+        deadline: Option<Instant>,
+    ) -> Result<Vec<ObjId>, ServeError> {
+        self.answer(space, deadline)
     }
 
-    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
-        check_object(o, self.num_objects())?;
-        Ok(self.index.membership_count(o))
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
+        Ok(self.index.try_is_skyline_in(o, space)?)
+    }
+
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError> {
+        Ok(self.index.try_membership_count(o)?)
     }
 
     fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
@@ -241,7 +294,7 @@ impl SkylineSource for IndexedCubeSource<'_> {
     }
 
     fn index_stats(&self) -> Option<IndexStats> {
-        Some(*self.stats.lock().unwrap())
+        Some(*lock_recover(&self.stats))
     }
 }
 
@@ -280,20 +333,26 @@ impl SkylineSource for ScanCubeSource<'_> {
         self.cube.num_objects()
     }
 
-    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
-        let out = self.cube.try_subspace_skyline(space)?;
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        check_space(space, self.dims())?;
+        // check_space already covers the cube's own rejections; anything
+        // left is a cube/serving disagreement, i.e. a bug.
+        let out = self
+            .cube
+            .try_subspace_skyline(space)
+            .map_err(ServeError::Internal)?;
         self.touched
             .fetch_add(self.cube.num_groups() as u64, Ordering::Relaxed);
         Ok(out)
     }
 
-    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
         check_space(space, self.dims())?;
         check_object(o, self.num_objects())?;
         Ok(self.cube.is_skyline_in(o, space))
     }
 
-    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError> {
         check_object(o, self.num_objects())?;
         Ok(self.cube.membership_count(o))
     }
@@ -339,21 +398,21 @@ impl SkylineSource for SkyCubeSource<'_> {
         self.num_objects
     }
 
-    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
         check_space(space, self.dims())?;
         self.cube
             .skyline(space)
             .map(<[ObjId]>::to_vec)
-            .ok_or_else(|| format!("subspace {space} not materialized"))
+            .ok_or_else(|| ServeError::Internal(format!("subspace {space} not materialized")))
     }
 
-    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
         check_object(o, self.num_objects)?;
         let sky = self.subspace_skyline(space)?;
         Ok(sky.binary_search(&o).is_ok())
     }
 
-    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError> {
         check_object(o, self.num_objects)?;
         Ok(self
             .cube
@@ -412,18 +471,18 @@ impl SkylineSource for SubskySource<'_> {
         self.index.len()
     }
 
-    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
         check_space(space, self.dims())?;
         Ok(self.index.skyline(space))
     }
 
-    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
         check_object(o, self.num_objects())?;
         let sky = self.subspace_skyline(space)?;
         Ok(sky.binary_search(&o).is_ok())
     }
 
-    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError> {
         check_object(o, self.num_objects())?;
         let full = DimMask::full(self.dims());
         Ok(full
@@ -493,19 +552,19 @@ impl SkylineSource for AnchoredSubskySource<'_> {
         self.num_objects
     }
 
-    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
         // The underlying index panics on invalid subspaces; validate first.
         check_space(space, self.dims)?;
         Ok(self.index.skyline(space))
     }
 
-    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
         check_object(o, self.num_objects)?;
         let sky = self.subspace_skyline(space)?;
         Ok(sky.binary_search(&o).is_ok())
     }
 
-    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError> {
         check_object(o, self.num_objects)?;
         let full = DimMask::full(self.dims);
         Ok(full
@@ -573,18 +632,18 @@ impl SkylineSource for DirectSource<'_> {
         self.ds.len()
     }
 
-    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+    fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
         check_space(space, self.dims())?;
         Ok(self.algorithm.run_with(self.ds, space, self.kernel))
     }
 
-    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, String> {
+    fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
         check_space(space, self.dims())?;
         check_object(o, self.num_objects())?;
         Ok(self.ds.ids().all(|v| !self.ds.dominates(v, o, space)))
     }
 
-    fn membership_count(&self, o: ObjId) -> Result<u64, String> {
+    fn membership_count(&self, o: ObjId) -> Result<u64, ServeError> {
         check_object(o, self.num_objects())?;
         let full = DimMask::full(self.dims());
         let mut count = 0u64;

@@ -10,6 +10,7 @@
 //! Blank lines and lines starting with `#` are ignored; `#` also starts a
 //! trailing comment on a query line.
 
+use crate::error::ServeError;
 use skycube_types::{DimMask, ObjId};
 use std::fmt;
 
@@ -45,13 +46,28 @@ fn parse_space(token: &str) -> Result<DimMask, String> {
             "bad subspace {token:?}: a query subspace must name at least one dimension"
         ));
     }
+    // DimMask::parse ORs letters together, so "AAB" would silently collapse
+    // to AB; a repeated letter is almost certainly a workload typo.
+    if token.chars().count() != mask.len() {
+        return Err(format!(
+            "bad subspace {token:?}: dimension letters must not repeat"
+        ));
+    }
     Ok(mask)
 }
 
 fn parse_id(token: &str) -> Result<ObjId, String> {
-    token
-        .parse::<ObjId>()
-        .map_err(|_| format!("bad object id {token:?}: expected a non-negative integer"))
+    match token.parse::<u64>() {
+        Ok(wide) => ObjId::try_from(wide).map_err(|_| {
+            format!(
+                "bad object id {token:?}: exceeds the maximum id {}",
+                ObjId::MAX
+            )
+        }),
+        Err(_) => Err(format!(
+            "bad object id {token:?}: expected a non-negative integer"
+        )),
+    }
 }
 
 /// Parse one workload line. Returns `Ok(None)` for blank and comment lines,
@@ -98,15 +114,21 @@ pub fn parse_query_line(line: &str) -> Result<Option<Query>, String> {
     Ok(Some(query))
 }
 
-/// Parse a whole workload, one query per line. Diagnostics carry the
-/// 1-based line number of the offending line.
-pub fn parse_workload(text: &str) -> Result<Vec<Query>, String> {
+/// Parse a whole workload, one query per line. Diagnostics come back as
+/// [`ServeError::BadWorkload`] carrying the 1-based line number of the
+/// offending line (its `Display` keeps the legacy `line N: …` shape).
+pub fn parse_workload(text: &str) -> Result<Vec<Query>, ServeError> {
     let mut queries = Vec::new();
     for (i, line) in text.lines().enumerate() {
         match parse_query_line(line) {
             Ok(Some(q)) => queries.push(q),
             Ok(None) => {}
-            Err(e) => return Err(format!("line {}: {e}", i + 1)),
+            Err(message) => {
+                return Err(ServeError::BadWorkload {
+                    line: i + 1,
+                    message,
+                })
+            }
         }
     }
     Ok(queries)
@@ -146,17 +168,51 @@ mod tests {
     #[test]
     fn diagnostics_name_the_line() {
         let err = parse_workload("skyline AB\nfetch AB\n").unwrap_err();
-        assert!(err.starts_with("line 2:"), "{err}");
-        assert!(err.contains("unknown query"), "{err}");
+        assert_eq!(err.kind(), "bad-workload");
+        assert!(
+            matches!(err, ServeError::BadWorkload { line: 2, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+        assert!(err.to_string().contains("unknown query"), "{err}");
 
-        let err = parse_workload("member 1\n").unwrap_err();
+        let err = parse_workload("member 1\n").unwrap_err().to_string();
         assert!(err.starts_with("line 1:"), "{err}");
         assert!(err.contains("missing its subspace argument"), "{err}");
 
-        let err = parse_workload("skyline AB extra\n").unwrap_err();
+        let err = parse_workload("skyline AB extra\n")
+            .unwrap_err()
+            .to_string();
         assert!(err.contains("trailing token"), "{err}");
 
-        let err = parse_workload("count x\n").unwrap_err();
+        let err = parse_workload("count x\n").unwrap_err().to_string();
         assert!(err.contains("bad object id"), "{err}");
+    }
+
+    #[test]
+    fn repeated_dimension_letters_are_rejected() {
+        let err = parse_workload("skyline AAB\n").unwrap_err().to_string();
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(err.contains("must not repeat"), "{err}");
+        let err = parse_query_line("member 1 ADA").unwrap_err();
+        assert!(err.contains("must not repeat"), "{err}");
+        // Distinct letters in any order are fine.
+        assert!(parse_query_line("skyline DBA").unwrap().is_some());
+    }
+
+    #[test]
+    fn oversized_object_ids_are_diagnosed_as_such() {
+        let too_big = (ObjId::MAX as u64 + 1).to_string();
+        let err = parse_workload(&format!("count {too_big}\n"))
+            .unwrap_err()
+            .to_string();
+        assert!(err.starts_with("line 1:"), "{err}");
+        assert!(err.contains("exceeds the maximum"), "{err}");
+        // The largest representable id still parses.
+        let q = parse_query_line(&format!("count {}", ObjId::MAX)).unwrap();
+        assert_eq!(q, Some(Query::Count(ObjId::MAX)));
+        // Garbage stays a plain parse diagnostic.
+        let err = parse_query_line("count -3").unwrap_err();
+        assert!(err.contains("non-negative integer"), "{err}");
     }
 }

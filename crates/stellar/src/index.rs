@@ -54,8 +54,102 @@ use skycube_types::{DimMask, ObjId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Structured error for the index's checked query entry points. Replaces
+/// the stringly-typed diagnostics so serving layers can classify failures
+/// (and the deadline machinery has a dedicated variant).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The empty subspace has no skyline.
+    EmptySubspace,
+    /// The queried subspace is not contained in the full space.
+    SubspaceOutOfRange {
+        /// The offending subspace.
+        space: DimMask,
+        /// Dimensionality of the full space.
+        dims: usize,
+    },
+    /// The object id is beyond the dataset.
+    ObjectOutOfRange {
+        /// The offending object id.
+        object: ObjId,
+        /// Number of objects in the dataset.
+        num_objects: usize,
+    },
+    /// The query's [`QueryBudget`] deadline passed at a cooperative
+    /// checkpoint (prefilter or merge boundary).
+    DeadlineExceeded,
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            QueryError::EmptySubspace => {
+                write!(f, "invalid subspace: the empty subspace has no skyline")
+            }
+            QueryError::SubspaceOutOfRange { space, dims } => write!(
+                f,
+                "invalid subspace {space}: not a subspace of the {dims}-dimensional full space {}",
+                DimMask::full(dims)
+            ),
+            QueryError::ObjectOutOfRange {
+                object,
+                num_objects,
+            } => write!(
+                f,
+                "object {object} out of range (dataset has {num_objects} objects)"
+            ),
+            QueryError::DeadlineExceeded => {
+                write!(f, "query deadline exceeded at an index merge checkpoint")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// A per-query time budget, carried in [`IndexScratch`] so the merge stage
+/// can check it cooperatively at route boundaries (after the prefilter,
+/// before and after the merge) without any plumbing through the hot loop's
+/// signatures. The default budget is unlimited and checks are a single
+/// branch on `None`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryBudget {
+    deadline: Option<Instant>,
+}
+
+impl QueryBudget {
+    /// No deadline: checks never fail.
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Fail cooperative checks once `deadline` has passed.
+    pub fn with_deadline(deadline: Instant) -> Self {
+        QueryBudget {
+            deadline: Some(deadline),
+        }
+    }
+
+    /// The configured deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Cooperative checkpoint: `Err(DeadlineExceeded)` once the deadline
+    /// has passed, `Ok` otherwise (always `Ok` without a deadline).
+    #[inline]
+    pub fn check(&self) -> Result<(), QueryError> {
+        match self.deadline {
+            Some(d) if Instant::now() >= d => Err(QueryError::DeadlineExceeded),
+            _ => Ok(()),
+        }
+    }
+}
 
 /// Maximum number of memoized subspaces per index.
 const MEMO_MAX_ENTRIES: usize = 512;
@@ -218,13 +312,30 @@ impl Clone for LatticeMemo {
 }
 
 impl LatticeMemo {
+    /// Lock the memo, recovering from poisoning: a panicking writer may
+    /// have left a half-updated map, so the poisoned state is dropped (an
+    /// empty memo is always correct — it only costs recomputation) and the
+    /// recovery is counted as an invalidation.
+    fn lock_inner(&self) -> MutexGuard<'_, MemoInner> {
+        match self.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.map.clear();
+                guard.total_ids = 0;
+                self.invalidations.fetch_add(1, Ordering::Relaxed);
+                guard
+            }
+        }
+    }
+
     /// Copy the best available list for `space` into `dst`: the exact entry
     /// if present, else the smallest memoized strict superset whose list is
     /// narrower than half the group universe (a wider one would not beat the
     /// posting prefilter).
     fn lookup(&self, space: DimMask, n_groups: usize, dst: &mut Vec<u32>) -> MemoOutcome {
         dst.clear();
-        let mut inner = self.inner.lock().expect("memo poisoned");
+        let mut inner = self.lock_inner();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(entry) = inner.map.get_mut(&space) {
@@ -261,7 +372,7 @@ impl LatticeMemo {
         }
         let mut evicted = 0u64;
         {
-            let mut inner = self.inner.lock().expect("memo poisoned");
+            let mut inner = self.lock_inner();
             if let Some(old) = inner.map.remove(&space) {
                 inner.total_ids -= old.ids.len();
             }
@@ -297,7 +408,7 @@ impl LatticeMemo {
     }
 
     fn invalidate(&self) {
-        let mut inner = self.inner.lock().expect("memo poisoned");
+        let mut inner = self.lock_inner();
         inner.map.clear();
         inner.total_ids = 0;
         drop(inner);
@@ -306,7 +417,7 @@ impl LatticeMemo {
 
     fn stats(&self) -> MemoStats {
         let (entries, ids) = {
-            let inner = self.inner.lock().expect("memo poisoned");
+            let inner = self.lock_inner();
             (inner.map.len(), inner.total_ids)
         };
         MemoStats {
@@ -345,6 +456,21 @@ pub struct IndexScratch {
     /// Stamp array for O(1) dedup across decisive posting lists.
     seen: Vec<u32>,
     epoch: u32,
+    /// Per-query time budget checked at the merge-stage checkpoints.
+    budget: QueryBudget,
+}
+
+impl IndexScratch {
+    /// Set the time budget for subsequent queries answered through this
+    /// scratch. The default is [`QueryBudget::unlimited`].
+    pub fn set_budget(&mut self, budget: QueryBudget) {
+        self.budget = budget;
+    }
+
+    /// The currently configured budget.
+    pub fn budget(&self) -> QueryBudget {
+        self.budget
+    }
 }
 
 /// The immutable serving index built from a [`CompressedSkylineCube`].
@@ -682,8 +808,9 @@ impl CubeIndex {
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// The skyline of `space`, or a diagnostic for an invalid subspace.
-    pub fn try_subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, String> {
+    /// The skyline of `space`, or a structured [`QueryError`] for an
+    /// invalid subspace.
+    pub fn try_subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, QueryError> {
         let mut scratch = IndexScratch::default();
         let mut out = Vec::new();
         self.try_subspace_skyline_into(space, &mut scratch, &mut out)?;
@@ -698,7 +825,7 @@ impl CubeIndex {
         space: DimMask,
         scratch: &mut IndexScratch,
         out: &mut Vec<ObjId>,
-    ) -> Result<IndexProbe, String> {
+    ) -> Result<IndexProbe, QueryError> {
         self.answer_into(space, None, true, scratch, out)
     }
 
@@ -713,7 +840,7 @@ impl CubeIndex {
         route: MergeRoute,
         scratch: &mut IndexScratch,
         out: &mut Vec<ObjId>,
-    ) -> Result<IndexProbe, String> {
+    ) -> Result<IndexProbe, QueryError> {
         self.answer_into(space, Some(route), false, scratch, out)
     }
 
@@ -724,20 +851,24 @@ impl CubeIndex {
         use_memo: bool,
         scratch: &mut IndexScratch,
         out: &mut Vec<ObjId>,
-    ) -> Result<IndexProbe, String> {
+    ) -> Result<IndexProbe, QueryError> {
         out.clear();
         if space.is_empty() {
-            return Err("invalid subspace: the empty subspace has no skyline".to_owned());
+            return Err(QueryError::EmptySubspace);
         }
         if !space.is_subset_of(DimMask::full(self.dims)) {
-            return Err(format!(
-                "invalid subspace {space}: not a subspace of the {}-dimensional full space {}",
-                self.dims,
-                DimMask::full(self.dims)
-            ));
+            return Err(QueryError::SubspaceOutOfRange {
+                space,
+                dims: self.dims,
+            });
         }
+        // Deadline checkpoint 1: before the prefilter. Catches budgets that
+        // were already blown on arrival (queue time, an injected stall).
+        scratch.budget.check()?;
         let mut probe = IndexProbe::default();
         self.collect_covering(space, scratch, use_memo, &mut probe);
+        // Deadline checkpoint 2: the prefilter/merge route boundary.
+        scratch.budget.check()?;
 
         scratch.spans.clear();
         let mut total = 0usize;
@@ -805,12 +936,19 @@ impl CubeIndex {
                 out,
             ),
         }
+        // Deadline checkpoint 3: the merge route finished. A query that ran
+        // past its budget reports the overrun even though the answer exists;
+        // degradation layers may re-answer without a deadline.
+        scratch.budget.check()?;
         Ok(probe)
     }
 
     /// Whether object `o` is a skyline object of `space` — identical to
     /// [`CompressedSkylineCube::is_skyline_in`], but over the CSR
     /// object→group postings.
+    ///
+    /// # Panics
+    /// Panics when `o` is out of range; see [`Self::try_is_skyline_in`].
     pub fn is_skyline_in(&self, o: ObjId, space: DimMask) -> bool {
         let k = space.len();
         self.obj_groups[self.obj_group_offsets[o as usize]..self.obj_group_offsets[o as usize + 1]]
@@ -818,10 +956,47 @@ impl CubeIndex {
             .any(|&g| self.covers(g, space, k))
     }
 
+    /// Checked [`Self::is_skyline_in`]: validates the object id and the
+    /// subspace instead of panicking.
+    pub fn try_is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, QueryError> {
+        if space.is_empty() {
+            return Err(QueryError::EmptySubspace);
+        }
+        if !space.is_subset_of(DimMask::full(self.dims)) {
+            return Err(QueryError::SubspaceOutOfRange {
+                space,
+                dims: self.dims,
+            });
+        }
+        self.check_object(o)?;
+        Ok(self.is_skyline_in(o, space))
+    }
+
     /// The number of subspaces in which `o` is a skyline object — O(1) from
     /// the precomputed per-object counts.
+    ///
+    /// # Panics
+    /// Panics when `o` is out of range; see [`Self::try_membership_count`].
     pub fn membership_count(&self, o: ObjId) -> u64 {
         self.freq_by_obj[o as usize]
+    }
+
+    /// Checked [`Self::membership_count`]: validates the object id instead
+    /// of panicking.
+    pub fn try_membership_count(&self, o: ObjId) -> Result<u64, QueryError> {
+        self.check_object(o)?;
+        Ok(self.freq_by_obj[o as usize])
+    }
+
+    fn check_object(&self, o: ObjId) -> Result<(), QueryError> {
+        if (o as usize) < self.num_objects {
+            Ok(())
+        } else {
+            Err(QueryError::ObjectOutOfRange {
+                object: o,
+                num_objects: self.num_objects,
+            })
+        }
     }
 
     /// The membership intervals of `o` as borrowed `(decisive, maximal)`
@@ -1138,14 +1313,59 @@ mod tests {
     fn invalid_subspaces_are_diagnosed() {
         let cube = compute_cube(&running_example());
         let index = cube.index();
-        assert!(index
-            .try_subspace_skyline(DimMask::EMPTY)
-            .unwrap_err()
-            .contains("empty subspace"));
+        assert_eq!(
+            index.try_subspace_skyline(DimMask::EMPTY).unwrap_err(),
+            QueryError::EmptySubspace
+        );
+        assert_eq!(
+            index.try_subspace_skyline(DimMask::single(9)).unwrap_err(),
+            QueryError::SubspaceOutOfRange {
+                space: DimMask::single(9),
+                dims: 4
+            }
+        );
         assert!(index
             .try_subspace_skyline(DimMask::single(9))
             .unwrap_err()
+            .to_string()
             .contains("not a subspace"));
+        assert_eq!(
+            index.try_is_skyline_in(99, DimMask::single(0)).unwrap_err(),
+            QueryError::ObjectOutOfRange {
+                object: 99,
+                num_objects: 5
+            }
+        );
+        assert!(index.try_membership_count(99).is_err());
+        assert_eq!(index.try_membership_count(0), Ok(index.membership_count(0)));
+    }
+
+    #[test]
+    fn expired_budget_is_reported_at_a_checkpoint() {
+        let cube = compute_cube(&running_example());
+        let index = cube.index();
+        let mut scratch = IndexScratch::default();
+        let mut out = Vec::new();
+        let space = DimMask::parse("BD").unwrap();
+        // An already-passed deadline fails at checkpoint 1.
+        scratch.set_budget(QueryBudget::with_deadline(
+            Instant::now() - std::time::Duration::from_millis(1),
+        ));
+        assert_eq!(
+            index.try_subspace_skyline_into(space, &mut scratch, &mut out),
+            Err(QueryError::DeadlineExceeded)
+        );
+        // A generous deadline answers normally; resetting the budget keeps
+        // the scratch reusable.
+        scratch.set_budget(QueryBudget::with_deadline(
+            Instant::now() + std::time::Duration::from_secs(60),
+        ));
+        assert!(index
+            .try_subspace_skyline_into(space, &mut scratch, &mut out)
+            .is_ok());
+        assert_eq!(out, cube.subspace_skyline(space));
+        scratch.set_budget(QueryBudget::unlimited());
+        assert!(scratch.budget().deadline().is_none());
     }
 
     #[test]

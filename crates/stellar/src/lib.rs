@@ -49,7 +49,10 @@ pub use cgroups::{maximal_cgroups, MaxCGroup};
 pub use cube::CompressedSkylineCube;
 pub use explain::{explain, explain_text, Explanation};
 pub use extend::{extend_to_full, extend_to_full_par, RelevanceStrategy};
-pub use index::{CubeIndex, IndexProbe, IndexScratch, MemoOutcome, MemoStats, MergeRoute};
+pub use index::{
+    CubeIndex, IndexProbe, IndexScratch, MemoOutcome, MemoStats, MergeRoute, QueryBudget,
+    QueryError,
+};
 pub use lattice::{quotient_map, GroupLattice};
 pub use maintenance::StellarEngine;
 pub use matrices::SeedView;

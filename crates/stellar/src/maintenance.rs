@@ -101,7 +101,10 @@ impl StellarEngine {
     ///
     /// Any lazily built [`crate::CubeIndex`] over the previous cube (and its
     /// lattice memo) is explicitly invalidated; callers holding answer
-    /// caches over this engine should watch [`Self::generation`].
+    /// caches over this engine should watch [`Self::generation`]. Serving
+    /// tiers that keep skylines outside the engine (a `SubspaceCache`, a
+    /// fallback ladder's rungs) must treat a generation bump exactly like a
+    /// poisoned cache lock: clear and re-warm, never serve the stale entry.
     pub fn insert(&mut self, row: Vec<Value>) -> Result<skycube_types::ObjId> {
         if row.len() != self.dims {
             return Err(skycube_types::Error::RowLengthMismatch {

@@ -58,11 +58,19 @@ pub fn save_cube<P: AsRef<Path>>(cube: &CompressedSkylineCube, path: P) -> Resul
 }
 
 /// Deserialize a cube from a reader.
+///
+/// Beyond token-level parsing, every structural invariant the in-memory
+/// cube (and its [`crate::CubeIndex`]) relies on is validated here —
+/// member and seed ids within the object count, group subspaces inside the
+/// full space, decisive subspaces inside their group's subspace — so a
+/// truncated or garbled file yields a structured [`Error`], never a panic
+/// in downstream construction or querying.
 pub fn read_cube<R: Read>(r: R) -> Result<CompressedSkylineCube> {
     let parse_err = |line: usize, token: &str| Error::Parse {
         line,
         token: token.to_string(),
     };
+    let corrupt = |line: usize, what: String| Error::Corrupt { line, what };
     let mut lines = BufReader::new(r).lines().enumerate();
 
     // Header.
@@ -100,7 +108,14 @@ pub fn read_cube<R: Read>(r: R) -> Result<CompressedSkylineCube> {
         return Err(parse_err(2, &seeds_line));
     }
     for t in toks {
-        seeds.push(t.parse().map_err(|_| parse_err(2, t))?);
+        let s: ObjId = t.parse().map_err(|_| parse_err(2, t))?;
+        if s as usize >= objects {
+            return Err(corrupt(
+                2,
+                format!("seed id {s} out of range (objects={objects})"),
+            ));
+        }
+        seeds.push(s);
     }
 
     // Groups.
@@ -119,14 +134,35 @@ pub fn read_cube<R: Read>(r: R) -> Result<CompressedSkylineCube> {
             .next()
             .and_then(DimMask::parse)
             .ok_or_else(|| parse_err(lineno, "<subspace>"))?;
+        let full = DimMask::full(dims);
+        if subspace.is_empty() || !subspace.is_subset_of(full) {
+            return Err(corrupt(
+                lineno,
+                format!("group subspace {subspace} outside the {dims}-d full space"),
+            ));
+        }
         let decisive_tok = toks.next().ok_or_else(|| parse_err(lineno, "<decisive>"))?;
         let mut decisive = Vec::new();
         for part in decisive_tok.split(',') {
-            decisive.push(DimMask::parse(part).ok_or_else(|| parse_err(lineno, part))?);
+            let c = DimMask::parse(part).ok_or_else(|| parse_err(lineno, part))?;
+            if c.is_empty() || !c.is_subset_of(subspace) {
+                return Err(corrupt(
+                    lineno,
+                    format!("decisive subspace {c} not inside group subspace {subspace}"),
+                ));
+            }
+            decisive.push(c);
         }
         let mut members: Vec<ObjId> = Vec::new();
         for t in toks {
-            members.push(t.parse().map_err(|_| parse_err(lineno, t))?);
+            let m: ObjId = t.parse().map_err(|_| parse_err(lineno, t))?;
+            if m as usize >= objects {
+                return Err(corrupt(
+                    lineno,
+                    format!("member id {m} out of range (objects={objects})"),
+                ));
+            }
+            members.push(m);
         }
         if members.is_empty() {
             return Err(parse_err(lineno, "<no members>"));
@@ -188,6 +224,40 @@ mod tests {
         assert!(read_cube(bad_group.as_bytes()).is_err());
         let no_members = "#skycube v1 dims=4 objects=5\n#seeds 1\ngroup AD A\n";
         assert!(read_cube(no_members.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_structurally_corrupt_input() {
+        use skycube_types::Error;
+        let corrupt = |text: &str| match read_cube(text.as_bytes()) {
+            Err(Error::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        };
+        // Member id beyond the declared object count would panic
+        // `CompressedSkylineCube::new` (member_groups index) if accepted.
+        corrupt("#skycube v1 dims=4 objects=5\n#seeds 1\ngroup AD A 1 9\n");
+        // Seed id beyond the object count.
+        corrupt("#skycube v1 dims=4 objects=5\n#seeds 7\n");
+        // Group subspace outside the declared full space.
+        corrupt("#skycube v1 dims=2 objects=5\n#seeds 1\ngroup AD A 1\n");
+        // Decisive subspace not inside its group's subspace.
+        corrupt("#skycube v1 dims=4 objects=5\n#seeds 1\ngroup AD C 1\n");
+    }
+
+    #[test]
+    fn validated_load_survives_queries() {
+        // A hand-built file passing validation must serve queries without
+        // panicking anywhere downstream (cube scan path and index).
+        let text = "#skycube v1 dims=2 objects=3\n#seeds 0 2\ngroup AB A 0\ngroup B B 2\n";
+        let cube = read_cube(text.as_bytes()).unwrap();
+        for space in DimMask::full(2).subsets() {
+            let _ = cube.subspace_skyline(space);
+            let _ = cube.index().subspace_skyline(space);
+        }
+        for o in 0..3 {
+            let _ = cube.membership_count(o);
+            let _ = cube.index().try_membership_count(o).unwrap();
+        }
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub enum Error {
         /// The token that failed to parse.
         token: String,
     },
+    /// A persisted artifact parsed but failed structural validation
+    /// (member ids beyond the object count, subspaces outside the full
+    /// space, …) — loading it would corrupt downstream structures.
+    Corrupt {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What failed validation.
+        what: String,
+    },
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -46,6 +55,9 @@ impl fmt::Display for Error {
             } => write!(f, "row {row} has {actual} values, expected {expected}"),
             Error::Parse { line, token } => {
                 write!(f, "line {line}: cannot parse value {token:?}")
+            }
+            Error::Corrupt { line, what } => {
+                write!(f, "line {line}: corrupt input: {what}")
             }
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
@@ -99,6 +111,13 @@ mod tests {
 
         let e = Error::Io(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(e.to_string().contains("gone"));
+
+        let e = Error::Corrupt {
+            line: 3,
+            what: "member 9 out of range".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+        assert!(e.to_string().contains("corrupt"));
     }
 
     #[test]

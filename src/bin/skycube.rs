@@ -72,10 +72,16 @@ commands:
            [--source stellar|stellar-scan|skyey|subsky|subsky-anchored|direct]
            [--workload FILE|-] [--cache N] [--threads N]
            [--kernel scalar|columnar] [--anchors N] [--stats]
+           [--deadline-ms MS] [--fallback] [--inject-faults SPEC]
            workload lines: 'skyline ABD', 'member 17 ABD', 'count 17',
            'top 5'; blank lines and # comments are ignored; --workload -
            (the default) reads from stdin; --stats prints per-merge-route
-           timings and lattice-memo counters for the indexed source";
+           timings and lattice-memo counters for the indexed source;
+           --deadline-ms bounds each query; --fallback (stellar only)
+           installs the indexed -> scan -> direct degradation ladder;
+           --inject-faults (builds with the `faults` feature only) forces
+           failures: panic-route[=N],slow-route=MS,corrupt-cube,
+           poison-cache,seed=N";
 
 type Opts = HashMap<String, String>;
 
@@ -87,7 +93,7 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             return Err(format!("expected --option, got {k:?}"));
         };
         // Flags without values.
-        if key == "nba" || key == "stats" {
+        if key == "nba" || key == "stats" || key == "fallback" {
             opts.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -280,6 +286,32 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         None => None,
     };
     let stats = opts.contains_key("stats");
+    let deadline = match opts.get("deadline-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(num::<u64>(
+            ms,
+            "deadline (ms)",
+        )?)),
+        None => None,
+    };
+    #[cfg(not(feature = "faults"))]
+    if opts.contains_key("inject-faults") {
+        return Err("--inject-faults needs a build with the `faults` feature \
+             (cargo build --release --features faults)"
+            .to_owned());
+    }
+    #[cfg(feature = "faults")]
+    let plan = match opts.get("inject-faults") {
+        Some(spec) => skycube::serve::faults::FaultPlan::parse(spec)?,
+        None => skycube::serve::faults::FaultPlan::default(),
+    };
+    let serving = Serving {
+        par,
+        cache,
+        stats,
+        options: BatchOptions { deadline },
+        #[cfg(feature = "faults")]
+        plan,
+    };
 
     // A stellar cube comes from --cube when given, otherwise it (like every
     // other engine) is built from --data.
@@ -292,33 +324,54 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     };
     match opts.get("source").map_or("stellar", String::as_str) {
         "stellar" => {
-            let cube = stellar_cube(opts)?;
-            serve_workload(IndexedCubeSource::new(&cube), &queries, par, cache, stats)
+            #[cfg(feature = "faults")]
+            let want_fallback = opts.contains_key("fallback") || serving.plan.is_active();
+            #[cfg(not(feature = "faults"))]
+            let want_fallback = opts.contains_key("fallback");
+            if !want_fallback {
+                let cube = stellar_cube(opts)?;
+                return serve_workload(IndexedCubeSource::new(&cube), &queries, &serving);
+            }
+            // The degradation ladder: indexed -> scan (same cube) -> direct
+            // (only when --data gives us a dataset to compute from).
+            let ds = match opts.contains_key("data") {
+                true => Some(load_data(opts)?),
+                false => None,
+            };
+            let cube = stellar_cube_checked(opts, &serving, &stellar_cube, ds.as_ref())?;
+            let indexed = IndexedCubeSource::new(&cube);
+            let scan = ScanCubeSource::new(&cube);
+            let direct = ds
+                .as_ref()
+                .map(|d| DirectSource::new(d).with_kernel(kernel));
+            #[cfg(feature = "faults")]
+            let faulty = skycube::serve::faults::FaultySource::new(&indexed, serving.plan);
+            #[cfg(feature = "faults")]
+            let primary: &dyn SkylineSource = if serving.plan.is_active() {
+                &faulty
+            } else {
+                &indexed
+            };
+            #[cfg(not(feature = "faults"))]
+            let primary: &dyn SkylineSource = &indexed;
+            let mut ladder = FallbackSource::new(primary).then(&scan);
+            if let Some(d) = direct.as_ref() {
+                ladder = ladder.then(d);
+            }
+            serve_workload(ladder, &queries, &serving)
         }
         "stellar-scan" => {
             let cube = stellar_cube(opts)?;
-            serve_workload(ScanCubeSource::new(&cube), &queries, par, cache, stats)
+            serve_workload(ScanCubeSource::new(&cube), &queries, &serving)
         }
         "skyey" => {
             let ds = load_data(opts)?;
             let skycube = SkyCube::compute_with(&ds, kernel);
-            serve_workload(
-                SkyCubeSource::new(&skycube, ds.len()),
-                &queries,
-                par,
-                cache,
-                stats,
-            )
+            serve_workload(SkyCubeSource::new(&skycube, ds.len()), &queries, &serving)
         }
         "subsky" => {
             let ds = load_data(opts)?;
-            serve_workload(
-                SubskySource::with_kernel(&ds, kernel),
-                &queries,
-                par,
-                cache,
-                stats,
-            )
+            serve_workload(SubskySource::with_kernel(&ds, kernel), &queries, &serving)
         }
         "subsky-anchored" => {
             let ds = load_data(opts)?;
@@ -329,9 +382,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             serve_workload(
                 AnchoredSubskySource::with_anchors(&ds, anchors),
                 &queries,
-                par,
-                cache,
-                stats,
+                &serving,
             )
         }
         "direct" => {
@@ -339,9 +390,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             serve_workload(
                 DirectSource::new(&ds).with_kernel(kernel),
                 &queries,
-                par,
-                cache,
-                stats,
+                &serving,
             )
         }
         other => Err(format!(
@@ -351,26 +400,85 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     }
 }
 
-fn serve_workload<S: SkylineSource>(
-    source: S,
-    queries: &[Query],
+/// Produce the stellar cube for the fallback ladder. Under the
+/// `corrupt-cube` fault this garbles the cube's serialized image, shows
+/// that loading it yields a classified error (never a panic), and degrades
+/// by rebuilding from `--data`; without `--data` the classified error is
+/// the final answer.
+#[cfg(feature = "faults")]
+fn stellar_cube_checked(
+    opts: &Opts,
+    serving: &Serving,
+    stellar_cube: &dyn Fn(&Opts) -> Result<CompressedSkylineCube, String>,
+    ds: Option<&Dataset>,
+) -> Result<CompressedSkylineCube, String> {
+    let clean = stellar_cube(opts)?;
+    if !serving.plan.corrupt_cube {
+        return Ok(clean);
+    }
+    let mut bytes = Vec::new();
+    stellar::write_cube(&clean, &mut bytes).map_err(|e| e.to_string())?;
+    let garbled = skycube::serve::faults::corrupt_bytes(&bytes, serving.plan.seed);
+    let verdict = match stellar::read_cube(&garbled[..]) {
+        Ok(_) => "corruption survived structural validation; discarding the artifact".to_owned(),
+        Err(e) => format!("corrupt cube load classified: {e}"),
+    };
+    eprintln!("# fault: {verdict}");
+    match ds {
+        Some(ds) => {
+            eprintln!("# fault: degraded to rebuilding the cube from --data");
+            Ok(runner(opts)?.compute(ds))
+        }
+        None => Err(format!("{verdict}; no --data to rebuild from")),
+    }
+}
+
+#[cfg(not(feature = "faults"))]
+fn stellar_cube_checked(
+    opts: &Opts,
+    _serving: &Serving,
+    stellar_cube: &dyn Fn(&Opts) -> Result<CompressedSkylineCube, String>,
+    _ds: Option<&Dataset>,
+) -> Result<CompressedSkylineCube, String> {
+    stellar_cube(opts)
+}
+
+/// Everything `serve_workload` needs besides the source and the queries.
+struct Serving {
     par: Parallelism,
     cache: Option<usize>,
     stats: bool,
+    options: BatchOptions,
+    #[cfg(feature = "faults")]
+    plan: skycube::serve::faults::FaultPlan,
+}
+
+fn serve_workload<S: SkylineSource>(
+    source: S,
+    queries: &[Query],
+    serving: &Serving,
 ) -> Result<(), String> {
-    match cache {
-        Some(n) => report_batch(&CachedSource::new(source, n), queries, par, stats),
-        None => report_batch(&source, queries, par, stats),
+    match serving.cache {
+        Some(n) => {
+            let cached = CachedSource::new(source, n);
+            #[cfg(feature = "faults")]
+            if serving.plan.poison_cache {
+                cached.cache().poison();
+                eprintln!("# fault: poisoned the subspace cache lock");
+            }
+            report_batch(&cached, queries, serving)
+        }
+        None => report_batch(&source, queries, serving),
     }
 }
 
 fn report_batch(
     source: &dyn SkylineSource,
     queries: &[Query],
-    par: Parallelism,
-    stats: bool,
+    serving: &Serving,
 ) -> Result<(), String> {
-    let outcome = run_batch(source, queries, par);
+    let stats = serving.stats;
+    let outcome = run_batch_with(source, queries, serving.par, &serving.options);
     for (query, answer) in queries.iter().zip(&outcome.answers) {
         match answer {
             Ok(Answer::Skyline(sky)) => {
@@ -388,14 +496,15 @@ fn report_batch(
     }
     let s = outcome.stats;
     println!(
-        "# source={} queries={} errors={} seconds={:.6} groups_touched={} cache_hits={} cache_misses={}",
+        "# source={} queries={} errors={} seconds={:.6} groups_touched={} cache_hits={} cache_misses={} demotions={}",
         source.label(),
         s.queries,
         s.errors,
         s.seconds,
         s.groups_touched,
         s.cache_hits,
-        s.cache_misses
+        s.cache_misses,
+        s.demotions
     );
     if stats {
         match s.index {

@@ -53,8 +53,9 @@ pub mod prelude {
     pub use skycube_datagen::{generate, nba_table, nba_table_sized, Distribution};
     pub use skycube_parallel::Parallelism;
     pub use skycube_serve::{
-        parse_workload, run_batch, AnchoredSubskySource, Answer, CachedSource, DirectSource,
-        IndexedCubeSource, Query, ScanCubeSource, SkyCubeSource, SkylineSource, SubskySource,
+        parse_workload, run_batch, run_batch_with, AnchoredSubskySource, Answer, BatchOptions,
+        CachedSource, DirectSource, FallbackSource, IndexedCubeSource, Query, ScanCubeSource,
+        ServeError, SkyCubeSource, SkylineSource, SubskySource,
     };
     pub use skycube_skyey::{skyey_groups, SkyCube};
     pub use skycube_skyline::{skyline, skyline_parallel, Algorithm};

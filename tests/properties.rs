@@ -566,4 +566,83 @@ proptest! {
             );
         }
     }
+
+    /// Robustness: an arbitrarily mutated or truncated serialized cube must
+    /// load to a structured error or to a cube whose queries run without
+    /// panicking — never to a process abort in construction or downstream.
+    #[test]
+    fn corrupted_cube_files_never_panic(
+        ds in paper_dataset(),
+        flips in vec((0usize..8192, 1u8..=255), 1..8),
+        cut in 0usize..8192,
+    ) {
+        let cube = compute_cube(&ds);
+        let mut bytes = Vec::new();
+        skycube::stellar::write_cube(&cube, &mut bytes).unwrap();
+        // Truncate roughly half the time (the strategy range is wider than
+        // most serialized cubes), then flip a handful of bytes.
+        if cut < bytes.len() {
+            bytes.truncate(cut);
+        }
+        for &(at, xor) in &flips {
+            if !bytes.is_empty() {
+                let i = at % bytes.len();
+                bytes[i] ^= xor;
+            }
+        }
+        match skycube::stellar::read_cube(&bytes[..]) {
+            Err(_) => {} // a classified Parse/Corrupt/BadDimensionality error
+            Ok(loaded) => {
+                // Validation accepted it, so every query must be panic-free
+                // (answers may differ from the original — the bytes did).
+                let dims = loaded.dims().min(6);
+                for space in DimMask::full(dims).subsets() {
+                    let _ = loaded.try_subspace_skyline(space);
+                }
+                for o in 0..loaded.num_objects().min(64) as ObjId {
+                    let _ = loaded.membership_count(o);
+                }
+                let _ = loaded.top_k_frequent(4);
+            }
+        }
+    }
+}
+
+/// Persistence round-trip at the extremes of the `Value` domain: i64
+/// endpoints and long tie runs (one group with many members) survive
+/// save/load with identical groups and query answers.
+#[test]
+fn persist_roundtrip_with_extreme_values_and_long_ties() {
+    let mut rows: Vec<Vec<Value>> = vec![
+        vec![Value::MIN, Value::MAX, 0],
+        vec![Value::MAX, Value::MIN, 1],
+        vec![0, 0, Value::MIN],
+        vec![Value::MIN, Value::MIN, Value::MAX],
+    ];
+    // A long tie run: 40 objects identical on every dimension.
+    for _ in 0..40 {
+        rows.push(vec![Value::MIN, Value::MIN, Value::MIN]);
+    }
+    let ds = Dataset::from_rows(3, rows).unwrap();
+    let cube = compute_cube(&ds);
+    let mut bytes = Vec::new();
+    skycube::stellar::write_cube(&cube, &mut bytes).unwrap();
+    let back = skycube::stellar::read_cube(&bytes[..]).unwrap();
+    assert_eq!(back.dims(), cube.dims());
+    assert_eq!(back.num_objects(), cube.num_objects());
+    assert_eq!(back.seeds(), cube.seeds());
+    assert_eq!(
+        skycube_types::normalize_groups(back.groups().to_vec()),
+        skycube_types::normalize_groups(cube.groups().to_vec())
+    );
+    for space in ds.full_space().subsets() {
+        assert_eq!(
+            back.subspace_skyline(space),
+            cube.subspace_skyline(space),
+            "{space}"
+        );
+    }
+    for o in 0..ds.len() as ObjId {
+        assert_eq!(back.membership_count(o), cube.membership_count(o));
+    }
 }
