@@ -49,6 +49,18 @@ if ! grep -q '"non_heap_routes_fired": [2-9]' "$SMOKE_DIR/queries.json"; then
     exit 1
 fi
 
+echo '== maintenance bench smoke: patch path beats rebuild, index spliced'
+# --verify asserts patched == full recompute, every stream mutation took the
+# fast path, the subspace cache kept survivors across a generation sync, and
+# the patch path beat the rebuild; the grep pins that at least one mutation
+# spliced the CSR index in place rather than dropping it.
+./target/release/maintenance --smoke --verify \
+    --json "$SMOKE_DIR/maintenance.json" > "$SMOKE_DIR/maintenance.out"
+if ! grep -q '"spliced_mutations": [1-9]' "$SMOKE_DIR/maintenance.json"; then
+    echo "maintenance smoke: no mutation spliced the index in place" >&2
+    exit 1
+fi
+
 echo '== fault-injection suite (--features faults)'
 # The deterministic fault matrix: every injected fault must end in a
 # classified ServeError or a demoted-but-correct answer, never an abort.

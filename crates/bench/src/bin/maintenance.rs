@@ -1,0 +1,9 @@
+//! Maintenance ablation: single-mutation patch path vs full rebuild, plus
+//! a mixed insert/delete stream against a warm subspace cache with
+//! generation-aware selective invalidation. See `--help` for options;
+//! `--json PATH` writes `BENCH_maintenance.json`.
+fn main() {
+    let args = skycube_bench::HarnessArgs::parse();
+    let records = skycube_bench::figures::maintenance_ablation(&args);
+    skycube_bench::write_json_report(&args, "maintenance", &records);
+}

@@ -754,6 +754,225 @@ pub fn queries_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
     records
 }
 
+/// Maintenance ablation — delta patching vs rebuild-the-world:
+/// (a) a **single dominated insert** through the engine's patch path
+/// (seed lattice reused, extension chunks re-extended selectively, the
+/// built `CubeIndex` spliced in place) timed against the full pipeline on
+/// the same data, and (b) a **mixed insert/delete stream** against a warm
+/// `SubspaceCache` synchronized through a `GenerationGate`, measuring how
+/// many cached subspace answers survive selective invalidation. Patched
+/// answers are asserted identical to a from-scratch recompute.
+pub fn maintenance_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
+    use skycube_serve::{GateOutcome, GenerationGate, SubspaceCache};
+    use skycube_stellar::{compute_cube, StellarEngine};
+    use skycube_types::{normalize_groups, DimMask};
+
+    let (n, d) = if args.full {
+        (100_000, 5)
+    } else if args.smoke {
+        (3_000, 5)
+    } else {
+        (30_000, 5)
+    };
+    header(
+        &format!("Maintenance ablation — patch vs rebuild, independent {d}-d, {n} tuples"),
+        args.full,
+    );
+    let mut records = Vec::new();
+    let ds = generate(Distribution::Independent, n, d, SEED ^ 0x3a11);
+    let mut engine = StellarEngine::new(&ds);
+    // Force the serving index so every fast-path mutation exercises the
+    // in-place splice instead of a lazy rebuild.
+    engine.cube().index();
+
+    // A row strictly dominated by the first seed: +1 on every dimension.
+    let seed_row: Vec<i64> = {
+        let s = engine.cube().seeds()[0];
+        ds.row(s).to_vec()
+    };
+    let dominated: Vec<i64> = seed_row.iter().map(|v| v + 1).collect();
+
+    // (a) Single-mutation latency: patch path (insert then delete restores
+    // the state, so reps are identical) vs the full pipeline.
+    println!("### (a) single dominated insert — patch path vs full rebuild");
+    let mut patch_insert = f64::MAX;
+    let mut patch_delete = f64::MAX;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let id = engine
+            .insert(dominated.clone())
+            .expect("row is well formed");
+        patch_insert = patch_insert.min(t.elapsed().as_secs_f64());
+        let delta = engine.last_delta().expect("mutation records a delta");
+        assert!(!delta.is_full(), "dominated insert must take the fast path");
+        assert!(
+            delta.spliced(),
+            "a built index must be spliced, not dropped"
+        );
+        let t = std::time::Instant::now();
+        engine.delete(id).expect("id was just inserted");
+        patch_delete = patch_delete.min(t.elapsed().as_secs_f64());
+    }
+    let mut ds_plus_rows: Vec<Vec<i64>> = ds.ids().map(|o| ds.row(o).to_vec()).collect();
+    ds_plus_rows.push(dominated.clone());
+    let ds_plus = skycube_types::Dataset::from_rows(d, ds_plus_rows).unwrap();
+    let mut rebuild = f64::MAX;
+    for _ in 0..3 {
+        let t = std::time::Instant::now();
+        let cube = compute_cube(&ds_plus);
+        cube.index();
+        rebuild = rebuild.min(t.elapsed().as_secs_f64());
+    }
+    let speedup = rebuild / patch_insert.max(1e-9);
+    table_header(&["path", "seconds"]);
+    row(&["patch-insert".to_string(), secs(patch_insert)]);
+    row(&["patch-delete".to_string(), secs(patch_delete)]);
+    row(&["full-rebuild".to_string(), secs(rebuild)]);
+    println!();
+    println!("rebuild/patch-insert: {speedup:.1}×");
+    println!();
+    for (path, seconds) in [
+        ("patch-insert", patch_insert),
+        ("patch-delete", patch_delete),
+        ("full-rebuild", rebuild),
+    ] {
+        records.push(
+            JsonRecord::new()
+                .str("figure", "maintenance")
+                .str("workload", "single-insert")
+                .str("path", path)
+                .int("n", n as i64)
+                .int("d", d as i64)
+                .num("seconds", seconds),
+        );
+    }
+    // Patched ≡ recomputed, on the cube left behind by a timed insert.
+    engine.insert(dominated.clone()).unwrap();
+    let fresh = compute_cube(&engine.dataset());
+    assert_eq!(
+        normalize_groups(engine.cube().groups().to_vec()),
+        normalize_groups(fresh.groups().to_vec()),
+        "patched cube diverged from recomputation"
+    );
+    assert_eq!(engine.cube().seeds(), fresh.seeds());
+
+    // (b) Mixed stream against a warm subspace cache: dominated inserts
+    // derived from seed rows (one coordinate +1, the rest tied, so every
+    // insert joins real groups and genuinely reshapes the lattice)
+    // interleaved with deletes of the inserted ids, synchronized through a
+    // GenerationGate.
+    println!("### (b) mixed stream — warm cache + generation-aware selective invalidation");
+    let subspaces: Vec<DimMask> = DimMask::full(d).subsets().collect();
+    let cache = SubspaceCache::new(subspaces.len());
+    for &space in &subspaces {
+        cache.put(space, engine.cube().subspace_skyline(space));
+    }
+    let warm_entries = cache.stats().entries;
+    let gate = GenerationGate::new(engine.generation());
+    let seeds: Vec<u32> = engine.cube().seeds().to_vec();
+    let mut inserted_ids = Vec::new();
+    let mut patched_syncs = 0usize;
+    let stream_len = 8usize;
+    let t = std::time::Instant::now();
+    for k in 0..stream_len {
+        if k % 3 == 2 {
+            let id = inserted_ids.pop().expect("inserts precede deletes");
+            engine.delete(id).expect("inserted id is live");
+        } else {
+            let s = seeds[k % seeds.len()];
+            let mut row: Vec<i64> = engine.dataset().row(s).to_vec();
+            row[k % d] += 1;
+            inserted_ids.push(engine.insert(row).expect("row is well formed"));
+        }
+        if gate.sync(engine.generation(), engine.last_delta(), &cache) == GateOutcome::Patched {
+            patched_syncs += 1;
+        }
+    }
+    let stream_seconds = t.elapsed().as_secs_f64();
+    let stats = engine.maintenance_stats();
+    let survivors = cache.stats().entries;
+    // Every surviving entry must equal the fresh answer (counts as hits).
+    let mut survivor_hits = 0usize;
+    for &space in &subspaces {
+        if let Some(sky) = cache.get(space) {
+            assert_eq!(
+                sky,
+                engine.cube().subspace_skyline(space),
+                "stale cache survivor in {space} after the stream"
+            );
+            survivor_hits += 1;
+        }
+    }
+    let hit_rate = survivor_hits as f64 / subspaces.len() as f64;
+    table_header(&["metric", "value"]);
+    row(&["mutations".to_string(), stream_len.to_string()]);
+    row(&["stream seconds".to_string(), secs(stream_seconds)]);
+    row(&["patched syncs".to_string(), patched_syncs.to_string()]);
+    row(&[
+        "cache entries warm → after".to_string(),
+        format!("{warm_entries} → {survivors}"),
+    ]);
+    row(&["survivor hit rate".to_string(), format!("{hit_rate:.2}")]);
+    println!();
+    records.push(
+        JsonRecord::new()
+            .str("figure", "maintenance")
+            .str("workload", "mixed-stream")
+            .int("n", n as i64)
+            .int("d", d as i64)
+            .int("mutations", stream_len as i64)
+            .num("seconds", stream_seconds)
+            .int("patched_syncs", patched_syncs as i64)
+            .int("warm_entries", warm_entries as i64)
+            .int("survivor_entries", survivors as i64)
+            .num("cache_hit_rate", hit_rate),
+    );
+
+    if args.verify {
+        assert!(
+            stats.fast() >= stream_len,
+            "the stream must ride the fast path (stats: {stats:?})"
+        );
+        assert!(
+            survivor_hits > 0,
+            "selective invalidation must let some cached answers survive"
+        );
+        if args.full {
+            assert!(
+                speedup >= 50.0,
+                "patch path must be ≥50× cheaper than rebuild at n={n} (got {speedup:.1}×)"
+            );
+        } else {
+            assert!(
+                speedup > 1.0,
+                "patch path must beat the rebuild (got {speedup:.1}×)"
+            );
+        }
+    }
+    assert!(
+        stats.spliced >= 1,
+        "at least one mutation must splice the built index (stats: {stats:?})"
+    );
+    records.push(
+        JsonRecord::new()
+            .str("figure", "maintenance")
+            .str("workload", "summary")
+            .int("n", n as i64)
+            .int("d", d as i64)
+            .num("patch_insert_seconds", patch_insert)
+            .num("patch_delete_seconds", patch_delete)
+            .num("rebuild_seconds", rebuild)
+            .num("speedup", speedup)
+            .int("spliced_mutations", stats.spliced as i64)
+            .int("fast_inserts", stats.fast_inserts as i64)
+            .int("fast_deletes", stats.fast_deletes as i64)
+            .int("full_recomputes", stats.full() as i64)
+            .int("survivor_entries", survivors as i64)
+            .num("cache_hit_rate", hit_rate),
+    );
+    records
+}
+
 fn panel(dist: Distribution) -> &'static str {
     match dist {
         Distribution::Correlated => "a",

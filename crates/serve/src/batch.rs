@@ -57,6 +57,10 @@ pub struct QueryStats {
     /// Queries the source demoted to a cheaper rung during the batch, if
     /// it is a [`crate::FallbackSource`] ladder.
     pub demotions: u64,
+    /// The engine generation the batch ran against, when the caller tagged
+    /// one via [`BatchOptions::generation`]. Lets mixed query/mutation
+    /// drivers attribute every answer to the cube state that produced it.
+    pub generation: Option<u64>,
 }
 
 /// Answers (in workload order) plus run statistics.
@@ -75,6 +79,12 @@ pub struct BatchOptions {
     /// when it starts (not when the batch starts), so a long batch does
     /// not starve its tail. `None` runs unbounded.
     pub deadline: Option<Duration>,
+    /// The [`skycube_stellar::StellarEngine`] generation this batch is
+    /// served against, echoed into [`QueryStats::generation`]. Callers
+    /// interleaving mutations with batches stamp it (after syncing their
+    /// caches through a [`crate::GenerationGate`]) so stats and answers
+    /// stay attributable to one cube state.
+    pub generation: Option<u64>,
 }
 
 fn answer_one(
@@ -161,6 +171,7 @@ pub fn run_batch_with(
         cache_misses: cache_after.misses - cache_before.misses,
         index,
         demotions: source.demotions() - demotions_before,
+        generation: options.generation,
     };
     BatchOutcome { answers, stats }
 }
@@ -229,6 +240,43 @@ mod tests {
         assert_eq!(second.stats.cache_misses, 0);
         assert_eq!(second.stats.cache_hits, 3);
         assert_eq!(second.stats.groups_touched, 0);
+    }
+
+    #[test]
+    fn batches_are_tagged_with_the_serving_generation() {
+        use crate::cache::{CachedSource, GateOutcome, GenerationGate, SubspaceCache};
+        use skycube_stellar::StellarEngine;
+        let mut engine = StellarEngine::new(&running_example());
+        let queries = parse_workload("skyline B\nskyline BD\n").unwrap();
+        let cache = SubspaceCache::new(8);
+        let gate = GenerationGate::new(engine.generation());
+        let serve = |engine: &StellarEngine, cache: SubspaceCache| {
+            let source = CachedSource::with_cache(IndexedCubeSource::new(engine.cube()), cache);
+            let options = BatchOptions {
+                generation: Some(engine.generation()),
+                ..BatchOptions::default()
+            };
+            run_batch_with(&source, &queries, Parallelism::sequential(), &options)
+        };
+        let outcome = serve(&engine, cache);
+        assert_eq!(outcome.stats.generation, Some(0));
+        assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![2, 3, 4])));
+        // A dominated (fast-path) mutation, synced through the gate: the
+        // next batch carries the new generation and fresh answers.
+        engine.insert(vec![7, 4, 12, 3]).unwrap();
+        let cache = SubspaceCache::new(8);
+        assert_eq!(
+            gate.sync(engine.generation(), engine.last_delta(), &cache),
+            GateOutcome::Patched
+        );
+        let outcome = serve(&engine, cache);
+        assert_eq!(outcome.stats.generation, Some(1));
+        // The insert ties B=4 and D=3: it joins subspace B's skyline.
+        assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![2, 3, 4, 5])));
+        // Untagged batches stay untagged.
+        let source = IndexedCubeSource::new(engine.cube());
+        let outcome = run_batch(&source, &queries, Parallelism::sequential());
+        assert_eq!(outcome.stats.generation, None);
     }
 
     #[test]
@@ -304,6 +352,7 @@ mod tests {
         let queries = parse_workload("skyline A\n").unwrap();
         let options = BatchOptions {
             deadline: Some(std::time::Duration::from_millis(1)),
+            generation: None,
         };
         let outcome = run_batch_with(&SlowSource, &queries, Parallelism::sequential(), &options);
         assert_eq!(
@@ -318,6 +367,7 @@ mod tests {
         // A generous budget answers normally.
         let options = BatchOptions {
             deadline: Some(std::time::Duration::from_secs(60)),
+            generation: None,
         };
         let outcome = run_batch_with(&SlowSource, &queries, Parallelism::sequential(), &options);
         assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![0])));
@@ -334,6 +384,7 @@ mod tests {
         let queries = parse_workload("skyline BD\n").unwrap();
         let options = BatchOptions {
             deadline: Some(std::time::Duration::ZERO),
+            generation: None,
         };
         let outcome = run_batch_with(&source, &queries, Parallelism::sequential(), &options);
         assert_eq!(

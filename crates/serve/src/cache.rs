@@ -17,6 +17,7 @@
 
 use crate::error::ServeError;
 use crate::source::SkylineSource;
+use skycube_stellar::MaintenanceDelta;
 use skycube_types::{DimMask, ObjId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -198,13 +199,41 @@ impl SubspaceCache {
         }
     }
 
-    /// Drop every resident entry (counters are preserved). The invalidation
-    /// hook for maintenance: call after the underlying data changes so no
-    /// stale skyline is ever served.
+    /// Drop every resident entry (counters are preserved). The blunt
+    /// invalidation hook for maintenance: call after the underlying data
+    /// changes so no stale skyline is ever served. When the mutation's
+    /// [`MaintenanceDelta`] is available, [`Self::apply_delta`] keeps the
+    /// unaffected entries alive instead.
     pub fn clear(&self) {
         let mut inner = self.lock_inner();
         inner.map.clear();
         inner.bytes = 0;
+    }
+
+    /// Selective invalidation after one engine mutation: entries whose
+    /// subspace a touched group covers are dropped; every other entry's
+    /// answer is unchanged up to the positional-id remap, which is applied
+    /// in place ([`MaintenanceDelta::remap_ids`]). A full-rebuild delta
+    /// degenerates to [`Self::clear`]. Returns the number of entries
+    /// dropped.
+    pub fn apply_delta(&self, delta: &MaintenanceDelta) -> usize {
+        let mut inner = self.lock_inner();
+        if delta.is_full() {
+            let dropped = inner.map.len();
+            inner.map.clear();
+            inner.bytes = 0;
+            return dropped;
+        }
+        let before = inner.map.len();
+        inner.map.retain(|&space, (_, sky)| {
+            if delta.covers(space) {
+                return false;
+            }
+            delta.remap_ids(sky);
+            true
+        });
+        inner.bytes = inner.map.values().map(|(_, sky)| entry_bytes(sky)).sum();
+        before - inner.map.len()
     }
 
     /// Fault injection: panic while holding the cache lock on a scoped
@@ -253,9 +282,81 @@ impl<S: SkylineSource> CachedSource<S> {
 
     /// Clear every cached skyline. Call when the data behind the wrapped
     /// source changed (e.g. on a [`skycube_stellar::StellarEngine`]
-    /// generation bump) — the cache cannot observe that itself.
+    /// generation bump) — the cache cannot observe that itself. Prefer
+    /// [`Self::apply_delta`] when the mutation's delta is available.
     pub fn invalidate(&self) {
         self.cache.clear();
+    }
+
+    /// Selectively invalidate after one engine mutation: only cached
+    /// answers a touched group covers are dropped, survivors are remapped
+    /// into the new id space. Returns the number of entries dropped.
+    pub fn apply_delta(&self, delta: &MaintenanceDelta) -> usize {
+        self.cache.apply_delta(delta)
+    }
+}
+
+/// How a [`GenerationGate::sync`] reconciled a cache with the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateOutcome {
+    /// The cache was already at the engine's generation; nothing done.
+    Current,
+    /// Exactly one mutation elapsed and its delta was selective: the cache
+    /// was patched with [`SubspaceCache::apply_delta`].
+    Patched,
+    /// The cache was cleared (several mutations elapsed, or the delta was a
+    /// full rebuild).
+    Cleared,
+}
+
+/// Tracks the [`skycube_stellar::StellarEngine`] generation a cache was
+/// last synchronized to, and translates generation bumps into the cheapest
+/// safe invalidation: a no-op when current, a selective purge when exactly
+/// one mutation behind with a selective [`MaintenanceDelta`], a full clear
+/// otherwise. Replaces the clear-everything-on-every-mutation hook.
+pub struct GenerationGate {
+    seen: AtomicU64,
+}
+
+impl GenerationGate {
+    /// A gate synchronized to `generation` (use the engine's current
+    /// generation at cache-warm time).
+    pub fn new(generation: u64) -> Self {
+        GenerationGate {
+            seen: AtomicU64::new(generation),
+        }
+    }
+
+    /// The generation this gate last synchronized to.
+    pub fn seen(&self) -> u64 {
+        self.seen.load(Ordering::Acquire)
+    }
+
+    /// Reconcile `cache` with the engine's current `generation` and latest
+    /// `delta` (from [`skycube_stellar::StellarEngine::last_delta`]). The
+    /// selective path is taken only when the gate is exactly one mutation
+    /// behind and `delta` describes that mutation — anything else (gap of
+    /// two or more, missing or full-rebuild delta) clears the cache.
+    pub fn sync(
+        &self,
+        generation: u64,
+        delta: Option<&MaintenanceDelta>,
+        cache: &SubspaceCache,
+    ) -> GateOutcome {
+        let seen = self.seen.swap(generation, Ordering::AcqRel);
+        if seen == generation {
+            return GateOutcome::Current;
+        }
+        match delta {
+            Some(d) if seen + 1 == generation && d.generation() == generation && !d.is_full() => {
+                cache.apply_delta(d);
+                GateOutcome::Patched
+            }
+            _ => {
+                cache.clear();
+                GateOutcome::Cleared
+            }
+        }
     }
 }
 
@@ -496,5 +597,99 @@ mod tests {
         assert_eq!(sky, vec![5]);
         cache.put(space, sky);
         assert_eq!(cache.get(space), Some(vec![5]));
+    }
+
+    /// Warm every subspace, mutate through the fast path, apply the delta:
+    /// covered entries drop, survivors are remapped and still correct.
+    #[test]
+    fn apply_delta_purges_selectively_and_remaps_survivors() {
+        use skycube_stellar::StellarEngine;
+        let mut engine = StellarEngine::new(&running_example());
+        let full = DimMask::full(4);
+        let cache = SubspaceCache::new(32);
+        for space in full.subsets() {
+            cache.put(space, engine.cube().subspace_skyline(space));
+        }
+        let warm = cache.stats().entries;
+        assert_eq!(warm, 15);
+        // Delete non-seed P1 (id 0): a fast-path mutation with a delta.
+        engine.delete(0).unwrap();
+        let delta = engine.last_delta().unwrap();
+        assert!(!delta.is_full());
+        let dropped = cache.apply_delta(delta);
+        assert!(dropped < warm, "selective purge dropped everything");
+        let survivors = cache.stats().entries;
+        assert!(survivors > 0, "no entry survived a non-seed delete");
+        assert_eq!(survivors + dropped, warm);
+        // Every surviving entry now equals the fresh answer.
+        let mut verified = 0;
+        for space in full.subsets() {
+            if let Some(sky) = cache.get(space) {
+                assert_eq!(
+                    sky,
+                    engine.cube().subspace_skyline(space),
+                    "stale survivor in {space}"
+                );
+                verified += 1;
+            }
+        }
+        assert_eq!(verified, survivors);
+    }
+
+    #[test]
+    fn apply_delta_with_full_rebuild_clears_everything() {
+        use skycube_stellar::MaintenanceDelta;
+        let cache = SubspaceCache::new(8);
+        cache.put(DimMask::from_dims([0]), vec![1]);
+        cache.put(DimMask::from_dims([1]), vec![2]);
+        let dropped = cache.apply_delta(&MaintenanceDelta::full_rebuild(3));
+        assert_eq!(dropped, 2);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn generation_gate_picks_the_cheapest_safe_invalidation() {
+        use skycube_stellar::StellarEngine;
+        let mut engine = StellarEngine::new(&running_example());
+        let full = DimMask::full(4);
+        let cache = SubspaceCache::new(32);
+        for space in full.subsets() {
+            cache.put(space, engine.cube().subspace_skyline(space));
+        }
+        let gate = GenerationGate::new(engine.generation());
+        // Already current: nothing happens.
+        assert_eq!(
+            gate.sync(engine.generation(), engine.last_delta(), &cache),
+            GateOutcome::Current
+        );
+        assert_eq!(cache.stats().entries, 15);
+        // One fast-path mutation behind: selective patch.
+        engine.insert(vec![9, 9, 11, 9]).unwrap();
+        assert_eq!(
+            gate.sync(engine.generation(), engine.last_delta(), &cache),
+            GateOutcome::Patched
+        );
+        assert!(cache.stats().entries > 0);
+        assert_eq!(gate.seen(), engine.generation());
+        // Two mutations elapse before the next sync: the delta only covers
+        // the latest one, so the gate must clear.
+        engine.insert(vec![9, 9, 11, 9]).unwrap();
+        engine.insert(vec![8, 9, 11, 9]).unwrap();
+        assert_eq!(
+            gate.sync(engine.generation(), engine.last_delta(), &cache),
+            GateOutcome::Cleared
+        );
+        assert_eq!(cache.stats().entries, 0);
+        // A full-rebuild mutation clears even at distance one.
+        for space in full.subsets() {
+            cache.put(space, engine.cube().subspace_skyline(space));
+        }
+        engine.insert(vec![0, 0, 0, 0]).unwrap();
+        assert!(engine.last_delta().unwrap().is_full());
+        assert_eq!(
+            gate.sync(engine.generation(), engine.last_delta(), &cache),
+            GateOutcome::Cleared
+        );
+        assert_eq!(cache.stats().entries, 0);
     }
 }

@@ -108,6 +108,21 @@ impl From<QueryError> for ServeError {
     }
 }
 
+impl From<skycube_types::Error> for ServeError {
+    fn from(e: skycube_types::Error) -> Self {
+        use skycube_types::Error;
+        match e {
+            // A caller named an object the dataset does not hold: their
+            // fault, never demotable — every rung rejects it identically.
+            Error::NoSuchObject { .. } => ServeError::BadObject(e.to_string()),
+            Error::Corrupt { .. } | Error::Parse { .. } => ServeError::CorruptCube(e.to_string()),
+            Error::BadDimensionality { .. } | Error::RowLengthMismatch { .. } | Error::Io(_) => {
+                ServeError::Internal(e.to_string())
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -183,5 +198,20 @@ mod tests {
         assert_eq!(e.kind(), "bad-object");
         let e: ServeError = QueryError::DeadlineExceeded.into();
         assert_eq!(e.kind(), "deadline");
+    }
+
+    #[test]
+    fn dataset_errors_convert_with_the_right_kind() {
+        let e: ServeError = skycube_types::Error::NoSuchObject { id: 9, len: 5 }.into();
+        assert_eq!(e.kind(), "bad-object");
+        assert!(!e.is_demotable(), "caller faults must not demote");
+        assert!(e.to_string().contains("no such object 9"));
+        let e: ServeError = skycube_types::Error::RowLengthMismatch {
+            row: 0,
+            expected: 4,
+            actual: 2,
+        }
+        .into();
+        assert_eq!(e.kind(), "internal");
     }
 }

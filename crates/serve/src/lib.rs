@@ -47,7 +47,7 @@ mod source;
 mod workload;
 
 pub use batch::{run_batch, run_batch_with, Answer, BatchOptions, BatchOutcome, QueryStats};
-pub use cache::{CacheStats, CachedSource, SubspaceCache};
+pub use cache::{CacheStats, CachedSource, GateOutcome, GenerationGate, SubspaceCache};
 pub use error::ServeError;
 pub use fallback::FallbackSource;
 pub use source::{

@@ -66,10 +66,76 @@ impl CompressedSkylineCube {
     }
 
     /// Drop the lazy serving index (and with it its lattice memo), forcing
-    /// a rebuild on next use. Maintenance paths that mutate the cube in
-    /// place must call this so stale postings are never served.
+    /// a rebuild on next use. Full-recompute maintenance paths call this so
+    /// stale postings are never served; the delta path splices instead.
     pub fn invalidate_index(&mut self) {
         self.index.take();
+    }
+
+    /// Swap in a new generation of groups/seeds *without* dropping the lazy
+    /// index — the delta-maintenance path, which follows up with
+    /// [`Self::splice_index`] so a built index is patched, never cold.
+    pub(crate) fn replace_groups(
+        &mut self,
+        num_objects: usize,
+        seeds: Vec<ObjId>,
+        groups: Vec<SkylineGroup>,
+    ) {
+        // Reuse the existing per-object buckets (clearing keeps their
+        // allocations) — churning `num_objects` fresh `Vec`s per mutation
+        // is measurable at maintenance rates.
+        for v in &mut self.member_groups {
+            v.clear();
+        }
+        self.member_groups.resize_with(num_objects, Vec::new);
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in &g.members {
+                self.member_groups[m as usize].push(gi as u32);
+            }
+        }
+        self.num_objects = num_objects;
+        self.seeds = seeds;
+        self.groups = groups;
+    }
+
+    /// Grow the cube by one object that is a member of no group (an insert
+    /// strictly dominated everywhere, tying no skyline projection): every
+    /// group, seed, and subspace skyline is unchanged. Patches a built
+    /// serving index in place; returns `false` when no index was built.
+    pub(crate) fn append_object(&mut self) -> bool {
+        self.num_objects += 1;
+        self.member_groups.push(Vec::new());
+        match self.index.get_mut() {
+            Some(ix) => {
+                ix.append_object();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Patch a built serving index in place against the current groups (see
+    /// [`CubeIndex::splice`]). Returns `false` when no index was built —
+    /// nothing to patch, the next [`Self::index`] call builds fresh.
+    pub(crate) fn splice_index(
+        &mut self,
+        delta: &crate::lattice::GroupDelta,
+        purge: &[(DimMask, Vec<DimMask>)],
+    ) -> bool {
+        let Self {
+            dims,
+            num_objects,
+            groups,
+            index,
+            ..
+        } = self;
+        match index.get_mut() {
+            Some(ix) => {
+                ix.splice(*dims, *num_objects, groups, delta, purge);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Dimensionality of the full space.

@@ -178,6 +178,123 @@ impl NonSeedIndex {
     }
 }
 
+/// Incremental accommodation state for delta maintenance: the non-seed
+/// universe and its per-dimension posting index, kept up to date under
+/// single-object binding mutations so a mutation re-extends only the touched
+/// seed groups instead of rebuilding the index over all non-seeds.
+///
+/// Ids are *bound* dataset ids; the owner is responsible for calling
+/// [`ExtensionContext::remove_non_seed`] with the pre-removal row whenever a
+/// bound row disappears (which also applies the positional-id shift), and
+/// [`ExtensionContext::insert_non_seed`] when a fresh bound non-seed appears.
+pub struct ExtensionContext {
+    non_seeds: Vec<ObjId>,
+    index: NonSeedIndex,
+}
+
+impl ExtensionContext {
+    /// Build from the current seed view (the same inputs as
+    /// [`extend_to_full`] with the index strategy).
+    pub fn new(view: &SeedView<'_>) -> Self {
+        let non_seeds = non_seed_ids(view);
+        let index = NonSeedIndex::build(view.dataset(), &non_seeds);
+        ExtensionContext { non_seeds, index }
+    }
+
+    /// Number of tracked non-seeds.
+    pub fn num_non_seeds(&self) -> usize {
+        self.non_seeds.len()
+    }
+
+    /// The bound non-seed whose row equals `row` on every one of the `dims`
+    /// dimensions, if one exists — a posting-list intersection, not a scan
+    /// of the bound dataset. There is at most one match: bound rows are
+    /// pairwise distinct. Seed rows are not consulted; the caller's
+    /// fast-path gate (strict domination by some seed) already rules out a
+    /// tie with a seed row.
+    pub fn find_duplicate(&self, dims: usize, row: &[Value]) -> Option<ObjId> {
+        let mut out = Vec::new();
+        self.index.matching(row, DimMask::full(dims), &mut out);
+        out.first().copied()
+    }
+
+    /// Register a fresh bound non-seed `p` with values `row`.
+    pub fn insert_non_seed(&mut self, row: &[Value], p: ObjId) {
+        if let Err(at) = self.non_seeds.binary_search(&p) {
+            self.non_seeds.insert(at, p);
+        }
+        for (d, &v) in row.iter().enumerate() {
+            let list = self.index.maps[d].entry(v).or_default();
+            if let Err(at) = list.binary_search(&p) {
+                list.insert(at, p);
+            }
+        }
+    }
+
+    /// Unregister bound non-seed `p` (whose former values were `row`) and
+    /// shift every tracked id above `p` down by one — the positional-id
+    /// model after a bound-row removal.
+    pub fn remove_non_seed(&mut self, row: &[Value], p: ObjId) {
+        if let Ok(at) = self.non_seeds.binary_search(&p) {
+            self.non_seeds.remove(at);
+        }
+        for id in &mut self.non_seeds {
+            if *id > p {
+                *id -= 1;
+            }
+        }
+        for (d, &v) in row.iter().enumerate() {
+            let mut emptied = false;
+            if let Some(list) = self.index.maps[d].get_mut(&v) {
+                if let Ok(at) = list.binary_search(&p) {
+                    list.remove(at);
+                }
+                emptied = list.is_empty();
+            }
+            if emptied {
+                self.index.maps[d].remove(&v);
+            }
+        }
+        for map in &mut self.index.maps {
+            for list in map.values_mut() {
+                for id in list.iter_mut() {
+                    if *id > p {
+                        *id -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Re-run the accommodation of one seed group against the current
+    /// context, appending the derived groups to `out` in the same order as
+    /// [`extend_to_full`] produces them for that group.
+    pub fn extend_group(&self, view: &SeedView<'_>, sg: &SeedGroup, out: &mut Vec<SkylineGroup>) {
+        let mut scratch = Scratch::default();
+        extend_one(
+            view,
+            sg,
+            &self.non_seeds,
+            Some(&self.index),
+            None,
+            &mut scratch,
+            out,
+        );
+    }
+}
+
+/// Whether non-seed `p` is relevant to seed group `sg`: its sharing mask
+/// within the group's maximal subspace contains some decisive subspace. By
+/// the derivation in the module docs this is exactly "p is a member of some
+/// group derived from `sg`", which is what the delta path uses to find the
+/// seed groups touched by a single-object mutation.
+pub fn non_seed_relevant(view: &SeedView<'_>, sg: &SeedGroup, p: ObjId) -> bool {
+    let ds = view.dataset();
+    let rep = view.id(sg.members[0]);
+    let m = ds.co_mask(rep, p) & sg.subspace;
+    sg.decisive.iter().any(|&c| c.is_subset_of(m))
+}
+
 /// Reusable buffers for the per-group work.
 #[derive(Default)]
 struct Scratch {

@@ -415,6 +415,54 @@ impl LatticeMemo {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Selective invalidation for the splice path: entries whose subspace
+    /// satisfies `stale` are dropped (their `D(·)` list may have gained or
+    /// lost a group); survivors are remapped through `old_to_new` in place.
+    /// A surviving entry can only reference carried groups — a removed or
+    /// added group `g` sits in `D(A)` exactly when some decisive of `g` is
+    /// ⊆ `A`, which is the staleness predicate — but an entry that still
+    /// fails to remap is dropped defensively rather than served wrong.
+    /// Dropped entries are counted as evictions.
+    fn retain_remap(&self, stale: impl Fn(DimMask) -> bool, old_to_new: &[Option<u32>]) {
+        let mut purged = 0u64;
+        {
+            let mut inner = self.lock_inner();
+            let mut doomed: Vec<DimMask> =
+                inner.map.keys().copied().filter(|&a| stale(a)).collect();
+            for (&key, entry) in inner.map.iter_mut() {
+                if doomed.contains(&key) {
+                    continue;
+                }
+                let mut ok = true;
+                for id in entry.ids.iter_mut() {
+                    match old_to_new.get(*id as usize).copied().flatten() {
+                        Some(ni) => *id = ni,
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    // The carried-group mapping is monotone in practice, but
+                    // the memo contract is a sorted list — enforce it.
+                    entry.ids.sort_unstable();
+                } else {
+                    doomed.push(key);
+                }
+            }
+            for key in doomed {
+                if let Some(e) = inner.map.remove(&key) {
+                    inner.total_ids -= e.ids.len();
+                    purged += 1;
+                }
+            }
+        }
+        if purged > 0 {
+            self.evictions.fetch_add(purged, Ordering::Relaxed);
+        }
+    }
+
     fn stats(&self) -> MemoStats {
         let (entries, ids) = {
             let inner = self.lock_inner();
@@ -514,6 +562,9 @@ pub struct CubeIndex {
     /// `(object, count)` with `count > 0`, ordered count descending then id
     /// ascending — the full `top_k_frequent` ranking.
     freq_ranked: Vec<(ObjId, u64)>,
+    /// Per-group covered-subspace counts, kept so the splice path can carry
+    /// them across generations instead of re-running inclusion–exclusion.
+    covered: Vec<u64>,
     /// Bounded memo of decisively-qualified sets along the lattice.
     memo: LatticeMemo,
 }
@@ -523,10 +574,82 @@ impl CubeIndex {
     /// groups plus the per-group covered-subspace counts the scan path would
     /// otherwise pay on every `membership_count` query.
     pub fn build(cube: &CompressedSkylineCube) -> CubeIndex {
-        let dims = cube.dims();
-        let groups = cube.groups();
-        let n = cube.num_objects();
+        let covered: Vec<u64> = cube.groups().iter().map(covered_subspace_count).collect();
+        CubeIndex::assemble(
+            cube.dims(),
+            cube.num_objects(),
+            cube.groups(),
+            covered,
+            LatticeMemo::default(),
+        )
+    }
 
+    /// Patch the index in place after a maintenance delta: carried groups
+    /// keep their covered-subspace counts (no inclusion–exclusion rerun),
+    /// the CSR runs and posting lists are re-laid-out in one linear pass
+    /// over the new groups, and the lattice memo survives selectively —
+    /// only entries whose subspace contains a decisive of a touched group
+    /// are purged, the rest are remapped old→new group ids.
+    ///
+    /// `purge` carries `(maximal subspace, decisive antichain)` of every
+    /// touched (removed or added) group; `groups` is the new generation in
+    /// the object-id space the delta was computed in.
+    pub(crate) fn splice(
+        &mut self,
+        dims: usize,
+        num_objects: usize,
+        groups: &[skycube_types::SkylineGroup],
+        delta: &crate::lattice::GroupDelta,
+        purge: &[(DimMask, Vec<DimMask>)],
+    ) {
+        debug_assert_eq!(delta.old_to_new.len(), self.subspaces.len());
+        let mut covered = vec![0u64; groups.len()];
+        let mut carried = vec![false; groups.len()];
+        for (oi, &m) in delta.old_to_new.iter().enumerate() {
+            if let Some(ni) = m {
+                covered[ni as usize] = self.covered[oi];
+                carried[ni as usize] = true;
+            }
+        }
+        for (ni, g) in groups.iter().enumerate() {
+            if !carried[ni] {
+                covered[ni] = covered_subspace_count(g);
+            }
+        }
+        let memo = std::mem::take(&mut self.memo);
+        memo.retain_remap(
+            |a| {
+                purge
+                    .iter()
+                    .any(|(_, cs)| cs.iter().any(|c| c.is_subset_of(a)))
+            },
+            &delta.old_to_new,
+        );
+        *self = CubeIndex::assemble(dims, num_objects, groups, covered, memo);
+    }
+
+    /// Grow the index by one object that belongs to no group — the tail of
+    /// an insert whose row joins no subspace skyline. Every group-indexed
+    /// array, posting list, memo entry, and the top-k ranking (which omits
+    /// zero-count objects) is already correct; only the object-indexed
+    /// arrays gain a slot.
+    pub(crate) fn append_object(&mut self) {
+        self.num_objects += 1;
+        let end = *self.obj_group_offsets.last().expect("offsets never empty");
+        self.obj_group_offsets.push(end);
+        self.freq_by_obj.push(0);
+    }
+
+    /// One linear pass over `groups` laying out every array of the index;
+    /// `covered` and `memo` are supplied by the caller so the splice path
+    /// can carry them across generations.
+    fn assemble(
+        dims: usize,
+        n: usize,
+        groups: &[skycube_types::SkylineGroup],
+        covered: Vec<u64>,
+        memo: LatticeMemo,
+    ) -> CubeIndex {
         let mut members = Vec::with_capacity(groups.iter().map(|g| g.members.len()).sum());
         let mut member_offsets = Vec::with_capacity(groups.len() + 1);
         let mut decisive_pool: Vec<DimMask> = Vec::new();
@@ -560,9 +683,8 @@ impl CubeIndex {
             if !g.subspace.is_empty() {
                 buckets[g.subspace.len() - 1].push(gi as u32);
             }
-            let covered = covered_subspace_count(g);
             for &m in &g.members {
-                freq_by_obj[m as usize] += covered;
+                freq_by_obj[m as usize] += covered[gi];
             }
         }
 
@@ -617,7 +739,8 @@ impl CubeIndex {
             obj_group_offsets,
             freq_by_obj,
             freq_ranked,
-            memo: LatticeMemo::default(),
+            covered,
+            memo,
         }
     }
 

@@ -147,6 +147,76 @@ pub fn quotient_map(
     Some(map)
 }
 
+/// The signed difference between two generations of the group lattice,
+/// viewed as Z-sets over `(members, subspace, decisive)` triples with ±1
+/// weights: groups present in both generations carry weight 0 and map
+/// old→new positionally, the rest split into removals (−1) and additions
+/// (+1). The maintenance engine derives its selective-invalidation set from
+/// exactly this delta.
+#[derive(Clone, Debug, Default)]
+pub struct GroupDelta {
+    /// `old_to_new[old_id] = Some(new_id)` for carried groups, `None` for
+    /// removed ones.
+    pub old_to_new: Vec<Option<u32>>,
+    /// Old ids with weight −1 (no structurally identical group survives).
+    pub removed: Vec<u32>,
+    /// New ids with weight +1 (no structurally identical predecessor).
+    pub added: Vec<u32>,
+}
+
+impl GroupDelta {
+    /// Total number of touched groups (|removed| + |added|).
+    pub fn touched(&self) -> usize {
+        self.removed.len() + self.added.len()
+    }
+}
+
+/// Compute the [`GroupDelta`] between two group lists. Both sides must be in
+/// the same object-id space (apply any positional-id shift to `old` first).
+/// Groups are matched by exact `(members, subspace, decisive)` equality;
+/// duplicate keys (which a well-formed cube never produces) match
+/// first-come, first-served.
+pub fn diff_groups(old: &[SkylineGroup], new: &[SkylineGroup]) -> GroupDelta {
+    type GroupKey<'a> = (
+        &'a [ObjId],
+        skycube_types::DimMask,
+        &'a [skycube_types::DimMask],
+    );
+    let mut by_key: HashMap<GroupKey<'_>, Vec<u32>> = HashMap::new();
+    for (ni, g) in new.iter().enumerate() {
+        by_key
+            .entry((g.members.as_slice(), g.subspace, g.decisive.as_slice()))
+            .or_default()
+            .push(ni as u32);
+    }
+    let mut old_to_new = vec![None; old.len()];
+    let mut removed = Vec::new();
+    let mut matched = vec![false; new.len()];
+    for (oi, g) in old.iter().enumerate() {
+        let slot = by_key
+            .get_mut(&(g.members.as_slice(), g.subspace, g.decisive.as_slice()))
+            .and_then(|ids| ids.pop());
+        match slot {
+            Some(ni) => {
+                old_to_new[oi] = Some(ni);
+                matched[ni as usize] = true;
+            }
+            None => removed.push(oi as u32),
+        }
+    }
+    let added = matched
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| !m)
+        .map(|(ni, _)| ni as u32)
+        .collect();
+    GroupDelta {
+        old_to_new,
+        removed,
+        added,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

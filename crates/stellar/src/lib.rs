@@ -48,13 +48,15 @@ pub use cgroups::maximal_cgroups_par;
 pub use cgroups::{maximal_cgroups, MaxCGroup};
 pub use cube::CompressedSkylineCube;
 pub use explain::{explain, explain_text, Explanation};
-pub use extend::{extend_to_full, extend_to_full_par, RelevanceStrategy};
+pub use extend::{
+    extend_to_full, extend_to_full_par, non_seed_relevant, ExtensionContext, RelevanceStrategy,
+};
 pub use index::{
     CubeIndex, IndexProbe, IndexScratch, MemoOutcome, MemoStats, MergeRoute, QueryBudget,
     QueryError,
 };
-pub use lattice::{quotient_map, GroupLattice};
-pub use maintenance::StellarEngine;
+pub use lattice::{diff_groups, quotient_map, GroupDelta, GroupLattice};
+pub use maintenance::{MaintenanceDelta, MaintenanceStats, StellarEngine, TouchedGroup};
 pub use matrices::SeedView;
 pub use persist::{load_cube, read_cube, save_cube, write_cube};
 pub use seeds::{seed_skyline_groups, seed_skyline_groups_par, SeedGroup};

@@ -3,18 +3,170 @@
 //! paper).
 //!
 //! [`StellarEngine`] owns a dataset and its cube and supports object
-//! insertion. The quotient-lattice structure gives a cheap fast path: when
-//! the inserted object is strictly dominated in the full space by an existing
-//! seed, the seed set — and therefore the entire seed lattice of steps 1–4 —
-//! is unchanged, and only the non-seed accommodation (step 5) needs to be
-//! redone. Only when the insert creates a new seed (or ties a seed) does the
-//! engine fall back to a full recomputation.
+//! insertion and deletion. The quotient-lattice structure gives a cheap fast
+//! path: when the mutated object is a *non-seed* (strictly dominated on
+//! insert, not a full-space skyline member on delete), the seed set — and
+//! therefore the entire seed lattice of steps 1–4 — is unchanged, and only
+//! the accommodation of the touched seed groups (step 5) needs to be redone.
+//!
+//! # Delta maintenance
+//!
+//! The fast path treats a mutation as a signed delta over the group lattice
+//! (a Z-set with ±1 weights, in the DBSP sense): the per-seed-group
+//! extension outputs are cached per chunk, only the chunks whose relevant
+//! non-seed set changed are re-extended, and the old and new generations are
+//! diffed with [`crate::lattice::diff_groups`]. The resulting
+//! [`MaintenanceDelta`] drives *splicing*: a built [`crate::CubeIndex`] is
+//! patched in place (carried groups keep their covered-subspace counts, the
+//! lattice memo survives selectively) instead of being dropped, and serving
+//! caches can purge only the subspaces covered by a touched group — see
+//! [`MaintenanceDelta::covers`].
+//!
+//! Correctness of the selective purge: if the skyline of a subspace `A`
+//! changes beyond the pure positional-id remap, some object joined or left
+//! a group covering `A`, so that group's member list changed and the diff
+//! classifies it as removed+added — a *touched* group covering `A`. A
+//! surviving cache entry therefore needs only [`MaintenanceDelta::remap_ids`].
 
-use crate::extend::extend_to_full;
+use crate::extend::ExtensionContext;
+use crate::lattice::diff_groups;
 use crate::matrices::SeedView;
 use crate::seeds::{seed_skyline_groups, SeedGroup};
 use crate::{CompressedSkylineCube, Stellar};
-use skycube_types::{Dataset, Result, SkylineGroup, Value};
+use skycube_types::{Dataset, DimMask, ObjId, Result, SkylineGroup, Value};
+
+/// Mutation counters, split by path × operation. `spliced` counts the
+/// mutations that patched a *built* serving index in place (a fast-path
+/// mutation with no index built patches nothing — the next build is fresh).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Inserts that took the incremental (delta) path.
+    pub fast_inserts: usize,
+    /// Inserts that forced a full recomputation.
+    pub full_inserts: usize,
+    /// Deletes that took the incremental (delta) path.
+    pub fast_deletes: usize,
+    /// Deletes that forced a full recomputation.
+    pub full_deletes: usize,
+    /// Mutations that spliced a built serving index in place.
+    pub spliced: usize,
+}
+
+impl MaintenanceStats {
+    /// Total fast-path mutations.
+    pub fn fast(&self) -> usize {
+        self.fast_inserts + self.fast_deletes
+    }
+
+    /// Total full recomputations.
+    pub fn full(&self) -> usize {
+        self.full_inserts + self.full_deletes
+    }
+
+    /// Total successful mutations.
+    pub fn total(&self) -> usize {
+        self.fast() + self.full()
+    }
+}
+
+/// One touched group of a maintenance delta: the `(maximal subspace,
+/// decisive antichain)` of a group that was removed from or added to the
+/// lattice by the mutation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TouchedGroup {
+    /// The group's maximal subspace `B`.
+    pub subspace: DimMask,
+    /// The group's decisive antichain.
+    pub decisive: Vec<DimMask>,
+}
+
+impl TouchedGroup {
+    /// Whether this group covered (or covers) subspace `space`: some
+    /// decisive `C ⊆ space ⊆ B`. Exactly the condition under which the
+    /// group contributed members to `space`'s skyline.
+    pub fn covers(&self, space: DimMask) -> bool {
+        space.is_subset_of(self.subspace) && self.decisive.iter().any(|c| c.is_subset_of(space))
+    }
+}
+
+/// What one successful mutation did to the cube, for generation-aware
+/// serving layers: which groups were touched, which object ids moved, and
+/// whether the serving index was spliced in place.
+#[derive(Clone, Debug)]
+pub struct MaintenanceDelta {
+    generation: u64,
+    full: bool,
+    touched: Vec<TouchedGroup>,
+    inserted: Option<ObjId>,
+    deleted: Option<ObjId>,
+    spliced: bool,
+}
+
+impl MaintenanceDelta {
+    /// The delta of a full recomputation: every derived answer is stale.
+    pub fn full_rebuild(generation: u64) -> Self {
+        MaintenanceDelta {
+            generation,
+            full: true,
+            touched: Vec::new(),
+            inserted: None,
+            deleted: None,
+            spliced: false,
+        }
+    }
+
+    /// The engine generation this delta produced.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Whether this was a full recomputation (no selective information).
+    pub fn is_full(&self) -> bool {
+        self.full
+    }
+
+    /// Whether the mutation spliced a built serving index in place.
+    pub fn spliced(&self) -> bool {
+        self.spliced
+    }
+
+    /// The groups removed or added by the mutation (empty for full rebuilds,
+    /// which invalidate everything regardless).
+    pub fn touched(&self) -> &[TouchedGroup] {
+        &self.touched
+    }
+
+    /// Id of the inserted object, if the mutation was an insert.
+    pub fn inserted(&self) -> Option<ObjId> {
+        self.inserted
+    }
+
+    /// Pre-mutation id of the deleted object, if the mutation was a delete.
+    pub fn deleted(&self) -> Option<ObjId> {
+        self.deleted
+    }
+
+    /// Whether a cached answer for `space` must be dropped: a full rebuild,
+    /// or some touched group covered/covers `space`. Answers for every other
+    /// subspace are unchanged up to [`Self::remap_ids`].
+    pub fn covers(&self, space: DimMask) -> bool {
+        self.full || self.touched.iter().any(|t| t.covers(space))
+    }
+
+    /// Remap a surviving cached id list into this generation's id space
+    /// (drop the deleted object, shift ids above it down by one). A no-op
+    /// for inserts — the new object only appears in purged subspaces.
+    pub fn remap_ids(&self, ids: &mut Vec<ObjId>) {
+        if let Some(d) = self.deleted {
+            ids.retain(|&o| o != d);
+            for o in ids.iter_mut() {
+                if *o > d {
+                    *o -= 1;
+                }
+            }
+        }
+    }
+}
 
 /// An updatable compressed skyline cube.
 pub struct StellarEngine {
@@ -25,20 +177,25 @@ pub struct StellarEngine {
     /// Cached seed lattice over the *bound* dataset, reused by the fast
     /// path. Invalidated (recomputed) when the seed set changes.
     cached: Option<CachedSeedLattice>,
-    /// Statistics: how many inserts took the incremental path.
-    fast_path_inserts: usize,
-    /// Statistics: how many inserts forced a recomputation.
-    full_recomputes: usize,
+    /// Mutation counters, split by path × operation.
+    stats: MaintenanceStats,
     /// Bumped on every successful mutation; serving layers key caches on it
     /// to detect staleness across inserts/deletes.
     generation: u64,
+    /// The delta of the latest successful mutation.
+    last_delta: Option<MaintenanceDelta>,
 }
 
 struct CachedSeedLattice {
     bound: Dataset,
-    reps: Vec<Vec<skycube_types::ObjId>>,
-    seeds_bound: Vec<skycube_types::ObjId>,
+    reps: Vec<Vec<ObjId>>,
+    seeds_bound: Vec<ObjId>,
     seed_groups: Vec<SeedGroup>,
+    /// Per-seed-group extension outputs (bound-space ids), in seed-group
+    /// order; the cube's group list is their concatenation, expanded.
+    ext: Vec<Vec<SkylineGroup>>,
+    /// Incrementally maintained non-seed universe + posting index.
+    ctx: ExtensionContext,
 }
 
 impl StellarEngine {
@@ -56,9 +213,9 @@ impl StellarEngine {
             dims: ds.dims(),
             cube: CompressedSkylineCube::new(ds.dims(), 0, Vec::new(), Vec::new()),
             cached: None,
-            fast_path_inserts: 0,
-            full_recomputes: 0,
+            stats: MaintenanceStats::default(),
             generation: 0,
+            last_delta: None,
         };
         engine.recompute();
         engine
@@ -84,28 +241,33 @@ impl StellarEngine {
         self.rows.is_empty()
     }
 
-    /// `(fast-path inserts, full recomputations)` so far.
-    pub fn maintenance_stats(&self) -> (usize, usize) {
-        (self.fast_path_inserts, self.full_recomputes)
+    /// Mutation counters, split by path × operation.
+    pub fn maintenance_stats(&self) -> MaintenanceStats {
+        self.stats
     }
 
     /// The cube generation: bumped by every successful [`Self::insert`] and
-    /// [`Self::delete`]. Any serving-layer state derived from an earlier
-    /// generation's cube — a built [`crate::CubeIndex`], a subspace answer
-    /// cache — is stale and must be dropped or cleared when this changes.
+    /// [`Self::delete`]. Serving-layer state derived from an earlier
+    /// generation is stale; [`Self::last_delta`] says *how* stale.
     pub fn generation(&self) -> u64 {
         self.generation
     }
 
+    /// The delta of the latest successful mutation, or `None` before any
+    /// mutation. Serving caches apply it with
+    /// [`MaintenanceDelta::covers`]/[`MaintenanceDelta::remap_ids`] instead
+    /// of clearing everything.
+    pub fn last_delta(&self) -> Option<&MaintenanceDelta> {
+        self.last_delta.as_ref()
+    }
+
     /// Insert one object and refresh the cube. Returns the new object's id.
     ///
-    /// Any lazily built [`crate::CubeIndex`] over the previous cube (and its
-    /// lattice memo) is explicitly invalidated; callers holding answer
-    /// caches over this engine should watch [`Self::generation`]. Serving
-    /// tiers that keep skylines outside the engine (a `SubspaceCache`, a
-    /// fallback ladder's rungs) must treat a generation bump exactly like a
-    /// poisoned cache lock: clear and re-warm, never serve the stale entry.
-    pub fn insert(&mut self, row: Vec<Value>) -> Result<skycube_types::ObjId> {
+    /// A strictly dominated insert patches the cube and splices any built
+    /// [`crate::CubeIndex`] in place; only a seed-changing insert recomputes
+    /// (and drops the index). Callers holding answer caches should consume
+    /// [`Self::last_delta`].
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<ObjId> {
         if row.len() != self.dims {
             return Err(skycube_types::Error::RowLengthMismatch {
                 row: self.rows.len(),
@@ -113,18 +275,19 @@ impl StellarEngine {
                 actual: row.len(),
             });
         }
-        let id = self.rows.len() as skycube_types::ObjId;
+        let id = self.rows.len() as ObjId;
         let dominated = self.strictly_dominated(&row);
         self.rows.push(row);
-        self.cube.invalidate_index();
-        if dominated && self.cached.is_some() {
-            self.refresh_extension_only();
-            self.fast_path_inserts += 1;
-        } else {
-            self.recompute();
-            self.full_recomputes += 1;
-        }
         self.generation += 1;
+        if dominated && self.cached.is_some() {
+            self.patch_insert(id);
+            self.stats.fast_inserts += 1;
+        } else {
+            self.cube.invalidate_index();
+            self.recompute();
+            self.stats.full_inserts += 1;
+            self.last_delta = Some(MaintenanceDelta::full_rebuild(self.generation));
+        }
         Ok(id)
     }
 
@@ -132,96 +295,284 @@ impl StellarEngine {
     /// positional-id model of [`Dataset`]). Returns the removed row.
     ///
     /// Removing a *non-seed* cannot change any dominance relation among the
-    /// remaining objects, so the seed lattice of steps 1–4 survives and only
-    /// the non-seed accommodation is redone (ids are remapped in the cached
-    /// binding). Removing a seed may promote previously dominated objects
-    /// and forces a full recomputation.
-    pub fn delete(&mut self, id: skycube_types::ObjId) -> Result<Vec<Value>> {
+    /// remaining objects, so the seed lattice of steps 1–4 survives: the
+    /// binding is maintained arithmetically (ids above the removed one shift
+    /// down) and only the seed groups that contained the object's bound row
+    /// are re-extended. Removing a seed may promote previously dominated
+    /// objects and forces a full recomputation.
+    pub fn delete(&mut self, id: ObjId) -> Result<Vec<Value>> {
         if id as usize >= self.rows.len() {
-            return Err(skycube_types::Error::RowLengthMismatch {
-                row: id as usize,
-                expected: self.rows.len(),
-                actual: 0,
+            return Err(skycube_types::Error::NoSuchObject {
+                id,
+                len: self.rows.len(),
             });
         }
         let was_seed = self.cube.seeds().binary_search(&id).is_ok();
         let row = self.rows.remove(id as usize);
-        self.cube.invalidate_index();
-        let cached_available = self.cached.is_some();
-        if self.rows.is_empty() || was_seed || !cached_available {
-            self.recompute();
-            self.full_recomputes += 1;
-        } else {
-            // Rebuild the duplicate binding over the surviving rows (O(n)),
-            // keep the seed lattice, redo step 5.
-            let cached = self.cached.as_mut().expect("cached_available checked");
-            let ds =
-                Dataset::from_rows(self.dims, self.rows.clone()).expect("rows stay well formed");
-            let (bound, reps) = ds.bind_duplicates();
-            // Seed ids above the removed one shift down by one; seed rows
-            // are untouched, so the cached seed *groups* (which index into
-            // the seed array, not the dataset) remain valid as long as the
-            // seed id list is remapped consistently.
-            let seeds_bound: Vec<skycube_types::ObjId> = cached
-                .seeds_bound
-                .iter()
-                .map(|&s| {
-                    let old_orig = cached.reps[s as usize][0];
-                    let new_orig = if old_orig > id {
-                        old_orig - 1
-                    } else {
-                        old_orig
-                    };
-                    (0..bound.len() as u32)
-                        .find(|&b| {
-                            bound.row(b) == {
-                                let r: &[Value] = &self.rows[new_orig as usize];
-                                r
-                            }
-                        })
-                        .expect("seed row survives deletion")
-                })
-                .collect();
-            cached.bound = bound;
-            cached.reps = reps;
-            cached.seeds_bound = seeds_bound;
-            let view = SeedView::new(&cached.bound, cached.seeds_bound.clone());
-            let groups_bound = extend_to_full(&view, &cached.seed_groups, self.runner.strategy());
-            self.cube = assemble(
-                self.dims,
-                self.rows.len(),
-                &cached.seeds_bound,
-                groups_bound,
-                &cached.reps,
-            );
-            self.fast_path_inserts += 1;
-        }
         self.generation += 1;
+        if self.rows.is_empty() || was_seed || self.cached.is_none() {
+            self.cube.invalidate_index();
+            self.recompute();
+            self.stats.full_deletes += 1;
+            self.last_delta = Some(MaintenanceDelta::full_rebuild(self.generation));
+        } else {
+            self.patch_delete(id, &row);
+            self.stats.fast_deletes += 1;
+        }
         Ok(row)
     }
 
     /// Whether some existing object strictly dominates `row` in full space
     /// (then the seed set cannot change: the new object is a non-seed and
-    /// evicts nobody).
+    /// evicts nobody). Checking the seeds alone suffices: if any object `p`
+    /// strictly dominates `row`, a seed `s ⪯ p` (every object is a seed or
+    /// dominated-or-tied by one) also strictly dominates `row` — so this is
+    /// O(|seeds|·d), not O(n·d).
     fn strictly_dominated(&self, row: &[Value]) -> bool {
-        'outer: for existing in &self.rows {
+        self.cube.seeds().iter().any(|&s| {
+            let existing = &self.rows[s as usize];
             let mut strict = false;
             for (a, b) in existing.iter().zip(row) {
                 if a > b {
-                    continue 'outer;
+                    return false;
                 }
                 if a < b {
                     strict = true;
                 }
             }
-            if strict {
-                return true;
-            }
-        }
-        false
+            strict
+        })
     }
 
-    /// Full pipeline, refreshing the cached seed lattice.
+    /// Fast path for a dominated insert: maintain the binding, register the
+    /// (possibly new) bound non-seed, re-extend only the seed groups it is
+    /// relevant to, then diff-and-splice.
+    fn patch_insert(&mut self, id: ObjId) {
+        let CachedSeedLattice {
+            bound,
+            reps,
+            seeds_bound,
+            seed_groups,
+            ext,
+            ctx,
+        } = self.cached.as_mut().expect("fast path requires cache");
+        let new_row = &self.rows[id as usize];
+        // `true` once some group's expansion actually changes; a dominated
+        // insert that ties no skyline projection changes nothing and takes
+        // the O(1)-ish append tail instead of the diff-and-splice tail.
+        let mut changed = false;
+        match ctx.find_duplicate(bound.dims(), new_row) {
+            // Duplicate of an existing bound non-seed: the bound lattice is
+            // untouched, only the expansion of the groups holding it grows.
+            Some(b) => {
+                reps[b as usize].push(id);
+                changed = true;
+            }
+            None => {
+                let nb = bound.push_row(new_row).expect("row length validated");
+                reps.push(vec![id]);
+                ctx.insert_non_seed(new_row, nb);
+                // Relevance probe straight on the bound dataset (same test
+                // as [`non_seed_relevant`]); the columnar seed view is only
+                // built when some chunk genuinely needs re-extension.
+                let relevant: Vec<usize> = seed_groups
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, sg)| {
+                        let rep = seeds_bound[sg.members[0]];
+                        let m = bound.co_mask(rep, nb) & sg.subspace;
+                        sg.decisive.iter().any(|&c| c.is_subset_of(m))
+                    })
+                    .map(|(si, _)| si)
+                    .collect();
+                if !relevant.is_empty() {
+                    let view = SeedView::new(bound, seeds_bound.clone());
+                    for si in relevant {
+                        ext[si].clear();
+                        ctx.extend_group(&view, &seed_groups[si], &mut ext[si]);
+                    }
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            self.finish_patch(Some(id), None);
+        } else {
+            self.finish_append(id);
+        }
+    }
+
+    /// Tail for an insert that joined no group: every subspace skyline is
+    /// provably unchanged (the object ties no group's projection), so the
+    /// cube and a built index just grow by one object — no expansion, no
+    /// diff, no splice, and the delta purges nothing downstream.
+    fn finish_append(&mut self, id: ObjId) {
+        let spliced = self.cube.append_object();
+        if spliced {
+            self.stats.spliced += 1;
+        }
+        self.last_delta = Some(MaintenanceDelta {
+            generation: self.generation,
+            full: false,
+            touched: Vec::new(),
+            inserted: Some(id),
+            deleted: None,
+            spliced,
+        });
+    }
+
+    /// Fast path for a non-seed delete: arithmetic id remap (no row-equality
+    /// scans), incremental binding maintenance, re-extension of exactly the
+    /// seed groups whose derived groups contained the object's bound row.
+    fn patch_delete(&mut self, id: ObjId, removed_row: &[Value]) {
+        let CachedSeedLattice {
+            bound,
+            reps,
+            seeds_bound,
+            seed_groups,
+            ext,
+            ctx,
+        } = self.cached.as_mut().expect("fast path requires cache");
+        let b = reps
+            .iter()
+            .position(|l| l.binary_search(&id).is_ok())
+            .expect("every object has a bound rep") as u32;
+        let at = reps[b as usize]
+            .binary_search(&id)
+            .expect("rep just located");
+        reps[b as usize].remove(at);
+        let emptied = reps[b as usize].is_empty();
+        // Original ids above the deleted one shift down by one.
+        for list in reps.iter_mut() {
+            for o in list.iter_mut() {
+                if *o > id {
+                    *o -= 1;
+                }
+            }
+        }
+        if emptied {
+            // The bound row itself disappears: shift bound ids and re-extend
+            // the chunks that contained it. Relevance ⟺ derived-group
+            // membership, so "some group of the chunk contains `b`" is
+            // exactly the touched-chunk condition.
+            reps.remove(b as usize);
+            bound.remove_row(b).expect("bound row exists");
+            ctx.remove_non_seed(removed_row, b);
+            for s in seeds_bound.iter_mut() {
+                debug_assert_ne!(*s, b, "fast delete path never removes a seed's bound row");
+                if *s > b {
+                    *s -= 1;
+                }
+            }
+            let mut touched: Vec<usize> = Vec::new();
+            for (si, chunk) in ext.iter_mut().enumerate() {
+                if chunk.iter().any(|g| g.members.contains(&b)) {
+                    touched.push(si);
+                } else {
+                    for g in chunk.iter_mut() {
+                        for m in g.members.iter_mut() {
+                            if *m > b {
+                                *m -= 1;
+                            }
+                        }
+                    }
+                }
+            }
+            let view = SeedView::new(bound, seeds_bound.clone());
+            for si in touched {
+                ext[si].clear();
+                ctx.extend_group(&view, &seed_groups[si], &mut ext[si]);
+            }
+        }
+        self.finish_patch(None, Some(id));
+    }
+
+    /// Shared tail of both fast paths: expand the cached extension chunks to
+    /// original ids, diff against the previous generation (remapped into the
+    /// new id space), swap the groups in without dropping the lazy index,
+    /// and splice the index if one is built.
+    fn finish_patch(&mut self, inserted: Option<ObjId>, deleted: Option<ObjId>) {
+        let cached = self.cached.as_ref().expect("fast path requires cache");
+        let expand = |ids: &[ObjId]| -> Vec<ObjId> {
+            let mut v: Vec<ObjId> = ids
+                .iter()
+                .flat_map(|&b| cached.reps[b as usize].iter().copied())
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let new_groups: Vec<SkylineGroup> = cached
+            .ext
+            .iter()
+            .flatten()
+            .map(|g| SkylineGroup::new(expand(&g.members), g.subspace, g.decisive.clone()))
+            .collect();
+        let new_seeds = expand(&cached.seeds_bound);
+        // Previous generation, remapped into the post-mutation id space so
+        // the diff compares like with like (sorted member lists stay sorted
+        // under the uniform shift). Inserts leave every old id in place, so
+        // only a delete pays for the remapped clone.
+        let remapped: Option<Vec<SkylineGroup>> = deleted.map(|d| {
+            self.cube
+                .groups()
+                .iter()
+                .map(|g| {
+                    let members: Vec<ObjId> = g
+                        .members
+                        .iter()
+                        .copied()
+                        .filter_map(|m| match m {
+                            m if m == d => None,
+                            m if m > d => Some(m - 1),
+                            m => Some(m),
+                        })
+                        .collect();
+                    SkylineGroup::new(members, g.subspace, g.decisive.clone())
+                })
+                .collect()
+        });
+        let old_remapped: &[SkylineGroup] = match &remapped {
+            Some(r) => r,
+            None => self.cube.groups(),
+        };
+        let delta = diff_groups(old_remapped, &new_groups);
+        let mut touched: Vec<TouchedGroup> = Vec::with_capacity(delta.touched());
+        for &oi in &delta.removed {
+            let g = &old_remapped[oi as usize];
+            touched.push(TouchedGroup {
+                subspace: g.subspace,
+                decisive: g.decisive.clone(),
+            });
+        }
+        for &ni in &delta.added {
+            let g = &new_groups[ni as usize];
+            touched.push(TouchedGroup {
+                subspace: g.subspace,
+                decisive: g.decisive.clone(),
+            });
+        }
+        let purge: Vec<(DimMask, Vec<DimMask>)> = touched
+            .iter()
+            .map(|t| (t.subspace, t.decisive.clone()))
+            .collect();
+        self.cube
+            .replace_groups(self.rows.len(), new_seeds, new_groups);
+        let spliced = self.cube.splice_index(&delta, &purge);
+        if spliced {
+            self.stats.spliced += 1;
+        }
+        self.last_delta = Some(MaintenanceDelta {
+            generation: self.generation,
+            full: false,
+            touched,
+            inserted,
+            deleted,
+            spliced,
+        });
+    }
+
+    /// Full pipeline, refreshing the cached seed lattice and the per-chunk
+    /// extension cache.
     fn recompute(&mut self) {
         let ds = self.dataset();
         if ds.is_empty() {
@@ -231,65 +582,39 @@ impl StellarEngine {
         }
         let (bound, reps) = ds.bind_duplicates();
         let seeds_bound = self.runner.algorithm().run(&bound, bound.full_space());
-        let (seed_groups, groups_bound) = {
-            let view = SeedView::new(&bound, seeds_bound.clone());
-            let seed_groups = seed_skyline_groups(&view);
-            let groups = extend_to_full(&view, &seed_groups, self.runner.strategy());
-            (seed_groups, groups)
-        };
+        let view = SeedView::new(&bound, seeds_bound.clone());
+        let seed_groups = seed_skyline_groups(&view);
+        let ctx = ExtensionContext::new(&view);
+        let mut ext: Vec<Vec<SkylineGroup>> = Vec::with_capacity(seed_groups.len());
+        let mut groups_bound: Vec<SkylineGroup> = Vec::new();
+        for sg in &seed_groups {
+            let mut chunk = Vec::new();
+            ctx.extend_group(&view, sg, &mut chunk);
+            groups_bound.extend(chunk.iter().cloned());
+            ext.push(chunk);
+        }
+        drop(view);
         self.cube = assemble(self.dims, ds.len(), &seeds_bound, groups_bound, &reps);
         self.cached = Some(CachedSeedLattice {
             bound,
             reps,
             seeds_bound,
             seed_groups,
+            ext,
+            ctx,
         });
-    }
-
-    /// Fast path: the new object is a dominated non-seed; rebind duplicates
-    /// and redo step 5 only, against the cached seed lattice.
-    fn refresh_extension_only(&mut self) {
-        let cached = self.cached.as_mut().expect("fast path requires cache");
-        let new_id = (self.rows.len() - 1) as skycube_types::ObjId;
-        let new_row = self.rows.last().expect("just pushed");
-
-        // Maintain the bound dataset: either the row duplicates an existing
-        // bound tuple or becomes a fresh bound object.
-        let existing =
-            (0..cached.bound.len() as u32).find(|&b| cached.bound.row(b) == new_row.as_slice());
-        match existing {
-            Some(b) => cached.reps[b as usize].push(new_id),
-            None => {
-                let mut rows: Vec<Vec<Value>> = (0..cached.bound.len() as u32)
-                    .map(|b| cached.bound.row(b).to_vec())
-                    .collect();
-                rows.push(new_row.clone());
-                cached.bound = Dataset::from_rows(self.dims, rows).expect("rows stay well formed");
-                cached.reps.push(vec![new_id]);
-            }
-        }
-
-        let view = SeedView::new(&cached.bound, cached.seeds_bound.clone());
-        let groups_bound = extend_to_full(&view, &cached.seed_groups, self.runner.strategy());
-        self.cube = assemble(
-            self.dims,
-            self.rows.len(),
-            &cached.seeds_bound,
-            groups_bound,
-            &cached.reps,
-        );
     }
 }
 
 fn assemble(
     dims: usize,
     num_objects: usize,
-    seeds_bound: &[skycube_types::ObjId],
+    seeds_bound: &[ObjId],
     groups_bound: Vec<SkylineGroup>,
-    reps: &[Vec<skycube_types::ObjId>],
+    reps: &[Vec<ObjId>],
 ) -> CompressedSkylineCube {
-    let expand = |ids: &[skycube_types::ObjId]| -> Vec<skycube_types::ObjId> {
-        let mut v: Vec<skycube_types::ObjId> = ids
+    let expand = |ids: &[ObjId]| -> Vec<ObjId> {
+        let mut v: Vec<ObjId> = ids
             .iter()
             .flat_map(|&b| reps[b as usize].iter().copied())
             .collect();
@@ -325,7 +650,8 @@ mod tests {
         let mut engine = StellarEngine::new(&ds);
         // (9,9,11,9) is dominated by everything: pure non-seed.
         engine.insert(vec![9, 9, 11, 9]).unwrap();
-        assert_eq!(engine.maintenance_stats(), (1, 0));
+        let stats = engine.maintenance_stats();
+        assert_eq!((stats.fast_inserts, stats.full()), (1, 0));
         assert_cubes_equal(&engine);
     }
 
@@ -335,7 +661,8 @@ mod tests {
         let mut engine = StellarEngine::new(&ds);
         // Dominated by P5=(2,4,9,3) but shares D=3 and B=4: reshapes groups.
         engine.insert(vec![7, 4, 12, 3]).unwrap();
-        assert_eq!(engine.maintenance_stats(), (1, 0));
+        let stats = engine.maintenance_stats();
+        assert_eq!((stats.fast_inserts, stats.full()), (1, 0));
         assert_cubes_equal(&engine);
         assert!(engine
             .cube()
@@ -347,9 +674,11 @@ mod tests {
         let ds = running_example();
         let mut engine = StellarEngine::new(&ds);
         engine.insert(vec![1, 1, 1, 1]).unwrap();
-        assert_eq!(engine.maintenance_stats(), (0, 1));
+        let stats = engine.maintenance_stats();
+        assert_eq!((stats.fast(), stats.full_inserts), (0, 1));
         assert_cubes_equal(&engine);
         assert_eq!(engine.cube().seeds(), &[5]);
+        assert!(engine.last_delta().unwrap().is_full());
     }
 
     #[test]
@@ -370,7 +699,8 @@ mod tests {
         let ds = running_example();
         let mut engine = StellarEngine::new(&ds);
         engine.insert(vec![2, 4, 9, 3]).unwrap();
-        assert_eq!(engine.maintenance_stats(), (0, 1));
+        let stats = engine.maintenance_stats();
+        assert_eq!((stats.fast(), stats.full_inserts), (0, 1));
         assert_cubes_equal(&engine);
         assert!(engine.cube().seeds().contains(&5));
     }
@@ -387,9 +717,46 @@ mod tests {
             engine.insert(row).unwrap();
             assert_cubes_equal(&engine);
         }
-        let (fast, full) = engine.maintenance_stats();
-        assert_eq!(fast + full, 30);
-        assert!(fast > 0, "expected some fast-path inserts");
+        let stats = engine.maintenance_stats();
+        assert_eq!(stats.total(), 30);
+        assert_eq!(stats.fast_deletes + stats.full_deletes, 0);
+        assert!(stats.fast_inserts > 0, "expected some fast-path inserts");
+    }
+
+    #[test]
+    fn seed_only_dominance_check_matches_full_scan() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(4242);
+        for trial in 0..30 {
+            let dims = rng.gen_range(2..=4);
+            let n = rng.gen_range(1..=30);
+            let rows: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..dims).map(|_| rng.gen_range(0..6)).collect())
+                .collect();
+            let ds = Dataset::from_rows(dims, rows.clone()).unwrap();
+            let engine = StellarEngine::new(&ds);
+            for _ in 0..10 {
+                let probe: Vec<i64> = (0..dims).map(|_| rng.gen_range(0..6)).collect();
+                let by_any = rows.iter().any(|existing| {
+                    let mut strict = false;
+                    for (a, b) in existing.iter().zip(&probe) {
+                        if a > b {
+                            return false;
+                        }
+                        if a < b {
+                            strict = true;
+                        }
+                    }
+                    strict
+                });
+                assert_eq!(
+                    engine.strictly_dominated(&probe),
+                    by_any,
+                    "trial {trial}: probe {probe:?} disagreed"
+                );
+            }
+        }
     }
 
     #[test]
@@ -405,8 +772,13 @@ mod tests {
         let removed = engine.delete(1).unwrap();
         assert_eq!(removed, vec![5, 4, 9, 3]);
         assert_cubes_equal(&engine);
-        let (fast, full) = engine.maintenance_stats();
-        assert_eq!((fast, full), (2, 0), "both deletes should be incremental");
+        let stats = engine.maintenance_stats();
+        assert_eq!(
+            (stats.fast_deletes, stats.full()),
+            (2, 0),
+            "both deletes should be incremental"
+        );
+        assert_eq!(stats.fast_inserts, 0, "deletes must not count as inserts");
     }
 
     #[test]
@@ -415,14 +787,20 @@ mod tests {
         let mut engine = StellarEngine::new(&ds);
         // P2 (id 1) is a seed.
         engine.delete(1).unwrap();
-        assert_eq!(engine.maintenance_stats(), (0, 1));
+        let stats = engine.maintenance_stats();
+        assert_eq!((stats.fast(), stats.full_deletes), (0, 1));
         assert_cubes_equal(&engine);
     }
 
     #[test]
     fn delete_out_of_range_errors() {
         let mut engine = StellarEngine::new(&running_example());
-        assert!(engine.delete(99).is_err());
+        match engine.delete(99) {
+            Err(skycube_types::Error::NoSuchObject { id, len }) => {
+                assert_eq!((id, len), (99, 5));
+            }
+            other => panic!("expected NoSuchObject, got {other:?}"),
+        }
         assert_eq!(engine.len(), 5);
     }
 
@@ -466,33 +844,105 @@ mod tests {
     }
 
     #[test]
-    fn mutations_bump_generation_and_drop_the_lazy_index() {
+    fn fast_path_splices_the_index_full_path_drops_it() {
         let mut engine = StellarEngine::new(&running_example());
         assert_eq!(engine.generation(), 0);
-        // Build the lazy index, then insert: the served answer must reflect
-        // the new object, not the stale index.
         let space = skycube_types::DimMask::parse("B").unwrap();
         let before = engine.cube().index().subspace_skyline(space);
         assert_eq!(before, vec![2, 3, 4]);
         assert!(engine.cube().has_index());
-        // (0,0,0,0) dominates everything: full recompute, new sole seed.
-        engine.insert(vec![0, 0, 0, 0]).unwrap();
+        // Fast-path insert: the index survives and serves the fresh answer.
+        engine.insert(vec![7, 4, 12, 3]).unwrap();
         assert_eq!(engine.generation(), 1);
-        assert!(!engine.cube().has_index(), "stale index survived insert");
+        assert!(engine.cube().has_index(), "fast path dropped the index");
+        assert_eq!(
+            engine.cube().index().subspace_skyline(space),
+            vec![2, 3, 4, 5]
+        );
+        let delta = engine.last_delta().unwrap();
+        assert!(delta.spliced() && !delta.is_full());
+        assert!(delta.covers(space), "B gained a member: must be covered");
+        // Fast-path delete: still spliced, still fresh.
+        engine.delete(5).unwrap();
+        assert!(engine.cube().has_index(), "fast delete dropped the index");
+        assert_eq!(engine.cube().index().subspace_skyline(space), vec![2, 3, 4]);
+        // (0,0,0,0) dominates everything: full recompute drops the index.
+        engine.insert(vec![0, 0, 0, 0]).unwrap();
+        assert!(!engine.cube().has_index(), "stale index survived recompute");
         assert_eq!(engine.cube().index().subspace_skyline(space), vec![5]);
-        // Fast-path insert and delete also bump and invalidate.
-        engine.cube().index();
-        engine.insert(vec![9, 9, 11, 9]).unwrap();
-        assert_eq!(engine.generation(), 2);
-        assert!(!engine.cube().has_index(), "stale index survived fast path");
-        engine.cube().index();
-        engine.delete(6).unwrap();
-        assert_eq!(engine.generation(), 3);
-        assert!(!engine.cube().has_index(), "stale index survived delete");
+        assert_eq!(engine.maintenance_stats().spliced, 2);
         // Failed mutations bump nothing.
+        let generation = engine.generation();
         assert!(engine.insert(vec![1]).is_err());
         assert!(engine.delete(99).is_err());
-        assert_eq!(engine.generation(), 3);
+        assert_eq!(engine.generation(), generation);
+    }
+
+    #[test]
+    fn delta_covers_every_changed_subspace() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9001);
+        let mut engine = StellarEngine::new(&running_example());
+        let full = skycube_types::DimMask::full(4);
+        for step in 0..40 {
+            let old: Vec<Vec<skycube_types::ObjId>> = full
+                .subsets()
+                .map(|s| engine.cube().subspace_skyline(s))
+                .collect();
+            if engine.len() > 2 && rng.gen_bool(0.4) {
+                let id = rng.gen_range(0..engine.len() as u32);
+                engine.delete(id).unwrap();
+            } else {
+                let row: Vec<i64> = (0..4).map(|_| rng.gen_range(0..8)).collect();
+                engine.insert(row).unwrap();
+            }
+            let delta = engine.last_delta().unwrap().clone();
+            if delta.is_full() {
+                continue;
+            }
+            for (i, space) in full.subsets().enumerate() {
+                let mut expected = old[i].clone();
+                delta.remap_ids(&mut expected);
+                let fresh = engine.cube().subspace_skyline(space);
+                if fresh != expected {
+                    assert!(
+                        delta.covers(space),
+                        "step {step}: {space} changed ({expected:?} -> {fresh:?}) but \
+                         the delta does not cover it"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spliced_index_preserves_memo_for_untouched_subspaces() {
+        let mut engine = StellarEngine::new(&running_example());
+        let full = skycube_types::DimMask::full(4);
+        // Warm the memo across all subspaces.
+        for space in full.subsets() {
+            engine.cube().index().subspace_skyline(space);
+        }
+        let warm = engine.cube().index().memo_stats();
+        assert!(warm.entries > 0);
+        // A dominated insert relevant only to some groups: the memo must
+        // survive selectively (not be emptied) and answers must stay right.
+        engine.insert(vec![7, 4, 12, 3]).unwrap();
+        assert!(engine.cube().has_index());
+        let after = engine.cube().index().memo_stats();
+        assert!(
+            after.entries > 0,
+            "selective invalidation emptied the whole memo: {after:?}"
+        );
+        let fresh = compute_cube(&engine.dataset());
+        for space in full.subsets() {
+            assert_eq!(
+                engine.cube().index().subspace_skyline(space),
+                fresh.subspace_skyline(space),
+                "spliced index wrong in {space}"
+            );
+        }
     }
 
     #[test]

@@ -114,6 +114,34 @@ impl Dataset {
         })
     }
 
+    /// Append one row; the new object's id is the previous [`Self::len`].
+    /// The single-object mutation primitive of the maintenance engine's
+    /// delta path — no reconstruction of the whole value buffer.
+    pub fn push_row(&mut self, row: &[Value]) -> Result<ObjId> {
+        if row.len() != self.dims {
+            return Err(Error::RowLengthMismatch {
+                row: self.len(),
+                expected: self.dims,
+                actual: row.len(),
+            });
+        }
+        self.values.extend_from_slice(row);
+        Ok((self.len() - 1) as ObjId)
+    }
+
+    /// Remove the row with id `id`; every id above it shifts down by one
+    /// (the positional-id model). Returns the removed values.
+    pub fn remove_row(&mut self, id: ObjId) -> Result<Vec<Value>> {
+        if id as usize >= self.len() {
+            return Err(Error::NoSuchObject {
+                id,
+                len: self.len(),
+            });
+        }
+        let start = id as usize * self.dims;
+        Ok(self.values.drain(start..start + self.dims).collect())
+    }
+
     /// Attach human-readable dimension names (e.g. NBA stat columns).
     pub fn with_names<S: Into<String>>(mut self, names: Vec<S>) -> Result<Self> {
         if names.len() != self.dims {

@@ -22,6 +22,14 @@ pub enum Error {
         /// Actual number of values.
         actual: usize,
     },
+    /// An object id referenced a row the dataset does not hold (deletes,
+    /// membership queries against a maintained engine).
+    NoSuchObject {
+        /// The requested object id.
+        id: u32,
+        /// Number of objects actually held.
+        len: usize,
+    },
     /// A textual value failed to parse.
     Parse {
         /// 1-based line number in the input.
@@ -53,6 +61,9 @@ impl fmt::Display for Error {
                 expected,
                 actual,
             } => write!(f, "row {row} has {actual} values, expected {expected}"),
+            Error::NoSuchObject { id, len } => {
+                write!(f, "no such object {id} (dataset has {len} objects)")
+            }
             Error::Parse { line, token } => {
                 write!(f, "line {line}: cannot parse value {token:?}")
             }
@@ -118,6 +129,9 @@ mod tests {
         };
         assert!(e.to_string().contains("line 3"));
         assert!(e.to_string().contains("corrupt"));
+
+        let e = Error::NoSuchObject { id: 42, len: 10 };
+        assert_eq!(e.to_string(), "no such object 42 (dataset has 10 objects)");
     }
 
     #[test]

@@ -49,10 +49,13 @@ fn main() {
             );
         }
     }
-    let (fast, full) = engine.maintenance_stats();
+    let stats = engine.maintenance_stats();
     println!(
-        "\n200 inserts in {:.2?}: {fast} took the incremental fast path, {full} forced a full recomputation",
-        t.elapsed()
+        "\n200 inserts in {:.2?}: {} took the incremental fast path ({} splicing a built index), {} forced a full recomputation",
+        t.elapsed(),
+        stats.fast(),
+        stats.spliced,
+        stats.full(),
     );
 
     // The maintained cube answers queries exactly like a fresh one.

@@ -64,7 +64,11 @@ commands:
   build    --data FILE.csv --out CUBE.txt [--threads N] [--kernel scalar|columnar]
                                               materialize the cube (Stellar)
   stats    --data FILE.csv [--threads N] [--kernel scalar|columnar]
-                                              counts: seeds, groups, skycube size
+           [--maintain N]                     counts: seeds, groups, skycube size;
+                                              --maintain pushes N synthetic
+                                              insert+delete pairs through the
+                                              incremental maintenance path and
+                                              prints fast/full/spliced counters
   skyline  --cube CUBE.txt --space LETTERS    subspace skyline query
   member   --cube CUBE.txt --object ID --space LETTERS
   top      --cube CUBE.txt --k N              most frequent skyline objects
@@ -186,7 +190,8 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
 
 fn cmd_stats(opts: &Opts) -> Result<(), String> {
     let ds = load_data(opts)?;
-    let cube = runner(opts)?.compute(&ds);
+    let mut engine = StellarEngine::with_runner(&ds, runner(opts)?);
+    let cube = engine.cube();
     println!("objects:                  {}", cube.num_objects());
     println!("dimensions:               {}", cube.dims());
     println!("full-space skyline:       {}", cube.seeds().len());
@@ -196,6 +201,46 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     for (k, v) in cube.skycube_sizes_by_dimensionality().iter().enumerate() {
         println!("  {:>2}-d subspaces: {v}", k + 1);
     }
+    if let Some(m) = opts.get("maintain") {
+        let reps: usize = num(m, "maintenance mutation count")?;
+        maintain_report(&ds, &mut engine, reps)?;
+    }
+    Ok(())
+}
+
+/// `--maintain N`: push N synthetic insert+delete pairs — each insert a copy
+/// of a seed row worsened on one dimension, each delete removing it again —
+/// through the incremental maintenance path, then print the
+/// fast/full/spliced counters so the patch-vs-rebuild split is visible from
+/// the command line.
+fn maintain_report(ds: &Dataset, engine: &mut StellarEngine, reps: usize) -> Result<(), String> {
+    let Some(&seed) = engine.cube().seeds().first() else {
+        return Err("--maintain needs a non-empty dataset".to_owned());
+    };
+    let template: Vec<Value> = ds.row(seed).to_vec();
+    let dims = ds.dims();
+    engine.cube().index(); // warm the index so in-place splices are exercised
+    let t = std::time::Instant::now();
+    for k in 0..reps {
+        let mut row = template.clone();
+        row[k % dims] += 1;
+        let id = engine.insert(row).map_err(|e| e.to_string())?;
+        engine.delete(id).map_err(|e| e.to_string())?;
+    }
+    let seconds = t.elapsed().as_secs_f64();
+    let s = engine.maintenance_stats();
+    println!("maintenance ({reps} insert+delete pairs):");
+    println!("  seconds:                {seconds:.6}");
+    if reps > 0 {
+        let per = seconds * 1e6 / (2 * reps) as f64;
+        println!("  per mutation:           {per:.1} µs");
+    }
+    println!("  fast inserts:           {}", s.fast_inserts);
+    println!("  full inserts:           {}", s.full_inserts);
+    println!("  fast deletes:           {}", s.fast_deletes);
+    println!("  full deletes:           {}", s.full_deletes);
+    println!("  spliced index updates:  {}", s.spliced);
+    println!("  generation:             {}", engine.generation());
     Ok(())
 }
 
@@ -308,7 +353,10 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         par,
         cache,
         stats,
-        options: BatchOptions { deadline },
+        options: BatchOptions {
+            deadline,
+            generation: None,
+        },
         #[cfg(feature = "faults")]
         plan,
     };

@@ -76,6 +76,7 @@ fn slow_route_past_a_deadline_is_classified_and_demotable() {
     let queries = parse_workload("skyline BD\n").unwrap();
     let options = BatchOptions {
         deadline: Some(std::time::Duration::from_millis(1)),
+        generation: None,
     };
 
     // Without fallback: a classified deadline error carrying the budget.

@@ -200,6 +200,71 @@ proptest! {
     }
 
     #[test]
+    fn mixed_mutation_stream_patched_equals_rebuilt(
+        ds in paper_dataset(),
+        ops in vec((0u8..2, vec(0..6i64, 4), 0usize..4096), 1..10),
+    ) {
+        // The incremental-maintenance contract, end to end: a mixed
+        // insert/delete stream driven through StellarEngine — across both
+        // dominance kernels and sequential/parallel runners — leaves the
+        // patched cube identical (groups, seeds, every subspace skyline) to
+        // a from-scratch rebuild, and a generation-gated SubspaceCache never
+        // serves a pre-mutation skyline after selective invalidation.
+        use skycube::serve::{GenerationGate, SubspaceCache};
+        let dims = ds.dims();
+        for kernel in DominanceKernel::ALL {
+            for threads in [1usize, 4] {
+                let runner = Stellar::new().with_kernel(kernel).with_threads(threads);
+                let mut engine = StellarEngine::with_runner(&ds, runner);
+                engine.cube().index(); // so fast paths splice rather than drop
+                let cache = SubspaceCache::new(1 << dims);
+                let gate = GenerationGate::new(engine.generation());
+                let warm = |cache: &SubspaceCache, engine: &StellarEngine| {
+                    for space in ds.full_space().subsets() {
+                        cache.put(space, engine.cube().subspace_skyline(space));
+                    }
+                };
+                warm(&cache, &engine);
+                for (is_insert, row, pick) in &ops {
+                    if *is_insert == 1 || engine.len() <= 1 {
+                        let row: Vec<Value> = row.iter().copied().take(dims)
+                            .chain(std::iter::repeat(0))
+                            .take(dims)
+                            .collect();
+                        engine.insert(row).unwrap();
+                    } else {
+                        engine.delete((pick % engine.len()) as ObjId).unwrap();
+                    }
+                    gate.sync(engine.generation(), engine.last_delta(), &cache);
+                    // Patched cube == from-scratch rebuild.
+                    let scratch = compute_cube(&engine.dataset());
+                    prop_assert_eq!(engine.cube().seeds(), scratch.seeds(),
+                        "seeds, {} threads under {}", threads, kernel.name());
+                    prop_assert_eq!(
+                        skycube_types::normalize_groups(engine.cube().groups().to_vec()),
+                        skycube_types::normalize_groups(scratch.groups().to_vec()),
+                        "groups, {} threads under {}", threads, kernel.name()
+                    );
+                    // Cache freshness: whatever survived selective
+                    // invalidation (or the clear) must equal the
+                    // post-mutation skyline — stale answers are forbidden.
+                    for space in ds.full_space().subsets() {
+                        if let Some(sky) = cache.get(space) {
+                            prop_assert_eq!(
+                                sky, engine.cube().subspace_skyline(space),
+                                "stale cache entry for {} at generation {}, \
+                                 {} threads under {}",
+                                space, engine.generation(), threads, kernel.name()
+                            );
+                        }
+                    }
+                    warm(&cache, &engine);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn lattice_is_antitone(ds in dataset(4, 16, 3)) {
         let cube = compute_cube(&ds);
         let lat = GroupLattice::new(cube.groups().to_vec());
