@@ -27,25 +27,60 @@ for src in stellar stellar-scan skyey subsky subsky-anchored direct; do
         --source "$src" --workload "$SMOKE_DIR/workload.txt" --cache 4 \
         > "$SMOKE_DIR/out.$src"
 done
+# The two sources that can shard answer the same workload through four
+# contiguous shards merged at query time.
+for src in stellar stellar-scan; do
+    ./target/release/skycube query --data "$SMOKE_DIR/data.csv" \
+        --source "$src" --shards 4 --workload "$SMOKE_DIR/workload.txt" \
+        > "$SMOKE_DIR/out.sharded-$src"
+done
 # Answers (everything except the trailing stats line) must be identical
-# across sources.
+# across sources, sharded or not.
 grep -v '^#' "$SMOKE_DIR/out.stellar" > "$SMOKE_DIR/expect.txt"
-for src in stellar-scan skyey subsky subsky-anchored direct; do
+for src in stellar-scan skyey subsky subsky-anchored direct \
+    sharded-stellar sharded-stellar-scan; do
     grep -v '^#' "$SMOKE_DIR/out.$src" > "$SMOKE_DIR/got.txt"
     if ! diff "$SMOKE_DIR/expect.txt" "$SMOKE_DIR/got.txt" > /dev/null; then
         echo "query smoke: $src disagrees with stellar" >&2
         exit 1
     fi
 done
+# --shards 0 must be rejected with the documented diagnostic.
+if ./target/release/skycube query --data "$SMOKE_DIR/data.csv" --shards 0 \
+    --workload "$SMOKE_DIR/workload.txt" > /dev/null 2> "$SMOKE_DIR/shards0.err"; then
+    echo "query smoke: --shards 0 was accepted" >&2
+    exit 1
+fi
+if ! grep -q -- '--shards must be at least 1' "$SMOKE_DIR/shards0.err"; then
+    echo "query smoke: --shards 0 diagnostic missing" >&2
+    exit 1
+fi
 
 echo '== queries bench smoke: adaptive routes + memo self-verify'
-# --verify asserts indexed == scan, >= 2 non-heap merge routes fired, and
-# memo hits on the warmed sweep; the grep is a belt-and-braces check that
-# the route-coverage summary actually landed in the JSON.
+# --verify asserts indexed == scan, all five merge routes fired across the
+# sweep plus the engineered gallop/winner shapes, and memo hits on the
+# warmed sweep; the greps are belt-and-braces checks that the coverage
+# summary actually landed in the JSON.
 ./target/release/queries --smoke --verify --json "$SMOKE_DIR/queries.json" \
     > "$SMOKE_DIR/queries.out"
 if ! grep -q '"non_heap_routes_fired": [2-9]' "$SMOKE_DIR/queries.json"; then
     echo "queries smoke: fewer than 2 non-heap merge routes fired" >&2
+    exit 1
+fi
+if ! grep -q '"routes_fired": 5' "$SMOKE_DIR/queries.json"; then
+    echo "queries smoke: not all five merge routes fired" >&2
+    exit 1
+fi
+
+echo '== sharded bench smoke: merged == unsharded, scaling recorded'
+# --verify asserts every sharded source (K in {2,4,8}) answers the full
+# subspace sweep plus member/count/top probes identically to the K=1
+# reference, and that an insert leaves the other shards' generations
+# untouched; the grep pins that the scaling ratio landed in the JSON.
+./target/release/sharded --smoke --verify --json "$SMOKE_DIR/sharded.json" \
+    > "$SMOKE_DIR/sharded.out"
+if ! grep -q '"speedup_at_8":' "$SMOKE_DIR/sharded.json"; then
+    echo "sharded smoke: no scaling ratio recorded" >&2
     exit 1
 fi
 

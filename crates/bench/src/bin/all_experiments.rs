@@ -16,5 +16,6 @@ fn main() {
     records.extend(figures::kernels_ablation(&args));
     records.extend(figures::queries_ablation(&args));
     records.extend(figures::maintenance_ablation(&args));
+    records.extend(figures::sharded_ablation(&args));
     write_json_report(&args, "all_experiments", &records);
 }

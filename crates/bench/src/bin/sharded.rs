@@ -1,0 +1,9 @@
+//! Sharded-cube ablation: per-shard build scaling vs shard count on the
+//! planted-anchor workload, merge-at-query equivalence against the
+//! unsharded reference, and shard-local maintenance isolation. See
+//! `--help` for options; `--json PATH` writes `BENCH_sharded.json`.
+fn main() {
+    let args = skycube_bench::HarnessArgs::parse();
+    let records = skycube_bench::figures::sharded_ablation(&args);
+    skycube_bench::write_json_report(&args, "sharded", &records);
+}

@@ -43,6 +43,7 @@ mod error;
 mod fallback;
 #[cfg(feature = "faults")]
 pub mod faults;
+mod shard;
 mod source;
 mod workload;
 
@@ -50,6 +51,7 @@ pub use batch::{run_batch, run_batch_with, Answer, BatchOptions, BatchOutcome, Q
 pub use cache::{CacheStats, CachedSource, GateOutcome, GenerationGate, SubspaceCache};
 pub use error::ServeError;
 pub use fallback::FallbackSource;
+pub use shard::{ShardPlan, ShardedCube, ShardedSource};
 pub use source::{
     AnchoredSubskySource, DirectSource, IndexStats, IndexedCubeSource, RouteStats, ScanCubeSource,
     SkyCubeSource, SkylineSource, SubskySource,

@@ -57,6 +57,22 @@ impl IndexStats {
         self.routes.iter().map(|r| r.queries).sum()
     }
 
+    /// Field-wise `self += other`, for aggregating the counters of several
+    /// indexes (one per shard) into one report.
+    pub fn accumulate(&mut self, other: &IndexStats) {
+        for i in 0..self.routes.len() {
+            self.routes[i].queries += other.routes[i].queries;
+            self.routes[i].nanos += other.routes[i].nanos;
+        }
+        for i in 0..self.runs_hist.len() {
+            self.runs_hist[i] += other.runs_hist[i];
+            self.elems_hist[i] += other.elems_hist[i];
+        }
+        self.memo_exact += other.memo_exact;
+        self.memo_ancestor += other.memo_ancestor;
+        self.memo_miss += other.memo_miss;
+    }
+
     /// Field-wise `after − before`, for per-batch deltas.
     pub fn delta(before: &IndexStats, after: &IndexStats) -> IndexStats {
         let mut out = IndexStats::default();
@@ -668,7 +684,7 @@ impl SkylineSource for DirectSource<'_> {
 
 /// Turn a per-object frequency table into the canonical top-k ranking:
 /// count descending, ties by ascending id, zero-count objects dropped.
-fn rank_frequencies(freq: &[u64], k: usize) -> Vec<(ObjId, u64)> {
+pub(crate) fn rank_frequencies(freq: &[u64], k: usize) -> Vec<(ObjId, u64)> {
     let mut ranked: Vec<(ObjId, u64)> = freq
         .iter()
         .enumerate()

@@ -100,6 +100,11 @@ pub struct MaintenanceDelta {
     inserted: Option<ObjId>,
     deleted: Option<ObjId>,
     spliced: bool,
+    /// Which shard of a sharded deployment the mutation landed on; `None`
+    /// for a standalone engine. Stamped by the sharding layer (the engine
+    /// itself does not know its shard), so the other shards' caches can be
+    /// left untouched.
+    shard: Option<usize>,
 }
 
 impl MaintenanceDelta {
@@ -112,7 +117,21 @@ impl MaintenanceDelta {
             inserted: None,
             deleted: None,
             spliced: false,
+            shard: None,
         }
+    }
+
+    /// Stamp the delta with the shard the mutation was routed to. Object
+    /// ids in the delta stay *shard-local*; the sharding layer owns the
+    /// global↔local mapping.
+    pub fn with_shard(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
+    /// The shard the mutation landed on, if stamped by a sharding layer.
+    pub fn shard(&self) -> Option<usize> {
+        self.shard
     }
 
     /// The engine generation this delta produced.
@@ -229,6 +248,20 @@ impl StellarEngine {
     /// The current dataset.
     pub fn dataset(&self) -> Dataset {
         Dataset::from_rows(self.dims, self.rows.clone()).expect("rows stay well formed")
+    }
+
+    /// The values of object `id`, without cloning the dataset — the cheap
+    /// accessor merge layers use to assemble cross-engine candidate sets.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn row(&self, id: ObjId) -> &[Value] {
+        &self.rows[id as usize]
+    }
+
+    /// Dimensionality of the engine's space.
+    pub fn dims(&self) -> usize {
+        self.dims
     }
 
     /// Number of objects currently indexed.
@@ -418,6 +451,7 @@ impl StellarEngine {
             inserted: Some(id),
             deleted: None,
             spliced,
+            shard: None,
         });
     }
 
@@ -568,6 +602,7 @@ impl StellarEngine {
             inserted,
             deleted,
             spliced,
+            shard: None,
         });
     }
 
@@ -876,6 +911,31 @@ mod tests {
         assert!(engine.insert(vec![1]).is_err());
         assert!(engine.delete(99).is_err());
         assert_eq!(engine.generation(), generation);
+    }
+
+    #[test]
+    fn delta_shard_stamp_round_trips() {
+        let mut engine = StellarEngine::new(&running_example());
+        engine.insert(vec![9, 9, 11, 9]).unwrap();
+        let delta = engine.last_delta().unwrap().clone();
+        assert_eq!(delta.shard(), None, "engines never stamp shards");
+        let stamped = delta.with_shard(3);
+        assert_eq!(stamped.shard(), Some(3));
+        assert_eq!(stamped.generation(), engine.generation());
+        assert_eq!(
+            MaintenanceDelta::full_rebuild(7).with_shard(0).shard(),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn row_accessor_matches_dataset() {
+        let ds = running_example();
+        let engine = StellarEngine::new(&ds);
+        assert_eq!(engine.dims(), ds.dims());
+        for o in ds.ids() {
+            assert_eq!(engine.row(o), ds.row(o));
+        }
     }
 
     #[test]

@@ -62,19 +62,24 @@ commands:
            [--seed S] --out FILE.csv
   generate --nba [--count N] [--seed S] --out FILE.csv
   build    --data FILE.csv --out CUBE.txt [--threads N] [--kernel scalar|columnar]
-                                              materialize the cube (Stellar)
+           [--shards K]                       materialize the cube (Stellar);
+                                              --shards writes one cube per
+                                              contiguous shard to OUT.shard0..K-1
   stats    --data FILE.csv [--threads N] [--kernel scalar|columnar]
-           [--maintain N]                     counts: seeds, groups, skycube size;
+           [--maintain N] [--shards K]        counts: seeds, groups, skycube size;
                                               --maintain pushes N synthetic
                                               insert+delete pairs through the
                                               incremental maintenance path and
-                                              prints fast/full/spliced counters
+                                              prints fast/full/spliced counters;
+                                              with --shards it instead routes N
+                                              inserts to the owning shard and
+                                              prints per-shard generations
   skyline  --cube CUBE.txt --space LETTERS    subspace skyline query
   member   --cube CUBE.txt --object ID --space LETTERS
   top      --cube CUBE.txt --k N              most frequent skyline objects
   query    --data FILE.csv [--cube CUBE.txt]  run a batch query workload
            [--source stellar|stellar-scan|skyey|subsky|subsky-anchored|direct]
-           [--workload FILE|-] [--cache N] [--threads N]
+           [--workload FILE|-] [--cache N] [--threads N] [--shards K]
            [--kernel scalar|columnar] [--anchors N] [--stats]
            [--deadline-ms MS] [--fallback] [--inject-faults SPEC]
            workload lines: 'skyline ABD', 'member 17 ABD', 'count 17',
@@ -83,6 +88,10 @@ commands:
            timings and lattice-memo counters for the indexed source;
            --deadline-ms bounds each query; --fallback (stellar only)
            installs the indexed -> scan -> direct degradation ladder;
+           --shards K (stellar and stellar-scan, needs --data) partitions
+           the dataset into K contiguous shards, builds one cube per
+           shard, and merges per-shard skylines at query time with a
+           built-in per-shard indexed -> scan ladder;
            --inject-faults (builds with the `faults` feature only) forces
            failures: panic-route[=N],slow-route=MS,corrupt-cube,
            poison-cache,seed=N";
@@ -173,9 +182,41 @@ fn runner(opts: &Opts) -> Result<Stellar, String> {
     Ok(runner)
 }
 
+/// `--shards K`: the shard count for the sharded build/serve paths.
+/// `None` when absent; `--shards 0` is rejected with a diagnostic.
+fn shard_count(opts: &Opts) -> Result<Option<usize>, String> {
+    match opts.get("shards") {
+        Some(s) => {
+            let shards: usize = num(s, "shard count")?;
+            if shards == 0 {
+                return Err("--shards must be at least 1".to_owned());
+            }
+            Ok(Some(shards))
+        }
+        None => Ok(None),
+    }
+}
+
 fn cmd_build(opts: &Opts) -> Result<(), String> {
     let ds = load_data(opts)?;
     let out = req(opts, "out")?;
+    if let Some(shards) = shard_count(opts)? {
+        let t = std::time::Instant::now();
+        let cube = ShardedCube::build_with(&ds, shards, Parallelism::available(), runner(opts)?);
+        let mut groups = 0;
+        for k in 0..cube.num_shards() {
+            let path = format!("{out}.shard{k}");
+            stellar::save_cube(cube.engine(k).cube(), &path).map_err(|e| e.to_string())?;
+            groups += cube.engine(k).cube().num_groups();
+        }
+        println!(
+            "built {shards} shard cubes in {:.2?}: {groups} groups over {} objects → {out}.shard0..{}",
+            t.elapsed(),
+            cube.num_objects(),
+            shards - 1
+        );
+        return Ok(());
+    }
     let t = std::time::Instant::now();
     let cube = runner(opts)?.compute(&ds);
     stellar::save_cube(&cube, out).map_err(|e| e.to_string())?;
@@ -190,6 +231,9 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
 
 fn cmd_stats(opts: &Opts) -> Result<(), String> {
     let ds = load_data(opts)?;
+    if let Some(shards) = shard_count(opts)? {
+        return sharded_stats(&ds, shards, opts);
+    }
     let mut engine = StellarEngine::with_runner(&ds, runner(opts)?);
     let cube = engine.cube();
     println!("objects:                  {}", cube.num_objects());
@@ -204,6 +248,62 @@ fn cmd_stats(opts: &Opts) -> Result<(), String> {
     if let Some(m) = opts.get("maintain") {
         let reps: usize = num(m, "maintenance mutation count")?;
         maintain_report(&ds, &mut engine, reps)?;
+    }
+    Ok(())
+}
+
+/// `stats --shards K`: per-shard object/group/skyline counts plus the
+/// merged full-space skyline size. With `--maintain N` it routes N
+/// synthetic inserts through the sharded maintenance path and prints the
+/// per-shard generations — only the owning shard's generation advances.
+fn sharded_stats(ds: &Dataset, shards: usize, opts: &Opts) -> Result<(), String> {
+    let mut cube = ShardedCube::build_with(ds, shards, Parallelism::available(), runner(opts)?);
+    println!("objects:                  {}", cube.num_objects());
+    println!("dimensions:               {}", cube.dims());
+    println!("shards:                   {}", cube.num_shards());
+    for k in 0..cube.num_shards() {
+        let c = cube.engine(k).cube();
+        println!(
+            "  shard {k}: {} objects, {} groups, {} full-space skyline, {} subspace objects",
+            c.num_objects(),
+            c.num_groups(),
+            c.seeds().len(),
+            c.skycube_size()
+        );
+    }
+    let merged = cube
+        .source()
+        .subspace_skyline(DimMask::full(cube.dims()))
+        .map_err(|e| e.to_string())?;
+    println!("merged full-space skyline: {}", merged.len());
+    if let Some(m) = opts.get("maintain") {
+        let reps: usize = num(m, "maintenance mutation count")?;
+        let Some(template) = merged.first().map(|&o| {
+            let (k, l) = cube.plan().to_local(o);
+            cube.engine(k).row(l).to_vec()
+        }) else {
+            return Err("--maintain needs a non-empty dataset".to_owned());
+        };
+        let dims = cube.dims();
+        let t = std::time::Instant::now();
+        for r in 0..reps {
+            let mut row = template.clone();
+            row[r % dims] += 1;
+            cube.insert(row).map_err(|e| e.to_string())?;
+        }
+        let seconds = t.elapsed().as_secs_f64();
+        let s = cube.maintenance_stats();
+        println!("sharded maintenance ({reps} inserts):");
+        println!("  seconds:                {seconds:.6}");
+        println!("  fast inserts:           {}", s.fast_inserts);
+        println!("  full inserts:           {}", s.full_inserts);
+        println!("  spliced index updates:  {}", s.spliced);
+        for k in 0..cube.num_shards() {
+            println!("  shard {k} generation:     {}", cube.shard_generation(k));
+        }
+        if let Some(delta) = cube.last_delta() {
+            println!("  last delta shard:       {:?}", delta.shard());
+        }
     }
     Ok(())
 }
@@ -360,6 +460,25 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         #[cfg(feature = "faults")]
         plan,
     };
+
+    if let Some(shards) = shard_count(opts)? {
+        let source_name = opts.get("source").map_or("stellar", String::as_str);
+        if !matches!(source_name, "stellar" | "stellar-scan") {
+            return Err(format!(
+                "--shards supports only the stellar and stellar-scan sources, not {source_name:?}"
+            ));
+        }
+        if opts.contains_key("cube") {
+            return Err("--shards builds per-shard cubes from --data; drop --cube".to_owned());
+        }
+        let ds = load_data(opts)?;
+        let cube = ShardedCube::build_with(&ds, shards, par, runner(opts)?);
+        return if source_name == "stellar" {
+            serve_workload(cube.source().with_kernel(kernel), &queries, &serving)
+        } else {
+            serve_workload(cube.scan_source().with_kernel(kernel), &queries, &serving)
+        };
+    }
 
     // A stellar cube comes from --cube when given, otherwise it (like every
     // other engine) is built from --data.

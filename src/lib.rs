@@ -55,7 +55,8 @@ pub mod prelude {
     pub use skycube_serve::{
         parse_workload, run_batch, run_batch_with, AnchoredSubskySource, Answer, BatchOptions,
         CachedSource, DirectSource, FallbackSource, IndexedCubeSource, Query, ScanCubeSource,
-        ServeError, SkyCubeSource, SkylineSource, SubskySource,
+        ServeError, ShardPlan, ShardedCube, ShardedSource, SkyCubeSource, SkylineSource,
+        SubskySource,
     };
     pub use skycube_skyey::{skyey_groups, SkyCube};
     pub use skycube_skyline::{skyline, skyline_parallel, Algorithm};

@@ -694,3 +694,141 @@ fn kernel_option_is_validated_and_honored() {
     let c = std::fs::read_to_string(&columnar_cube).unwrap();
     assert_eq!(s, c, "cube files must be byte-identical across kernels");
 }
+
+#[test]
+fn shards_option_is_validated_and_honored() {
+    let dir = tmpdir("shards");
+    let data = dir.join("d.csv");
+    let workload = dir.join("w.txt");
+    run(&[
+        "generate",
+        "--dist",
+        "anti-correlated",
+        "--count",
+        "400",
+        "--dims",
+        "4",
+        "--seed",
+        "11",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+    std::fs::write(
+        &workload,
+        "skyline ABCD\nskyline AC\nmember 7 ABD\ncount 7\ntop 5\n",
+    )
+    .unwrap();
+
+    // --shards 0 is rejected with a diagnostic.
+    let out = run(&[
+        "query",
+        "--data",
+        data.to_str().unwrap(),
+        "--shards",
+        "0",
+        "--workload",
+        workload.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    assert!(
+        stderr(&out).contains("--shards must be at least 1"),
+        "{}",
+        stderr(&out)
+    );
+
+    // Only the stellar-family sources can shard.
+    let out = run(&[
+        "query",
+        "--data",
+        data.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--source",
+        "direct",
+        "--workload",
+        workload.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "{out:?}");
+    assert!(stderr(&out).contains("--shards"), "{}", stderr(&out));
+
+    // Sharded answers are identical to the unsharded source, for both the
+    // indexed and scan serving modes and any shard count.
+    let reference = run(&[
+        "query",
+        "--data",
+        data.to_str().unwrap(),
+        "--source",
+        "stellar",
+        "--workload",
+        workload.to_str().unwrap(),
+    ]);
+    assert!(reference.status.success(), "{reference:?}");
+    for (source, shards) in [("stellar", "1"), ("stellar", "4"), ("stellar-scan", "3")] {
+        let out = run(&[
+            "query",
+            "--data",
+            data.to_str().unwrap(),
+            "--source",
+            source,
+            "--shards",
+            shards,
+            "--workload",
+            workload.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{out:?}");
+        assert_eq!(
+            answer_lines(&out),
+            answer_lines(&reference),
+            "{source} with {shards} shards must answer like the unsharded source"
+        );
+        let label = if source == "stellar" {
+            "sharded"
+        } else {
+            "sharded-scan"
+        };
+        assert!(
+            stdout(&out).contains(&format!("# source={label}")),
+            "{}",
+            stdout(&out)
+        );
+    }
+
+    // stats --shards prints the per-shard breakdown; --maintain routes the
+    // inserts to the last shard only (generations prove the isolation).
+    let out = run(&[
+        "stats",
+        "--data",
+        data.to_str().unwrap(),
+        "--shards",
+        "3",
+        "--maintain",
+        "2",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let text = stdout(&out);
+    assert!(text.contains("shards:                   3"), "{text}");
+    assert!(text.contains("shard 0:"), "{text}");
+    assert!(text.contains("merged full-space skyline:"), "{text}");
+    assert!(text.contains("shard 0 generation:     0"), "{text}");
+    assert!(text.contains("shard 2 generation:     2"), "{text}");
+    assert!(text.contains("last delta shard:       Some(2)"), "{text}");
+
+    // build --shards writes one cube artifact per shard.
+    let cube = dir.join("c.txt");
+    let out = run(&[
+        "build",
+        "--data",
+        data.to_str().unwrap(),
+        "--shards",
+        "2",
+        "--out",
+        cube.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    for k in 0..2 {
+        assert!(
+            dir.join(format!("c.txt.shard{k}")).exists(),
+            "missing shard artifact {k}"
+        );
+    }
+}
