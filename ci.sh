@@ -96,6 +96,64 @@ if ! grep -q '"spliced_mutations": [1-9]' "$SMOKE_DIR/maintenance.json"; then
     exit 1
 fi
 
+echo '== persist bench smoke: binary load is validation-only and equivalent'
+# --verify asserts the binary-loaded cube serves from borrowed sections
+# (no rebuild) and answers every subspace, membership count, and top-k
+# identically to the cube it was written from; the grep pins that the
+# full 31-subspace verification actually ran.
+./target/release/persist --smoke --verify --json "$SMOKE_DIR/persist.json" \
+    > "$SMOKE_DIR/persist.out"
+if ! grep -q '"verified_subspaces": 31' "$SMOKE_DIR/persist.json"; then
+    echo "persist smoke: subspace verification did not run" >&2
+    exit 1
+fi
+
+echo '== binary round-trip smoke: build --format binary, query --cube'
+# The binary artifact must answer the same workload as the text one,
+# unsharded and sharded (auto-detected by magic in both cases).
+./target/release/skycube build --data "$SMOKE_DIR/data.csv" \
+    --out "$SMOKE_DIR/cube.txt" > /dev/null
+./target/release/skycube build --data "$SMOKE_DIR/data.csv" \
+    --out "$SMOKE_DIR/cube.bin" --format binary > /dev/null
+./target/release/skycube build --data "$SMOKE_DIR/data.csv" \
+    --out "$SMOKE_DIR/shard.bin" --shards 4 --format binary > /dev/null
+for cube in cube.txt cube.bin; do
+    ./target/release/skycube query --data "$SMOKE_DIR/data.csv" \
+        --cube "$SMOKE_DIR/$cube" --workload "$SMOKE_DIR/workload.txt" \
+        | grep -v '^#' > "$SMOKE_DIR/out.$cube"
+done
+./target/release/skycube query --data "$SMOKE_DIR/data.csv" \
+    --cube "$SMOKE_DIR/shard.bin" --shards 4 \
+    --workload "$SMOKE_DIR/workload.txt" \
+    | grep -v '^#' > "$SMOKE_DIR/out.shard.bin"
+for cube in cube.bin shard.bin; do
+    if ! diff "$SMOKE_DIR/out.cube.txt" "$SMOKE_DIR/out.$cube" > /dev/null; then
+        echo "binary round-trip smoke: $cube disagrees with the text cube" >&2
+        exit 1
+    fi
+done
+# A flipped payload byte must be rejected by the section checksums, and a
+# file with a damaged magic must fail cleanly, never serve garbage.
+perl -e 'local $/; my $b = <STDIN>; my @c = split //, $b;
+         $c[int(@c / 2)] = chr(ord($c[int(@c / 2)]) ^ 1);
+         print join "", @c' < "$SMOKE_DIR/cube.bin" > "$SMOKE_DIR/cube.flip"
+if ./target/release/skycube skyline --cube "$SMOKE_DIR/cube.flip" \
+    --space AB > /dev/null 2> "$SMOKE_DIR/flip.err"; then
+    echo "binary round-trip smoke: flipped byte was accepted" >&2
+    exit 1
+fi
+if ! grep -q 'checksum mismatch' "$SMOKE_DIR/flip.err"; then
+    echo "binary round-trip smoke: checksum diagnostic missing" >&2
+    exit 1
+fi
+perl -e 'local $/; my $b = <STDIN>; substr($b, 0, 1) = "\xff"; print $b' \
+    < "$SMOKE_DIR/cube.bin" > "$SMOKE_DIR/cube.badmagic"
+if ./target/release/skycube skyline --cube "$SMOKE_DIR/cube.badmagic" \
+    --space AB > /dev/null 2>&1; then
+    echo "binary round-trip smoke: damaged magic was accepted" >&2
+    exit 1
+fi
+
 echo '== fault-injection suite (--features faults)'
 # The deterministic fault matrix: every injected fault must end in a
 # classified ServeError or a demoted-but-correct answer, never an abort.

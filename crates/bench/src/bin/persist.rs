@@ -1,0 +1,7 @@
+//! Persistence ablation: text load+index-build vs binary zero-copy load,
+//! timed from a cold file to the first full-space skyline answer.
+fn main() {
+    let args = skycube_bench::HarnessArgs::parse();
+    let records = skycube_bench::figures::persist_ablation(&args);
+    skycube_bench::write_json_report(&args, "persist", &records);
+}

@@ -1294,6 +1294,147 @@ pub fn maintenance_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
     records
 }
 
+/// Persistence ablation — first-query latency from a cold artifact:
+/// **text** (parse the group lines, build the serving `CubeIndex` from
+/// scratch, answer) vs **binary** (validate the section directory and
+/// answer straight from zero-copy views into the file bytes — zero index
+/// construction). Both paths are timed from `load_cube` on a real file
+/// through the same first query (a top-k frequency ranking, the kind of
+/// interactive probe a dashboard fires on open); full-space skylines are
+/// compared outside the timed region, and `--verify` asserts the loaded
+/// cubes answer every subspace, membership count, and top-k identically
+/// to the cube they were written from.
+pub fn persist_ablation(args: &HarnessArgs) -> Vec<JsonRecord> {
+    use skycube_stellar::{compute_cube, load_cube, save_cube, save_cube_binary};
+    use skycube_types::DimMask;
+
+    let d = 5usize;
+    let sizes: Vec<usize> = if args.full {
+        vec![100_000, 1_000_000]
+    } else if args.smoke {
+        vec![5_000]
+    } else {
+        vec![100_000]
+    };
+    header(
+        &format!(
+            "Persistence ablation — text load+index vs binary zero-copy load, \
+             anti-correlated, {d}-d"
+        ),
+        args.full,
+    );
+    let dir = std::env::temp_dir().join(format!("skycube_persist_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let mut records = Vec::new();
+    table_header(&[
+        "tuples",
+        "text bytes",
+        "binary bytes",
+        "text load+build (s)",
+        "binary first-query (s)",
+        "text/binary",
+    ]);
+    for &n in &sizes {
+        let ds = generate(Distribution::AntiCorrelated, n, d, SEED ^ 0x9e45);
+        let cube = compute_cube(&ds);
+        cube.index(); // the binary format ships the built index
+        let tpath = dir.join(format!("cube_{n}.txt"));
+        let bpath = dir.join(format!("cube_{n}.bin"));
+        save_cube(&cube, &tpath).expect("write text cube");
+        save_cube_binary(&cube, &bpath).expect("write binary cube");
+        let text_bytes = std::fs::metadata(&tpath).expect("text metadata").len();
+        let bin_bytes = std::fs::metadata(&bpath).expect("binary metadata").len();
+        let full_space = DimMask::full(d);
+        let reps = if args.full { 7 } else { 5 };
+
+        // First-query latency, text: parse + index build + the query.
+        let mut text_seconds = f64::MAX;
+        let mut text_topk = Vec::new();
+        let mut text_loaded = None;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            let loaded = load_cube(&tpath).expect("text cube loads");
+            text_topk = loaded.index().top_k_frequent(16);
+            text_seconds = text_seconds.min(t.elapsed().as_secs_f64());
+            text_loaded = Some(loaded);
+        }
+        // First-query latency, binary: validate + the query, no build.
+        let mut bin_seconds = f64::MAX;
+        let mut bin_topk = Vec::new();
+        let mut bin_loaded = None;
+        for _ in 0..reps {
+            let t = std::time::Instant::now();
+            let loaded = load_cube(&bpath).expect("binary cube loads");
+            bin_topk = loaded.index().top_k_frequent(16);
+            bin_seconds = bin_seconds.min(t.elapsed().as_secs_f64());
+            bin_loaded = Some(loaded);
+        }
+        let text_loaded = text_loaded.expect("at least one rep ran");
+        let bin_loaded = bin_loaded.expect("at least one rep ran");
+        assert!(
+            bin_loaded.is_loaded() && bin_loaded.index().is_loaded(),
+            "binary load must serve from borrowed sections, not a rebuild"
+        );
+        assert_eq!(text_topk, bin_topk, "first answers diverged at n={n}");
+        assert_eq!(
+            text_loaded.subspace_skyline(full_space),
+            bin_loaded.subspace_skyline(full_space),
+            "full-space skylines diverged at n={n}"
+        );
+        let speedup = text_seconds / bin_seconds.max(1e-9);
+        row(&[
+            n.to_string(),
+            text_bytes.to_string(),
+            bin_bytes.to_string(),
+            secs(text_seconds),
+            secs(bin_seconds),
+            format!("{speedup:.1}×"),
+        ]);
+
+        if args.verify {
+            // Loaded ≡ rebuilt on every subspace, membership, and ranking.
+            for space in full_space.subsets() {
+                assert_eq!(
+                    bin_loaded.subspace_skyline(space),
+                    cube.subspace_skyline(space),
+                    "binary-loaded cube diverged in {space} at n={n}"
+                );
+            }
+            for o in (0..ds.len() as u32).step_by((ds.len() / 64).max(1)) {
+                assert_eq!(
+                    bin_loaded.membership_count(o),
+                    cube.membership_count(o),
+                    "membership count diverged for object {o} at n={n}"
+                );
+            }
+            assert_eq!(bin_loaded.top_k_frequent(16), cube.top_k_frequent(16));
+            if n >= 1_000_000 {
+                assert!(
+                    speedup >= 10.0,
+                    "binary first answer must be ≥ 10× faster than \
+                     text-load-and-rebuild at n={n} (got {speedup:.1}×)"
+                );
+            }
+        }
+        records.push(
+            JsonRecord::new()
+                .str("figure", "persist")
+                .str("workload", "first-answer")
+                .int("n", n as i64)
+                .int("d", d as i64)
+                .int("text_bytes", text_bytes as i64)
+                .int("binary_bytes", bin_bytes as i64)
+                .num("text_load_rebuild_seconds", text_seconds)
+                .num("binary_first_query_seconds", bin_seconds)
+                .num("speedup", speedup)
+                .int("verified_subspaces", if args.verify { 31 } else { 0 }),
+        );
+    }
+    println!();
+    std::fs::remove_dir_all(&dir).ok();
+    records
+}
+
 fn panel(dist: Distribution) -> &'static str {
     match dist {
         Distribution::Correlated => "a",

@@ -201,6 +201,48 @@ impl ShardedCube {
         Self::assemble(plan, dims, engines)
     }
 
+    /// Reopen a sharded deployment from already-materialized per-shard
+    /// cubes (e.g. loaded from `OUT.shard0..K-1` files) over the full
+    /// dataset, without recomputing any shard: the shard sizes come from
+    /// the cubes themselves ([`ShardPlan::from_sizes`]), each shard's
+    /// engine adopts its cube via [`StellarEngine::with_cube`], and cubes
+    /// loaded from the binary format keep serving through their zero-copy
+    /// index. Fails with a structured error when the cubes do not tile `ds`
+    /// (size or dimensionality mismatch).
+    ///
+    /// # Panics
+    /// Panics if `cubes` is empty.
+    pub fn from_cubes(
+        ds: &Dataset,
+        cubes: Vec<skycube_stellar::CompressedSkylineCube>,
+        runner: Stellar,
+    ) -> skycube_types::Result<Self> {
+        assert!(!cubes.is_empty(), "a sharded cube needs at least one shard");
+        let sizes: Vec<usize> = cubes.iter().map(|c| c.num_objects()).collect();
+        let plan = ShardPlan::from_sizes(&sizes);
+        if plan.num_objects() != ds.len() {
+            return Err(skycube_types::Error::Corrupt {
+                line: 0,
+                what: format!(
+                    "shard cubes cover {} objects, data has {}",
+                    plan.num_objects(),
+                    ds.len()
+                ),
+            });
+        }
+        let dims = ds.dims();
+        let mut engines = Vec::with_capacity(cubes.len());
+        for (k, cube) in cubes.into_iter().enumerate() {
+            let rows: Vec<Vec<Value>> = plan
+                .shard_range(k)
+                .map(|o| ds.row(o as ObjId).to_vec())
+                .collect();
+            let sub = Dataset::from_rows(dims, rows)?;
+            engines.push(StellarEngine::with_cube(&sub, cube, runner)?);
+        }
+        Ok(Self::assemble(plan, dims, engines))
+    }
+
     fn assemble(plan: ShardPlan, dims: usize, engines: Vec<StellarEngine>) -> Self {
         let capacity = (1usize << dims.min(10)) - 1;
         let shards = engines
@@ -749,6 +791,56 @@ mod tests {
                 b.subspace_skyline(space).unwrap()
             );
         }
+    }
+
+    #[test]
+    fn reopened_shard_cubes_serve_and_maintain_like_built_ones() {
+        let ds = running_example();
+        let built = ShardedCube::build(&ds, 2, Parallelism::sequential());
+        // Round-trip each shard cube through the binary format, then reopen.
+        let cubes: Vec<_> = (0..2)
+            .map(|k| {
+                let mut bytes = Vec::new();
+                skycube_stellar::write_cube_binary(built.engine(k).cube(), &mut bytes).unwrap();
+                skycube_stellar::read_cube_binary(&bytes).unwrap()
+            })
+            .collect();
+        assert!(cubes.iter().all(|c| c.is_loaded()));
+        let mut reopened = ShardedCube::from_cubes(&ds, cubes, Stellar::new()).unwrap();
+        assert_eq!(reopened.num_shards(), 2);
+        assert_eq!(reopened.num_objects(), ds.len());
+        let direct = DirectSource::new(&ds);
+        {
+            let source = reopened.source();
+            for space in ds.full_space().subsets() {
+                assert_eq!(
+                    source.subspace_skyline(space).unwrap(),
+                    direct.subspace_skyline(space).unwrap(),
+                    "reopened subspace {space}"
+                );
+            }
+            assert_eq!(source.top_k_frequent(10), direct.top_k_frequent(10));
+        }
+        // Maintenance on the reopened deployment still routes and patches.
+        let id = reopened.insert(vec![9, 9, 11, 9]).unwrap();
+        assert_eq!(id as usize, ds.len());
+        assert_eq!(reopened.last_delta().unwrap().shard(), Some(1));
+        let mut rows: Vec<Vec<Value>> = ds.ids().map(|o| ds.row(o).to_vec()).collect();
+        rows.push(vec![9, 9, 11, 9]);
+        let fresh = Dataset::from_rows(ds.dims(), rows).unwrap();
+        let direct = DirectSource::new(&fresh);
+        let source = reopened.source();
+        for space in fresh.full_space().subsets() {
+            assert_eq!(
+                source.subspace_skyline(space).unwrap(),
+                direct.subspace_skyline(space).unwrap(),
+                "post-insert subspace {space}"
+            );
+        }
+        // A mis-tiled reopen is rejected, not mis-served.
+        let short = Dataset::from_rows(4, vec![vec![1, 2, 3, 4]]).unwrap();
+        let cube = skycube_stellar::compute_cube(&ds);
+        assert!(ShardedCube::from_cubes(&short, vec![cube], Stellar::new()).is_err());
     }
 
     #[test]

@@ -7,6 +7,64 @@ use crate::index::CubeIndex;
 use skycube_types::{Dataset, DimMask, ObjId, SkylineGroup};
 use std::sync::OnceLock;
 
+/// The scan-path tables: the group list plus the per-object reverse map.
+/// Built cubes own them from construction; loaded cubes derive them lazily
+/// from the serving index (see [`GroupStorage::Loaded`]).
+#[derive(Clone, Debug)]
+struct GroupTables {
+    groups: Vec<SkylineGroup>,
+    /// `member_groups[o]` = indexes of the groups containing object `o`
+    /// (empty for objects in no subspace skyline).
+    member_groups: Vec<Vec<u32>>,
+}
+
+impl GroupTables {
+    fn from_groups(num_objects: usize, groups: Vec<SkylineGroup>) -> Self {
+        let mut member_groups: Vec<Vec<u32>> = vec![Vec::new(); num_objects];
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in &g.members {
+                member_groups[m as usize].push(gi as u32);
+            }
+        }
+        GroupTables {
+            groups,
+            member_groups,
+        }
+    }
+
+    /// Re-derive the tables from a serving index. Exact reconstruction: the
+    /// index's CSR member runs preserve each group's (sorted) member order,
+    /// the decisive spans return each group's (sorted) antichain verbatim,
+    /// and the object CSR is the reverse map — so a loaded cube's scan path
+    /// is indistinguishable from a built one's.
+    fn from_index(ix: &CubeIndex) -> Self {
+        let groups = (0..ix.num_groups() as u32)
+            .map(|g| SkylineGroup {
+                subspace: ix.subspace_of(g),
+                members: ix.member_run(g).to_vec(),
+                decisive: ix.decisive_of(g).to_vec(),
+            })
+            .collect();
+        let member_groups = (0..ix.num_objects() as ObjId)
+            .map(|o| ix.groups_of_obj(o).to_vec())
+            .collect();
+        GroupTables {
+            groups,
+            member_groups,
+        }
+    }
+}
+
+/// Where a cube's group tables live: owned from construction, or derived
+/// on demand from a binary-loaded serving index — the load path then does
+/// zero group materialization until (unless) a scan-path query or a
+/// mutation actually needs the `Vec` form.
+#[derive(Clone, Debug)]
+enum GroupStorage {
+    Built(GroupTables),
+    Loaded(OnceLock<Box<GroupTables>>),
+}
+
 /// The materialized compressed skyline cube over one dataset.
 ///
 /// Holds every skyline group `(G, B)` with its decisive subspaces. All
@@ -18,13 +76,11 @@ pub struct CompressedSkylineCube {
     dims: usize,
     num_objects: usize,
     seeds: Vec<ObjId>,
-    groups: Vec<SkylineGroup>,
-    /// `member_groups[o]` = indexes of the groups containing object `o`
-    /// (empty for objects in no subspace skyline).
-    member_groups: Vec<Vec<u32>>,
+    storage: GroupStorage,
     /// The serving index, built on first use (see [`CubeIndex`]); cube
     /// construction itself stays index-free so the build benchmarks measure
-    /// the paper's algorithm alone.
+    /// the paper's algorithm alone. Binary-loaded cubes arrive with this
+    /// pre-populated (zero-copy sections) — no build on the load path.
     index: OnceLock<CubeIndex>,
 }
 
@@ -37,19 +93,55 @@ impl CompressedSkylineCube {
         seeds: Vec<ObjId>,
         groups: Vec<SkylineGroup>,
     ) -> Self {
-        let mut member_groups: Vec<Vec<u32>> = vec![Vec::new(); num_objects];
-        for (gi, g) in groups.iter().enumerate() {
-            for &m in &g.members {
-                member_groups[m as usize].push(gi as u32);
-            }
-        }
         CompressedSkylineCube {
             dims,
             num_objects,
             seeds,
-            groups,
-            member_groups,
+            storage: GroupStorage::Built(GroupTables::from_groups(num_objects, groups)),
             index: OnceLock::new(),
+        }
+    }
+
+    /// Assemble a cube around an already-validated (binary-loaded) serving
+    /// index: the index *is* the storage, the group tables stay virtual
+    /// until a scan-path consumer asks for them.
+    pub(crate) fn from_loaded_index(seeds: Vec<ObjId>, index: CubeIndex) -> Self {
+        let cube = CompressedSkylineCube {
+            dims: index.dims(),
+            num_objects: index.num_objects(),
+            seeds,
+            storage: GroupStorage::Loaded(OnceLock::new()),
+            index: OnceLock::new(),
+        };
+        let _ = cube.index.set(index);
+        cube
+    }
+
+    /// The scan-path tables, materializing them from the index for a
+    /// loaded cube.
+    fn tables(&self) -> &GroupTables {
+        match &self.storage {
+            GroupStorage::Built(t) => t,
+            GroupStorage::Loaded(cell) => cell.get_or_init(|| {
+                let ix = self.index.get().expect("a loaded cube carries its index");
+                Box::new(GroupTables::from_index(ix))
+            }),
+        }
+    }
+
+    /// Convert loaded storage to built (materializing if necessary) so a
+    /// mutation path can take `&mut` access to the tables. Must run
+    /// *before* any `index.take()` — the tables are derived from the index.
+    fn promote_storage(&mut self) {
+        if let GroupStorage::Loaded(cell) = &mut self.storage {
+            let tables = match cell.take() {
+                Some(t) => t,
+                None => {
+                    let ix = self.index.get().expect("a loaded cube carries its index");
+                    Box::new(GroupTables::from_index(ix))
+                }
+            };
+            self.storage = GroupStorage::Built(*tables);
         }
     }
 
@@ -65,10 +157,19 @@ impl CompressedSkylineCube {
         self.index.get().is_some()
     }
 
+    /// Whether this cube came from a binary artifact and still serves the
+    /// scan path virtually (group tables not yet materialized).
+    pub fn is_loaded(&self) -> bool {
+        matches!(self.storage, GroupStorage::Loaded(_))
+    }
+
     /// Drop the lazy serving index (and with it its lattice memo), forcing
     /// a rebuild on next use. Full-recompute maintenance paths call this so
     /// stale postings are never served; the delta path splices instead.
     pub fn invalidate_index(&mut self) {
+        // Loaded group tables are views over the index — pin them down
+        // before the index goes away.
+        self.promote_storage();
         self.index.take();
     }
 
@@ -81,21 +182,25 @@ impl CompressedSkylineCube {
         seeds: Vec<ObjId>,
         groups: Vec<SkylineGroup>,
     ) {
+        self.promote_storage();
+        let GroupStorage::Built(tables) = &mut self.storage else {
+            unreachable!("storage just promoted")
+        };
         // Reuse the existing per-object buckets (clearing keeps their
         // allocations) — churning `num_objects` fresh `Vec`s per mutation
         // is measurable at maintenance rates.
-        for v in &mut self.member_groups {
+        for v in &mut tables.member_groups {
             v.clear();
         }
-        self.member_groups.resize_with(num_objects, Vec::new);
+        tables.member_groups.resize_with(num_objects, Vec::new);
         for (gi, g) in groups.iter().enumerate() {
             for &m in &g.members {
-                self.member_groups[m as usize].push(gi as u32);
+                tables.member_groups[m as usize].push(gi as u32);
             }
         }
         self.num_objects = num_objects;
         self.seeds = seeds;
-        self.groups = groups;
+        tables.groups = groups;
     }
 
     /// Grow the cube by one object that is a member of no group (an insert
@@ -104,7 +209,16 @@ impl CompressedSkylineCube {
     /// serving index in place; returns `false` when no index was built.
     pub(crate) fn append_object(&mut self) -> bool {
         self.num_objects += 1;
-        self.member_groups.push(Vec::new());
+        match &mut self.storage {
+            GroupStorage::Built(t) => t.member_groups.push(Vec::new()),
+            // A loaded cube keeps its virtual tables: drop any stale
+            // materialization and let the next scan re-derive from the
+            // (patched) index — the sparse object tables need no slot for a
+            // memberless object, so the index stays fully zero-copy.
+            GroupStorage::Loaded(cell) => {
+                cell.take();
+            }
+        }
         match self.index.get_mut() {
             Some(ix) => {
                 ix.append_object();
@@ -122,16 +236,20 @@ impl CompressedSkylineCube {
         delta: &crate::lattice::GroupDelta,
         purge: &[(DimMask, Vec<DimMask>)],
     ) -> bool {
+        self.promote_storage();
         let Self {
             dims,
             num_objects,
-            groups,
+            storage,
             index,
             ..
         } = self;
+        let GroupStorage::Built(tables) = storage else {
+            unreachable!("storage just promoted")
+        };
         match index.get_mut() {
             Some(ix) => {
-                ix.splice(*dims, *num_objects, groups, delta, purge);
+                ix.splice(*dims, *num_objects, &tables.groups, delta, purge);
                 true
             }
             None => false,
@@ -158,15 +276,27 @@ impl CompressedSkylineCube {
         &self.seeds
     }
 
-    /// All skyline groups.
+    /// All skyline groups. On a loaded cube, the first call materializes
+    /// the `Vec` tables from the index sections.
     pub fn groups(&self) -> &[SkylineGroup] {
-        &self.groups
+        &self.tables().groups
     }
 
     /// Number of skyline groups — the paper's compression metric
-    /// (Figures 9 and 10).
+    /// (Figures 9 and 10). Answered from the index on a loaded cube, so
+    /// stats paths never force group materialization.
     pub fn num_groups(&self) -> usize {
-        self.groups.len()
+        match &self.storage {
+            GroupStorage::Built(t) => t.groups.len(),
+            GroupStorage::Loaded(cell) => match cell.get() {
+                Some(t) => t.groups.len(),
+                None => self
+                    .index
+                    .get()
+                    .expect("a loaded cube carries its index")
+                    .num_groups(),
+            },
+        }
     }
 
     // ------------------------------------------------------------------
@@ -176,7 +306,10 @@ impl CompressedSkylineCube {
     /// The skyline groups active in subspace `space` (some decisive
     /// subspace of the group is ⊆ `space` ⊆ its maximal subspace).
     pub fn groups_in(&self, space: DimMask) -> impl Iterator<Item = &SkylineGroup> {
-        self.groups.iter().filter(move |g| g.covers_subspace(space))
+        self.tables()
+            .groups
+            .iter()
+            .filter(move |g| g.covers_subspace(space))
     }
 
     /// The complete skyline of `space`, derived from the cube (ascending
@@ -219,9 +352,10 @@ impl CompressedSkylineCube {
 
     /// The groups containing object `o`.
     pub fn groups_of(&self, o: ObjId) -> impl Iterator<Item = &SkylineGroup> {
-        self.member_groups[o as usize]
+        let tables = self.tables();
+        tables.member_groups[o as usize]
             .iter()
-            .map(move |&gi| &self.groups[gi as usize])
+            .map(move |&gi| &tables.groups[gi as usize])
     }
 
     /// Whether object `o` is a skyline object of `space`.
@@ -258,7 +392,8 @@ impl CompressedSkylineCube {
     /// objects" series in Figures 9 and 10 — derived from the compressed
     /// representation without touching the data.
     pub fn skycube_size(&self) -> u64 {
-        self.groups
+        self.tables()
+            .groups
             .iter()
             .map(|g| covered_subspace_count(g) * g.members.len() as u64)
             .sum()
@@ -268,7 +403,7 @@ impl CompressedSkylineCube {
     /// entry `k − 1` of the result covers the `k`-dimensional subspaces.
     pub fn skycube_sizes_by_dimensionality(&self) -> Vec<u64> {
         let mut out = vec![0u64; self.dims];
-        for g in &self.groups {
+        for g in &self.tables().groups {
             for (k, count) in covered_counts_by_size(g).into_iter().enumerate() {
                 out[k] += count * g.members.len() as u64;
             }
@@ -295,7 +430,7 @@ impl CompressedSkylineCube {
     /// Consistency check used by tests and `debug_assert`s: every group
     /// invariant that can be verified against the dataset.
     pub fn validate_against(&self, ds: &Dataset) -> Result<(), String> {
-        for g in &self.groups {
+        for g in &self.tables().groups {
             if g.members.is_empty() {
                 return Err(format!("empty group {g:?}"));
             }

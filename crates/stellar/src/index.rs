@@ -18,9 +18,14 @@
 //! - **Popcount buckets** — groups bucketed by `|B|`; a query on `A` can
 //!   alternatively sweep only the buckets with `|B| ≥ |A|`, whichever
 //!   candidate set is smaller.
-//! - **Precomputed analytics** — per-group covered-subspace counts, per-object
-//!   membership counts, and the full frequency ranking (count descending, id
-//!   ascending), making `membership_count` O(1) and `top_k_frequent` O(k).
+//! - **Precomputed analytics** — per-group covered-subspace counts, sparse
+//!   membership counts keyed by the *active* objects (those in at least one
+//!   group), and the full frequency ranking (count descending, id
+//!   ascending), making `membership_count` O(log active) and
+//!   `top_k_frequent` O(k). The object tables are sparse on purpose: the
+//!   compressed cube references only the union of the subspace skylines, so
+//!   the index — in memory and in the binary artifact alike — stays
+//!   proportional to the cube rather than to the dataset.
 //!
 //! # Merge routes
 //!
@@ -50,7 +55,7 @@
 //! [`CubeIndex::invalidate_memo`] empties it for maintenance paths.
 
 use crate::cube::{covered_subspace_count, CompressedSkylineCube};
-use skycube_types::{DimMask, ObjId};
+use skycube_types::{DimMask, Error, ObjId, Section, SectionStore, SectionWriter, Span, MAX_DIMS};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
@@ -525,47 +530,70 @@ impl IndexScratch {
 ///
 /// Answers are pinned identical to the cube's scan path by unit and property
 /// tests; the index only changes *how* the groups are found and merged.
+///
+/// Every array lives in a [`Section`]: a freshly built index owns plain
+/// `Vec`s, a binary-loaded index borrows validated byte ranges from the
+/// artifact's shared buffer (zero copies, zero rebuilds — see
+/// `persist::binary`). The two are indistinguishable to the query paths;
+/// maintenance mutations promote the touched sections to owned
+/// (copy-on-write via [`Section::to_mut`]).
 #[derive(Clone, Debug)]
 pub struct CubeIndex {
     dims: usize,
     num_objects: usize,
     /// All group member runs, concatenated; run `g` is
     /// `members[member_offsets[g]..member_offsets[g + 1]]`, sorted ascending.
-    members: Vec<ObjId>,
-    member_offsets: Vec<usize>,
+    members: Section<ObjId>,
+    member_offsets: Section<u64>,
     /// Interned decisive pool; group `g`'s antichain is
-    /// `decisive_pool[s..s + l]` with `(s, l) = decisive_spans[g]`.
-    decisive_pool: Vec<DimMask>,
-    decisive_spans: Vec<(u32, u32)>,
+    /// `decisive_pool[s..s + l]` with `Span { start: s, len: l } =
+    /// decisive_spans[g]`.
+    decisive_pool: Section<DimMask>,
+    decisive_spans: Section<Span>,
     /// Per-group maximal subspace `B`.
-    subspaces: Vec<DimMask>,
+    subspaces: Section<DimMask>,
     /// Per-group size of the smallest decisive subspace — a query on a
     /// smaller subspace can never be covered.
-    min_decisive_len: Vec<u8>,
-    /// `postings[d]` = ascending ids of the groups with `d ∈ B`.
-    postings: Vec<Vec<u32>>,
-    /// Decisive posting lists: for each distinct decisive subspace `C`, the
-    /// ascending ids of the groups with `C` in their antichain. A query on
-    /// `A` unions the lists of all `C ⊆ A` — the dimension-bucketed lattice
-    /// lookup — so no antichain is walked at query time.
-    decisive_postings: HashMap<DimMask, Vec<u32>>,
-    /// `buckets[k]` = ascending ids of the groups with `|B| = k + 1`.
-    buckets: Vec<Vec<u32>>,
+    min_decisive_len: Section<u8>,
+    /// CSR over dimensions: `postings[posting_offsets[d]..posting_offsets[d
+    /// + 1]]` = ascending ids of the groups with `d ∈ B`.
+    posting_offsets: Section<u64>,
+    postings: Section<u32>,
+    /// Decisive posting lists, CSR keyed by the sorted `decisive_keys`: for
+    /// each distinct decisive subspace `C`, the ascending ids of the groups
+    /// with `C` in their antichain. A query on `A` unions the lists of all
+    /// `C ⊆ A` — the dimension-bucketed lattice lookup — so no antichain is
+    /// walked at query time.
+    decisive_keys: Section<DimMask>,
+    decisive_list_offsets: Section<u64>,
+    decisive_lists: Section<u32>,
+    /// CSR over popcounts: `buckets[bucket_offsets[k]..bucket_offsets[k +
+    /// 1]]` = ascending ids of the groups with `|B| = k + 1`.
+    bucket_offsets: Section<u64>,
+    buckets: Section<u32>,
     /// `bucket_suffix[k]` = number of groups with `|B| ≥ k + 1`.
-    bucket_suffix: Vec<usize>,
-    /// CSR of object → group ids (mirrors the cube's `member_groups`).
-    obj_groups: Vec<u32>,
-    obj_group_offsets: Vec<usize>,
-    /// Per-object membership count (number of subspaces where the object is
-    /// a skyline member).
-    freq_by_obj: Vec<u64>,
-    /// `(object, count)` with `count > 0`, ordered count descending then id
-    /// ascending — the full `top_k_frequent` ranking.
-    freq_ranked: Vec<(ObjId, u64)>,
+    bucket_suffix: Section<u64>,
+    /// Sparse CSR of object → group ids (mirrors the cube's
+    /// `member_groups`), keyed by the **active** objects — those that appear
+    /// in at least one group. The compressed cube references only the union
+    /// of the subspace skylines, so these tables are proportional to the
+    /// cube, not to the dataset: lookups binary-search `active_objs` and
+    /// objects not found belong to no group.
+    obj_groups: Section<u32>,
+    active_objs: Section<ObjId>,
+    active_offsets: Section<u64>,
+    /// Membership count (number of subspaces where the object is a skyline
+    /// member) per active object, parallel to `active_objs`.
+    active_freq: Section<u64>,
+    /// The full `top_k_frequent` ranking as parallel arrays: objects with
+    /// `count > 0`, ordered count descending then id ascending.
+    freq_rank_obj: Section<ObjId>,
+    freq_rank_count: Section<u64>,
     /// Per-group covered-subspace counts, kept so the splice path can carry
     /// them across generations instead of re-running inclusion–exclusion.
-    covered: Vec<u64>,
+    covered: Section<u64>,
     /// Bounded memo of decisively-qualified sets along the lattice.
+    /// Transient: never persisted, cold after a load or clone.
     memo: LatticeMemo,
 }
 
@@ -629,15 +657,12 @@ impl CubeIndex {
     }
 
     /// Grow the index by one object that belongs to no group — the tail of
-    /// an insert whose row joins no subspace skyline. Every group-indexed
-    /// array, posting list, memo entry, and the top-k ranking (which omits
-    /// zero-count objects) is already correct; only the object-indexed
-    /// arrays gain a slot.
+    /// an insert whose row joins no subspace skyline. The object tables are
+    /// sparse (keyed by the objects that appear in some group), so a
+    /// memberless object needs no slot anywhere: only the object count
+    /// moves, and a loaded index stays fully zero-copy.
     pub(crate) fn append_object(&mut self) {
         self.num_objects += 1;
-        let end = *self.obj_group_offsets.last().expect("offsets never empty");
-        self.obj_group_offsets.push(end);
-        self.freq_by_obj.push(0);
     }
 
     /// One linear pass over `groups` laying out every array of the index;
@@ -654,22 +679,24 @@ impl CubeIndex {
         let mut member_offsets = Vec::with_capacity(groups.len() + 1);
         let mut decisive_pool: Vec<DimMask> = Vec::new();
         let mut decisive_spans = Vec::with_capacity(groups.len());
-        let mut interned: HashMap<&[DimMask], (u32, u32)> = HashMap::new();
+        let mut interned: HashMap<&[DimMask], Span> = HashMap::new();
         let mut subspaces = Vec::with_capacity(groups.len());
         let mut min_decisive_len = Vec::with_capacity(groups.len());
         let mut postings = vec![Vec::new(); dims];
         let mut decisive_postings: HashMap<DimMask, Vec<u32>> = HashMap::new();
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); dims];
-        let mut freq_by_obj = vec![0u64; n];
 
-        member_offsets.push(0);
+        member_offsets.push(0u64);
         for (gi, g) in groups.iter().enumerate() {
             members.extend_from_slice(&g.members);
-            member_offsets.push(members.len());
+            member_offsets.push(members.len() as u64);
             let span = *interned.entry(g.decisive.as_slice()).or_insert_with(|| {
                 let start = decisive_pool.len() as u32;
                 decisive_pool.extend_from_slice(&g.decisive);
-                (start, g.decisive.len() as u32)
+                Span {
+                    start,
+                    len: g.decisive.len() as u32,
+                }
             });
             decisive_spans.push(span);
             subspaces.push(g.subspace);
@@ -683,63 +710,101 @@ impl CubeIndex {
             if !g.subspace.is_empty() {
                 buckets[g.subspace.len() - 1].push(gi as u32);
             }
-            for &m in &g.members {
-                freq_by_obj[m as usize] += covered[gi];
-            }
         }
 
-        let mut bucket_suffix = vec![0usize; dims + 1];
+        let mut bucket_suffix = vec![0u64; dims + 1];
         for k in (0..dims).rev() {
-            bucket_suffix[k] = bucket_suffix[k + 1] + buckets[k].len();
+            bucket_suffix[k] = bucket_suffix[k + 1] + buckets[k].len() as u64;
         }
         bucket_suffix.truncate(dims.max(1));
 
-        let mut obj_group_offsets = Vec::with_capacity(n + 1);
-        let mut counts = vec![0usize; n];
-        for g in groups {
-            for &m in &g.members {
-                counts[m as usize] += 1;
-            }
-        }
-        obj_group_offsets.push(0);
-        for &c in &counts {
-            obj_group_offsets.push(obj_group_offsets.last().unwrap() + c);
-        }
-        let mut obj_groups = vec![0u32; *obj_group_offsets.last().unwrap()];
-        let mut cursor = obj_group_offsets.clone();
-        for (gi, g) in groups.iter().enumerate() {
-            for &m in &g.members {
-                obj_groups[cursor[m as usize]] = gi as u32;
-                cursor[m as usize] += 1;
-            }
+        // Flatten the per-dimension and per-popcount lists into CSR pairs —
+        // the flat shape is both the section layout and the query layout.
+        let (posting_offsets, postings) = flatten_csr(&postings);
+        let (bucket_offsets, buckets) = flatten_csr(&buckets);
+
+        // The decisive posting map becomes sorted keys plus a CSR; lookups
+        // binary-search the key column.
+        let mut decisive_keys: Vec<DimMask> = decisive_postings.keys().copied().collect();
+        decisive_keys.sort_unstable();
+        let mut decisive_list_offsets = Vec::with_capacity(decisive_keys.len() + 1);
+        let mut decisive_lists = Vec::new();
+        decisive_list_offsets.push(0u64);
+        for c in &decisive_keys {
+            decisive_lists.extend_from_slice(&decisive_postings[c]);
+            decisive_list_offsets.push(decisive_lists.len() as u64);
         }
 
-        let mut freq_ranked: Vec<(ObjId, u64)> = freq_by_obj
+        // The object tables are sparse: keyed by the objects that appear in
+        // at least one group (the union of the subspace skylines), so their
+        // size tracks the compressed cube rather than the dataset.
+        let mut active_objs: Vec<ObjId> = members.clone();
+        active_objs.sort_unstable();
+        active_objs.dedup();
+        let slot = |o: ObjId| {
+            active_objs
+                .binary_search(&o)
+                .expect("every member is active")
+        };
+        let mut counts = vec![0usize; active_objs.len()];
+        let mut active_freq = vec![0u64; active_objs.len()];
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in &g.members {
+                let i = slot(m);
+                counts[i] += 1;
+                active_freq[i] += covered[gi];
+            }
+        }
+        let mut active_offsets = Vec::with_capacity(active_objs.len() + 1);
+        active_offsets.push(0usize);
+        for &c in &counts {
+            active_offsets.push(active_offsets.last().unwrap() + c);
+        }
+        let mut obj_groups = vec![0u32; *active_offsets.last().unwrap()];
+        let mut cursor = active_offsets.clone();
+        for (gi, g) in groups.iter().enumerate() {
+            for &m in &g.members {
+                let i = slot(m);
+                obj_groups[cursor[i]] = gi as u32;
+                cursor[i] += 1;
+            }
+        }
+        let active_offsets: Vec<u64> = active_offsets.iter().map(|&o| o as u64).collect();
+
+        let mut freq_ranked: Vec<(ObjId, u64)> = active_objs
             .iter()
-            .enumerate()
+            .zip(&active_freq)
             .filter(|&(_, &f)| f > 0)
-            .map(|(o, &f)| (o as ObjId, f))
+            .map(|(&o, &f)| (o, f))
             .collect();
         freq_ranked.sort_unstable_by_key(|&(o, f)| (Reverse(f), o));
+        let freq_rank_obj: Vec<ObjId> = freq_ranked.iter().map(|&(o, _)| o).collect();
+        let freq_rank_count: Vec<u64> = freq_ranked.iter().map(|&(_, f)| f).collect();
 
         CubeIndex {
             dims,
             num_objects: n,
-            members,
-            member_offsets,
-            decisive_pool,
-            decisive_spans,
-            subspaces,
-            min_decisive_len,
-            postings,
-            decisive_postings,
-            buckets,
-            bucket_suffix,
-            obj_groups,
-            obj_group_offsets,
-            freq_by_obj,
-            freq_ranked,
-            covered,
+            members: members.into(),
+            member_offsets: member_offsets.into(),
+            decisive_pool: decisive_pool.into(),
+            decisive_spans: decisive_spans.into(),
+            subspaces: subspaces.into(),
+            min_decisive_len: min_decisive_len.into(),
+            posting_offsets: posting_offsets.into(),
+            postings: postings.into(),
+            decisive_keys: decisive_keys.into(),
+            decisive_list_offsets: decisive_list_offsets.into(),
+            decisive_lists: decisive_lists.into(),
+            bucket_offsets: bucket_offsets.into(),
+            buckets: buckets.into(),
+            bucket_suffix: bucket_suffix.into(),
+            obj_groups: obj_groups.into(),
+            active_objs: active_objs.into(),
+            active_offsets: active_offsets.into(),
+            active_freq: active_freq.into(),
+            freq_rank_obj: freq_rank_obj.into(),
+            freq_rank_count: freq_rank_count.into(),
+            covered: covered.into(),
             memo,
         }
     }
@@ -761,10 +826,19 @@ impl CubeIndex {
 
     /// Number of distinct interned decisive antichains.
     pub fn num_interned_antichains(&self) -> usize {
-        let mut spans: Vec<(u32, u32)> = self.decisive_spans.clone();
+        let mut spans: Vec<Span> = self.decisive_spans.to_vec();
         spans.sort_unstable();
         spans.dedup();
         spans.len()
+    }
+
+    /// Whether any storage section is still a zero-copy view into a loaded
+    /// artifact (as opposed to owned, possibly COW-promoted, memory).
+    pub fn is_loaded(&self) -> bool {
+        self.members.is_loaded()
+            || self.member_offsets.is_loaded()
+            || self.active_offsets.is_loaded()
+            || self.active_freq.is_loaded()
     }
 
     /// Lattice-memo counters (hit rates, occupancy, invalidations).
@@ -778,13 +852,56 @@ impl CubeIndex {
         self.memo.invalidate();
     }
 
-    fn member_run(&self, g: u32) -> &[ObjId] {
-        &self.members[self.member_offsets[g as usize]..self.member_offsets[g as usize + 1]]
+    pub(crate) fn member_run(&self, g: u32) -> &[ObjId] {
+        let s = self.member_offsets[g as usize] as usize;
+        let e = self.member_offsets[g as usize + 1] as usize;
+        &self.members[s..e]
     }
 
-    fn decisive_of(&self, g: u32) -> &[DimMask] {
-        let (s, l) = self.decisive_spans[g as usize];
-        &self.decisive_pool[s as usize..(s + l) as usize]
+    pub(crate) fn decisive_of(&self, g: u32) -> &[DimMask] {
+        let Span { start, len } = self.decisive_spans[g as usize];
+        &self.decisive_pool[start as usize..(start + len) as usize]
+    }
+
+    /// The maximal subspace `B` of group `g`.
+    pub(crate) fn subspace_of(&self, g: u32) -> DimMask {
+        self.subspaces[g as usize]
+    }
+
+    /// The ascending group ids object `o` belongs to. Objects absent from
+    /// the sparse active table belong to no group.
+    pub(crate) fn groups_of_obj(&self, o: ObjId) -> &[u32] {
+        match self.active_objs.binary_search(&o) {
+            Ok(i) => {
+                let s = self.active_offsets[i] as usize;
+                let e = self.active_offsets[i + 1] as usize;
+                &self.obj_groups[s..e]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// The posting list of dimension `d` (groups whose `B` contains `d`).
+    fn posting(&self, d: usize) -> &[u32] {
+        let s = self.posting_offsets[d] as usize;
+        let e = self.posting_offsets[d + 1] as usize;
+        &self.postings[s..e]
+    }
+
+    /// The popcount bucket `k` (groups with `|B| = k + 1`).
+    fn bucket(&self, k: usize) -> &[u32] {
+        let s = self.bucket_offsets[k] as usize;
+        let e = self.bucket_offsets[k + 1] as usize;
+        &self.buckets[s..e]
+    }
+
+    /// The decisive posting list of subspace `c`, if any group has `c` in
+    /// its antichain — a binary search over the sorted key column.
+    fn decisive_list(&self, c: DimMask) -> Option<&[u32]> {
+        let i = self.decisive_keys.binary_search(&c).ok()?;
+        let s = self.decisive_list_offsets[i] as usize;
+        let e = self.decisive_list_offsets[i + 1] as usize;
+        Some(&self.decisive_lists[s..e])
     }
 
     /// Whether some decisive subspace of `g` fits inside `space` (the
@@ -874,7 +991,7 @@ impl CubeIndex {
             }
             let epoch = scratch.epoch;
             for c in space.subsets() {
-                if let Some(list) = self.decisive_postings.get(&c) {
+                if let Some(list) = self.decisive_list(c) {
                     for &g in list {
                         probe.candidates += 1;
                         if scratch.seen[g as usize] != epoch {
@@ -896,13 +1013,13 @@ impl CubeIndex {
         } else {
             let shortest = space
                 .iter()
-                .map(|d| &self.postings[d])
+                .map(|d| self.posting(d))
                 .min_by_key(|p| p.len())
                 .expect("non-empty subspace");
-            let via_buckets = self.bucket_suffix.get(k - 1).copied().unwrap_or(0);
+            let via_buckets = self.bucket_suffix.get(k - 1).copied().unwrap_or(0) as usize;
             if via_buckets < shortest.len() {
-                for bucket in &self.buckets[k - 1..] {
-                    for &g in bucket {
+                for kk in (k - 1)..self.dims {
+                    for &g in self.bucket(kk) {
                         probe.candidates += 1;
                         if self.covers(g, space, k) {
                             scratch.groups.push(g);
@@ -997,8 +1114,8 @@ impl CubeIndex {
         let mut total = 0usize;
         let mut max_len = 0usize;
         for &g in &scratch.groups {
-            let s = self.member_offsets[g as usize];
-            let e = self.member_offsets[g as usize + 1];
+            let s = self.member_offsets[g as usize] as usize;
+            let e = self.member_offsets[g as usize + 1] as usize;
             scratch.spans.push((s, e));
             total += e - s;
             max_len = max_len.max(e - s);
@@ -1074,7 +1191,7 @@ impl CubeIndex {
     /// Panics when `o` is out of range; see [`Self::try_is_skyline_in`].
     pub fn is_skyline_in(&self, o: ObjId, space: DimMask) -> bool {
         let k = space.len();
-        self.obj_groups[self.obj_group_offsets[o as usize]..self.obj_group_offsets[o as usize + 1]]
+        self.groups_of_obj(o)
             .iter()
             .any(|&g| self.covers(g, space, k))
     }
@@ -1095,20 +1212,33 @@ impl CubeIndex {
         Ok(self.is_skyline_in(o, space))
     }
 
-    /// The number of subspaces in which `o` is a skyline object — O(1) from
-    /// the precomputed per-object counts.
+    /// The number of subspaces in which `o` is a skyline object —
+    /// O(log active) from the precomputed sparse per-object counts; objects
+    /// in no group count zero.
     ///
     /// # Panics
     /// Panics when `o` is out of range; see [`Self::try_membership_count`].
     pub fn membership_count(&self, o: ObjId) -> u64 {
-        self.freq_by_obj[o as usize]
+        assert!(
+            (o as usize) < self.num_objects,
+            "object {o} beyond the {}-object dataset",
+            self.num_objects
+        );
+        self.active_freq_of(o)
     }
 
     /// Checked [`Self::membership_count`]: validates the object id instead
     /// of panicking.
     pub fn try_membership_count(&self, o: ObjId) -> Result<u64, QueryError> {
         self.check_object(o)?;
-        Ok(self.freq_by_obj[o as usize])
+        Ok(self.active_freq_of(o))
+    }
+
+    fn active_freq_of(&self, o: ObjId) -> u64 {
+        match self.active_objs.binary_search(&o) {
+            Ok(i) => self.active_freq[i],
+            Err(_) => 0,
+        }
     }
 
     fn check_object(&self, o: ObjId) -> Result<(), QueryError> {
@@ -1125,7 +1255,7 @@ impl CubeIndex {
     /// The membership intervals of `o` as borrowed `(decisive, maximal)`
     /// pairs into the interned pool.
     pub fn membership_intervals(&self, o: ObjId) -> Vec<(&[DimMask], DimMask)> {
-        self.obj_groups[self.obj_group_offsets[o as usize]..self.obj_group_offsets[o as usize + 1]]
+        self.groups_of_obj(o)
             .iter()
             .map(|&g| (self.decisive_of(g), self.subspaces[g as usize]))
             .collect()
@@ -1134,8 +1264,542 @@ impl CubeIndex {
     /// The `k` most frequent subspace-skyline objects, count descending and
     /// ties by ascending id — O(k) from the precomputed ranking.
     pub fn top_k_frequent(&self, k: usize) -> Vec<(ObjId, u64)> {
-        self.freq_ranked[..k.min(self.freq_ranked.len())].to_vec()
+        let k = k.min(self.freq_rank_obj.len());
+        self.freq_rank_obj[..k]
+            .iter()
+            .zip(&self.freq_rank_count[..k])
+            .map(|(&o, &f)| (o, f))
+            .collect()
     }
+}
+
+/// Stable section identifiers of the binary artifact format. Ids are never
+/// reused; layout changes bump the format version instead.
+pub(crate) mod section_id {
+    /// Concatenated member runs (`u32`).
+    pub const MEMBERS: u32 = 1;
+    /// Member-run CSR offsets (`u64`).
+    pub const MEMBER_OFFSETS: u32 = 2;
+    /// Interned decisive antichain pool (`DimMask`).
+    pub const DECISIVE_POOL: u32 = 3;
+    /// Per-group spans into the pool (`Span`).
+    pub const DECISIVE_SPANS: u32 = 4;
+    /// Per-group maximal subspaces (`DimMask`).
+    pub const SUBSPACES: u32 = 5;
+    /// Per-group smallest decisive size (`u8`).
+    pub const MIN_DECISIVE_LEN: u32 = 6;
+    /// Per-dimension posting CSR offsets (`u64`).
+    pub const POSTING_OFFSETS: u32 = 7;
+    /// Per-dimension posting lists (`u32`).
+    pub const POSTINGS: u32 = 8;
+    /// Sorted distinct decisive subspaces (`DimMask`).
+    pub const DECISIVE_KEYS: u32 = 9;
+    /// Decisive posting CSR offsets (`u64`).
+    pub const DECISIVE_LIST_OFFSETS: u32 = 10;
+    /// Decisive posting lists (`u32`).
+    pub const DECISIVE_LISTS: u32 = 11;
+    /// Popcount bucket CSR offsets (`u64`).
+    pub const BUCKET_OFFSETS: u32 = 12;
+    /// Popcount buckets (`u32`).
+    pub const BUCKETS: u32 = 13;
+    /// Bucket suffix counts (`u64`).
+    pub const BUCKET_SUFFIX: u32 = 14;
+    /// Object → group sparse CSR values (`u32`).
+    pub const OBJ_GROUPS: u32 = 15;
+    /// Sparse object → group CSR offsets, per active object (`u64`).
+    pub const ACTIVE_OFFSETS: u32 = 16;
+    /// Membership counts per active object (`u64`).
+    pub const ACTIVE_FREQ: u32 = 17;
+    /// Frequency ranking, object column (`u32`).
+    pub const FREQ_RANK_OBJ: u32 = 18;
+    /// Frequency ranking, count column (`u64`).
+    pub const FREQ_RANK_COUNT: u32 = 19;
+    /// Per-group covered-subspace counts (`u64`).
+    pub const COVERED: u32 = 20;
+    /// Cube seed objects (`u32`) — written by the cube layer, not the index.
+    pub const SEEDS: u32 = 21;
+    /// Sorted ascending active objects — those in at least one group
+    /// (`u32`), the keys of the sparse object tables.
+    pub const ACTIVE_OBJS: u32 = 22;
+
+    /// Human-readable name for corruption diagnostics.
+    pub fn name(id: u32) -> &'static str {
+        match id {
+            MEMBERS => "members",
+            MEMBER_OFFSETS => "member_offsets",
+            DECISIVE_POOL => "decisive_pool",
+            DECISIVE_SPANS => "decisive_spans",
+            SUBSPACES => "subspaces",
+            MIN_DECISIVE_LEN => "min_decisive_len",
+            POSTING_OFFSETS => "posting_offsets",
+            POSTINGS => "postings",
+            DECISIVE_KEYS => "decisive_keys",
+            DECISIVE_LIST_OFFSETS => "decisive_list_offsets",
+            DECISIVE_LISTS => "decisive_lists",
+            BUCKET_OFFSETS => "bucket_offsets",
+            BUCKETS => "buckets",
+            BUCKET_SUFFIX => "bucket_suffix",
+            OBJ_GROUPS => "obj_groups",
+            ACTIVE_OFFSETS => "active_offsets",
+            ACTIVE_FREQ => "active_freq",
+            FREQ_RANK_OBJ => "freq_rank_obj",
+            FREQ_RANK_COUNT => "freq_rank_count",
+            COVERED => "covered",
+            SEEDS => "seeds",
+            ACTIVE_OBJS => "active_objs",
+            _ => "unknown",
+        }
+    }
+}
+
+/// Structured corruption error for the binary load path (no line numbers in
+/// a binary artifact; `line` 0 means "not line-oriented").
+pub(crate) fn corrupt(what: impl Into<String>) -> Error {
+    Error::Corrupt {
+        line: 0,
+        what: what.into(),
+    }
+}
+
+/// Extract one typed section, naming the section in the failure.
+fn load_section<T: skycube_types::Pod>(store: &SectionStore, id: u32) -> Result<Section<T>, Error> {
+    store
+        .section::<T>(id)
+        .map_err(|(id, e)| corrupt(format!("section {}: {e}", section_id::name(id))))
+}
+
+/// `offsets` must be a CSR offset column: `buckets + 1` entries, starting at
+/// 0, monotone non-decreasing, ending at `total`.
+fn check_offsets(offsets: &[u64], buckets: usize, total: usize, what: &str) -> Result<(), Error> {
+    if offsets.len() != buckets + 1 {
+        return Err(corrupt(format!(
+            "section {what}: expected {} offsets, found {}",
+            buckets + 1,
+            offsets.len()
+        )));
+    }
+    if offsets[0] != 0 {
+        return Err(corrupt(format!("section {what}: first offset is not 0")));
+    }
+    if offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(corrupt(format!("section {what}: offsets are not monotone")));
+    }
+    if offsets[buckets] != total as u64 {
+        return Err(corrupt(format!(
+            "section {what}: final offset {} does not match the {total}-element value column",
+            offsets[buckets]
+        )));
+    }
+    Ok(())
+}
+
+impl CubeIndex {
+    /// Serialize every persistent section into `w` (the memo is transient
+    /// and rebuilt cold by the loader).
+    pub(crate) fn write_sections(&self, w: &mut SectionWriter) {
+        use section_id as id;
+        w.push(id::MEMBERS, &self.members);
+        w.push(id::MEMBER_OFFSETS, &self.member_offsets);
+        w.push(id::DECISIVE_POOL, &self.decisive_pool);
+        w.push(id::DECISIVE_SPANS, &self.decisive_spans);
+        w.push(id::SUBSPACES, &self.subspaces);
+        w.push(id::MIN_DECISIVE_LEN, &self.min_decisive_len);
+        w.push(id::POSTING_OFFSETS, &self.posting_offsets);
+        w.push(id::POSTINGS, &self.postings);
+        w.push(id::DECISIVE_KEYS, &self.decisive_keys);
+        w.push(id::DECISIVE_LIST_OFFSETS, &self.decisive_list_offsets);
+        w.push(id::DECISIVE_LISTS, &self.decisive_lists);
+        w.push(id::BUCKET_OFFSETS, &self.bucket_offsets);
+        w.push(id::BUCKETS, &self.buckets);
+        w.push(id::BUCKET_SUFFIX, &self.bucket_suffix);
+        w.push(id::OBJ_GROUPS, &self.obj_groups);
+        w.push(id::ACTIVE_OBJS, &self.active_objs);
+        w.push(id::ACTIVE_OFFSETS, &self.active_offsets);
+        w.push(id::ACTIVE_FREQ, &self.active_freq);
+        w.push(id::FREQ_RANK_OBJ, &self.freq_rank_obj);
+        w.push(id::FREQ_RANK_COUNT, &self.freq_rank_count);
+        w.push(id::COVERED, &self.covered);
+    }
+
+    /// Assemble a zero-copy index from a validated [`SectionStore`] — the
+    /// binary load path. No structure is rebuilt: every array is a borrowed
+    /// view, and [`Self::validate_loaded`] re-establishes every invariant
+    /// the query paths rely on (the same ones `read_cube` checks for the
+    /// text format, plus the index-level cross-structure ones).
+    pub(crate) fn from_store(
+        store: &SectionStore,
+        dims: usize,
+        num_objects: usize,
+        num_groups: usize,
+    ) -> Result<CubeIndex, Error> {
+        use section_id as id;
+        let ix = CubeIndex {
+            dims,
+            num_objects,
+            members: load_section(store, id::MEMBERS)?,
+            member_offsets: load_section(store, id::MEMBER_OFFSETS)?,
+            decisive_pool: load_section(store, id::DECISIVE_POOL)?,
+            decisive_spans: load_section(store, id::DECISIVE_SPANS)?,
+            subspaces: load_section(store, id::SUBSPACES)?,
+            min_decisive_len: load_section(store, id::MIN_DECISIVE_LEN)?,
+            posting_offsets: load_section(store, id::POSTING_OFFSETS)?,
+            postings: load_section(store, id::POSTINGS)?,
+            decisive_keys: load_section(store, id::DECISIVE_KEYS)?,
+            decisive_list_offsets: load_section(store, id::DECISIVE_LIST_OFFSETS)?,
+            decisive_lists: load_section(store, id::DECISIVE_LISTS)?,
+            bucket_offsets: load_section(store, id::BUCKET_OFFSETS)?,
+            buckets: load_section(store, id::BUCKETS)?,
+            bucket_suffix: load_section(store, id::BUCKET_SUFFIX)?,
+            obj_groups: load_section(store, id::OBJ_GROUPS)?,
+            active_objs: load_section(store, id::ACTIVE_OBJS)?,
+            active_offsets: load_section(store, id::ACTIVE_OFFSETS)?,
+            active_freq: load_section(store, id::ACTIVE_FREQ)?,
+            freq_rank_obj: load_section(store, id::FREQ_RANK_OBJ)?,
+            freq_rank_count: load_section(store, id::FREQ_RANK_COUNT)?,
+            covered: load_section(store, id::COVERED)?,
+            memo: LatticeMemo::default(),
+        };
+        ix.validate_loaded(num_groups)?;
+        Ok(ix)
+    }
+
+    /// Structural validation of a loaded index: per-group invariants
+    /// (normalized member runs, decisive ⊆ subspace ⊆ full space), CSR
+    /// shape checks, and cursor-walk cross-checks that tie every derived
+    /// structure (postings, buckets, decisive lists, object CSR, frequency
+    /// counts and ranking) back to the group tables in one linear pass.
+    fn validate_loaded(&self, num_groups: usize) -> Result<(), Error> {
+        let dims = self.dims;
+        let n = self.num_objects;
+        if dims == 0 || dims > MAX_DIMS {
+            return Err(corrupt(format!("dims {dims} out of range 1..={MAX_DIMS}")));
+        }
+        let full = DimMask::full(dims);
+        if self.subspaces.len() != num_groups
+            || self.decisive_spans.len() != num_groups
+            || self.min_decisive_len.len() != num_groups
+            || self.covered.len() != num_groups
+        {
+            return Err(corrupt(
+                "group-indexed sections disagree on the group count",
+            ));
+        }
+        check_offsets(
+            &self.member_offsets,
+            num_groups,
+            self.members.len(),
+            "member_offsets",
+        )?;
+        check_offsets(
+            &self.posting_offsets,
+            dims,
+            self.postings.len(),
+            "posting_offsets",
+        )?;
+        check_offsets(
+            &self.bucket_offsets,
+            dims,
+            self.buckets.len(),
+            "bucket_offsets",
+        )?;
+        check_offsets(
+            &self.decisive_list_offsets,
+            self.decisive_keys.len(),
+            self.decisive_lists.len(),
+            "decisive_list_offsets",
+        )?;
+        check_offsets(
+            &self.active_offsets,
+            self.active_objs.len(),
+            self.obj_groups.len(),
+            "active_offsets",
+        )?;
+        if self.active_objs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt("section active_objs: not strictly ascending"));
+        }
+        if self.active_objs.last().is_some_and(|&o| o as usize >= n) {
+            return Err(corrupt(format!(
+                "section active_objs: object beyond the {n}-object dataset"
+            )));
+        }
+        if self.active_offsets.windows(2).any(|w| w[0] == w[1]) {
+            return Err(corrupt(
+                "section active_offsets: active object belongs to no group",
+            ));
+        }
+        if self.active_freq.len() != self.active_objs.len() {
+            return Err(corrupt("section active_freq: wrong length"));
+        }
+        if self.decisive_keys.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(corrupt("section decisive_keys: not strictly ascending"));
+        }
+        if self.decisive_list_offsets.windows(2).any(|w| w[0] == w[1]) {
+            return Err(corrupt("section decisive_lists: empty posting list"));
+        }
+        if self.bucket_suffix.len() != dims.max(1) {
+            return Err(corrupt("section bucket_suffix: wrong length"));
+        }
+        let bucket_total = self.bucket_offsets[dims];
+        for k in 0..dims {
+            if self.bucket_suffix[k] != bucket_total - self.bucket_offsets[k] {
+                return Err(corrupt(format!(
+                    "section bucket_suffix: entry {k} disagrees with the bucket layout"
+                )));
+            }
+        }
+        // Cursor walks: re-derive the exact sequence every posting-style
+        // structure must contain by walking the groups once, comparing
+        // in-place — O(total index size), no allocation beyond the cursors.
+        // Hoist each section to a plain slice once: the walks below index
+        // them hundreds of thousands of times, and every `Section` deref
+        // re-matches the Owned/Loaded variant.
+        let subspaces = &*self.subspaces;
+        let member_offsets = &*self.member_offsets;
+        let members = &*self.members;
+        let decisive_spans = &*self.decisive_spans;
+        let decisive_pool = &*self.decisive_pool;
+        let min_decisive_len = &*self.min_decisive_len;
+        let covered = &*self.covered;
+        let decisive_keys = &*self.decisive_keys;
+        let decisive_list_offsets = &*self.decisive_list_offsets;
+        let decisive_lists = &*self.decisive_lists;
+        let posting_offsets = &*self.posting_offsets;
+        let postings = &*self.postings;
+        let bucket_offsets = &*self.bucket_offsets;
+        let buckets = &*self.buckets;
+        let active_objs = &*self.active_objs;
+        let active_offsets = &*self.active_offsets;
+        let active_freq = &*self.active_freq;
+        let obj_groups = &*self.obj_groups;
+        let mut pcur: Vec<usize> = (0..dims).map(|d| posting_offsets[d] as usize).collect();
+        let mut bcur: Vec<usize> = (0..dims).map(|k| bucket_offsets[k] as usize).collect();
+        let mut dcur: Vec<usize> = (0..decisive_keys.len())
+            .map(|i| decisive_list_offsets[i] as usize)
+            .collect();
+        for gi in 0..num_groups {
+            let b = subspaces[gi];
+            if b.is_empty() || !b.is_subset_of(full) {
+                return Err(corrupt(format!(
+                    "group {gi}: maximal subspace outside the {dims}-dimensional full space"
+                )));
+            }
+            // The member run's ordering and bounds need no scan here: the
+            // object-major merge walk below consumes every run strictly in
+            // visiting order of the ascending active objects (all < n), so
+            // a run that is not ascending, repeats, or strays outside the
+            // active table cannot survive it. Only emptiness is invisible
+            // to that walk.
+            if member_offsets[gi] == member_offsets[gi + 1] {
+                return Err(corrupt(format!("group {gi}: empty member run")));
+            }
+            let Span { start, len } = decisive_spans[gi];
+            let (s, e) = (start as usize, start as usize + len as usize);
+            if len == 0 || e > decisive_pool.len() {
+                return Err(corrupt(format!(
+                    "group {gi}: decisive span outside the interned pool"
+                )));
+            }
+            let decisive = &decisive_pool[s..e];
+            if decisive.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt(format!(
+                    "group {gi}: decisive antichain not strictly ascending"
+                )));
+            }
+            let mut min_len = usize::MAX;
+            for &c in decisive {
+                if c.is_empty() || !c.is_subset_of(b) {
+                    return Err(corrupt(format!(
+                        "group {gi}: decisive subspace not within the maximal subspace"
+                    )));
+                }
+                min_len = min_len.min(c.len());
+                let ki = self
+                    .decisive_keys
+                    .binary_search(&c)
+                    .map_err(|_| corrupt(format!("group {gi}: decisive {c} missing from keys")))?;
+                if dcur[ki] >= decisive_list_offsets[ki + 1] as usize
+                    || decisive_lists[dcur[ki]] != gi as u32
+                {
+                    return Err(corrupt(format!(
+                        "section decisive_lists: list for {c} does not enumerate its groups"
+                    )));
+                }
+                dcur[ki] += 1;
+            }
+            if min_decisive_len[gi] as usize != min_len {
+                return Err(corrupt(format!(
+                    "group {gi}: min_decisive_len disagrees with the antichain"
+                )));
+            }
+            let cov = covered[gi];
+            if cov == 0 || cov > 1u64 << b.len() {
+                return Err(corrupt(format!(
+                    "group {gi}: covered-subspace count {cov} outside 1..=2^|B|"
+                )));
+            }
+            for d in b.iter() {
+                if pcur[d] >= posting_offsets[d + 1] as usize || postings[pcur[d]] != gi as u32 {
+                    return Err(corrupt(format!(
+                        "section postings: list for dimension {d} does not enumerate its groups"
+                    )));
+                }
+                pcur[d] += 1;
+            }
+            let k = b.len() - 1;
+            if bcur[k] >= bucket_offsets[k + 1] as usize || buckets[bcur[k]] != gi as u32 {
+                return Err(corrupt(format!(
+                    "section buckets: bucket {k} does not enumerate its groups"
+                )));
+            }
+            bcur[k] += 1;
+        }
+        for d in 0..dims {
+            if pcur[d] != posting_offsets[d + 1] as usize {
+                return Err(corrupt(format!(
+                    "section postings: extra entries for dimension {d}"
+                )));
+            }
+            if bcur[d] != bucket_offsets[d + 1] as usize {
+                return Err(corrupt(format!(
+                    "section buckets: extra entries in bucket {d}"
+                )));
+            }
+        }
+        for ki in 0..decisive_keys.len() {
+            if dcur[ki] != decisive_list_offsets[ki + 1] as usize {
+                return Err(corrupt("section decisive_lists: extra entries"));
+            }
+        }
+        // Cross-check the sparse object CSR against the member runs in one
+        // merge walk, no per-reference searches: obj_groups lists ascending
+        // group ids per object, and visiting the active objects in
+        // ascending id order visits each group's members in exactly
+        // member-run order — one cursor per group ties every obj_groups
+        // entry to its member occurrence, and the run-exhaustion check at
+        // the end ties every member back to an obj_groups entry.
+        let mut mcur: Vec<usize> = (0..num_groups)
+            .map(|g| member_offsets[g] as usize)
+            .collect();
+        for i in 0..active_objs.len() {
+            let o = active_objs[i];
+            let s = active_offsets[i] as usize;
+            let e = active_offsets[i + 1] as usize;
+            let list = &obj_groups[s..e];
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(corrupt(format!(
+                    "section obj_groups: groups of object {o} not strictly ascending"
+                )));
+            }
+            let mut freq = 0u64;
+            for &g in list {
+                let gi = g as usize;
+                if gi >= num_groups {
+                    return Err(corrupt(format!(
+                        "section obj_groups: object {o} references group {g} out of range"
+                    )));
+                }
+                if mcur[gi] >= member_offsets[gi + 1] as usize || members[mcur[gi]] != o {
+                    return Err(corrupt(format!(
+                        "section obj_groups: object {o} is not the next member of group {g}"
+                    )));
+                }
+                mcur[gi] += 1;
+                freq = freq
+                    .checked_add(covered[gi])
+                    .ok_or_else(|| corrupt("section active_freq: count overflow"))?;
+            }
+            if freq != active_freq[i] {
+                return Err(corrupt(format!(
+                    "section active_freq: object {o} disagrees with the covered counts"
+                )));
+            }
+        }
+        for gi in 0..num_groups {
+            if mcur[gi] != member_offsets[gi + 1] as usize {
+                return Err(corrupt(format!(
+                    "section obj_groups: group {gi} has members missing from the object table"
+                )));
+            }
+        }
+
+        // The frequency ranking: strictly ordered by (count desc, id asc),
+        // consistent with active_freq, and covering exactly the objects
+        // with a positive count. Pairwise consistency is established by a
+        // multiset fingerprint rather than a per-entry lookup: both sides
+        // have the same length, the ranking's strict order makes its
+        // entries distinct, so equal sums of a mixed (object, count) hash
+        // mean the ranking is a permutation of the positive active rows.
+        // Random access over the rank would cost a binary search per entry;
+        // the fingerprint is two sequential passes.
+        if self.freq_rank_obj.len() != self.freq_rank_count.len() {
+            return Err(corrupt("section freq_rank: column lengths disagree"));
+        }
+        let mut positives = 0usize;
+        let mut want_print = 0u64;
+        for (&o, &f) in active_objs.iter().zip(active_freq.iter()) {
+            if f > 0 {
+                positives += 1;
+                want_print = want_print.wrapping_add(pair_fingerprint(o, f));
+            }
+        }
+        if self.freq_rank_obj.len() != positives {
+            return Err(corrupt(format!(
+                "section freq_rank: {} entries but {positives} objects have positive counts",
+                self.freq_rank_obj.len()
+            )));
+        }
+        let mut got_print = 0u64;
+        for i in 0..self.freq_rank_obj.len() {
+            let o = self.freq_rank_obj[i];
+            let f = self.freq_rank_count[i];
+            if (o as usize) >= n || f == 0 {
+                return Err(corrupt(format!(
+                    "section freq_rank: entry {i} disagrees with active_freq"
+                )));
+            }
+            got_print = got_print.wrapping_add(pair_fingerprint(o, f));
+            if i > 0 {
+                let (po, pf) = (self.freq_rank_obj[i - 1], self.freq_rank_count[i - 1]);
+                if !(pf > f || (pf == f && po < o)) {
+                    return Err(corrupt(format!(
+                        "section freq_rank: entry {i} breaks the (count desc, id asc) order"
+                    )));
+                }
+            }
+        }
+        if got_print != want_print {
+            return Err(corrupt(
+                "section freq_rank: entries disagree with active_freq",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Mix an (object, count) pair into a 64-bit value whose wrapping sum acts
+/// as an order-independent multiset fingerprint (splitmix64 finalizer).
+/// Used by load validation to cross-check the frequency ranking against the
+/// active table in two sequential passes instead of a lookup per entry.
+fn pair_fingerprint(o: ObjId, f: u64) -> u64 {
+    let mut z = (o as u64)
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(f);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Flatten a `Vec<Vec<u32>>` into the `(offsets, values)` CSR pair the
+/// section layout stores.
+fn flatten_csr(lists: &[Vec<u32>]) -> (Vec<u64>, Vec<u32>) {
+    let mut offsets = Vec::with_capacity(lists.len() + 1);
+    let mut values = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+    offsets.push(0u64);
+    for list in lists {
+        values.extend_from_slice(list);
+        offsets.push(values.len() as u64);
+    }
+    (offsets, values)
 }
 
 /// Pick the merge route for ≥ 3 runs from the run shape; see the module

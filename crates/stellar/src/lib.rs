@@ -58,7 +58,10 @@ pub use index::{
 pub use lattice::{diff_groups, quotient_map, GroupDelta, GroupLattice};
 pub use maintenance::{MaintenanceDelta, MaintenanceStats, StellarEngine, TouchedGroup};
 pub use matrices::SeedView;
-pub use persist::{load_cube, read_cube, save_cube, write_cube};
+pub use persist::{
+    load_cube, read_cube, read_cube_binary, read_cube_text, save_cube, save_cube_binary,
+    write_cube, write_cube_binary,
+};
 pub use seeds::{seed_skyline_groups, seed_skyline_groups_par, SeedGroup};
 pub use skycube_parallel::Parallelism;
 pub use transversal::{minimize_antichain, ClauseSet};

@@ -240,6 +240,43 @@ impl StellarEngine {
         engine
     }
 
+    /// Adopt an already-materialized `cube` for `ds` instead of computing
+    /// one — the reopen path for cubes loaded from disk. The cube keeps
+    /// whatever it has (for a binary-loaded cube, its zero-copy serving
+    /// index), so no pipeline runs here; the seed-lattice cache needed by
+    /// the fast maintenance paths is built lazily on the first mutation
+    /// that can use it, and splices the loaded index in place rather than
+    /// dropping it.
+    ///
+    /// Fails with a structured error when the cube does not describe `ds`
+    /// (dimensionality or object-count mismatch).
+    pub fn with_cube(ds: &Dataset, cube: CompressedSkylineCube, runner: Stellar) -> Result<Self> {
+        if cube.dims() != ds.dims() || cube.num_objects() != ds.len() {
+            return Err(skycube_types::Error::Corrupt {
+                line: 0,
+                what: format!(
+                    "cube does not match dataset: cube is {} objects × {} dims, \
+                     data is {} objects × {} dims",
+                    cube.num_objects(),
+                    cube.dims(),
+                    ds.len(),
+                    ds.dims()
+                ),
+            });
+        }
+        let rows: Vec<Vec<Value>> = ds.ids().map(|o| ds.row(o).to_vec()).collect();
+        Ok(StellarEngine {
+            runner,
+            rows,
+            dims: ds.dims(),
+            cube,
+            cached: None,
+            stats: MaintenanceStats::default(),
+            generation: 0,
+            last_delta: None,
+        })
+    }
+
     /// The current cube.
     pub fn cube(&self) -> &CompressedSkylineCube {
         &self.cube
@@ -310,6 +347,12 @@ impl StellarEngine {
         }
         let id = self.rows.len() as ObjId;
         let dominated = self.strictly_dominated(&row);
+        if dominated {
+            // An adopted (loaded) cube starts without the seed-lattice
+            // cache; build it from the pre-insert rows so the fast path —
+            // and the in-place splice of the loaded index — applies.
+            self.ensure_cache();
+        }
         self.rows.push(row);
         self.generation += 1;
         if dominated && self.cached.is_some() {
@@ -341,6 +384,12 @@ impl StellarEngine {
             });
         }
         let was_seed = self.cube.seeds().binary_search(&id).is_ok();
+        if !was_seed {
+            // Warm the seed-lattice cache BEFORE removing the row: the
+            // cache describes the pre-delete dataset (the fast path itself
+            // unbinds the removed row from it).
+            self.ensure_cache();
+        }
         let row = self.rows.remove(id as usize);
         self.generation += 1;
         if self.rows.is_empty() || was_seed || self.cached.is_none() {
@@ -609,35 +658,59 @@ impl StellarEngine {
     /// Full pipeline, refreshing the cached seed lattice and the per-chunk
     /// extension cache.
     fn recompute(&mut self) {
-        let ds = self.dataset();
-        if ds.is_empty() {
+        if self.rows.is_empty() {
             self.cube = CompressedSkylineCube::new(self.dims, 0, Vec::new(), Vec::new());
             self.cached = None;
             return;
         }
+        let cached = self.build_cache();
+        let groups_bound: Vec<SkylineGroup> = cached.ext.iter().flatten().cloned().collect();
+        self.cube = assemble(
+            self.dims,
+            self.rows.len(),
+            &cached.seeds_bound,
+            groups_bound,
+            &cached.reps,
+        );
+        self.cached = Some(cached);
+    }
+
+    /// Build the seed-lattice cache from the current rows if it is absent —
+    /// the lazy half of adopting a loaded cube ([`Self::with_cube`]): the
+    /// cube itself (and its index) is taken on trust from the load-time
+    /// validation, only the fast-path working state is recomputed, and only
+    /// when a mutation first needs it.
+    fn ensure_cache(&mut self) {
+        if self.cached.is_none() && !self.rows.is_empty() {
+            self.cached = Some(self.build_cache());
+        }
+    }
+
+    /// Run pipeline steps 1–5 over the current rows, producing the cached
+    /// seed lattice (with per-chunk extension outputs) and touching neither
+    /// the cube nor the counters.
+    fn build_cache(&self) -> CachedSeedLattice {
+        let ds = self.dataset();
         let (bound, reps) = ds.bind_duplicates();
         let seeds_bound = self.runner.algorithm().run(&bound, bound.full_space());
         let view = SeedView::new(&bound, seeds_bound.clone());
         let seed_groups = seed_skyline_groups(&view);
         let ctx = ExtensionContext::new(&view);
         let mut ext: Vec<Vec<SkylineGroup>> = Vec::with_capacity(seed_groups.len());
-        let mut groups_bound: Vec<SkylineGroup> = Vec::new();
         for sg in &seed_groups {
             let mut chunk = Vec::new();
             ctx.extend_group(&view, sg, &mut chunk);
-            groups_bound.extend(chunk.iter().cloned());
             ext.push(chunk);
         }
         drop(view);
-        self.cube = assemble(self.dims, ds.len(), &seeds_bound, groups_bound, &reps);
-        self.cached = Some(CachedSeedLattice {
+        CachedSeedLattice {
             bound,
             reps,
             seeds_bound,
             seed_groups,
             ext,
             ctx,
-        });
+        }
     }
 }
 
@@ -1002,6 +1075,64 @@ mod tests {
                 fresh.subspace_skyline(space),
                 "spliced index wrong in {space}"
             );
+        }
+    }
+
+    #[test]
+    fn adopted_loaded_cube_splices_instead_of_rebuilding() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let mut bytes = Vec::new();
+        crate::persist::write_cube_binary(&cube, &mut bytes).unwrap();
+        let loaded = crate::persist::read_cube_binary(&bytes).unwrap();
+        assert!(loaded.is_loaded() && loaded.index().is_loaded());
+        let mut engine = StellarEngine::with_cube(&ds, loaded, Stellar::new()).unwrap();
+        assert!(
+            engine.cube().has_index(),
+            "adoption dropped the loaded index"
+        );
+        // First mutation: dominated insert — lazily builds the seed-lattice
+        // cache, takes the fast path, and splices the *loaded* index.
+        engine.insert(vec![9, 9, 11, 9]).unwrap();
+        let stats = engine.maintenance_stats();
+        assert_eq!((stats.fast_inserts, stats.full()), (1, 0));
+        assert!(engine.cube().has_index(), "fast path dropped the index");
+        assert_cubes_equal(&engine);
+        // Non-seed delete stays on the fast path too.
+        engine.delete(0).unwrap();
+        let stats = engine.maintenance_stats();
+        assert_eq!((stats.fast_deletes, stats.full()), (1, 0));
+        assert_cubes_equal(&engine);
+    }
+
+    #[test]
+    fn adopted_cube_first_mutation_delete_warms_cache_before_removal() {
+        let ds = running_example();
+        let loaded = {
+            let mut bytes = Vec::new();
+            crate::persist::write_cube_binary(&compute_cube(&ds), &mut bytes).unwrap();
+            crate::persist::read_cube_binary(&bytes).unwrap()
+        };
+        let mut engine = StellarEngine::with_cube(&ds, loaded, Stellar::new()).unwrap();
+        // P1 (id 0) is a non-seed: the very first mutation is a delete, so
+        // the cache must be built from the pre-delete rows (including the
+        // row being removed) for the unbinding in the fast path to work.
+        engine.delete(0).unwrap();
+        let stats = engine.maintenance_stats();
+        assert_eq!((stats.fast_deletes, stats.full()), (1, 0));
+        assert_cubes_equal(&engine);
+    }
+
+    #[test]
+    fn with_cube_rejects_mismatched_dataset() {
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let other = Dataset::from_rows(4, vec![vec![1, 2, 3, 4]]).unwrap();
+        match StellarEngine::with_cube(&other, cube, Stellar::new()).map(|_| ()) {
+            Err(skycube_types::Error::Corrupt { what, .. }) => {
+                assert!(what.contains("does not match"), "message: {what}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
         }
     }
 

@@ -1,9 +1,8 @@
-//! Plain-text persistence for computed cubes, so a materialized compressed
-//! skyline cube can be stored next to its dataset and reloaded without
-//! recomputation — the materialize-once/query-many workflow the paper's
-//! query section assumes.
+//! The line-oriented text format (v1) — human-readable, diff-friendly, and
+//! unchanged since it was introduced; the zero-copy binary format lives in
+//! [`super::binary`].
 //!
-//! Format (line oriented, `#`-prefixed header):
+//! Format (`#`-prefixed header):
 //!
 //! ```text
 //! #skycube v1 dims=4 objects=5
@@ -18,8 +17,8 @@
 
 use crate::cube::CompressedSkylineCube;
 use skycube_types::{DimMask, Error, ObjId, Result, SkylineGroup};
+use std::collections::HashSet;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::path::Path;
 
 /// Serialize `cube` to a writer.
 pub fn write_cube<W: Write>(cube: &CompressedSkylineCube, w: W) -> Result<()> {
@@ -52,20 +51,17 @@ pub fn write_cube<W: Write>(cube: &CompressedSkylineCube, w: W) -> Result<()> {
     Ok(())
 }
 
-/// Serialize `cube` to a file.
-pub fn save_cube<P: AsRef<Path>>(cube: &CompressedSkylineCube, path: P) -> Result<()> {
-    write_cube(cube, std::fs::File::create(path)?)
-}
-
-/// Deserialize a cube from a reader.
+/// Deserialize a cube from text input.
 ///
 /// Beyond token-level parsing, every structural invariant the in-memory
 /// cube (and its [`crate::CubeIndex`]) relies on is validated here —
 /// member and seed ids within the object count, group subspaces inside the
-/// full space, decisive subspaces inside their group's subspace — so a
-/// truncated or garbled file yields a structured [`Error`], never a panic
-/// in downstream construction or querying.
-pub fn read_cube<R: Read>(r: R) -> Result<CompressedSkylineCube> {
+/// full space, decisive subspaces inside their group's subspace, and
+/// coincidence classes that actually partition (no object in two groups
+/// sharing a maximal subspace) — so a truncated or garbled file yields a
+/// structured [`Error`], never a panic in downstream construction or
+/// querying.
+pub fn read_cube_text<R: Read>(r: R) -> Result<CompressedSkylineCube> {
     let parse_err = |line: usize, token: &str| Error::Parse {
         line,
         token: token.to_string(),
@@ -118,8 +114,12 @@ pub fn read_cube<R: Read>(r: R) -> Result<CompressedSkylineCube> {
         seeds.push(s);
     }
 
-    // Groups.
+    // Groups. Within one maximal subspace the groups are coincidence
+    // classes, so their member sets must partition: an object listed twice
+    // under the same `B` (e.g. a duplicated `group` line) would silently
+    // double-count in `membership_count` and `skycube_size`.
     let mut groups: Vec<SkylineGroup> = Vec::new();
+    let mut claimed: HashSet<(DimMask, ObjId)> = HashSet::new();
     for (i, line) in lines {
         let line = line?;
         let lineno = i + 1;
@@ -167,20 +167,28 @@ pub fn read_cube<R: Read>(r: R) -> Result<CompressedSkylineCube> {
         if members.is_empty() {
             return Err(parse_err(lineno, "<no members>"));
         }
-        groups.push(SkylineGroup::new(members, subspace, decisive));
+        let g = SkylineGroup::new(members, subspace, decisive);
+        for &m in &g.members {
+            if !claimed.insert((subspace, m)) {
+                return Err(corrupt(
+                    lineno,
+                    format!(
+                        "object {m} already belongs to another group with maximal subspace \
+                         {subspace} (duplicate group line?)"
+                    ),
+                ));
+            }
+        }
+        groups.push(g);
     }
     Ok(CompressedSkylineCube::new(dims, objects, seeds, groups))
-}
-
-/// Deserialize a cube from a file.
-pub fn load_cube<P: AsRef<Path>>(path: P) -> Result<CompressedSkylineCube> {
-    read_cube(std::fs::File::open(path)?)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::compute_cube;
+    use crate::persist::{load_cube, read_cube, save_cube};
     use skycube_types::{normalize_groups, running_example};
 
     #[test]
@@ -242,6 +250,28 @@ mod tests {
         corrupt("#skycube v1 dims=2 objects=5\n#seeds 1\ngroup AD A 1\n");
         // Decisive subspace not inside its group's subspace.
         corrupt("#skycube v1 dims=4 objects=5\n#seeds 1\ngroup AD C 1\n");
+    }
+
+    #[test]
+    fn rejects_duplicate_member_within_maximal_subspace() {
+        use skycube_types::Error;
+        // A duplicated `group` line re-claims object 1 for subspace AD —
+        // coincidence classes under one maximal subspace must be disjoint.
+        let dup = "#skycube v1 dims=4 objects=5\n#seeds 1\n\
+                   group AD A 1 4\ngroup AD D 1\n";
+        match read_cube(dup.as_bytes()) {
+            Err(Error::Corrupt { line, what }) => {
+                assert_eq!(line, 4);
+                assert!(what.contains("object 1"), "unexpected message: {what}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // The same object under *different* maximal subspaces is legal, as
+        // are multiple groups sharing a maximal subspace with disjoint
+        // members (figure 3b has three B=ABCD groups).
+        let ok = "#skycube v1 dims=4 objects=5\n#seeds 1\n\
+                  group AD A 1 4\ngroup ABCD AC 1\ngroup ABCD CD 3\n";
+        assert!(read_cube(ok.as_bytes()).is_ok());
     }
 
     #[test]

@@ -30,6 +30,7 @@ const DIM_NAMES: &[u8; 26] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZ";
 /// assert_eq!(ac.to_string(), "AC");
 /// ```
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[repr(transparent)]
 pub struct DimMask(pub u32);
 
 impl DimMask {

@@ -6,7 +6,7 @@
 //! See the workspace `DESIGN.md` for how these map onto the ICDE 2007 paper
 //! *Computing Compressed Multidimensional Skyline Cubes Efficiently*.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod columnar;
@@ -14,6 +14,7 @@ mod dataset;
 mod dims;
 mod error;
 mod group;
+mod section;
 mod value;
 
 pub use columnar::{
@@ -24,4 +25,8 @@ pub use dataset::{running_example, Dataset, DomRelation, ObjId};
 pub use dims::{DimIter, DimMask, SubsetIter, MAX_DIMS};
 pub use error::{Error, Result};
 pub use group::{normalize_groups, SkylineGroup};
+pub use section::{
+    checksum, AlignedBytes, DirectoryEntry, Pod, Section, SectionError, SectionStore,
+    SectionWriter, Span, SECTION_ALIGN,
+};
 pub use value::{truncate4, Order, Value, SCALE_4};

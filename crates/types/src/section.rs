@@ -1,0 +1,696 @@
+//! Flat, alignment-checked storage sections — the zero-copy substrate of
+//! the binary cube+index persistence format.
+//!
+//! A [`Section<T>`] is a typed view over a contiguous run of `T`s that is
+//! either **owned** (a plain `Vec<T>`, the in-memory build path) or
+//! **loaded** (a byte range borrowed from a shared [`AlignedBytes`] buffer,
+//! the zero-copy load path). Both deref to `&[T]`, so index structures hold
+//! `Section<T>` fields and never know which side they are on. Mutation goes
+//! through [`Section::to_mut`], which promotes a loaded section to owned by
+//! copying — copy-on-write at section granularity.
+//!
+//! The loaded path never deserializes: [`Section::from_bytes`] validates
+//! bounds, element-size divisibility, and 8-byte alignment, then
+//! reinterprets the bytes in place. That reinterpretation is the single
+//! `unsafe` block in the workspace, confined to the sealed [`Pod`] trait's
+//! implementors — fixed-size, `#[repr(C)]`/`#[repr(transparent)]` types
+//! with no padding and no invalid bit patterns.
+//!
+//! Checksums use a four-lane interleaved FNV-1a 64 ([`checksum`]): not
+//! cryptographic, but fast, dependency-free, and sensitive to both bit
+//! flips and truncations.
+
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Marker for plain-old-data element types that can be reinterpreted from
+/// raw bytes: fixed size, no padding, no invalid bit patterns, layout
+/// stable under `#[repr(C)]`/`#[repr(transparent)]`.
+///
+/// # Safety
+/// Implementors guarantee every bit pattern of `size_of::<Self>()` bytes is
+/// a valid value and that the type has no padding bytes. The trait is
+/// sealed: only the workspace's primitive element types implement it.
+pub unsafe trait Pod: Copy + 'static + private::Sealed {}
+
+mod private {
+    /// Seals [`super::Pod`] to the element types this module vouches for.
+    pub trait Sealed {}
+}
+
+macro_rules! impl_pod {
+    ($($t:ty),*) => {
+        $(impl private::Sealed for $t {}
+          unsafe impl Pod for $t {})*
+    };
+}
+
+impl_pod!(u8, u32, u64);
+
+impl private::Sealed for crate::DimMask {}
+// SAFETY: `DimMask` is `#[repr(transparent)]` over `u32`; every bit pattern
+// is a valid mask value.
+unsafe impl Pod for crate::DimMask {}
+
+/// A `(start, len)` pair with a guaranteed flat layout, used for interned
+/// antichain spans in the serving index.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// First element of the span.
+    pub start: u32,
+    /// Number of elements in the span.
+    pub len: u32,
+}
+
+impl private::Sealed for Span {}
+// SAFETY: two `u32`s under `#[repr(C)]` — no padding, no invalid patterns.
+unsafe impl Pod for Span {}
+
+/// The alignment every loaded section payload must satisfy. 8 bytes covers
+/// every [`Pod`] element type in the workspace.
+pub const SECTION_ALIGN: usize = 8;
+
+/// An 8-byte-aligned byte buffer, shared (`Arc`) among all the loaded
+/// sections of one artifact. Backed by a `Vec<u64>` so the allocation
+/// itself guarantees the alignment — a `Vec<u8>` only guarantees 1.
+pub struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl fmt::Debug for AlignedBytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlignedBytes")
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl AlignedBytes {
+    /// Copy `bytes` into a fresh 8-aligned buffer.
+    pub fn copy_from(bytes: &[u8]) -> Self {
+        let words = bytes.len().div_ceil(8);
+        let mut buf = AlignedBytes {
+            words: vec![0u64; words],
+            len: bytes.len(),
+        };
+        // SAFETY: the Vec<u64> allocation holds at least `len` bytes.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                buf.words.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+        }
+        buf
+    }
+
+    /// Read an entire stream into an aligned buffer.
+    pub fn read_from<R: std::io::Read>(r: R) -> std::io::Result<Self> {
+        Self::read_from_with_capacity(r, 0)
+    }
+
+    /// Read all of `r` straight into a fresh 8-aligned buffer. With an
+    /// accurate `capacity` hint (e.g. the file size) the bytes land in
+    /// their final allocation in one pass — no intermediate `Vec<u8>` and
+    /// no trailing copy, which matters when loading artifacts of many
+    /// megabytes on the first-query path.
+    pub fn read_from_with_capacity<R: std::io::Read>(
+        mut r: R,
+        capacity: usize,
+    ) -> std::io::Result<Self> {
+        let mut words: Vec<u64> = vec![0u64; capacity.div_ceil(8)];
+        let mut len = 0usize;
+        loop {
+            if len == words.len() * 8 {
+                let grown = (words.len() * 2).max(2048);
+                words.resize(grown, 0);
+            }
+            let spare_len = words.len() * 8 - len;
+            // SAFETY: the Vec<u64> allocation holds `words.len() * 8`
+            // initialized bytes; `len..` is in bounds.
+            let spare = unsafe {
+                std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>().add(len), spare_len)
+            };
+            match r.read(spare) {
+                Ok(0) => break,
+                Ok(k) => len += k,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        words.truncate(len.div_ceil(8));
+        Ok(AlignedBytes { words, len })
+    }
+
+    /// Number of payload bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The payload bytes.
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: the allocation holds `len` initialized bytes (zero-filled
+        // then copied over in `copy_from`).
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+/// Why a byte range failed to validate as a section of `T`s. Persistence
+/// layers map this to their corruption error with section context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SectionError {
+    /// `offset + byte_len` runs past the end of the buffer.
+    OutOfBounds {
+        /// Requested start offset.
+        offset: usize,
+        /// Requested byte length.
+        byte_len: usize,
+        /// Total bytes available.
+        available: usize,
+    },
+    /// The payload offset is not [`SECTION_ALIGN`]-aligned.
+    Misaligned {
+        /// The offending offset.
+        offset: usize,
+    },
+    /// The byte length is not a multiple of the element size.
+    BadLength {
+        /// Requested byte length.
+        byte_len: usize,
+        /// Size of one element.
+        elem_size: usize,
+    },
+    /// The stored checksum disagrees with the payload bytes.
+    ChecksumMismatch {
+        /// Checksum recorded in the directory.
+        expected: u64,
+        /// Checksum of the actual payload.
+        actual: u64,
+    },
+    /// The requested section id does not appear in the directory.
+    Missing,
+    /// The directory lists the same section id more than once.
+    Duplicate,
+}
+
+impl fmt::Display for SectionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SectionError::OutOfBounds {
+                offset,
+                byte_len,
+                available,
+            } => write!(
+                f,
+                "section [{offset}, {offset}+{byte_len}) runs past the {available}-byte buffer"
+            ),
+            SectionError::Misaligned { offset } => {
+                write!(f, "section offset {offset} is not {SECTION_ALIGN}-byte aligned")
+            }
+            SectionError::BadLength { byte_len, elem_size } => write!(
+                f,
+                "section byte length {byte_len} is not a multiple of the {elem_size}-byte element"
+            ),
+            SectionError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "section checksum mismatch: directory says {expected:#018x}, payload hashes to {actual:#018x}"
+            ),
+            SectionError::Missing => write!(f, "section not present in the directory"),
+            SectionError::Duplicate => write!(f, "section listed more than once in the directory"),
+        }
+    }
+}
+
+impl std::error::Error for SectionError {}
+
+/// A typed storage section: an owned `Vec<T>` or a zero-copy view into a
+/// shared [`AlignedBytes`] buffer. Dereferences to `&[T]` either way.
+#[derive(Clone)]
+pub enum Section<T: Pod> {
+    /// Built in memory (or promoted from a loaded view by [`Section::to_mut`]).
+    Owned(Vec<T>),
+    /// Borrowed from a loaded artifact: `len` elements starting `offset`
+    /// bytes into the buffer.
+    Loaded {
+        /// The artifact's shared byte buffer.
+        buf: Arc<AlignedBytes>,
+        /// Byte offset of the first element ([`SECTION_ALIGN`]-aligned).
+        offset: usize,
+        /// Number of elements.
+        len: usize,
+    },
+}
+
+impl<T: Pod> Default for Section<T> {
+    fn default() -> Self {
+        Section::Owned(Vec::new())
+    }
+}
+
+impl<T: Pod + fmt::Debug> fmt::Debug for Section<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Section::Owned(v) => f.debug_tuple("Section::Owned").field(&v.len()).finish(),
+            Section::Loaded { offset, len, .. } => f
+                .debug_struct("Section::Loaded")
+                .field("offset", offset)
+                .field("len", len)
+                .finish(),
+        }
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Section<T> {
+    fn from(v: Vec<T>) -> Self {
+        Section::Owned(v)
+    }
+}
+
+impl<T: Pod> Deref for Section<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Pod> Section<T> {
+    /// Validate `byte_len` bytes at `offset` in `buf` as a run of `T`s and
+    /// return the zero-copy view. Checks bounds, alignment, and
+    /// element-size divisibility; the bytes themselves are reinterpreted,
+    /// never copied or parsed.
+    pub fn from_bytes(
+        buf: &Arc<AlignedBytes>,
+        offset: usize,
+        byte_len: usize,
+    ) -> Result<Self, SectionError> {
+        let elem = std::mem::size_of::<T>();
+        debug_assert!(elem > 0 && SECTION_ALIGN.is_multiple_of(std::mem::align_of::<T>()));
+        if !offset.is_multiple_of(SECTION_ALIGN) {
+            return Err(SectionError::Misaligned { offset });
+        }
+        if !byte_len.is_multiple_of(elem) {
+            return Err(SectionError::BadLength {
+                byte_len,
+                elem_size: elem,
+            });
+        }
+        if offset
+            .checked_add(byte_len)
+            .is_none_or(|end| end > buf.len())
+        {
+            return Err(SectionError::OutOfBounds {
+                offset,
+                byte_len,
+                available: buf.len(),
+            });
+        }
+        Ok(Section::Loaded {
+            buf: Arc::clone(buf),
+            offset,
+            len: byte_len / elem,
+        })
+    }
+
+    /// The elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match self {
+            Section::Owned(v) => v.as_slice(),
+            Section::Loaded { buf, offset, len } => {
+                // SAFETY: `from_bytes` validated bounds, alignment (the
+                // buffer start is 8-aligned and `offset` is a multiple of
+                // 8 ≥ align_of::<T>()), and length; `T: Pod` makes every
+                // bit pattern valid.
+                unsafe {
+                    std::slice::from_raw_parts(buf.bytes().as_ptr().add(*offset).cast::<T>(), *len)
+                }
+            }
+        }
+    }
+
+    /// The raw bytes of the section, for serialization and checksumming.
+    pub fn as_bytes(&self) -> &[u8] {
+        let s = self.as_slice();
+        // SAFETY: `T: Pod` has no padding, so the element run is exactly
+        // `len * size_of::<T>()` initialized bytes.
+        unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+    }
+
+    /// Whether this section is a zero-copy view into a loaded buffer.
+    pub fn is_loaded(&self) -> bool {
+        matches!(self, Section::Loaded { .. })
+    }
+
+    /// Mutable access, promoting a loaded view to an owned `Vec` by copying
+    /// — the copy-on-write hook maintenance paths use. Owned sections are
+    /// returned as-is.
+    pub fn to_mut(&mut self) -> &mut Vec<T> {
+        if let Section::Loaded { .. } = self {
+            *self = Section::Owned(self.as_slice().to_vec());
+        }
+        match self {
+            Section::Owned(v) => v,
+            Section::Loaded { .. } => unreachable!("just promoted"),
+        }
+    }
+}
+
+/// Interleaved FNV-1a 64 checksum of `bytes`.
+///
+/// Plain byte-at-a-time FNV-1a is a serial multiply chain — one `wrapping_mul`
+/// of multi-cycle latency per *byte* caps it near 1 GB/s, which would make
+/// checksum verification the dominant cost of loading a large artifact. This
+/// variant runs four independent FNV-1a lanes over interleaved little-endian
+/// 64-bit words (32 bytes per round, the multiplies overlap), absorbs the tail
+/// bytewise, then folds the lanes and the total length into one final hash.
+/// Detection properties are the FNV ones: any single-bit flip and any
+/// truncation (length is mixed in explicitly) change the checksum.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lanes = [OFFSET ^ 1, OFFSET ^ 2, OFFSET ^ 3, OFFSET ^ 4];
+    let mut chunks = bytes.chunks_exact(32);
+    for c in chunks.by_ref() {
+        for (l, lane) in lanes.iter_mut().enumerate() {
+            let w = u64::from_le_bytes(c[l * 8..l * 8 + 8].try_into().unwrap());
+            *lane = (*lane ^ w).wrapping_mul(PRIME);
+        }
+    }
+    let mut h = OFFSET;
+    for &b in chunks.remainder() {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    for lane in lanes {
+        h = (h ^ lane).wrapping_mul(PRIME);
+    }
+    (h ^ bytes.len() as u64).wrapping_mul(PRIME)
+}
+
+/// Serializer for a directory-of-sections artifact: accumulates payloads at
+/// 8-byte-aligned offsets and records `(id, elem_size, offset, byte_len,
+/// checksum)` directory entries, so the writer lays out exactly what
+/// [`SectionStore`] validates on load.
+#[derive(Debug, Default)]
+pub struct SectionWriter {
+    payload: Vec<u8>,
+    entries: Vec<DirectoryEntry>,
+}
+
+/// One entry of a section directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DirectoryEntry {
+    /// Caller-chosen section identifier.
+    pub id: u32,
+    /// Size of one element in bytes.
+    pub elem_size: u32,
+    /// Byte offset of the payload within the payload block.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub byte_len: u64,
+    /// FNV-1a 64 checksum of the payload bytes.
+    pub checksum: u64,
+}
+
+impl SectionWriter {
+    /// Fresh writer with no sections.
+    pub fn new() -> Self {
+        SectionWriter::default()
+    }
+
+    /// Append `section` under `id`, padding to the next aligned offset.
+    pub fn push<T: Pod>(&mut self, id: u32, section: &Section<T>) {
+        let bytes = section.as_bytes();
+        while !self.payload.len().is_multiple_of(SECTION_ALIGN) {
+            self.payload.push(0);
+        }
+        self.entries.push(DirectoryEntry {
+            id,
+            elem_size: std::mem::size_of::<T>() as u32,
+            offset: self.payload.len() as u64,
+            byte_len: bytes.len() as u64,
+            checksum: checksum(bytes),
+        });
+        self.payload.extend_from_slice(bytes);
+    }
+
+    /// The accumulated directory, in push order.
+    pub fn entries(&self) -> &[DirectoryEntry] {
+        &self.entries
+    }
+
+    /// The concatenated (padded) payload block.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+}
+
+/// The load-side counterpart of [`SectionWriter`]: a parsed directory over
+/// one shared buffer, handing out validated zero-copy [`Section`]s by id.
+#[derive(Debug)]
+pub struct SectionStore {
+    buf: Arc<AlignedBytes>,
+    /// Offset of the payload block within `buf`.
+    base: usize,
+    entries: Vec<DirectoryEntry>,
+}
+
+impl SectionStore {
+    /// Wrap a parsed directory over `buf`; `base` is the byte offset of the
+    /// payload block (entry offsets are relative to it). Verifies every
+    /// entry's bounds, alignment, and checksum up front so later section
+    /// extraction can only fail on type-level mismatches.
+    pub fn new(
+        buf: Arc<AlignedBytes>,
+        base: usize,
+        entries: Vec<DirectoryEntry>,
+    ) -> Result<Self, (u32, SectionError)> {
+        if !base.is_multiple_of(SECTION_ALIGN) {
+            return Err((u32::MAX, SectionError::Misaligned { offset: base }));
+        }
+        let mut ids: Vec<u32> = entries.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        for pair in ids.windows(2) {
+            if pair[0] == pair[1] {
+                return Err((pair[0], SectionError::Duplicate));
+            }
+        }
+        for e in &entries {
+            let offset = base.checked_add(e.offset as usize);
+            let end = offset.and_then(|o| o.checked_add(e.byte_len as usize));
+            match (offset, end) {
+                (Some(o), Some(end)) if end <= buf.len() => {
+                    if o % SECTION_ALIGN != 0 {
+                        return Err((e.id, SectionError::Misaligned { offset: o }));
+                    }
+                    let actual = checksum(&buf.bytes()[o..end]);
+                    if actual != e.checksum {
+                        return Err((
+                            e.id,
+                            SectionError::ChecksumMismatch {
+                                expected: e.checksum,
+                                actual,
+                            },
+                        ));
+                    }
+                }
+                _ => {
+                    return Err((
+                        e.id,
+                        SectionError::OutOfBounds {
+                            offset: e.offset as usize,
+                            byte_len: e.byte_len as usize,
+                            available: buf.len().saturating_sub(base),
+                        },
+                    ))
+                }
+            }
+        }
+        Ok(SectionStore { buf, base, entries })
+    }
+
+    /// The directory entries, in file order.
+    pub fn entries(&self) -> &[DirectoryEntry] {
+        &self.entries
+    }
+
+    /// Extract the section stored under `id` as a run of `T`s, validating
+    /// the element size against the directory.
+    pub fn section<T: Pod>(&self, id: u32) -> Result<Section<T>, (u32, SectionError)> {
+        let entry = self
+            .entries
+            .iter()
+            .find(|e| e.id == id)
+            .copied()
+            .ok_or((id, SectionError::Missing))?;
+        let elem = std::mem::size_of::<T>() as u32;
+        if entry.elem_size != elem {
+            return Err((
+                id,
+                SectionError::BadLength {
+                    byte_len: entry.byte_len as usize,
+                    elem_size: elem as usize,
+                },
+            ));
+        }
+        Section::from_bytes(
+            &self.buf,
+            self.base + entry.offset as usize,
+            entry.byte_len as usize,
+        )
+        .map_err(|e| (id, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DimMask;
+
+    #[test]
+    fn owned_section_derefs_like_a_vec() {
+        let s: Section<u32> = vec![3, 1, 4, 1, 5].into();
+        assert_eq!(&s[..], &[3, 1, 4, 1, 5]);
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_loaded());
+        assert_eq!(s.as_bytes().len(), 20);
+    }
+
+    #[test]
+    fn loaded_section_reinterprets_in_place() {
+        let values: Vec<u64> = vec![7, 11, u64::MAX];
+        let owned: Section<u64> = values.clone().into();
+        let buf = Arc::new(AlignedBytes::copy_from(owned.as_bytes()));
+        let loaded = Section::<u64>::from_bytes(&buf, 0, 24).unwrap();
+        assert!(loaded.is_loaded());
+        assert_eq!(&loaded[..], &values[..]);
+    }
+
+    #[test]
+    fn from_bytes_rejects_bad_ranges() {
+        let buf = Arc::new(AlignedBytes::copy_from(&[0u8; 32]));
+        assert!(matches!(
+            Section::<u64>::from_bytes(&buf, 0, 40),
+            Err(SectionError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            Section::<u64>::from_bytes(&buf, 4, 8),
+            Err(SectionError::Misaligned { offset: 4 })
+        ));
+        assert!(matches!(
+            Section::<u64>::from_bytes(&buf, 0, 12),
+            Err(SectionError::BadLength { .. })
+        ));
+        assert!(matches!(
+            Section::<u64>::from_bytes(&buf, usize::MAX - 7, 16),
+            Err(SectionError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn to_mut_promotes_loaded_to_owned() {
+        let owned: Section<u32> = vec![1, 2, 3].into();
+        let buf = Arc::new(AlignedBytes::copy_from(owned.as_bytes()));
+        let mut s = Section::<u32>::from_bytes(&buf, 0, 12).unwrap();
+        assert!(s.is_loaded());
+        s.to_mut().push(4);
+        assert!(!s.is_loaded());
+        assert_eq!(&s[..], &[1, 2, 3, 4]);
+        // The shared buffer is untouched.
+        let again = Section::<u32>::from_bytes(&buf, 0, 12).unwrap();
+        assert_eq!(&again[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn writer_and_store_round_trip() {
+        let masks: Section<DimMask> = vec![DimMask(0b101), DimMask(0b11)].into();
+        let spans: Section<Span> = vec![Span { start: 0, len: 2 }].into();
+        let counts: Section<u64> = vec![42, 7].into();
+        let bytes_sec: Section<u8> = vec![1, 2, 3].into();
+        let mut w = SectionWriter::new();
+        w.push(1, &masks);
+        w.push(2, &spans);
+        w.push(3, &counts);
+        w.push(4, &bytes_sec);
+        // Every recorded offset is aligned even after the 3-byte section.
+        for e in w.entries() {
+            assert_eq!(e.offset % SECTION_ALIGN as u64, 0);
+        }
+        let buf = Arc::new(AlignedBytes::copy_from(w.payload()));
+        let store = SectionStore::new(buf, 0, w.entries().to_vec()).unwrap();
+        assert_eq!(&store.section::<DimMask>(1).unwrap()[..], &masks[..]);
+        assert_eq!(&store.section::<Span>(2).unwrap()[..], &spans[..]);
+        assert_eq!(&store.section::<u64>(3).unwrap()[..], &counts[..]);
+        assert_eq!(&store.section::<u8>(4).unwrap()[..], &bytes_sec[..]);
+        // Wrong element type for an id is rejected.
+        assert!(store.section::<u64>(1).is_err());
+        // Unknown id is rejected.
+        assert!(store.section::<u32>(99).is_err());
+    }
+
+    #[test]
+    fn store_detects_corruption_up_front() {
+        let counts: Section<u64> = vec![1, 2, 3].into();
+        let mut w = SectionWriter::new();
+        w.push(7, &counts);
+        let mut garbled = w.payload().to_vec();
+        garbled[5] ^= 0x40;
+        let buf = Arc::new(AlignedBytes::copy_from(&garbled));
+        match SectionStore::new(buf, 0, w.entries().to_vec()) {
+            Err((7, SectionError::ChecksumMismatch { .. })) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+        // Truncation breaks the bounds check before any checksum runs.
+        let buf = Arc::new(AlignedBytes::copy_from(&w.payload()[..8]));
+        match SectionStore::new(buf, 0, w.entries().to_vec()) {
+            Err((7, SectionError::OutOfBounds { .. })) => {}
+            other => panic!("expected out of bounds, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_detects_flips_order_and_truncation() {
+        assert_ne!(checksum(b"ab"), checksum(b"ba"));
+        // Every single-bit flip changes the hash, in the lane region, the
+        // bytewise tail, and across chunk boundaries alike.
+        let base: Vec<u8> = (0..77u8).collect();
+        let h = checksum(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(checksum(&flipped), h, "flip at byte {i} bit {bit}");
+            }
+        }
+        // Truncation changes the hash even when the dropped suffix is all
+        // zeros (the total length is mixed in explicitly).
+        let zeros = [0u8; 96];
+        let hashes: Vec<u64> = (0..=zeros.len()).map(|l| checksum(&zeros[..l])).collect();
+        for (i, &a) in hashes.iter().enumerate() {
+            assert_eq!(hashes.iter().filter(|&&b| b == a).count(), 1, "len {i}");
+        }
+    }
+
+    #[test]
+    fn aligned_bytes_copies_exactly() {
+        let src: Vec<u8> = (0..13).collect();
+        let buf = AlignedBytes::copy_from(&src);
+        assert_eq!(buf.bytes(), &src[..]);
+        assert_eq!(buf.len(), 13);
+        assert!(!buf.is_empty());
+        assert!(AlignedBytes::copy_from(&[]).is_empty());
+        let read = AlignedBytes::read_from(&src[..]).unwrap();
+        assert_eq!(read.bytes(), &src[..]);
+    }
+}

@@ -61,10 +61,15 @@ commands:
   generate --dist <correlated|independent|anti-correlated> --count N --dims D
            [--seed S] --out FILE.csv
   generate --nba [--count N] [--seed S] --out FILE.csv
-  build    --data FILE.csv --out CUBE.txt [--threads N] [--kernel scalar|columnar]
-           [--shards K]                       materialize the cube (Stellar);
+  build    --data FILE.csv --out CUBE [--threads N] [--kernel scalar|columnar]
+           [--shards K] [--format text|binary] materialize the cube (Stellar);
                                               --shards writes one cube per
-                                              contiguous shard to OUT.shard0..K-1
+                                              contiguous shard to OUT.shard0..K-1;
+                                              --format binary ships the built
+                                              serving index inside the file so
+                                              later loads validate instead of
+                                              rebuilding (all load paths
+                                              auto-detect the format by magic)
   stats    --data FILE.csv [--threads N] [--kernel scalar|columnar]
            [--maintain N] [--shards K]        counts: seeds, groups, skycube size;
                                               --maintain pushes N synthetic
@@ -91,7 +96,9 @@ commands:
            --shards K (stellar and stellar-scan, needs --data) partitions
            the dataset into K contiguous shards, builds one cube per
            shard, and merges per-shard skylines at query time with a
-           built-in per-shard indexed -> scan ladder;
+           built-in per-shard indexed -> scan ladder; with --cube BASE it
+           instead reopens the cubes written by build --shards from
+           BASE.shard0..K-1 (either format);
            --inject-faults (builds with the `faults` feature only) forces
            failures: panic-route[=N],slow-route=MS,corrupt-cube,
            poison-cache,seed=N";
@@ -197,16 +204,31 @@ fn shard_count(opts: &Opts) -> Result<Option<usize>, String> {
     }
 }
 
+/// How `build` writes its cubes, selected by `--format`.
+type SaveFn = fn(&CompressedSkylineCube, &str) -> skycube::types::Result<()>;
+
+/// `--format text|binary` (default text): how `build` writes its cubes.
+/// Binary ships the fully-built serving index inside the file, so loads
+/// validate instead of rebuilding.
+fn save_format(opts: &Opts) -> Result<SaveFn, String> {
+    match opts.get("format").map_or("text", String::as_str) {
+        "text" => Ok(|cube, path| stellar::save_cube(cube, path)),
+        "binary" | "bin" => Ok(|cube, path| stellar::save_cube_binary(cube, path)),
+        other => Err(format!("bad --format {other:?} (expected text or binary)")),
+    }
+}
+
 fn cmd_build(opts: &Opts) -> Result<(), String> {
     let ds = load_data(opts)?;
     let out = req(opts, "out")?;
+    let save = save_format(opts)?;
     if let Some(shards) = shard_count(opts)? {
         let t = std::time::Instant::now();
         let cube = ShardedCube::build_with(&ds, shards, Parallelism::available(), runner(opts)?);
         let mut groups = 0;
         for k in 0..cube.num_shards() {
             let path = format!("{out}.shard{k}");
-            stellar::save_cube(cube.engine(k).cube(), &path).map_err(|e| e.to_string())?;
+            save(cube.engine(k).cube(), &path).map_err(|e| e.to_string())?;
             groups += cube.engine(k).cube().num_groups();
         }
         println!(
@@ -219,7 +241,7 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
     }
     let t = std::time::Instant::now();
     let cube = runner(opts)?.compute(&ds);
-    stellar::save_cube(&cube, out).map_err(|e| e.to_string())?;
+    save(&cube, out).map_err(|e| e.to_string())?;
     println!(
         "built cube in {:.2?}: {} groups over {} objects → {out}",
         t.elapsed(),
@@ -468,11 +490,21 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
                 "--shards supports only the stellar and stellar-scan sources, not {source_name:?}"
             ));
         }
-        if opts.contains_key("cube") {
-            return Err("--shards builds per-shard cubes from --data; drop --cube".to_owned());
-        }
         let ds = load_data(opts)?;
-        let cube = ShardedCube::build_with(&ds, shards, par, runner(opts)?);
+        // With --cube BASE the per-shard cubes are reopened from
+        // BASE.shard0..K-1 (either format, auto-detected) instead of being
+        // rebuilt; binary shard cubes serve straight from their zero-copy
+        // indexes.
+        let cube = match opts.get("cube") {
+            Some(base) => {
+                let cubes = (0..shards)
+                    .map(|k| stellar::load_cube(format!("{base}.shard{k}")))
+                    .collect::<skycube::types::Result<Vec<_>>>()
+                    .map_err(|e| e.to_string())?;
+                ShardedCube::from_cubes(&ds, cubes, runner(opts)?).map_err(|e| e.to_string())?
+            }
+            None => ShardedCube::build_with(&ds, shards, par, runner(opts)?),
+        };
         return if source_name == "stellar" {
             serve_workload(cube.source().with_kernel(kernel), &queries, &serving)
         } else {
@@ -583,14 +615,24 @@ fn stellar_cube_checked(
     if !serving.plan.corrupt_cube {
         return Ok(clean);
     }
-    let mut bytes = Vec::new();
-    stellar::write_cube(&clean, &mut bytes).map_err(|e| e.to_string())?;
-    let garbled = skycube::serve::faults::corrupt_bytes(&bytes, serving.plan.seed);
-    let verdict = match stellar::read_cube(&garbled[..]) {
-        Ok(_) => "corruption survived structural validation; discarding the artifact".to_owned(),
-        Err(e) => format!("corrupt cube load classified: {e}"),
-    };
-    eprintln!("# fault: {verdict}");
+    // Garble both serialized images — the text cube and the binary
+    // cube+index — and require each load to classify the damage (a
+    // structured error or a survivable no-op), never panic.
+    let mut text = Vec::new();
+    stellar::write_cube(&clean, &mut text).map_err(|e| e.to_string())?;
+    let mut bin = Vec::new();
+    stellar::write_cube_binary(&clean, &mut bin).map_err(|e| e.to_string())?;
+    let mut verdict = String::new();
+    for (what, bytes) in [("text", text), ("binary", bin)] {
+        let garbled = skycube::serve::faults::corrupt_bytes(&bytes, serving.plan.seed);
+        verdict = match stellar::read_cube(&garbled[..]) {
+            Ok(_) => {
+                format!("{what} corruption survived structural validation; discarding the artifact")
+            }
+            Err(e) => format!("corrupt {what} cube load classified: {e}"),
+        };
+        eprintln!("# fault: {verdict}");
+    }
     match ds {
         Some(ds) => {
             eprintln!("# fault: degraded to rebuilding the cube from --data");

@@ -816,6 +816,126 @@ proptest! {
             }
         }
     }
+
+    /// The binary analogue of [`corrupted_cube_files_never_panic`]: bit
+    /// flips and truncations of a binary cube+index image must load to a
+    /// structured error — [`skycube::types::Error::Corrupt`] when the magic
+    /// still says binary — or to a cube whose queries are panic-free (flips
+    /// confined to inter-section padding are invisible to the checksums).
+    #[test]
+    fn corrupted_binary_cube_files_never_panic(
+        ds in paper_dataset(),
+        flips in vec((0usize..1 << 16, 1u8..=255), 1..8),
+        cut in 0usize..1 << 16,
+    ) {
+        let cube = compute_cube(&ds);
+        let mut bytes = Vec::new();
+        skycube::stellar::write_cube_binary(&cube, &mut bytes).unwrap();
+        if cut < bytes.len() {
+            bytes.truncate(cut);
+        }
+        for &(at, xor) in &flips {
+            if !bytes.is_empty() {
+                let i = at % bytes.len();
+                bytes[i] ^= xor;
+            }
+        }
+        let still_binary = bytes.len() >= 8 && &bytes[..8] == b"SKYBIN01";
+        match skycube::stellar::read_cube(&bytes[..]) {
+            Err(e) => {
+                if still_binary {
+                    prop_assert!(
+                        matches!(e, skycube::types::Error::Corrupt { .. }),
+                        "binary load failed with a non-Corrupt error: {e}"
+                    );
+                }
+            }
+            Ok(loaded) => {
+                let dims = loaded.dims().min(6);
+                for space in DimMask::full(dims).subsets() {
+                    let _ = loaded.try_subspace_skyline(space);
+                }
+                for o in 0..loaded.num_objects().min(64) as ObjId {
+                    let _ = loaded.membership_count(o);
+                }
+                let _ = loaded.top_k_frequent(4);
+            }
+        }
+    }
+
+    /// Load ↔ build equivalence (the zero-copy contract): a binary-loaded
+    /// cube — whose index is *validated*, never rebuilt — must answer every
+    /// subspace skyline, membership, count, and top-k exactly like the cube
+    /// it was written from, with identical per-query routing; the
+    /// text-loaded cube (which rebuilds) must agree too. Holds across the
+    /// paper's distributions × both dominance kernels, and survives
+    /// post-load maintenance (insert + delete) on the adopted engine.
+    #[test]
+    fn binary_loaded_cube_equals_built(ds in paper_dataset(), scalar in 0u8..2) {
+        use skycube::stellar::IndexScratch;
+        let kernel = if scalar == 1 { DominanceKernel::Scalar } else { DominanceKernel::Columnar };
+        let cube = Stellar::new().with_kernel(kernel).compute(&ds);
+
+        let mut bin = Vec::new();
+        skycube::stellar::write_cube_binary(&cube, &mut bin).unwrap();
+        let loaded = skycube::stellar::read_cube(&bin[..]).unwrap();
+        prop_assert!(loaded.is_loaded() && loaded.index().is_loaded());
+        let mut text = Vec::new();
+        skycube::stellar::write_cube(&cube, &mut text).unwrap();
+        let from_text = skycube::stellar::read_cube(&text[..]).unwrap();
+        prop_assert!(!from_text.is_loaded());
+
+        prop_assert_eq!(loaded.seeds(), cube.seeds());
+        prop_assert_eq!(loaded.num_groups(), cube.num_groups());
+        let (mut sa, mut sb) = (IndexScratch::default(), IndexScratch::default());
+        let (mut oa, mut ob) = (Vec::new(), Vec::new());
+        for space in ds.full_space().subsets() {
+            // Same query order on fresh indexes: the probes (route, memo
+            // outcome, merge workload) must be bit-identical, not just the
+            // answers.
+            let pa = cube.index().try_subspace_skyline_into(space, &mut sa, &mut oa).unwrap();
+            let pb = loaded.index().try_subspace_skyline_into(space, &mut sb, &mut ob).unwrap();
+            prop_assert_eq!(&oa, &ob, "skyline {} diverged", space);
+            prop_assert_eq!(pa, pb, "probe {} diverged", space);
+            prop_assert_eq!(
+                from_text.subspace_skyline(space),
+                oa.clone(),
+                "text-loaded {} diverged", space
+            );
+            for o in 0..ds.len().min(24) as ObjId {
+                prop_assert_eq!(
+                    loaded.is_skyline_in(o, space),
+                    cube.is_skyline_in(o, space),
+                    "member {} {}", o, space
+                );
+            }
+        }
+        for o in 0..ds.len() as ObjId {
+            prop_assert_eq!(loaded.membership_count(o), cube.membership_count(o));
+        }
+        prop_assert_eq!(loaded.top_k_frequent(8), cube.top_k_frequent(8));
+
+        // Post-load maintenance: a dominated insert and a delete through the
+        // adopted engine stay equivalent to recomputation from scratch.
+        let mut engine =
+            StellarEngine::with_cube(&ds, loaded, Stellar::new().with_kernel(kernel)).unwrap();
+        let worst = 1 + ds.ids().flat_map(|o| ds.row(o).iter().copied())
+            .fold(Value::MIN, Value::max);
+        if worst > Value::MIN {
+            engine.insert(vec![worst; ds.dims()]).unwrap();
+        }
+        if engine.len() > 1 {
+            engine.delete(0).unwrap();
+        }
+        let fresh = Stellar::new().with_kernel(kernel).compute(&engine.dataset());
+        for space in ds.full_space().subsets() {
+            prop_assert_eq!(
+                engine.cube().subspace_skyline(space),
+                fresh.subspace_skyline(space),
+                "post-maintenance {} diverged", space
+            );
+        }
+    }
 }
 
 /// Persistence round-trip at the extremes of the `Value` domain: i64
