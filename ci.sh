@@ -172,6 +172,98 @@ if ! grep -Eq 'demotions=[1-9]' "$SMOKE_DIR/out.faults"; then
     exit 1
 fi
 
+echo '== serve daemon smoke: socket protocol, metrics, clean shutdown'
+# Start a resident daemon on a Unix socket, drive the full verb set over
+# one connection ending in quit (closes that connection only), compare the
+# replies byte-for-byte with the one-shot batch path, then scrape the
+# metrics and stop the daemon with shutdown on a second connection.
+printf 'skyline ABD\nskyband 1 AB\nskyband 2 ABD\nmember 17 ABD\ncount 17\ntop 3\n' \
+    > "$SMOKE_DIR/verbs.txt"
+cat "$SMOKE_DIR/verbs.txt" > "$SMOKE_DIR/verbs-quit.txt"
+echo 'quit' >> "$SMOKE_DIR/verbs-quit.txt"
+./target/release/skycube serve --data "$SMOKE_DIR/data.csv" \
+    --socket "$SMOKE_DIR/daemon.sock" < /dev/null \
+    2> "$SMOKE_DIR/daemon.err" &
+DAEMON_PID=$!
+ok=0
+for _ in $(seq 100); do
+    if [ -S "$SMOKE_DIR/daemon.sock" ]; then ok=1; break; fi
+    sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+    echo "daemon smoke: socket never appeared" >&2
+    exit 1
+fi
+./target/release/skycube connect --socket "$SMOKE_DIR/daemon.sock" \
+    --workload "$SMOKE_DIR/verbs-quit.txt" > "$SMOKE_DIR/daemon.out"
+# The same verbs through a one-shot process (skyband 2 needs the
+# dataset-backed fallback rung there, as it does in the daemon).
+./target/release/skycube query --data "$SMOKE_DIR/data.csv" --fallback \
+    --workload "$SMOKE_DIR/verbs.txt" | grep -v '^#' > "$SMOKE_DIR/batch.out"
+if ! diff "$SMOKE_DIR/batch.out" "$SMOKE_DIR/daemon.out" > /dev/null; then
+    echo "daemon smoke: socket replies differ from the one-shot batch" >&2
+    diff "$SMOKE_DIR/batch.out" "$SMOKE_DIR/daemon.out" >&2 || true
+    exit 1
+fi
+printf 'stats\nshutdown\n' | ./target/release/skycube connect \
+    --socket "$SMOKE_DIR/daemon.sock" > "$SMOKE_DIR/daemon.stats"
+for needle in 'queries_total 6' 'shed_total 0' 'connections_total' \
+    'tuner_observations' 'route_table_flat_max_runs'; do
+    if ! grep -q "^$needle" "$SMOKE_DIR/daemon.stats"; then
+        echo "daemon smoke: metric '$needle' missing from stats scrape" >&2
+        exit 1
+    fi
+done
+wait "$DAEMON_PID"
+if [ -S "$SMOKE_DIR/daemon.sock" ]; then
+    echo "daemon smoke: socket file survived shutdown" >&2
+    exit 1
+fi
+
+echo '== autotune smoke: tuned answers byte-identical to the default table'
+# A workload long enough to force tuner explorations; the forced-route
+# ablation guarantees the tuned run prints exactly the untuned answers.
+# (--autotune attaches to the plain indexed source, so no --fallback and
+# no k >= 2 skybands here.)
+: > "$SMOKE_DIR/tune-workload.txt"
+for _ in 1 2 3 4 5 6 7 8; do
+    grep -v 'skyband 2' "$SMOKE_DIR/verbs.txt" >> "$SMOKE_DIR/tune-workload.txt"
+done
+for flag in '' '--autotune'; do
+    # shellcheck disable=SC2086
+    ./target/release/skycube query --data "$SMOKE_DIR/data.csv" \
+        $flag --workload "$SMOKE_DIR/tune-workload.txt" \
+        | grep -v '^#' > "$SMOKE_DIR/out.tune$flag"
+done
+if ! diff "$SMOKE_DIR/out.tune" "$SMOKE_DIR/out.tune--autotune" > /dev/null; then
+    echo "autotune smoke: tuned answers diverged from the default table" >&2
+    exit 1
+fi
+
+echo '== partition smoke: --partition hash is an explained refusal'
+if ./target/release/skycube build --data "$SMOKE_DIR/data.csv" \
+    --out "$SMOKE_DIR/hash.cube" --shards 2 --partition hash \
+    > /dev/null 2> "$SMOKE_DIR/hash.err"; then
+    echo "partition smoke: --partition hash was accepted" >&2
+    exit 1
+fi
+if ! grep -q 'contiguous global-id ranges' "$SMOKE_DIR/hash.err"; then
+    echo "partition smoke: hash-partition diagnostic missing" >&2
+    exit 1
+fi
+
+echo '== serve bench smoke: daemon ≡ batch, autotune on ≡ off'
+./target/release/serve --smoke --verify --json "$SMOKE_DIR/serve.json" \
+    > "$SMOKE_DIR/serve.out"
+if ! grep -q '"verified_subspaces": 15' "$SMOKE_DIR/serve.json"; then
+    echo "serve bench smoke: subspace verification did not run" >&2
+    exit 1
+fi
+if ! grep -q '"autotune_equal": 1' "$SMOKE_DIR/serve.json"; then
+    echo "serve bench smoke: autotune equivalence not proven" >&2
+    exit 1
+fi
+
 if [ "${WORKSPACE:-0}" = "1" ]; then
     echo '== workspace tests'
     cargo test --workspace -q

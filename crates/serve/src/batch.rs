@@ -96,9 +96,39 @@ fn answer_one(
         Query::Skyline(space) => source
             .subspace_skyline_within(space, deadline)
             .map(Answer::Skyline),
+        Query::Skyband(k, space) => {
+            let band = source.skyband(k, space)?;
+            // No cooperative checkpoints inside the skyband engines yet;
+            // enforce the deadline post-hoc like the default skyline path.
+            match deadline {
+                Some(d) if Instant::now() >= d => {
+                    Err(ServeError::DeadlineExceeded { budget_ms: 0 })
+                }
+                _ => Ok(Answer::Skyline(band)),
+            }
+        }
         Query::Member(o, space) => source.is_skyline_in(o, space).map(Answer::Member),
         Query::Count(o) => source.membership_count(o).map(Answer::Count),
         Query::Top(k) => Ok(Answer::Top(source.top_k_frequent(k))),
+    }
+}
+
+/// The canonical one-line text rendering of a query result — the shape the
+/// `query` CLI has always printed and the daemon protocol answers with
+/// (shared so "daemon answers ≡ batch answers" is true byte for byte).
+pub fn format_answer(query: &Query, result: &Result<Answer, ServeError>) -> String {
+    match result {
+        Ok(Answer::Skyline(ids)) => {
+            let ids: Vec<String> = ids.iter().map(u32::to_string).collect();
+            format!("{query} -> {}", ids.join(" "))
+        }
+        Ok(Answer::Member(yes)) => format!("{query} -> {yes}"),
+        Ok(Answer::Count(n)) => format!("{query} -> {n}"),
+        Ok(Answer::Top(ranked)) => {
+            let pairs: Vec<String> = ranked.iter().map(|(o, n)| format!("{o}:{n}")).collect();
+            format!("{query} -> {}", pairs.join(" "))
+        }
+        Err(e) => format!("{query} -> error: {e}"),
     }
 }
 

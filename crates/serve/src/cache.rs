@@ -21,7 +21,7 @@ use skycube_stellar::MaintenanceDelta;
 use skycube_types::{DimMask, ObjId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
 /// Snapshot of a cache's counters.
@@ -253,9 +253,14 @@ impl SubspaceCache {
 
 /// A [`SkylineSource`] wrapper that serves repeated `subspace_skyline`
 /// queries from a [`SubspaceCache`]. All other queries delegate untouched.
+///
+/// The cache is held behind an [`Arc`] so it can outlive the wrapper: a
+/// resident daemon rebuilds its source stack per request (the borrows into
+/// the engine are request-scoped) but keeps one shared cache warm across
+/// all of them via [`Self::with_shared`].
 pub struct CachedSource<S> {
     inner: S,
-    cache: SubspaceCache,
+    cache: Arc<SubspaceCache>,
 }
 
 impl<S: SkylineSource> CachedSource<S> {
@@ -267,6 +272,11 @@ impl<S: SkylineSource> CachedSource<S> {
     /// Wrap `inner` with an explicitly configured cache (e.g. one built by
     /// [`SubspaceCache::with_byte_budget`]).
     pub fn with_cache(inner: S, cache: SubspaceCache) -> Self {
+        Self::with_shared(inner, Arc::new(cache))
+    }
+
+    /// Wrap `inner` with a shared cache that persists beyond this wrapper.
+    pub fn with_shared(inner: S, cache: Arc<SubspaceCache>) -> Self {
         CachedSource { inner, cache }
     }
 
@@ -393,6 +403,16 @@ impl<S: SkylineSource> SkylineSource for CachedSource<S> {
         let sky = self.inner.subspace_skyline_within(space, deadline)?;
         self.cache.put(space, sky.clone());
         Ok(sky)
+    }
+
+    fn skyband(&self, k: usize, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        // Only the k = 1 band is the skyline the cache holds; deeper bands
+        // pass through (the cache is keyed by subspace alone).
+        if k == 1 {
+            self.subspace_skyline(space)
+        } else {
+            self.inner.skyband(k, space)
+        }
     }
 
     fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {

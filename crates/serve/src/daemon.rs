@@ -1,0 +1,855 @@
+//! The resident serving daemon behind `skycube serve`.
+//!
+//! A one-shot `skycube query` process pays cube load, lazy [`CubeIndex`]
+//! build, and cache warm-up on every invocation, then throws the warm state
+//! away. A [`Daemon`] keeps all of it resident across requests: one
+//! [`StellarEngine`] (dataset + cube + serving index + lattice memo), one
+//! shared [`SubspaceCache`] synced through a [`GenerationGate`], one
+//! [`RouteTuner`] feeding the online route autotuner, and a pool of warm
+//! [`IndexScratch`] buffers. Clients speak a line protocol over stdin or a
+//! Unix socket; concurrent connections multiplex over the same warm state
+//! behind an `RwLock` (many readers serve queries; mutations take the write
+//! lock).
+//!
+//! # Protocol
+//!
+//! One request per line, one reply line per request (except `stats`):
+//!
+//! ```text
+//! skyline ABD            workload grammar (see crate::parse_workload):
+//! skyband 2 ABD          skyline / skyband / member / count / top —
+//! member 17 ABD          answered with the exact line run_batch prints
+//! count 17               ("skyline ABD -> 2 4"), via crate::format_answer
+//! top 5
+//! insert 3 5 2 9 1       mutate the engine: reply "insert -> id I generation G"
+//! delete 17              reply "delete -> id 17 generation G"
+//! stats                  multi-line "name value" metrics block, blank-line
+//!                        terminated
+//! quit                   close this connection
+//! shutdown               stop the daemon (all connections, the listener)
+//! # ...                  comments and blank lines are ignored
+//! ```
+//!
+//! Consecutive query lines read in one wave are answered as a single batch
+//! through [`run_batch_with`], so a pipelining client (write the whole
+//! workload, then read) fans out over the daemon's thread pool; control
+//! verbs act as barriers so replies stay in request order.
+//!
+//! # Admission control
+//!
+//! When a per-query deadline is configured, the daemon sheds rather than
+//! queues: a wave is rejected with [`ServeError::ResourceExhausted`] when
+//! `queue depth × observed service time` (an EWMA of per-query
+//! nanoseconds) already exceeds the deadline — work that would blow its
+//! budget waiting is refused up front, and the shed is counted in the
+//! metrics (`shed_total`).
+
+use crate::batch::{format_answer, run_batch_with, BatchOptions, BatchOutcome};
+use crate::cache::{GenerationGate, SubspaceCache};
+use crate::error::ServeError;
+use crate::source::{lock_recover, IndexStats, IndexedCubeSource};
+use crate::tuner::RouteTuner;
+use crate::workload::{parse_query_line, Query};
+use crate::CachedSource;
+use skycube_parallel::Parallelism;
+use skycube_stellar::{CubeIndex, IndexScratch, MergeRoute, StellarEngine};
+use skycube_types::{ObjId, Value};
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
+
+/// Configuration for a [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Capacity (entries) of the shared subspace→skyline cache.
+    pub cache_capacity: usize,
+    /// Optional byte budget for the cache (admission control on inserts).
+    pub cache_bytes: Option<usize>,
+    /// Threads each request wave fans out over.
+    pub threads: Parallelism,
+    /// Per-query deadline; also arms the shed-don't-queue admission check.
+    pub deadline: Option<Duration>,
+    /// Run the online route autotuner (`--no-autotune` clears it).
+    pub autotune: bool,
+    /// Fault plan injected into every wave's source stack (tests/CI only).
+    #[cfg(feature = "faults")]
+    pub plan: crate::faults::FaultPlan,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            cache_capacity: 256,
+            cache_bytes: None,
+            threads: Parallelism::available(),
+            deadline: None,
+            autotune: true,
+            #[cfg(feature = "faults")]
+            plan: crate::faults::FaultPlan::default(),
+        }
+    }
+}
+
+/// Why [`Daemon::serve_connection`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectionEnd {
+    /// The peer closed its side of the stream.
+    Eof,
+    /// The peer sent `quit`: this connection is done, the daemon lives on.
+    Quit,
+    /// The peer sent `shutdown`: the whole daemon is stopping.
+    Shutdown,
+}
+
+/// Shed-don't-queue admission control: track in-flight queries and an EWMA
+/// of per-query service nanoseconds; refuse a wave whose projected queue
+/// wait (`depth × ewma`) already exceeds the configured deadline.
+#[derive(Debug, Default)]
+struct Admission {
+    inflight: AtomicU64,
+    ewma_ns: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl Admission {
+    /// Admit a wave of `queries` queries (incrementing the in-flight
+    /// count), or refuse it with the structured shed error.
+    fn admit(&self, queries: u64, deadline: Option<Duration>) -> Result<(), ServeError> {
+        if let Some(d) = deadline {
+            let depth = self.inflight.load(Ordering::Relaxed);
+            let ewma = self.ewma_ns.load(Ordering::Relaxed);
+            let projected = depth.saturating_mul(ewma);
+            if ewma > 0 && projected > d.as_nanos() as u64 {
+                self.shed.fetch_add(queries, Ordering::Relaxed);
+                return Err(ServeError::ResourceExhausted(format!(
+                    "admission shed: {depth} queries in flight × {ewma} ns observed service \
+                     time exceeds the {} ms deadline; not queueing past the budget",
+                    d.as_millis()
+                )));
+            }
+        }
+        self.inflight.fetch_add(queries, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Retire an admitted wave: decrement in-flight and fold its per-query
+    /// service time into the EWMA (new = 7/8 old + 1/8 sample).
+    fn done(&self, queries: u64, wave_nanos: u64) {
+        self.inflight.fetch_sub(queries, Ordering::Relaxed);
+        if queries == 0 {
+            return;
+        }
+        let sample = wave_nanos / queries;
+        let old = self.ewma_ns.load(Ordering::Relaxed);
+        let next = if old == 0 {
+            sample
+        } else {
+            (7 * old + sample) / 8
+        };
+        self.ewma_ns.store(next, Ordering::Relaxed);
+    }
+}
+
+/// One scrape of the daemon-level counters (the cache, index, and tuner
+/// keep their own; [`Daemon::metrics_text`] renders all of them together).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DaemonMetrics {
+    /// Engine generation currently served.
+    pub generation: u64,
+    /// Connections accepted (stdin counts as one).
+    pub connections: u64,
+    /// Query waves executed (one wave = one `run_batch_with` call).
+    pub waves: u64,
+    /// Queries answered (including errored ones).
+    pub queries: u64,
+    /// Queries that returned an error.
+    pub errors: u64,
+    /// Queries refused by admission control.
+    pub shed: u64,
+    /// Queries currently in flight.
+    pub inflight: u64,
+    /// EWMA of per-query service nanoseconds.
+    pub service_ewma_ns: u64,
+    /// Successful engine inserts.
+    pub inserts: u64,
+    /// Successful engine deletes.
+    pub deletes: u64,
+}
+
+/// The resident serving daemon. See the module docs for the protocol.
+pub struct Daemon {
+    engine: RwLock<StellarEngine>,
+    cache: Arc<SubspaceCache>,
+    gate: GenerationGate,
+    tuner: Option<Arc<RouteTuner>>,
+    scratches: Mutex<Vec<IndexScratch>>,
+    index_totals: Mutex<IndexStats>,
+    admission: Admission,
+    threads: Parallelism,
+    deadline: Option<Duration>,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    waves: AtomicU64,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    inserts: AtomicU64,
+    deletes: AtomicU64,
+    #[cfg(feature = "faults")]
+    plan: crate::faults::FaultPlan,
+}
+
+impl Daemon {
+    /// Wrap an engine in a daemon, forcing the serving index so the first
+    /// request finds everything warm.
+    pub fn new(engine: StellarEngine, config: DaemonConfig) -> Self {
+        engine.cube().index();
+        let cache = match config.cache_bytes {
+            Some(bytes) => SubspaceCache::with_byte_budget(config.cache_capacity, bytes),
+            None => SubspaceCache::new(config.cache_capacity),
+        };
+        let gate = GenerationGate::new(engine.generation());
+        Daemon {
+            engine: RwLock::new(engine),
+            cache: Arc::new(cache),
+            gate,
+            tuner: config.autotune.then(|| Arc::new(RouteTuner::new())),
+            scratches: Mutex::new(Vec::new()),
+            index_totals: Mutex::new(IndexStats::default()),
+            admission: Admission::default(),
+            threads: config.threads,
+            deadline: config.deadline,
+            shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            waves: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            deletes: AtomicU64::new(0),
+            #[cfg(feature = "faults")]
+            plan: config.plan,
+        }
+    }
+
+    /// The route tuner, when autotuning is on.
+    pub fn tuner(&self) -> Option<&Arc<RouteTuner>> {
+        self.tuner.as_ref()
+    }
+
+    /// Ask every connection loop and listener to wind down.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Engine mutations are transactional (validate, then swap whole
+    /// structures), so an engine behind a poisoned lock is still coherent.
+    fn engine_read(&self) -> std::sync::RwLockReadGuard<'_, StellarEngine> {
+        self.engine.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn engine_write(&self) -> std::sync::RwLockWriteGuard<'_, StellarEngine> {
+        self.engine.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Answer one wave of queries against the warm state. Concurrent
+    /// callers share the engine read lock, the cache, the tuner, and the
+    /// scratch pool; answers come back in input order.
+    pub fn serve_wave(&self, queries: &[Query]) -> BatchOutcome {
+        self.waves.fetch_add(1, Ordering::Relaxed);
+        self.queries
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        if let Err(shed) = self.admission.admit(queries.len() as u64, self.deadline) {
+            self.errors
+                .fetch_add(queries.len() as u64, Ordering::Relaxed);
+            return BatchOutcome {
+                answers: queries.iter().map(|_| Err(shed.clone())).collect(),
+                stats: crate::QueryStats {
+                    queries: queries.len(),
+                    errors: queries.len(),
+                    ..Default::default()
+                },
+            };
+        }
+        let start = Instant::now();
+        let outcome = self.run_admitted_wave(queries);
+        self.admission
+            .done(queries.len() as u64, start.elapsed().as_nanos() as u64);
+        self.errors
+            .fetch_add(outcome.stats.errors as u64, Ordering::Relaxed);
+        outcome
+    }
+
+    /// The post-admission wave: sync the cache to the engine generation,
+    /// rebuild the request-scoped source stack around the resident state,
+    /// run the batch, then return the warm scratches and fold the index
+    /// deltas into the daemon totals.
+    fn run_admitted_wave(&self, queries: &[Query]) -> BatchOutcome {
+        let engine = self.engine_read();
+        let generation = engine.generation();
+        self.gate.sync(generation, engine.last_delta(), &self.cache);
+        let source = match &self.tuner {
+            Some(t) => IndexedCubeSource::with_tuner(engine.cube(), Arc::clone(t)),
+            None => IndexedCubeSource::new(engine.cube()),
+        };
+        source.adopt_scratches(std::mem::take(&mut *lock_recover(&self.scratches)));
+        let cached = CachedSource::with_shared(source, Arc::clone(&self.cache));
+        let options = BatchOptions {
+            deadline: self.deadline,
+            generation: Some(generation),
+        };
+        // The cube holds only the k = 1 layer, so a wave containing a
+        // k ≥ 2 skyband gets a dataset-backed fallback rung (the engine
+        // owns its rows; the clone is paid only by such waves). Everything
+        // else serves straight from the warm indexed stack.
+        let needs_rows = queries
+            .iter()
+            .any(|q| matches!(q, Query::Skyband(k, _) if *k >= 2));
+        let dataset = needs_rows.then(|| engine.dataset());
+        let direct = dataset.as_ref().map(crate::DirectSource::new);
+        #[cfg(feature = "faults")]
+        let faulty = self
+            .plan
+            .is_active()
+            .then(|| crate::faults::FaultySource::new(&cached, self.plan));
+        #[cfg(feature = "faults")]
+        let primary: &dyn crate::SkylineSource = match &faulty {
+            Some(f) => f,
+            None => &cached,
+        };
+        #[cfg(not(feature = "faults"))]
+        let primary: &dyn crate::SkylineSource = &cached;
+        let outcome = match &direct {
+            Some(d) => {
+                let ladder = crate::FallbackSource::new(primary).then(d);
+                run_batch_with(&ladder, queries, self.threads, &options)
+            }
+            None => run_batch_with(primary, queries, self.threads, &options),
+        };
+        *lock_recover(&self.scratches) = cached.inner().take_scratches();
+        if let Some(delta) = outcome.stats.index {
+            lock_recover(&self.index_totals).accumulate(&delta);
+        }
+        outcome
+    }
+
+    /// [`Self::serve_wave`] rendered to protocol reply lines, one per
+    /// query, via [`format_answer`] — byte-identical to what `skycube
+    /// query` prints for the same workload.
+    pub fn serve_queries(&self, queries: &[Query]) -> Vec<String> {
+        let outcome = self.serve_wave(queries);
+        queries
+            .iter()
+            .zip(&outcome.answers)
+            .map(|(q, a)| format_answer(q, a))
+            .collect()
+    }
+
+    /// Insert a row (write lock): returns the new object id and the bumped
+    /// generation. The next wave's gate sync patches or clears the cache.
+    pub fn insert(&self, row: Vec<Value>) -> Result<(ObjId, u64), ServeError> {
+        let mut engine = self.engine_write();
+        let id = engine
+            .insert(row)
+            .map_err(|e| ServeError::Internal(e.to_string()))?;
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok((id, engine.generation()))
+    }
+
+    /// Delete an object (write lock): returns the bumped generation.
+    pub fn delete(&self, id: ObjId) -> Result<u64, ServeError> {
+        let mut engine = self.engine_write();
+        engine.delete(id).map_err(ServeError::from)?;
+        self.deletes.fetch_add(1, Ordering::Relaxed);
+        Ok(engine.generation())
+    }
+
+    /// Current daemon-level counters.
+    pub fn metrics(&self) -> DaemonMetrics {
+        DaemonMetrics {
+            generation: self.engine_read().generation(),
+            connections: self.connections.load(Ordering::Relaxed),
+            waves: self.waves.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed: self.admission.shed.load(Ordering::Relaxed),
+            inflight: self.admission.inflight.load(Ordering::Relaxed),
+            service_ewma_ns: self.admission.ewma_ns.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The scrapeable plain-text metrics block (`name value` per line):
+    /// daemon counters, cache counters, cumulative per-route index
+    /// counters, the live route table, and — when autotuning — the tuner
+    /// counters. This is the `stats` verb's reply and the `--metrics`
+    /// dump.
+    pub fn metrics_text(&self) -> String {
+        let m = self.metrics();
+        let cache = self.cache.stats();
+        let index = *lock_recover(&self.index_totals);
+        let table = self.engine_read().cube().index().route_table();
+        let mut out = String::new();
+        let mut put = |name: &str, value: u64| {
+            let _ = writeln!(out, "{name} {value}");
+        };
+        put("generation", m.generation);
+        put("connections_total", m.connections);
+        put("waves_total", m.waves);
+        put("queries_total", m.queries);
+        put("errors_total", m.errors);
+        put("shed_total", m.shed);
+        put("inflight", m.inflight);
+        put("service_ewma_ns", m.service_ewma_ns);
+        put("inserts_total", m.inserts);
+        put("deletes_total", m.deletes);
+        put("cache_hits", cache.hits);
+        put("cache_misses", cache.misses);
+        put("cache_entries", cache.entries as u64);
+        put("cache_capacity", cache.capacity as u64);
+        put("cache_rejected", cache.rejected);
+        put("cache_poison_recoveries", cache.poison_recoveries);
+        for route in MergeRoute::ALL {
+            let r = index.routes[route.index()];
+            put(&format!("route_{}_queries", route.name()), r.queries);
+            put(&format!("route_{}_nanos", route.name()), r.nanos);
+        }
+        put("memo_exact", index.memo_exact);
+        put("memo_ancestor", index.memo_ancestor);
+        put("memo_miss", index.memo_miss);
+        put(
+            "route_table_gallop_min_giant",
+            u64::from(table.gallop_min_giant),
+        );
+        put("route_table_gallop_skew", u64::from(table.gallop_skew));
+        put("route_table_flat_max_runs", u64::from(table.flat_max_runs));
+        put(
+            "route_table_heap_short_avg",
+            u64::from(table.heap_short_avg),
+        );
+        if let Some(tuner) = &self.tuner {
+            let t = tuner.snapshot();
+            put("tuner_observations", t.observations);
+            put("tuner_explorations", t.explorations);
+            put("tuner_ablation_checks", t.ablation_checks);
+            put("tuner_ablation_mismatches", t.ablation_mismatches);
+            put("tuner_recalibrations", t.recalibrations);
+            put("tuner_promotions", t.promotions);
+            put("tuner_shapes", t.shapes as u64);
+        }
+        out
+    }
+
+    /// Drive one connection: read waves of lines, answer them, until EOF,
+    /// `quit`, `shutdown`, or a daemon-wide shutdown. Works for stdin and
+    /// for an accepted socket stream alike.
+    pub fn serve_connection<R: Read, W: Write>(
+        &self,
+        mut reader: R,
+        mut writer: W,
+    ) -> std::io::Result<ConnectionEnd> {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+        let mut pending: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 8192];
+        loop {
+            if self.is_shutting_down() {
+                return Ok(ConnectionEnd::Shutdown);
+            }
+            let n = reader.read(&mut chunk)?;
+            if n == 0 {
+                // EOF: a final line without a trailing newline still counts.
+                let lines = take_lines(&mut pending, true);
+                if let Some(end) = self.process_lines(&lines, &mut writer)? {
+                    return Ok(end);
+                }
+                return Ok(ConnectionEnd::Eof);
+            }
+            pending.extend_from_slice(&chunk[..n]);
+            let lines = take_lines(&mut pending, false);
+            if let Some(end) = self.process_lines(&lines, &mut writer)? {
+                return Ok(end);
+            }
+        }
+    }
+
+    /// Process one wave of protocol lines: consecutive query lines batch
+    /// into a single [`Self::serve_wave`]; control verbs (and parse
+    /// errors) flush the batch first so replies stay in request order.
+    fn process_lines(
+        &self,
+        lines: &[String],
+        writer: &mut dyn Write,
+    ) -> std::io::Result<Option<ConnectionEnd>> {
+        let mut batch: Vec<Query> = Vec::new();
+        for line in lines {
+            let trimmed = line.trim();
+            let mut tokens = trimmed.split_whitespace();
+            let verb = match tokens.next() {
+                None => continue,
+                Some(v) if v.starts_with('#') => continue,
+                Some(v) => v,
+            };
+            match verb {
+                "stats" => {
+                    self.flush_batch(&mut batch, writer)?;
+                    writeln!(writer, "{}", self.metrics_text())?;
+                }
+                "insert" => {
+                    self.flush_batch(&mut batch, writer)?;
+                    writeln!(writer, "{}", self.handle_insert(tokens))?;
+                }
+                "delete" => {
+                    self.flush_batch(&mut batch, writer)?;
+                    writeln!(writer, "{}", self.handle_delete(tokens))?;
+                }
+                "quit" => {
+                    self.flush_batch(&mut batch, writer)?;
+                    writer.flush()?;
+                    return Ok(Some(ConnectionEnd::Quit));
+                }
+                "shutdown" => {
+                    self.flush_batch(&mut batch, writer)?;
+                    writer.flush()?;
+                    self.request_shutdown();
+                    return Ok(Some(ConnectionEnd::Shutdown));
+                }
+                _ => match parse_query_line(trimmed) {
+                    Ok(Some(q)) => batch.push(q),
+                    Ok(None) => {}
+                    Err(message) => {
+                        self.flush_batch(&mut batch, writer)?;
+                        writeln!(writer, "{trimmed} -> error: {message}")?;
+                    }
+                },
+            }
+        }
+        self.flush_batch(&mut batch, writer)?;
+        writer.flush()?;
+        Ok(None)
+    }
+
+    fn flush_batch(&self, batch: &mut Vec<Query>, writer: &mut dyn Write) -> std::io::Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
+        for reply in self.serve_queries(batch) {
+            writeln!(writer, "{reply}")?;
+        }
+        batch.clear();
+        Ok(())
+    }
+
+    fn handle_insert<'t>(&self, tokens: impl Iterator<Item = &'t str>) -> String {
+        let mut row = Vec::new();
+        for t in tokens {
+            match t.parse::<Value>() {
+                Ok(v) => row.push(v),
+                Err(_) => return format!("insert -> error: bad value {t:?}"),
+            }
+        }
+        let dims = self.engine_read().cube().dims();
+        if row.len() != dims {
+            return format!("insert -> error: expected {dims} values, got {}", row.len());
+        }
+        match self.insert(row) {
+            Ok((id, generation)) => format!("insert -> id {id} generation {generation}"),
+            Err(e) => format!("insert -> error: {e}"),
+        }
+    }
+
+    fn handle_delete<'t>(&self, mut tokens: impl Iterator<Item = &'t str>) -> String {
+        let id = match tokens.next().map(str::parse::<ObjId>) {
+            Some(Ok(id)) => id,
+            _ => return "delete -> error: usage: delete <object-id>".to_owned(),
+        };
+        if tokens.next().is_some() {
+            return "delete -> error: usage: delete <object-id>".to_owned();
+        }
+        match self.delete(id) {
+            Ok(generation) => format!("delete -> id {id} generation {generation}"),
+            Err(e) => format!("delete -> error: {e}"),
+        }
+    }
+
+    /// Accept connections on a Unix socket until a shutdown is requested,
+    /// one thread per connection. The listener polls (non-blocking accept)
+    /// so a `shutdown` from any connection stops it promptly; the socket
+    /// file is removed on the way out.
+    #[cfg(unix)]
+    pub fn listen_unix(self: &Arc<Self>, path: &std::path::Path) -> std::io::Result<()> {
+        let _ = std::fs::remove_file(path);
+        let listener = std::os::unix::net::UnixListener::bind(path)?;
+        listener.set_nonblocking(true)?;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.is_shutting_down() {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    stream.set_nonblocking(false)?;
+                    let daemon = Arc::clone(self);
+                    workers.push(std::thread::spawn(move || {
+                        let Ok(reader) = stream.try_clone() else {
+                            return;
+                        };
+                        let _ = daemon.serve_connection(reader, stream);
+                    }));
+                    workers.retain(|w| !w.is_finished());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => {
+                    let _ = std::fs::remove_file(path);
+                    return Err(e);
+                }
+            }
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = std::fs::remove_file(path);
+        Ok(())
+    }
+
+    /// The index the daemon currently serves from (test hook: lets
+    /// assertions inspect the installed route table without a protocol
+    /// round trip). The reference is only valid while no mutation swaps
+    /// the cube, so callers copy what they need immediately.
+    pub fn with_index<T>(&self, f: impl FnOnce(&CubeIndex) -> T) -> T {
+        f(self.engine_read().cube().index())
+    }
+}
+
+/// Split complete `\n`-terminated lines off the front of `pending`
+/// (tolerating `\r\n`); with `flush` also take the final unterminated tail.
+fn take_lines(pending: &mut Vec<u8>, flush: bool) -> Vec<String> {
+    let mut lines = Vec::new();
+    while let Some(at) = pending.iter().position(|&b| b == b'\n') {
+        let raw: Vec<u8> = pending.drain(..=at).collect();
+        lines.push(
+            String::from_utf8_lossy(&raw)
+                .trim_end_matches(['\n', '\r'])
+                .to_string(),
+        );
+    }
+    if flush && !pending.is_empty() {
+        let raw = std::mem::take(pending);
+        lines.push(String::from_utf8_lossy(&raw).to_string());
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::parse_workload;
+    use crate::{run_batch, Answer, IndexedCubeSource};
+    use skycube_stellar::compute_cube;
+    use skycube_types::running_example;
+
+    fn daemon() -> Daemon {
+        let config = DaemonConfig {
+            threads: Parallelism::sequential(),
+            ..DaemonConfig::default()
+        };
+        Daemon::new(StellarEngine::new(&running_example()), config)
+    }
+
+    /// Run a full protocol exchange against an in-memory "connection".
+    fn exchange(daemon: &Daemon, input: &str) -> (String, ConnectionEnd) {
+        let mut out = Vec::new();
+        let end = daemon
+            .serve_connection(input.as_bytes(), &mut out)
+            .expect("in-memory I/O cannot fail");
+        (String::from_utf8(out).unwrap(), end)
+    }
+
+    #[test]
+    fn protocol_answers_match_run_batch_byte_for_byte() {
+        let d = daemon();
+        let workload = "skyline BD\nskyband 1 BD\nmember 4 BD\ncount 4\ntop 2\n";
+        let (replies, end) = exchange(&d, workload);
+        assert_eq!(end, ConnectionEnd::Eof);
+        let ds = running_example();
+        let cube = compute_cube(&ds);
+        let source = IndexedCubeSource::new(&cube);
+        let queries = parse_workload(workload).unwrap();
+        let outcome = run_batch(&source, &queries, Parallelism::sequential());
+        let expect: String = queries
+            .iter()
+            .zip(&outcome.answers)
+            .map(|(q, a)| format_answer(q, a) + "\n")
+            .collect();
+        assert_eq!(replies, expect);
+    }
+
+    #[test]
+    fn control_verbs_barrier_and_classify() {
+        let d = daemon();
+        let (replies, end) = exchange(
+            &d,
+            "skyline BD\nquack now\nskyline B\n# a comment\n\nquit\nskyline A\n",
+        );
+        assert_eq!(end, ConnectionEnd::Quit);
+        let lines: Vec<&str> = replies.lines().collect();
+        assert_eq!(lines[0], "skyline BD -> 2 4");
+        assert!(
+            lines[1].starts_with("quack now -> error:"),
+            "{:?}",
+            lines[1]
+        );
+        assert_eq!(lines[2], "skyline B -> 2 3 4");
+        // Nothing after quit is served.
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn mutations_bump_the_generation_and_refresh_answers() {
+        let d = daemon();
+        let (before, _) = exchange(&d, "skyline B\n");
+        assert_eq!(before, "skyline B -> 2 3 4\n");
+        // The new object takes over subspace B outright (B = 0).
+        let (reply, _) = exchange(&d, "insert 9 0 11 9\n");
+        assert_eq!(reply, "insert -> id 5 generation 1\n");
+        let (after, _) = exchange(&d, "skyline B\n");
+        assert_eq!(after, "skyline B -> 5\n", "stale answer after insert");
+        let (reply, _) = exchange(&d, "delete 5\n");
+        assert_eq!(reply, "delete -> id 5 generation 2\n");
+        let (restored, _) = exchange(&d, "skyline B\n");
+        assert_eq!(restored, "skyline B -> 2 3 4\n");
+        let m = d.metrics();
+        assert_eq!((m.inserts, m.deletes, m.generation), (1, 1, 2));
+    }
+
+    #[test]
+    fn malformed_mutations_reply_with_diagnostics() {
+        let d = daemon();
+        let (r, _) = exchange(&d, "insert 1 2\n");
+        assert_eq!(r, "insert -> error: expected 4 values, got 2\n");
+        let (r, _) = exchange(&d, "insert a b c d\n");
+        assert!(r.starts_with("insert -> error: bad value"), "{r:?}");
+        let (r, _) = exchange(&d, "delete nineteen\n");
+        assert!(r.contains("usage: delete"), "{r:?}");
+        let (r, _) = exchange(&d, "delete 99\n");
+        assert!(r.starts_with("delete -> error:"), "{r:?}");
+    }
+
+    #[test]
+    fn stats_scrape_is_blank_line_terminated_name_value_pairs() {
+        let d = daemon();
+        let (_, _) = exchange(&d, "skyline BD\nskyline BD\n");
+        let (scrape, _) = exchange(&d, "stats\n");
+        assert!(scrape.ends_with("\n\n"), "missing blank-line terminator");
+        for needle in [
+            "generation 0",
+            "queries_total 2",
+            "shed_total 0",
+            "cache_hits 1",
+            "cache_misses 1",
+            "route_table_flat_max_runs",
+            "tuner_observations",
+        ] {
+            assert!(
+                scrape.lines().any(|l| l.starts_with(needle)),
+                "missing {needle:?} in:\n{scrape}"
+            );
+        }
+        // Every line of the block body is "name value".
+        for line in scrape.trim_end().lines() {
+            let mut parts = line.split_whitespace();
+            assert!(parts.next().is_some(), "empty metrics line");
+            parts
+                .next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("non-numeric metrics line {line:?}"));
+            assert_eq!(parts.next(), None, "trailing tokens in {line:?}");
+        }
+    }
+
+    #[test]
+    fn shutdown_verb_stops_the_daemon() {
+        let d = daemon();
+        let (_, end) = exchange(&d, "shutdown\n");
+        assert_eq!(end, ConnectionEnd::Shutdown);
+        assert!(d.is_shutting_down());
+        // A connection opened after the flag is set winds down immediately.
+        let (out, end) = exchange(&d, "skyline BD\n");
+        assert_eq!(end, ConnectionEnd::Shutdown);
+        assert_eq!(out, "");
+    }
+
+    #[test]
+    fn warm_state_survives_across_waves() {
+        let d = daemon();
+        let queries = parse_workload("skyline BD\n").unwrap();
+        d.serve_wave(&queries);
+        d.serve_wave(&queries);
+        let cache = d.cache.stats();
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        // The second wave adopted the first wave's scratch buffer.
+        assert_eq!(lock_recover(&d.scratches).len(), 1);
+        let m = d.metrics();
+        assert_eq!((m.waves, m.queries), (2, 2));
+        assert!(m.service_ewma_ns > 0);
+    }
+
+    #[test]
+    fn admission_sheds_when_projected_wait_exceeds_the_deadline() {
+        let config = DaemonConfig {
+            threads: Parallelism::sequential(),
+            deadline: Some(Duration::from_millis(1)),
+            ..DaemonConfig::default()
+        };
+        let d = Daemon::new(StellarEngine::new(&running_example()), config);
+        // Seed the queue-depth and service-time signals directly: 4 queries
+        // notionally in flight at 1 ms each projects a 4 ms wait.
+        d.admission.inflight.store(4, Ordering::Relaxed);
+        d.admission.ewma_ns.store(1_000_000, Ordering::Relaxed);
+        let queries = parse_workload("skyline BD\nskyline B\n").unwrap();
+        let outcome = d.serve_wave(&queries);
+        for a in &outcome.answers {
+            let err = a.clone().unwrap_err();
+            assert_eq!(err.kind(), "resource-exhausted");
+            assert!(err.to_string().contains("admission shed"), "{err}");
+        }
+        assert_eq!(d.metrics().shed, 2);
+        // Clearing the pressure admits the same wave again.
+        d.admission.inflight.store(0, Ordering::Relaxed);
+        let outcome = d.serve_wave(&queries);
+        assert_eq!(outcome.answers[0], Ok(Answer::Skyline(vec![2, 4])));
+        assert_eq!(d.metrics().shed, 2);
+    }
+
+    #[test]
+    fn autotuner_is_attached_unless_disabled() {
+        assert!(daemon().tuner().is_some());
+        let config = DaemonConfig {
+            autotune: false,
+            threads: Parallelism::sequential(),
+            ..DaemonConfig::default()
+        };
+        let d = Daemon::new(StellarEngine::new(&running_example()), config);
+        assert!(d.tuner().is_none());
+        let queries = parse_workload("skyline BD\n").unwrap();
+        assert_eq!(
+            d.serve_wave(&queries).answers[0],
+            Ok(Answer::Skyline(vec![2, 4]))
+        );
+    }
+
+    #[test]
+    fn take_lines_frames_waves_and_flushes_tails() {
+        let mut pending = b"skyline A\r\nskyline B\nsky".to_vec();
+        let lines = take_lines(&mut pending, false);
+        assert_eq!(lines, ["skyline A", "skyline B"]);
+        assert_eq!(pending, b"sky");
+        let lines = take_lines(&mut pending, true);
+        assert_eq!(lines, ["sky"]);
+        assert!(pending.is_empty());
+    }
+}

@@ -36,8 +36,13 @@ pub enum ServeError {
     /// batch survived.
     SourcePanicked(String),
     /// An admission control refused the work (e.g. a cache entry above the
-    /// byte budget) rather than exhausting memory.
+    /// byte budget, or a daemon shedding load) rather than exhausting a
+    /// resource.
     ResourceExhausted(String),
+    /// The source cannot answer this query family (e.g. a k-skyband on a
+    /// cube-backed source, which holds only the k=1 layer). Demotable: a
+    /// dataset-backed rung further down the ladder may well support it.
+    Unsupported(String),
     /// An invariant the serving tier relies on failed — a bug, not a bad
     /// input.
     Internal(String),
@@ -47,7 +52,7 @@ impl ServeError {
     /// Stable machine-readable code for the variant, used in CLI output
     /// and test assertions (`bad-subspace`, `bad-object`, `bad-workload`,
     /// `corrupt-cube`, `deadline`, `panic`, `resource-exhausted`,
-    /// `internal`).
+    /// `unsupported`, `internal`).
     pub fn kind(&self) -> &'static str {
         match self {
             ServeError::BadSubspace(_) => "bad-subspace",
@@ -57,6 +62,7 @@ impl ServeError {
             ServeError::DeadlineExceeded { .. } => "deadline",
             ServeError::SourcePanicked(_) => "panic",
             ServeError::ResourceExhausted(_) => "resource-exhausted",
+            ServeError::Unsupported(_) => "unsupported",
             ServeError::Internal(_) => "internal",
         }
     }
@@ -90,6 +96,7 @@ impl fmt::Display for ServeError {
             }
             ServeError::SourcePanicked(msg) => write!(f, "source panicked: {msg}"),
             ServeError::ResourceExhausted(msg) => write!(f, "resource exhausted: {msg}"),
+            ServeError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
         }
     }
 }
@@ -147,6 +154,7 @@ mod tests {
                 ServeError::ResourceExhausted("too big".into()),
                 "resource-exhausted",
             ),
+            (ServeError::Unsupported("skyband".into()), "unsupported"),
             (ServeError::Internal("bug".into()), "internal"),
         ];
         for (e, kind) in cases {
@@ -176,6 +184,7 @@ mod tests {
         assert!(ServeError::SourcePanicked("x".into()).is_demotable());
         assert!(ServeError::CorruptCube("x".into()).is_demotable());
         assert!(ServeError::ResourceExhausted("x".into()).is_demotable());
+        assert!(ServeError::Unsupported("x".into()).is_demotable());
         assert!(ServeError::Internal("x".into()).is_demotable());
     }
 

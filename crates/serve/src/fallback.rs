@@ -122,6 +122,12 @@ impl SkylineSource for FallbackSource<'_> {
         self.run(deadline, |s, d| s.subspace_skyline_within(space, d))
     }
 
+    fn skyband(&self, k: usize, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        // `Unsupported` from a cube-backed rung is demotable, so a deep
+        // skyband rides the ladder down to a dataset-backed rung.
+        self.run(None, |s, _| s.skyband(k, space))
+    }
+
     fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
         self.run(None, |s, _| s.is_skyline_in(o, space))
     }

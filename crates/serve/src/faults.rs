@@ -147,7 +147,7 @@ impl<'a> FaultySource<'a> {
             std::thread::sleep(ms);
         }
         if let Some(period) = self.plan.panic_route {
-            if n % period == 0 {
+            if n.is_multiple_of(period) {
                 panic!("fault injection: panic-route fired on skyline query {n}");
             }
         }
@@ -179,6 +179,10 @@ impl SkylineSource for FaultySource<'_> {
     ) -> Result<Vec<ObjId>, ServeError> {
         self.inject();
         self.inner.subspace_skyline_within(space, deadline)
+    }
+
+    fn skyband(&self, k: usize, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        self.inner.skyband(k, space)
     }
 
     fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {

@@ -39,16 +39,21 @@
 
 mod batch;
 mod cache;
+pub mod daemon;
 mod error;
 mod fallback;
 #[cfg(feature = "faults")]
 pub mod faults;
 mod shard;
 mod source;
+pub mod tuner;
 mod workload;
 
-pub use batch::{run_batch, run_batch_with, Answer, BatchOptions, BatchOutcome, QueryStats};
+pub use batch::{
+    format_answer, run_batch, run_batch_with, Answer, BatchOptions, BatchOutcome, QueryStats,
+};
 pub use cache::{CacheStats, CachedSource, GateOutcome, GenerationGate, SubspaceCache};
+pub use daemon::{Daemon, DaemonConfig, DaemonMetrics};
 pub use error::ServeError;
 pub use fallback::FallbackSource;
 pub use shard::{ShardPlan, ShardedCube, ShardedSource};
@@ -56,4 +61,5 @@ pub use source::{
     AnchoredSubskySource, DirectSource, IndexStats, IndexedCubeSource, RouteStats, ScanCubeSource,
     SkyCubeSource, SkylineSource, SubskySource,
 };
+pub use tuner::{RouteTuner, TunerSnapshot};
 pub use workload::{parse_query_line, parse_workload, Query};

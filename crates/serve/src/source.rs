@@ -2,13 +2,14 @@
 
 use crate::cache::CacheStats;
 use crate::error::ServeError;
+use crate::tuner::RouteTuner;
 use skycube_skyey::SkyCube;
-use skycube_skyline::Algorithm;
+use skycube_skyline::{k_skyband, Algorithm};
 use skycube_stellar::{CompressedSkylineCube, CubeIndex, IndexScratch, MemoOutcome, QueryBudget};
 use skycube_subsky::{AnchoredSubskyIndex, SubskyIndex};
 use skycube_types::{Dataset, DimMask, DominanceKernel, ObjId};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
 /// Lock `m`, recovering from mutex poisoning instead of panicking. Used
@@ -136,6 +137,25 @@ pub trait SkylineSource: Sync {
         }
     }
 
+    /// The k-skyband of `space` (objects dominated by fewer than `k`
+    /// others), ascending ids. `k = 1` is exactly the skyline, so every
+    /// source serves it; deeper bands need the dataset rows, which
+    /// cube-backed sources do not hold — their default answers
+    /// [`ServeError::Unsupported`], a *demotable* error, so a fallback
+    /// ladder can demote the query to a dataset-backed rung.
+    fn skyband(&self, k: usize, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        check_skyband_k(k, space)?;
+        if k == 1 {
+            return self.subspace_skyline(space);
+        }
+        check_space(space, self.dims())?;
+        Err(ServeError::Unsupported(format!(
+            "{}: the {k}-skyband needs the dataset rows; this source holds only the \
+             skyline (k = 1) layer",
+            self.label()
+        )))
+    }
+
     /// Whether object `o` is a skyline object of `space`.
     fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError>;
 
@@ -186,6 +206,19 @@ pub(crate) fn check_space(space: DimMask, dims: usize) -> Result<(), ServeError>
     Ok(())
 }
 
+/// Shared validation for skyband queries: `k = 0` is a caller fault —
+/// the 0-skyband is empty by definition, and demoting it would only make
+/// every rung reject it identically.
+pub(crate) fn check_skyband_k(k: usize, space: DimMask) -> Result<(), ServeError> {
+    if k == 0 {
+        return Err(ServeError::BadSubspace(format!(
+            "the 0-skyband of {space} is empty by definition (no object is dominated by \
+             fewer than zero others); use k ≥ 1, where k = 1 is the skyline"
+        )));
+    }
+    Ok(())
+}
+
 /// Shared validation: `o` must be a known object id.
 pub(crate) fn check_object(o: ObjId, num_objects: usize) -> Result<(), ServeError> {
     if (o as usize) < num_objects {
@@ -210,6 +243,7 @@ pub struct IndexedCubeSource<'a> {
     touched: AtomicU64,
     scratch_pool: Mutex<Vec<IndexScratch>>,
     stats: Mutex<IndexStats>,
+    tuner: Option<Arc<RouteTuner>>,
 }
 
 impl<'a> IndexedCubeSource<'a> {
@@ -220,12 +254,42 @@ impl<'a> IndexedCubeSource<'a> {
             touched: AtomicU64::new(0),
             scratch_pool: Mutex::new(Vec::new()),
             stats: Mutex::new(IndexStats::default()),
+            tuner: None,
         }
+    }
+
+    /// Build the source with a [`RouteTuner`] observing every skyline
+    /// query. The tuner runs the whole autotuning loop described in
+    /// [`crate::tuner`]: production timings feed it, it occasionally asks
+    /// for a forced-route exploration probe (whose answer is checked
+    /// against the served one), and tables it promotes are installed on
+    /// the index via [`CubeIndex::set_route_table`]. Shared (`Arc`) so a
+    /// resident daemon can keep one tuner across per-request sources.
+    pub fn with_tuner(cube: &'a CompressedSkylineCube, tuner: Arc<RouteTuner>) -> Self {
+        let mut source = Self::new(cube);
+        source.tuner = Some(tuner);
+        source
     }
 
     /// The underlying index.
     pub fn index(&self) -> &CubeIndex {
         self.index
+    }
+
+    /// The attached tuner, if any.
+    pub fn tuner(&self) -> Option<&Arc<RouteTuner>> {
+        self.tuner.as_ref()
+    }
+
+    /// Seed the scratch pool with warm buffers (e.g. ones carried across
+    /// per-request source rebuilds by a resident daemon).
+    pub fn adopt_scratches(&self, scratches: Vec<IndexScratch>) {
+        lock_recover(&self.scratch_pool).extend(scratches);
+    }
+
+    /// Drain the scratch pool, handing its warm buffers to the caller.
+    pub fn take_scratches(&self) -> Vec<IndexScratch> {
+        std::mem::take(&mut *lock_recover(&self.scratch_pool))
     }
 
     fn record(&self, probe: &skycube_stellar::IndexProbe, nanos: u64) {
@@ -259,12 +323,47 @@ impl<'a> IndexedCubeSource<'a> {
             .try_subspace_skyline_into(space, &mut scratch, &mut out);
         let nanos = start.elapsed().as_nanos() as u64;
         scratch.set_budget(QueryBudget::unlimited());
+        if let (Some(tuner), Ok(probe)) = (&self.tuner, &result) {
+            self.tune(tuner, probe, nanos, space, &out, &mut scratch);
+        }
         lock_recover(&self.scratch_pool).push(scratch);
         let probe = result?;
         self.touched
             .fetch_add(probe.candidates as u64, Ordering::Relaxed);
         self.record(&probe, nanos);
         Ok(out)
+    }
+
+    /// The autotuning loop, run off the critical answer path: feed the
+    /// served query to the tuner; when it draws an exploration probe,
+    /// re-answer through the forced alternative route (unbudgeted — the
+    /// served answer already met its deadline) and check the answers agree
+    /// byte for byte; install any table the tuner promotes.
+    fn tune(
+        &self,
+        tuner: &RouteTuner,
+        probe: &skycube_stellar::IndexProbe,
+        nanos: u64,
+        space: DimMask,
+        served: &[ObjId],
+        scratch: &mut IndexScratch,
+    ) {
+        if let Some(alt_route) = tuner.observe(probe, nanos) {
+            let mut alt_out = Vec::new();
+            let start = Instant::now();
+            let forced =
+                self.index
+                    .try_subspace_skyline_routed(space, alt_route, scratch, &mut alt_out);
+            let alt_nanos = start.elapsed().as_nanos() as u64;
+            if let Ok(alt_probe) = forced {
+                let matched = alt_out == served;
+                debug_assert!(matched, "route {} diverged on {space}", alt_route.name());
+                tuner.observe_forced(&alt_probe, alt_nanos, matched);
+            }
+        }
+        if let Some(table) = tuner.maybe_recalibrate() {
+            self.index.set_route_table(table);
+        }
     }
 }
 
@@ -492,6 +591,12 @@ impl SkylineSource for SubskySource<'_> {
         Ok(self.index.skyline(space))
     }
 
+    fn skyband(&self, k: usize, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        check_skyband_k(k, space)?;
+        check_space(space, self.dims())?;
+        Ok(k_skyband(self.index.dataset(), space, k))
+    }
+
     fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {
         check_object(o, self.num_objects())?;
         let sky = self.subspace_skyline(space)?;
@@ -651,6 +756,12 @@ impl SkylineSource for DirectSource<'_> {
     fn subspace_skyline(&self, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
         check_space(space, self.dims())?;
         Ok(self.algorithm.run_with(self.ds, space, self.kernel))
+    }
+
+    fn skyband(&self, k: usize, space: DimMask) -> Result<Vec<ObjId>, ServeError> {
+        check_skyband_k(k, space)?;
+        check_space(space, self.dims())?;
+        Ok(k_skyband(self.ds, space, k))
     }
 
     fn is_skyline_in(&self, o: ObjId, space: DimMask) -> Result<bool, ServeError> {

@@ -1,0 +1,421 @@
+//! Online merge-route autotuning: the [`RouteTuner`].
+//!
+//! The [`crate::IndexedCubeSource`] already times every skyline query and
+//! knows which merge route answered it and what the merged run shape looked
+//! like ([`skycube_stellar::IndexProbe`]). The tuner turns that exhaust
+//! into a feedback loop over the [`RouteTable`] thresholds:
+//!
+//! 1. **Observe.** Every answered query lands in a *shape bucket* — the
+//!    (log₂ runs, log₂ elements) cell its probe falls in — under the route
+//!    that answered it, accumulating per-bucket per-route ns/query.
+//! 2. **Explore.** Every [`EXPLORE_PERIOD`]th eligible query (≥ 3 runs, so
+//!    the short path is not in play) is re-answered through one rotating
+//!    alternative route via the index's forced-route entry point. The
+//!    duplicate answer is compared byte-for-byte with the served one —
+//!    exploration doubles as a *continuous ablation* that the decision
+//!    table only ever changes latency, never answers — and its timing
+//!    fills in the bucket cells the production table would never visit.
+//! 3. **Recalibrate.** Every [`RECAL_PERIOD`] observations, candidate
+//!    tables (the incumbent with each threshold halved or doubled, plus
+//!    the shipping default) are scored by replaying every bucket's mean
+//!    shape through the candidate and charging the bucket's observed
+//!    ns/query for the route the candidate picks. A candidate is promoted
+//!    only when its projected cost beats the incumbent by more than
+//!    [`PROMOTE_MARGIN`] — observed ns/query at the run shapes actually
+//!    served must beat the incumbent, the ROADMAP's promotion rule.
+//!
+//! The tuner is deterministic (period counters, no clocks or RNG in the
+//! policy itself), shared across threads behind one mutex, and advisory:
+//! it never touches an index itself — the owning source applies promoted
+//! tables via [`skycube_stellar::CubeIndex::set_route_table`].
+
+use crate::source::hist_bucket;
+use skycube_stellar::{IndexProbe, MergeRoute, RouteTable};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One exploration probe per this many eligible observations.
+pub const EXPLORE_PERIOD: u64 = 16;
+/// Consider recalibrating after every this many observations.
+pub const RECAL_PERIOD: u64 = 256;
+/// A candidate table must project at least this fractional improvement
+/// over the incumbent to be promoted.
+pub const PROMOTE_MARGIN: f64 = 0.05;
+
+/// Per-route accumulator inside one shape bucket.
+#[derive(Debug, Default, Clone, Copy)]
+struct RouteCell {
+    queries: u64,
+    nanos: u64,
+}
+
+impl RouteCell {
+    fn mean_ns(&self) -> Option<f64> {
+        (self.queries > 0).then(|| self.nanos as f64 / self.queries as f64)
+    }
+}
+
+/// One (log₂ runs, log₂ elements) shape bucket: per-route timings plus the
+/// shape sums needed to replay the route decision on the bucket's mean
+/// shape.
+#[derive(Debug, Default, Clone)]
+struct ShapeBucket {
+    count: u64,
+    sum_runs: u64,
+    sum_total: u64,
+    sum_max_len: u64,
+    routes: [RouteCell; 5],
+}
+
+impl ShapeBucket {
+    /// Mean ns/query across every route observed in this bucket.
+    fn overall_mean_ns(&self) -> f64 {
+        let q: u64 = self.routes.iter().map(|r| r.queries).sum();
+        let ns: u64 = self.routes.iter().map(|r| r.nanos).sum();
+        if q == 0 {
+            0.0
+        } else {
+            ns as f64 / q as f64
+        }
+    }
+
+    /// Projected ns/query if this bucket were served by `route`: the
+    /// route's observed mean, or the bucket's overall mean when the route
+    /// has never been tried here (neutral — unknown routes neither win nor
+    /// lose a recalibration).
+    fn projected_ns(&self, route: MergeRoute) -> f64 {
+        self.routes[route.index()]
+            .mean_ns()
+            .unwrap_or_else(|| self.overall_mean_ns())
+    }
+}
+
+#[derive(Debug, Default)]
+struct TunerInner {
+    buckets: HashMap<(usize, usize), ShapeBucket>,
+    observations: u64,
+    eligible: u64,
+    explorations: u64,
+    ablation_checks: u64,
+    ablation_mismatches: u64,
+    recalibrations: u64,
+    promotions: u64,
+    /// Rotates over the non-short routes so exploration covers all of them.
+    explore_cursor: usize,
+    incumbent: RouteTable,
+    /// Observations when the incumbent last changed (or the tuner started);
+    /// recalibration fires on period boundaries past this.
+    last_recal: u64,
+}
+
+/// Counters and the live decision table, for the metrics endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerSnapshot {
+    /// Production queries observed.
+    pub observations: u64,
+    /// Forced-route exploration probes executed.
+    pub explorations: u64,
+    /// Exploration answers compared against the served answer.
+    pub ablation_checks: u64,
+    /// Comparisons that differed — any nonzero value is a routing bug.
+    pub ablation_mismatches: u64,
+    /// Recalibration evaluations run.
+    pub recalibrations: u64,
+    /// Tables promoted over an incumbent.
+    pub promotions: u64,
+    /// The incumbent decision table.
+    pub table: RouteTable,
+    /// Distinct run shapes observed.
+    pub shapes: usize,
+}
+
+/// The online route autotuner. See the module docs for the loop.
+#[derive(Debug, Default)]
+pub struct RouteTuner {
+    inner: Mutex<TunerInner>,
+}
+
+/// Non-short routes, in exploration rotation order.
+const EXPLORABLE: [MergeRoute; 4] = [
+    MergeRoute::Heap,
+    MergeRoute::Gallop,
+    MergeRoute::Flat,
+    MergeRoute::Winner,
+];
+
+impl RouteTuner {
+    /// A tuner whose incumbent is [`RouteTable::DEFAULT`].
+    pub fn new() -> Self {
+        RouteTuner::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TunerInner> {
+        // Counter state stays valid across a holder's panic.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Record one production query: its probe (route + shape) and wall
+    /// nanoseconds. Returns the alternative route to explore, if this
+    /// query drew an exploration probe.
+    pub fn observe(&self, probe: &IndexProbe, nanos: u64) -> Option<MergeRoute> {
+        let mut inner = self.lock();
+        inner.observations += 1;
+        record(&mut inner, probe, nanos);
+        if probe.runs_merged <= 2 {
+            return None; // the short path has no alternatives
+        }
+        inner.eligible += 1;
+        if !inner.eligible.is_multiple_of(EXPLORE_PERIOD) {
+            return None;
+        }
+        // Rotate to the next explorable route that differs from the one
+        // production just used.
+        for _ in 0..EXPLORABLE.len() {
+            let candidate = EXPLORABLE[inner.explore_cursor % EXPLORABLE.len()];
+            inner.explore_cursor += 1;
+            if candidate != probe.route {
+                inner.explorations += 1;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Record a forced-route exploration probe's timing, and whether its
+    /// answer matched the served answer (`matched == false` is counted as
+    /// an ablation mismatch — a routing correctness bug).
+    pub fn observe_forced(&self, probe: &IndexProbe, nanos: u64, matched: bool) {
+        let mut inner = self.lock();
+        record(&mut inner, probe, nanos);
+        inner.ablation_checks += 1;
+        if !matched {
+            inner.ablation_mismatches += 1;
+        }
+    }
+
+    /// Consider recalibrating the decision table. Returns a newly promoted
+    /// table when one beats the incumbent by more than [`PROMOTE_MARGIN`];
+    /// the caller installs it on its index.
+    pub fn maybe_recalibrate(&self) -> Option<RouteTable> {
+        let mut inner = self.lock();
+        if inner.observations < inner.last_recal + RECAL_PERIOD {
+            return None;
+        }
+        inner.last_recal = inner.observations;
+        inner.recalibrations += 1;
+        let incumbent = inner.incumbent;
+        let incumbent_cost = projected_cost(&inner.buckets, &incumbent)?;
+        let mut best = incumbent;
+        let mut best_cost = incumbent_cost;
+        for candidate in candidates(&incumbent) {
+            if candidate == incumbent {
+                continue;
+            }
+            if let Some(cost) = projected_cost(&inner.buckets, &candidate) {
+                if cost < best_cost {
+                    best = candidate;
+                    best_cost = cost;
+                }
+            }
+        }
+        if best != incumbent && best_cost < incumbent_cost * (1.0 - PROMOTE_MARGIN) {
+            inner.incumbent = best;
+            inner.promotions += 1;
+            Some(best)
+        } else {
+            None
+        }
+    }
+
+    /// Current counters and incumbent table.
+    pub fn snapshot(&self) -> TunerSnapshot {
+        let inner = self.lock();
+        TunerSnapshot {
+            observations: inner.observations,
+            explorations: inner.explorations,
+            ablation_checks: inner.ablation_checks,
+            ablation_mismatches: inner.ablation_mismatches,
+            recalibrations: inner.recalibrations,
+            promotions: inner.promotions,
+            table: inner.incumbent,
+            shapes: inner.buckets.len(),
+        }
+    }
+}
+
+fn record(inner: &mut TunerInner, probe: &IndexProbe, nanos: u64) {
+    let key = (
+        hist_bucket(probe.runs_merged),
+        hist_bucket(probe.elements_merged),
+    );
+    let bucket = inner.buckets.entry(key).or_default();
+    bucket.count += 1;
+    bucket.sum_runs += probe.runs_merged as u64;
+    bucket.sum_total += probe.elements_merged as u64;
+    bucket.sum_max_len += probe.max_run_len as u64;
+    let cell = &mut bucket.routes[probe.route.index()];
+    cell.queries += 1;
+    cell.nanos += nanos;
+}
+
+/// Σ over buckets of (bucket traffic × projected ns/query under `table` at
+/// the bucket's mean shape). `None` until at least one multi-run bucket has
+/// traffic.
+fn projected_cost(
+    buckets: &HashMap<(usize, usize), ShapeBucket>,
+    table: &RouteTable,
+) -> Option<f64> {
+    let mut cost = 0.0;
+    let mut any = false;
+    for b in buckets.values() {
+        if b.count == 0 {
+            continue;
+        }
+        let runs = (b.sum_runs / b.count) as usize;
+        if runs <= 2 {
+            continue; // the table is never consulted for these
+        }
+        let total = (b.sum_total / b.count) as usize;
+        let max_len = ((b.sum_max_len / b.count) as usize).min(total);
+        let route = table.choose(runs, total.max(runs), max_len.max(1));
+        cost += b.count as f64 * b.projected_ns(route);
+        any = true;
+    }
+    any.then_some(cost)
+}
+
+/// The incumbent plus its one-threshold halved/doubled neighbours and the
+/// shipping default — a deterministic hill-climb neighbourhood.
+fn candidates(incumbent: &RouteTable) -> Vec<RouteTable> {
+    let mut out = vec![*incumbent, RouteTable::DEFAULT];
+    let steps: [fn(u32) -> u32; 2] = [|v| (v / 2).max(1), |v| v.saturating_mul(2)];
+    for step in steps {
+        for field in 0..4 {
+            let mut t = *incumbent;
+            match field {
+                0 => t.gallop_min_giant = step(t.gallop_min_giant),
+                1 => t.gallop_skew = step(t.gallop_skew),
+                2 => t.flat_max_runs = step(t.flat_max_runs).max(3),
+                _ => t.heap_short_avg = step(t.heap_short_avg),
+            }
+            out.push(t);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(route: MergeRoute, runs: usize, total: usize, max_len: usize) -> IndexProbe {
+        IndexProbe {
+            route,
+            runs_merged: runs,
+            elements_merged: total,
+            max_run_len: max_len,
+            ..IndexProbe::default()
+        }
+    }
+
+    #[test]
+    fn exploration_fires_periodically_with_a_rotating_alternative() {
+        let tuner = RouteTuner::new();
+        let mut explored = Vec::new();
+        for _ in 0..(4 * EXPLORE_PERIOD) {
+            if let Some(r) = tuner.observe(&probe(MergeRoute::Flat, 5, 100, 30), 1_000) {
+                explored.push(r);
+            }
+        }
+        assert_eq!(explored.len(), 4);
+        assert!(explored.iter().all(|&r| r != MergeRoute::Flat));
+        assert!(explored.iter().all(|&r| r != MergeRoute::Short));
+        // The rotation visits distinct alternatives, not one favourite.
+        let distinct: std::collections::HashSet<_> = explored.iter().collect();
+        assert!(distinct.len() >= 3, "{explored:?}");
+        // Short-path queries are never explored.
+        let tuner = RouteTuner::new();
+        for _ in 0..(4 * EXPLORE_PERIOD) {
+            assert_eq!(
+                tuner.observe(&probe(MergeRoute::Short, 2, 10, 8), 100),
+                None
+            );
+        }
+        assert_eq!(tuner.snapshot().explorations, 0);
+    }
+
+    #[test]
+    fn ablation_mismatches_are_counted() {
+        let tuner = RouteTuner::new();
+        tuner.observe_forced(&probe(MergeRoute::Heap, 5, 100, 30), 500, true);
+        tuner.observe_forced(&probe(MergeRoute::Winner, 5, 100, 30), 500, false);
+        let snap = tuner.snapshot();
+        assert_eq!(snap.ablation_checks, 2);
+        assert_eq!(snap.ablation_mismatches, 1);
+    }
+
+    #[test]
+    fn recalibration_promotes_a_faster_table() {
+        let tuner = RouteTuner::new();
+        // Shape: 5 runs, ~100 elements, balanced (max 30) → DEFAULT routes
+        // it to Flat. Feed observations where Flat is consistently 10×
+        // slower than Heap at the same shape.
+        for i in 0..RECAL_PERIOD {
+            let route = if i % 4 == 0 {
+                MergeRoute::Heap
+            } else {
+                MergeRoute::Flat
+            };
+            let nanos = if route == MergeRoute::Heap {
+                1_000
+            } else {
+                10_000
+            };
+            tuner.observe(&probe(route, 5, 100, 30), nanos);
+        }
+        let promoted = tuner.maybe_recalibrate();
+        let snap = tuner.snapshot();
+        assert_eq!(snap.recalibrations, 1);
+        let table = promoted.expect("a 10× win must clear the 5% margin");
+        assert_eq!(snap.promotions, 1);
+        assert_eq!(snap.table, table);
+        // The promoted table actually reroutes the observed shape off Flat.
+        assert_ne!(table.choose(5, 100, 30), MergeRoute::Flat);
+        // Immediately re-asking does nothing until another period elapses.
+        assert_eq!(tuner.maybe_recalibrate(), None);
+    }
+
+    #[test]
+    fn recalibration_keeps_the_incumbent_when_it_wins() {
+        let tuner = RouteTuner::new();
+        for i in 0..RECAL_PERIOD {
+            let route = if i % 4 == 0 {
+                MergeRoute::Heap
+            } else {
+                MergeRoute::Flat
+            };
+            // Flat (the default choice at this shape) is the fastest.
+            let nanos = if route == MergeRoute::Flat {
+                500
+            } else {
+                5_000
+            };
+            tuner.observe(&probe(route, 5, 100, 30), nanos);
+        }
+        assert_eq!(tuner.maybe_recalibrate(), None);
+        let snap = tuner.snapshot();
+        assert_eq!(snap.recalibrations, 1);
+        assert_eq!(snap.promotions, 0);
+        assert_eq!(snap.table, RouteTable::DEFAULT);
+    }
+
+    #[test]
+    fn no_recalibration_before_the_period() {
+        let tuner = RouteTuner::new();
+        for _ in 0..(RECAL_PERIOD - 1) {
+            tuner.observe(&probe(MergeRoute::Flat, 5, 100, 30), 1_000);
+        }
+        assert_eq!(tuner.maybe_recalibrate(), None);
+        assert_eq!(tuner.snapshot().recalibrations, 0);
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! skyline ABD     # subspace skyline of {A, B, D}
+//! skyband 2 ABD   # 2-skyband of {A, B, D} (dominated by < 2 others)
 //! member 17 ABD   # is object 17 a skyline object of {A, B, D}?
 //! count 17        # in how many subspaces is object 17 a skyline object?
 //! top 5           # the 5 most frequent subspace-skyline objects
@@ -19,6 +20,9 @@ use std::fmt;
 pub enum Query {
     /// `skyline <SPACE>`: the subspace skyline of `SPACE`.
     Skyline(DimMask),
+    /// `skyband <K> <SPACE>`: the objects of `SPACE` dominated by fewer
+    /// than `K` others (the k-skyband; `K = 1` is exactly the skyline).
+    Skyband(usize, DimMask),
     /// `member <ID> <SPACE>`: is the object a skyline object of `SPACE`?
     Member(ObjId, DimMask),
     /// `count <ID>`: the object's subspace-skyline membership count.
@@ -31,6 +35,7 @@ impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Query::Skyline(space) => write!(f, "skyline {space}"),
+            Query::Skyband(k, space) => write!(f, "skyband {k} {space}"),
             Query::Member(o, space) => write!(f, "member {o} {space}"),
             Query::Count(o) => write!(f, "count {o}"),
             Query::Top(k) => write!(f, "top {k}"),
@@ -90,6 +95,20 @@ pub fn parse_query_line(line: &str) -> Result<Option<Query>, String> {
     };
     let query = match op {
         "skyline" => Query::Skyline(parse_space(&arg("subspace")?)?),
+        "skyband" => {
+            let token = arg("k")?;
+            let k = token
+                .parse::<usize>()
+                .map_err(|_| format!("bad k {token:?}: expected a positive integer"))?;
+            if k == 0 {
+                return Err(
+                    "bad k 0: the 0-skyband is empty by definition (no object is dominated \
+                     by fewer than zero others); use k ≥ 1, where k = 1 is the skyline"
+                        .to_string(),
+                );
+            }
+            Query::Skyband(k, parse_space(&arg("subspace")?)?)
+        }
         "member" => {
             let o = parse_id(&arg("object-id")?)?;
             Query::Member(o, parse_space(&arg("subspace")?)?)
@@ -104,7 +123,7 @@ pub fn parse_query_line(line: &str) -> Result<Option<Query>, String> {
         }
         other => {
             return Err(format!(
-                "unknown query {other:?} (expected skyline, member, count or top)"
+                "unknown query {other:?} (expected skyline, skyband, member, count or top)"
             ))
         }
     };
@@ -140,12 +159,14 @@ mod tests {
 
     #[test]
     fn parses_every_query_family() {
-        let text = "\n# warmup\nskyline ABD\nmember 17 ABD  # inline note\ncount 17\ntop 5\n";
+        let text =
+            "\n# warmup\nskyline ABD\nskyband 2 ABD\nmember 17 ABD  # inline note\ncount 17\ntop 5\n";
         let queries = parse_workload(text).unwrap();
         assert_eq!(
             queries,
             vec![
                 Query::Skyline(DimMask::from_dims([0, 1, 3])),
+                Query::Skyband(2, DimMask::from_dims([0, 1, 3])),
                 Query::Member(17, DimMask::from_dims([0, 1, 3])),
                 Query::Count(17),
                 Query::Top(5),
@@ -154,9 +175,27 @@ mod tests {
     }
 
     #[test]
+    fn skyband_zero_is_rejected_with_the_line_number() {
+        let err = parse_workload("skyline AB\nskyband 0 AB\n").unwrap_err();
+        assert_eq!(err.kind(), "bad-workload");
+        assert!(
+            matches!(err, ServeError::BadWorkload { line: 2, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("0-skyband is empty"), "{err}");
+        assert!(err.to_string().contains("k ≥ 1"), "{err}");
+        // Bad/missing arguments get their own diagnostics.
+        let err = parse_query_line("skyband x AB").unwrap_err();
+        assert!(err.contains("bad k"), "{err}");
+        let err = parse_query_line("skyband 2").unwrap_err();
+        assert!(err.contains("missing its subspace argument"), "{err}");
+    }
+
+    #[test]
     fn display_round_trips() {
         for q in [
             Query::Skyline(DimMask::from_dims([1, 2])),
+            Query::Skyband(3, DimMask::from_dims([1, 2])),
             Query::Member(3, DimMask::from_dims([0])),
             Query::Count(0),
             Query::Top(10),

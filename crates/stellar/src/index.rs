@@ -60,7 +60,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -173,6 +173,115 @@ const FLAT_MAX_RUNS: usize = 8;
 /// replay path per pop is cheaper.
 const HEAP_SHORT_AVG: usize = 2;
 
+/// The merge-route decision table: the four thresholds behind
+/// [`RouteTable::choose`], previously hard-wired constants. An index starts
+/// at [`RouteTable::DEFAULT`] (the hand-tuned values from the route-coverage
+/// benches) and a serving tier may install a recalibrated table via
+/// [`CubeIndex::set_route_table`] — the table only ever changes *which*
+/// correct merge runs, never the answer, which is what the forced-route
+/// ablation tests pin.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RouteTable {
+    /// A galloping merge needs a giant run at least this long ...
+    pub gallop_min_giant: u32,
+    /// ... and at least this many times longer than the rest combined.
+    pub gallop_skew: u32,
+    /// Up to this many runs, concat + sort + dedup beats heap bookkeeping.
+    pub flat_max_runs: u32,
+    /// With more runs the heap wins only while `total ≤ heap_short_avg ×
+    /// runs`; longer average runs go to the winner tree.
+    pub heap_short_avg: u32,
+}
+
+impl RouteTable {
+    /// The hand-tuned shipping thresholds.
+    pub const DEFAULT: RouteTable = RouteTable {
+        gallop_min_giant: GALLOP_MIN_GIANT as u32,
+        gallop_skew: GALLOP_SKEW as u32,
+        flat_max_runs: FLAT_MAX_RUNS as u32,
+        heap_short_avg: HEAP_SHORT_AVG as u32,
+    };
+
+    /// Pick the merge route for a query shape: `runs` member runs totalling
+    /// `total` elements, the longest being `max_len`. Callers handle the
+    /// `runs ≤ 2` short path before consulting the table.
+    pub fn choose(&self, runs: usize, total: usize, max_len: usize) -> MergeRoute {
+        debug_assert!(runs >= 3);
+        let rest = total - max_len;
+        if max_len >= self.gallop_min_giant as usize
+            && max_len >= self.gallop_skew as usize * rest.max(1)
+        {
+            MergeRoute::Gallop
+        } else if runs <= self.flat_max_runs as usize {
+            MergeRoute::Flat
+        } else if total <= self.heap_short_avg as usize * runs {
+            MergeRoute::Heap
+        } else {
+            MergeRoute::Winner
+        }
+    }
+}
+
+impl Default for RouteTable {
+    fn default() -> RouteTable {
+        RouteTable::DEFAULT
+    }
+}
+
+/// Lock-free cell holding the index's live [`RouteTable`]. Routing reads it
+/// with relaxed loads on every query; a tuner swaps thresholds in from
+/// another thread without pausing readers. A torn read across fields is
+/// harmless — any combination of old/new thresholds still names a correct
+/// merge. Cloning copies the current values (the clone tunes independently).
+#[derive(Debug)]
+struct RouteTableCell {
+    gallop_min_giant: AtomicU32,
+    gallop_skew: AtomicU32,
+    flat_max_runs: AtomicU32,
+    heap_short_avg: AtomicU32,
+}
+
+impl RouteTableCell {
+    fn new(t: RouteTable) -> RouteTableCell {
+        RouteTableCell {
+            gallop_min_giant: AtomicU32::new(t.gallop_min_giant),
+            gallop_skew: AtomicU32::new(t.gallop_skew),
+            flat_max_runs: AtomicU32::new(t.flat_max_runs),
+            heap_short_avg: AtomicU32::new(t.heap_short_avg),
+        }
+    }
+
+    fn get(&self) -> RouteTable {
+        RouteTable {
+            gallop_min_giant: self.gallop_min_giant.load(Ordering::Relaxed),
+            gallop_skew: self.gallop_skew.load(Ordering::Relaxed),
+            flat_max_runs: self.flat_max_runs.load(Ordering::Relaxed),
+            heap_short_avg: self.heap_short_avg.load(Ordering::Relaxed),
+        }
+    }
+
+    fn set(&self, t: RouteTable) {
+        self.gallop_min_giant
+            .store(t.gallop_min_giant, Ordering::Relaxed);
+        self.gallop_skew.store(t.gallop_skew, Ordering::Relaxed);
+        self.flat_max_runs.store(t.flat_max_runs, Ordering::Relaxed);
+        self.heap_short_avg
+            .store(t.heap_short_avg, Ordering::Relaxed);
+    }
+}
+
+impl Default for RouteTableCell {
+    fn default() -> RouteTableCell {
+        RouteTableCell::new(RouteTable::DEFAULT)
+    }
+}
+
+impl Clone for RouteTableCell {
+    fn clone(&self) -> RouteTableCell {
+        RouteTableCell::new(self.get())
+    }
+}
+
 /// Which merge implementation answered a query; see the module docs for the
 /// routing conditions.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
@@ -260,6 +369,10 @@ pub struct IndexProbe {
     pub runs_merged: usize,
     /// Total elements across the merged runs (before dedup).
     pub elements_merged: usize,
+    /// Length of the longest merged run — with `runs_merged` and
+    /// `elements_merged` this is the full shape the route decision saw, so
+    /// a tuner can replay the decision under a candidate table.
+    pub max_run_len: usize,
 }
 
 /// Lattice-memo counters, cheap to copy into serving-layer stats.
@@ -595,6 +708,9 @@ pub struct CubeIndex {
     /// Bounded memo of decisively-qualified sets along the lattice.
     /// Transient: never persisted, cold after a load or clone.
     memo: LatticeMemo,
+    /// Live merge-route thresholds. Transient like the memo: never
+    /// persisted, defaults after a load, values copied on clone.
+    route_table: RouteTableCell,
 }
 
 impl CubeIndex {
@@ -653,7 +769,11 @@ impl CubeIndex {
             },
             &delta.old_to_new,
         );
+        // Reassembly resets transient fields; the tuned route thresholds
+        // must survive the generation like the memo does.
+        let table = self.route_table.get();
         *self = CubeIndex::assemble(dims, num_objects, groups, covered, memo);
+        self.route_table.set(table);
     }
 
     /// Grow the index by one object that belongs to no group — the tail of
@@ -806,6 +926,7 @@ impl CubeIndex {
             freq_rank_count: freq_rank_count.into(),
             covered: covered.into(),
             memo,
+            route_table: RouteTableCell::default(),
         }
     }
 
@@ -850,6 +971,19 @@ impl CubeIndex {
     /// cube must call this (or drop the index) before serving again.
     pub fn invalidate_memo(&self) {
         self.memo.invalidate();
+    }
+
+    /// The live merge-route decision table.
+    pub fn route_table(&self) -> RouteTable {
+        self.route_table.get()
+    }
+
+    /// Install a new merge-route decision table. Takes effect on the next
+    /// query, including queries already in flight on other threads (the
+    /// thresholds are relaxed atomics); answers are unaffected — every
+    /// route merges the same runs to the same sorted set.
+    pub fn set_route_table(&self, table: RouteTable) {
+        self.route_table.set(table);
     }
 
     pub(crate) fn member_run(&self, g: u32) -> &[ObjId] {
@@ -1122,13 +1256,16 @@ impl CubeIndex {
         }
         probe.runs_merged = scratch.spans.len();
         probe.elements_merged = total;
+        probe.max_run_len = max_len;
 
         let runs = scratch.spans.len();
         let route = if runs <= 2 {
             MergeRoute::Short
         } else {
             match forced {
-                Some(MergeRoute::Short) | None => choose_route(runs, total, max_len),
+                Some(MergeRoute::Short) | None => {
+                    self.route_table.get().choose(runs, total, max_len)
+                }
                 Some(r) => r,
             }
         };
@@ -1458,6 +1595,7 @@ impl CubeIndex {
             freq_rank_count: load_section(store, id::FREQ_RANK_COUNT)?,
             covered: load_section(store, id::COVERED)?,
             memo: LatticeMemo::default(),
+            route_table: RouteTableCell::default(),
         };
         ix.validate_loaded(num_groups)?;
         Ok(ix)
@@ -1800,22 +1938,6 @@ fn flatten_csr(lists: &[Vec<u32>]) -> (Vec<u64>, Vec<u32>) {
         offsets.push(values.len() as u64);
     }
     (offsets, values)
-}
-
-/// Pick the merge route for ≥ 3 runs from the run shape; see the module
-/// docs for the decision table.
-fn choose_route(runs: usize, total: usize, max_len: usize) -> MergeRoute {
-    debug_assert!(runs >= 3);
-    let rest = total - max_len;
-    if max_len >= GALLOP_MIN_GIANT && max_len >= GALLOP_SKEW * rest.max(1) {
-        MergeRoute::Gallop
-    } else if runs <= FLAT_MAX_RUNS {
-        MergeRoute::Flat
-    } else if total <= HEAP_SHORT_AVG * runs {
-        MergeRoute::Heap
-    } else {
-        MergeRoute::Winner
-    }
 }
 
 /// Pack a merge key: value in the high half so ordering is by value first,
@@ -2297,16 +2419,59 @@ mod tests {
 
     #[test]
     fn route_chooser_matches_documented_thresholds() {
+        let t = RouteTable::DEFAULT;
         // Skewed: giant of 100 vs rest of 10 → gallop.
-        assert_eq!(choose_route(5, 110, 100), MergeRoute::Gallop);
+        assert_eq!(t.choose(5, 110, 100), MergeRoute::Gallop);
         // Giant too small for galloping to pay off.
-        assert_eq!(choose_route(3, 14, 12), MergeRoute::Flat);
+        assert_eq!(t.choose(3, 14, 12), MergeRoute::Flat);
         // Few balanced runs → flat.
-        assert_eq!(choose_route(8, 800, 100), MergeRoute::Flat);
+        assert_eq!(t.choose(8, 800, 100), MergeRoute::Flat);
         // Many short runs → heap.
-        assert_eq!(choose_route(50, 80, 4), MergeRoute::Heap);
+        assert_eq!(t.choose(50, 80, 4), MergeRoute::Heap);
         // Many long balanced runs → winner tree.
-        assert_eq!(choose_route(50, 5_000, 120), MergeRoute::Winner);
+        assert_eq!(t.choose(50, 5_000, 120), MergeRoute::Winner);
+    }
+
+    #[test]
+    fn tuned_route_table_changes_routing_not_answers() {
+        let ds = generate(Distribution::AntiCorrelated, 800, 5, 41);
+        let cube = compute_cube(&ds);
+        let index = cube.index();
+        assert_eq!(index.route_table(), RouteTable::DEFAULT);
+
+        let mut scratch = IndexScratch::default();
+        let mut baseline: Vec<(DimMask, Vec<ObjId>, MergeRoute)> = Vec::new();
+        for space in ds.full_space().subsets() {
+            let mut out = Vec::new();
+            let probe = index
+                .try_subspace_skyline_into(space, &mut scratch, &mut out)
+                .unwrap();
+            baseline.push((space, out, probe.route));
+        }
+
+        // An extreme table: flat for everything the short path doesn't take.
+        index.set_route_table(RouteTable {
+            gallop_min_giant: u32::MAX,
+            gallop_skew: u32::MAX,
+            flat_max_runs: u32::MAX,
+            heap_short_avg: 0,
+        });
+        index.invalidate_memo();
+        let mut rerouted = 0;
+        for (space, expect, old_route) in &baseline {
+            let mut out = Vec::new();
+            let probe = index
+                .try_subspace_skyline_into(*space, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(&out, expect, "subspace {space}");
+            if probe.runs_merged > 2 {
+                assert_eq!(probe.route, MergeRoute::Flat);
+                if *old_route != MergeRoute::Flat {
+                    rerouted += 1;
+                }
+            }
+        }
+        assert!(rerouted > 0, "the extreme table should reroute something");
     }
 
     #[test]

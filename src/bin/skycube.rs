@@ -39,6 +39,8 @@ fn main() -> ExitCode {
         "member" => cmd_member(&opts),
         "top" => cmd_top(&opts),
         "query" => cmd_query(&opts),
+        "serve" => cmd_serve(&opts),
+        "connect" => cmd_connect(&opts),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -101,7 +103,31 @@ commands:
            BASE.shard0..K-1 (either format);
            --inject-faults (builds with the `faults` feature only) forces
            failures: panic-route[=N],slow-route=MS,corrupt-cube,
-           poison-cache,seed=N";
+           poison-cache,seed=N;
+           --autotune attaches the online route tuner to the indexed
+           stellar source (answers are ablation-checked against the
+           default table, so they never change);
+           --partition contiguous|hash (with --shards) selects the shard
+           plan; hash is a diagnostic stub explaining the contiguous-id
+           constraint
+  serve    --data FILE.csv [--socket PATH] [--threads N] [--cache N]
+           [--kernel scalar|columnar] [--deadline-ms MS] [--no-autotune]
+           [--metrics] [--inject-faults SPEC]
+           resident daemon: builds the engine once, keeps the serving
+           index, subspace cache, scratch pool and route tuner warm, and
+           answers the query protocol on stdin (and, with --socket, on a
+           Unix socket, one thread per connection). Protocol verbs: the
+           query workload grammar plus 'skyband k ABD', 'insert v1..vd',
+           'delete ID', 'stats' (plain-text metrics block), 'quit' (close
+           connection; on stdin also stops the daemon) and 'shutdown'
+           (stop the daemon). --deadline-ms bounds each query AND arms
+           admission control: waves whose projected queue wait exceeds
+           the deadline are shed with a resource-exhausted error instead
+           of queueing. --metrics dumps the metrics block to stdout on
+           exit
+  connect  --socket PATH [--workload FILE|-]   client for serve: sends the
+           workload (stdin by default) to a resident daemon and streams
+           the replies back";
 
 type Opts = HashMap<String, String>;
 
@@ -113,7 +139,10 @@ fn parse_opts(rest: &[String]) -> Result<Opts, String> {
             return Err(format!("expected --option, got {k:?}"));
         };
         // Flags without values.
-        if key == "nba" || key == "stats" || key == "fallback" {
+        if matches!(
+            key,
+            "nba" | "stats" | "fallback" | "autotune" | "no-autotune" | "metrics"
+        ) {
             opts.insert(key.to_string(), "true".to_string());
             continue;
         }
@@ -204,6 +233,22 @@ fn shard_count(opts: &Opts) -> Result<Option<usize>, String> {
     }
 }
 
+/// `--partition contiguous|hash` (default contiguous): the shard plan for
+/// `--shards`. `hash` surfaces the [`ShardPlan::hash`] diagnostic — shards
+/// must own contiguous global-id ranges, so hash partitioning is an
+/// explained refusal, not a silent fallback.
+fn check_partition(opts: &Opts, num_objects: usize, shards: usize) -> Result<(), String> {
+    match opts.get("partition").map(String::as_str) {
+        None | Some("contiguous") => Ok(()),
+        Some("hash") => ShardPlan::hash(num_objects, shards)
+            .map(|_| ())
+            .map_err(|e| e.to_string()),
+        Some(other) => Err(format!(
+            "bad --partition {other:?} (expected contiguous or hash)"
+        )),
+    }
+}
+
 /// How `build` writes its cubes, selected by `--format`.
 type SaveFn = fn(&CompressedSkylineCube, &str) -> skycube::types::Result<()>;
 
@@ -223,6 +268,7 @@ fn cmd_build(opts: &Opts) -> Result<(), String> {
     let out = req(opts, "out")?;
     let save = save_format(opts)?;
     if let Some(shards) = shard_count(opts)? {
+        check_partition(opts, ds.len(), shards)?;
         let t = std::time::Instant::now();
         let cube = ShardedCube::build_with(&ds, shards, Parallelism::available(), runner(opts)?);
         let mut groups = 0;
@@ -491,6 +537,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             ));
         }
         let ds = load_data(opts)?;
+        check_partition(opts, ds.len(), shards)?;
         // With --cube BASE the per-shard cubes are reopened from
         // BASE.shard0..K-1 (either format, auto-detected) instead of being
         // rebuilt; binary shard cubes serve straight from their zero-copy
@@ -529,6 +576,18 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
             let want_fallback = opts.contains_key("fallback");
             if !want_fallback {
                 let cube = stellar_cube(opts)?;
+                // --autotune: the same source the daemon serves from, with
+                // the online route tuner attached. Every explored route is
+                // ablation-checked against the production answer, so the
+                // output is byte-identical to the untuned run (ci pins it).
+                if opts.contains_key("autotune") {
+                    let tuner = std::sync::Arc::new(skycube::serve::RouteTuner::new());
+                    return serve_workload(
+                        IndexedCubeSource::with_tuner(&cube, tuner),
+                        &queries,
+                        &serving,
+                    );
+                }
                 return serve_workload(IndexedCubeSource::new(&cube), &queries, &serving);
             }
             // The degradation ladder: indexed -> scan (same cube) -> direct
@@ -652,6 +711,132 @@ fn stellar_cube_checked(
     stellar_cube(opts)
 }
 
+/// `serve`: build the engine once from `--data`, then answer the daemon
+/// protocol on stdin and (with `--socket PATH`) on a Unix socket with one
+/// thread per connection, all sharing the same warm index, cache, scratch
+/// pool and route tuner. See [`skycube::serve::daemon`] for the protocol.
+fn cmd_serve(opts: &Opts) -> Result<(), String> {
+    use skycube::serve::daemon::ConnectionEnd;
+    use std::sync::Arc;
+
+    let ds = load_data(opts)?;
+    let t = std::time::Instant::now();
+    let engine = StellarEngine::with_runner(&ds, runner(opts)?);
+    let threads = match opts.get("threads") {
+        Some(t) => {
+            let threads: usize = num(t, "thread count")?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".to_owned());
+            }
+            Parallelism::new(threads)
+        }
+        None => Parallelism::available(),
+    };
+    let deadline = match opts.get("deadline-ms") {
+        Some(ms) => Some(std::time::Duration::from_millis(num::<u64>(
+            ms,
+            "deadline (ms)",
+        )?)),
+        None => None,
+    };
+    #[cfg(not(feature = "faults"))]
+    if opts.contains_key("inject-faults") {
+        return Err("--inject-faults needs a build with the `faults` feature \
+             (cargo build --release --features faults)"
+            .to_owned());
+    }
+    let config = DaemonConfig {
+        cache_capacity: match opts.get("cache") {
+            Some(n) => num::<usize>(n, "cache capacity")?,
+            None => DaemonConfig::default().cache_capacity,
+        },
+        threads,
+        deadline,
+        autotune: !opts.contains_key("no-autotune"),
+        #[cfg(feature = "faults")]
+        plan: match opts.get("inject-faults") {
+            Some(spec) => skycube::serve::faults::FaultPlan::parse(spec)?,
+            None => skycube::serve::faults::FaultPlan::default(),
+        },
+        ..DaemonConfig::default()
+    };
+    let daemon = Arc::new(Daemon::new(engine, config));
+    // Status goes to stderr so protocol replies own stdout; the "ready"
+    // line is what smoke scripts wait for.
+    eprintln!(
+        "# warm in {:.2?}: {} objects × {} dims, generation {}",
+        t.elapsed(),
+        ds.len(),
+        ds.dims(),
+        daemon.metrics().generation
+    );
+    match opts.get("socket") {
+        Some(path) => {
+            eprintln!("# ready: listening on {path} (and stdin)");
+            // stdin is one more connection; `quit` there stops the whole
+            // daemon (there is no second chance to type into stdin), while
+            // EOF just detaches it and the listener keeps serving.
+            let d = Arc::clone(&daemon);
+            std::thread::spawn(move || {
+                let end = d.serve_connection(std::io::stdin().lock(), std::io::stdout().lock());
+                if matches!(end, Ok(ConnectionEnd::Quit)) {
+                    d.request_shutdown();
+                }
+            });
+            daemon
+                .listen_unix(std::path::Path::new(path))
+                .map_err(|e| format!("listening on {path:?}: {e}"))?;
+        }
+        None => {
+            eprintln!("# ready: serving on stdin");
+            daemon
+                .serve_connection(std::io::stdin().lock(), std::io::stdout().lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    if opts.contains_key("metrics") {
+        print!("{}", daemon.metrics_text());
+    }
+    Ok(())
+}
+
+/// `connect`: client for `serve` — send a workload (file or stdin) to a
+/// resident daemon over its Unix socket, half-close, and stream the reply
+/// lines to stdout until the daemon is done with us.
+fn cmd_connect(opts: &Opts) -> Result<(), String> {
+    use std::io::{Read, Write};
+
+    let path = req(opts, "socket")?;
+    let text = match opts.get("workload").map(String::as_str) {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("reading workload from stdin: {e}"))?;
+            buf
+        }
+        Some(file) => {
+            std::fs::read_to_string(file).map_err(|e| format!("reading workload {file:?}: {e}"))?
+        }
+    };
+    let mut stream = std::os::unix::net::UnixStream::connect(path)
+        .map_err(|e| format!("connecting to {path:?}: {e}"))?;
+    stream
+        .write_all(text.as_bytes())
+        .map_err(|e| e.to_string())?;
+    if !text.ends_with('\n') {
+        stream.write_all(b"\n").map_err(|e| e.to_string())?;
+    }
+    // Half-close so the daemon sees EOF after the workload and finishes
+    // the connection once every reply has been written.
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| e.to_string())?;
+    let mut stdout = std::io::stdout().lock();
+    std::io::copy(&mut stream, &mut stdout).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 /// Everything `serve_workload` needs besides the source and the queries.
 struct Serving {
     par: Parallelism,
@@ -689,19 +874,10 @@ fn report_batch(
     let stats = serving.stats;
     let outcome = run_batch_with(source, queries, serving.par, &serving.options);
     for (query, answer) in queries.iter().zip(&outcome.answers) {
-        match answer {
-            Ok(Answer::Skyline(sky)) => {
-                let ids: Vec<String> = sky.iter().map(ToString::to_string).collect();
-                println!("{query} -> {}", ids.join(" "));
-            }
-            Ok(Answer::Member(yes)) => println!("{query} -> {yes}"),
-            Ok(Answer::Count(n)) => println!("{query} -> {n}"),
-            Ok(Answer::Top(ranked)) => {
-                let pairs: Vec<String> = ranked.iter().map(|(o, n)| format!("{o}:{n}")).collect();
-                println!("{query} -> {}", pairs.join(" "));
-            }
-            Err(e) => println!("{query} -> error: {e}"),
-        }
+        // The one canonical rendering, shared with the daemon's protocol
+        // replies — what `serve` sends over a socket is byte-identical to
+        // what a one-shot `query` prints.
+        println!("{}", skycube::serve::format_answer(query, answer));
     }
     let s = outcome.stats;
     println!(

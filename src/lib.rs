@@ -53,10 +53,11 @@ pub mod prelude {
     pub use skycube_datagen::{generate, nba_table, nba_table_sized, Distribution};
     pub use skycube_parallel::Parallelism;
     pub use skycube_serve::{
-        parse_workload, run_batch, run_batch_with, AnchoredSubskySource, Answer, BatchOptions,
-        CachedSource, DirectSource, FallbackSource, IndexedCubeSource, Query, ScanCubeSource,
-        ServeError, ShardPlan, ShardedCube, ShardedSource, SkyCubeSource, SkylineSource,
-        SubskySource,
+        format_answer, parse_workload, run_batch, run_batch_with, AnchoredSubskySource, Answer,
+        BatchOptions, CachedSource, Daemon, DaemonConfig, DaemonMetrics, DirectSource,
+        FallbackSource, IndexedCubeSource, Query, RouteTuner, ScanCubeSource, ServeError,
+        ShardPlan, ShardedCube, ShardedSource, SkyCubeSource, SkylineSource, SubskySource,
+        TunerSnapshot,
     };
     pub use skycube_skyey::{skyey_groups, SkyCube};
     pub use skycube_skyline::{skyline, skyline_parallel, Algorithm};

@@ -1,0 +1,183 @@
+//! Integration tests for the resident serve daemon: concurrent socket
+//! clients must see byte-identical answers to a one-shot [`run_batch`],
+//! across dominance kernels and thread counts, and a mid-stream mutation
+//! must bump the generation and refresh every subsequent answer.
+
+use skycube::prelude::*;
+use skycube::stellar::Stellar;
+use std::io::{Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn dataset() -> Dataset {
+    generate(Distribution::Independent, 300, 4, 11)
+}
+
+/// Every query family the protocol serves, including a k ≥ 2 skyband
+/// (answered through the daemon's dataset-backed fallback rung).
+const WORKLOAD: &str = "skyline ABD\nskyline BD\nskyband 1 AB\nskyband 2 BD\n\
+                        member 17 ABD\ncount 17\ntop 3\nskyline ABCD\n";
+
+/// The reference transcript: the same workload through the one-shot batch
+/// path (indexed cube + direct fallback), rendered by [`format_answer`] —
+/// exactly what the daemon's protocol replies must equal, byte for byte.
+fn expected_transcript(ds: &Dataset, kernel: DominanceKernel) -> String {
+    let cube = Stellar::new().with_kernel(kernel).compute(ds);
+    let indexed = IndexedCubeSource::new(&cube);
+    let direct = DirectSource::new(ds).with_kernel(kernel);
+    let ladder = FallbackSource::new(&indexed).then(&direct);
+    let queries = parse_workload(WORKLOAD).unwrap();
+    let outcome = run_batch(&ladder, &queries, Parallelism::sequential());
+    queries
+        .iter()
+        .zip(&outcome.answers)
+        .map(|(q, a)| format_answer(q, a) + "\n")
+        .collect()
+}
+
+/// Start a daemon listening on a fresh Unix socket; returns when the
+/// socket is accepting.
+fn start_daemon(
+    ds: &Dataset,
+    kernel: DominanceKernel,
+    threads: usize,
+    name: &str,
+) -> (Arc<Daemon>, PathBuf, std::thread::JoinHandle<()>) {
+    let engine = StellarEngine::with_runner(ds, Stellar::new().with_kernel(kernel));
+    let config = DaemonConfig {
+        threads: Parallelism::new(threads),
+        ..DaemonConfig::default()
+    };
+    let daemon = Arc::new(Daemon::new(engine, config));
+    let path = std::env::temp_dir().join(format!(
+        "skycube-daemon-test-{}-{name}.sock",
+        std::process::id()
+    ));
+    let listener = Arc::clone(&daemon);
+    let at = path.clone();
+    let handle = std::thread::spawn(move || listener.listen_unix(&at).expect("listener failed"));
+    for _ in 0..1000 {
+        if path.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert!(path.exists(), "daemon never bound {path:?}");
+    (daemon, path, handle)
+}
+
+/// One client exchange: send `input`, half-close, read the full reply.
+fn roundtrip(path: &Path, input: &str) -> String {
+    let mut stream = UnixStream::connect(path).expect("connect");
+    stream.write_all(input.as_bytes()).expect("send");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("receive");
+    out
+}
+
+fn shut_down(daemon: &Arc<Daemon>, path: &Path, handle: std::thread::JoinHandle<()>) {
+    let reply = roundtrip(path, "shutdown\n");
+    assert_eq!(reply, "", "shutdown itself answers nothing: {reply:?}");
+    handle.join().expect("listener thread");
+    assert!(daemon.is_shutting_down());
+    assert!(!path.exists(), "socket file survived shutdown");
+}
+
+#[test]
+fn concurrent_socket_clients_match_run_batch_across_kernels_and_threads() {
+    let ds = dataset();
+    for kernel in ["scalar", "columnar"] {
+        let kernel = DominanceKernel::parse(kernel).unwrap();
+        let expect = expected_transcript(&ds, kernel);
+        for threads in [1usize, 4] {
+            let name = format!("match-{kernel:?}-{threads}").to_lowercase();
+            let (daemon, path, handle) = start_daemon(&ds, kernel, threads, &name);
+            let clients: Vec<_> = (0..4)
+                .map(|_| {
+                    let path = path.clone();
+                    std::thread::spawn(move || roundtrip(&path, WORKLOAD))
+                })
+                .collect();
+            for client in clients {
+                let transcript = client.join().expect("client thread");
+                assert_eq!(
+                    transcript, expect,
+                    "daemon transcript diverged from run_batch (kernel {kernel:?}, {threads} threads)"
+                );
+            }
+            let metrics = daemon.metrics();
+            assert_eq!(metrics.connections, 4);
+            assert_eq!(metrics.queries, 4 * 8);
+            assert_eq!(metrics.errors, 0);
+            shut_down(&daemon, &path, handle);
+        }
+    }
+}
+
+#[test]
+fn midstream_insert_bumps_generation_and_refreshes_answers() {
+    let ds = dataset();
+    let kernel = DominanceKernel::default();
+    let (daemon, path, handle) = start_daemon(&ds, kernel, 1, "maintain");
+    let before = roundtrip(&path, "skyline A\n");
+
+    // The expected post-insert answer, computed on an independent engine
+    // pushed through the same mutation.
+    let mut reference = StellarEngine::new(&ds);
+    let id = reference.insert(vec![0, 0, 0, 0]).unwrap();
+    let sky = reference
+        .cube()
+        .try_subspace_skyline(DimMask::parse("A").unwrap())
+        .unwrap();
+    let after_expect = format!(
+        "skyline A -> {}\n",
+        sky.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    let reply = roundtrip(&path, "insert 0 0 0 0\n");
+    assert_eq!(reply, format!("insert -> id {id} generation 1\n"));
+    let after = roundtrip(&path, "skyline A\n");
+    assert_eq!(after, after_expect, "stale answer served after insert");
+    assert!(after.contains(&id.to_string()), "{after:?}");
+
+    let scrape = roundtrip(&path, "stats\n");
+    for needle in ["generation 1", "inserts_total 1", "shed_total 0"] {
+        assert!(
+            scrape.lines().any(|l| l == needle),
+            "missing {needle:?} in scrape:\n{scrape}"
+        );
+    }
+
+    let reply = roundtrip(&path, &format!("delete {id}\n"));
+    assert_eq!(reply, format!("delete -> id {id} generation 2\n"));
+    let restored = roundtrip(&path, "skyline A\n");
+    assert_eq!(
+        restored, before,
+        "delete did not restore the original answer"
+    );
+    shut_down(&daemon, &path, handle);
+}
+
+#[test]
+fn quit_closes_one_connection_and_the_daemon_survives() {
+    let ds = dataset();
+    let (daemon, path, handle) = start_daemon(&ds, DominanceKernel::default(), 1, "quit");
+    let reply = roundtrip(&path, "skyline A\nquit\nskyline BD\n");
+    assert!(reply.starts_with("skyline A -> "), "{reply:?}");
+    assert!(
+        !reply.contains("skyline BD"),
+        "lines after quit were served: {reply:?}"
+    );
+    assert!(!daemon.is_shutting_down(), "quit must not stop the daemon");
+    // The daemon still answers a fresh connection.
+    let again = roundtrip(&path, "count 17\n");
+    assert_eq!(again, "count 17 -> 0\n");
+    shut_down(&daemon, &path, handle);
+}

@@ -170,3 +170,59 @@ fn the_full_fault_matrix_never_aborts_a_fallback_batch() {
         }
     }
 }
+
+/// Overload the resident daemon: a slow route plus a tight deadline must
+/// end every query in a *classified* error — DeadlineExceeded for admitted
+/// work that blows its budget, ResourceExhausted for waves shed by
+/// admission control — never an abort, with the shed count visible in the
+/// metrics dump.
+#[test]
+fn overloaded_daemon_sheds_with_classified_errors_and_counts_it() {
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let ds = generate(Distribution::Independent, 200, 4, 3);
+    let config = DaemonConfig {
+        threads: Parallelism::sequential(),
+        deadline: Some(Duration::from_millis(5)),
+        plan: FaultPlan::parse("slow-route=30").unwrap(),
+        ..DaemonConfig::default()
+    };
+    let daemon = Arc::new(Daemon::new(StellarEngine::new(&ds), config));
+    let queries = parse_workload("skyline A\nskyline B\nskyline AB\nskyline ABD\n").unwrap();
+
+    // Wave 1 is admitted (no service-time signal yet) but every query
+    // sleeps 30 ms against a 5 ms budget: classified deadline errors.
+    let wave = daemon.serve_wave(&queries);
+    for a in &wave.answers {
+        let err = a.clone().expect_err("slow route beat a 5 ms deadline?");
+        assert_eq!(err.kind(), "deadline", "{err}");
+    }
+
+    // Wave 2 occupies the daemon while wave 3 arrives: with ~30 ms
+    // observed service time and four queries in flight, the projected
+    // wait dwarfs the deadline, so wave 3 is shed, not queued.
+    let occupant = Arc::clone(&daemon);
+    let q2 = queries.clone();
+    let busy = std::thread::spawn(move || occupant.serve_wave(&q2));
+    std::thread::sleep(Duration::from_millis(15));
+    let shed = daemon.serve_wave(&queries);
+    for a in &shed.answers {
+        let err = a
+            .clone()
+            .expect_err("overloaded daemon queued instead of shedding");
+        assert_eq!(err.kind(), "resource-exhausted", "{err}");
+        assert!(err.to_string().contains("admission shed"), "{err}");
+    }
+    busy.join().expect("occupant wave aborted");
+
+    let metrics = daemon.metrics();
+    assert_eq!(metrics.shed, queries.len() as u64);
+    assert_eq!(metrics.inflight, 0, "in-flight count leaked");
+    let dump = daemon.metrics_text();
+    assert!(
+        dump.lines()
+            .any(|l| l == format!("shed_total {}", metrics.shed)),
+        "shed count missing from metrics dump:\n{dump}"
+    );
+}
