@@ -220,6 +220,122 @@ if [ -S "$SMOKE_DIR/daemon.sock" ]; then
     exit 1
 fi
 
+echo '== durability smoke: kill -9 mid-mutation-stream, restart replays the wal'
+# The faults build aborts the daemon right after the 3rd WAL record is
+# fsync'd and *before* the engine patches — the crash-recovery worst case.
+# The restart must report a non-zero replay and end up at generation 3.
+./target/release/skycube serve --data "$SMOKE_DIR/data.csv" \
+    --wal "$SMOKE_DIR/daemon.wal" --socket "$SMOKE_DIR/crash.sock" \
+    --inject-faults kill-mid-mutation=3 < /dev/null \
+    2> "$SMOKE_DIR/crash.err" &
+CRASH_PID=$!
+ok=0
+for _ in $(seq 100); do
+    if [ -S "$SMOKE_DIR/crash.sock" ]; then ok=1; break; fi
+    sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+    echo "durability smoke: crash daemon never bound its socket" >&2
+    exit 1
+fi
+printf 'insert 1 2 3 4\ninsert 2 3 4 5\ninsert 3 4 5 6\ninsert 4 5 6 7\n' | \
+    ./target/release/skycube connect --socket "$SMOKE_DIR/crash.sock" \
+    > "$SMOKE_DIR/crash.out" 2> /dev/null || true
+wait "$CRASH_PID" 2> /dev/null || true
+rm -f "$SMOKE_DIR/crash.sock"
+./target/release/skycube serve --data "$SMOKE_DIR/data.csv" \
+    --wal "$SMOKE_DIR/daemon.wal" --socket "$SMOKE_DIR/crash.sock" \
+    < /dev/null 2> "$SMOKE_DIR/recover.err" &
+RECOVER_PID=$!
+ok=0
+for _ in $(seq 100); do
+    if [ -S "$SMOKE_DIR/crash.sock" ]; then ok=1; break; fi
+    sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+    echo "durability smoke: recovered daemon never bound its socket" >&2
+    exit 1
+fi
+if ! grep -q 'wal_replayed=[1-9]' "$SMOKE_DIR/recover.err"; then
+    echo "durability smoke: restart did not replay the wal" >&2
+    cat "$SMOKE_DIR/recover.err" >&2
+    exit 1
+fi
+printf 'stats\nshutdown\n' | ./target/release/skycube connect \
+    --socket "$SMOKE_DIR/crash.sock" > "$SMOKE_DIR/recover.stats"
+for needle in 'wal_replayed 3' 'generation 3' 'wal_records 3'; do
+    if ! grep -q "^$needle" "$SMOKE_DIR/recover.stats"; then
+        echo "durability smoke: '$needle' missing after recovery" >&2
+        cat "$SMOKE_DIR/recover.stats" >&2
+        exit 1
+    fi
+done
+wait "$RECOVER_PID"
+
+echo '== tcp smoke: the tcp listener answers identically to the unix socket'
+./target/release/skycube serve --data "$SMOKE_DIR/data.csv" \
+    --socket "$SMOKE_DIR/tcp.sock" --listen 127.0.0.1:0 < /dev/null \
+    2> "$SMOKE_DIR/tcp.err" &
+TCP_PID=$!
+ok=0
+for _ in $(seq 100); do
+    if grep -q 'listening on tcp' "$SMOKE_DIR/tcp.err" \
+        && [ -S "$SMOKE_DIR/tcp.sock" ]; then ok=1; break; fi
+    sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+    echo "tcp smoke: daemon never reported both listeners ready" >&2
+    exit 1
+fi
+TCP_ADDR=$(sed -n 's/^# ready: listening on tcp //p' "$SMOKE_DIR/tcp.err")
+./target/release/skycube connect --tcp "$TCP_ADDR" --retries 3 \
+    --workload "$SMOKE_DIR/verbs.txt" > "$SMOKE_DIR/tcp.out"
+./target/release/skycube connect --socket "$SMOKE_DIR/tcp.sock" \
+    --workload "$SMOKE_DIR/verbs.txt" > "$SMOKE_DIR/tcp-unix.out"
+if ! diff "$SMOKE_DIR/tcp.out" "$SMOKE_DIR/tcp-unix.out" > /dev/null; then
+    echo "tcp smoke: tcp replies differ from the unix socket" >&2
+    exit 1
+fi
+if ! diff "$SMOKE_DIR/batch.out" "$SMOKE_DIR/tcp.out" > /dev/null; then
+    echo "tcp smoke: tcp replies differ from the one-shot batch" >&2
+    exit 1
+fi
+printf 'shutdown\n' | ./target/release/skycube connect \
+    --socket "$SMOKE_DIR/tcp.sock" > /dev/null
+wait "$TCP_PID"
+
+echo '== drain smoke: in-flight queries are answered before shutdown'
+# A workload whose final line is shutdown: every query ahead of it on the
+# same connection must still be answered — zero dropped — and the daemon
+# must then exit and remove its socket.
+cat "$SMOKE_DIR/verbs.txt" > "$SMOKE_DIR/drain.txt"
+echo 'shutdown' >> "$SMOKE_DIR/drain.txt"
+./target/release/skycube serve --data "$SMOKE_DIR/data.csv" \
+    --socket "$SMOKE_DIR/drain.sock" < /dev/null \
+    2> "$SMOKE_DIR/drain.err" &
+DRAIN_PID=$!
+ok=0
+for _ in $(seq 100); do
+    if [ -S "$SMOKE_DIR/drain.sock" ]; then ok=1; break; fi
+    sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+    echo "drain smoke: daemon never bound its socket" >&2
+    exit 1
+fi
+./target/release/skycube connect --socket "$SMOKE_DIR/drain.sock" \
+    --workload "$SMOKE_DIR/drain.txt" > "$SMOKE_DIR/drain.out"
+if ! diff "$SMOKE_DIR/batch.out" "$SMOKE_DIR/drain.out" > /dev/null; then
+    echo "drain smoke: a query in flight at shutdown was dropped" >&2
+    diff "$SMOKE_DIR/batch.out" "$SMOKE_DIR/drain.out" >&2 || true
+    exit 1
+fi
+wait "$DRAIN_PID"
+if [ -S "$SMOKE_DIR/drain.sock" ]; then
+    echo "drain smoke: socket file survived shutdown" >&2
+    exit 1
+fi
+
 echo '== autotune smoke: tuned answers byte-identical to the default table'
 # A workload long enough to force tuner explorations; the forced-route
 # ablation guarantees the tuned run prints exactly the untuned answers.

@@ -204,6 +204,82 @@ fn main() {
     let served = metric(&scrape, "queries_total");
     let shed = metric(&scrape, "shed_total");
 
+    // --- daemon + WAL: the same reps with durability on ------------------
+    // Same read workload (so the numbers are comparable), then two
+    // mutations after the clock stops to prove the fsync path is live.
+    let socket_wal = dir.join("daemon-wal.sock");
+    let wal_path = dir.join("daemon.wal");
+    let daemon_wal = spawn_daemon(
+        &bin,
+        &csv,
+        &socket_wal,
+        &["--wal", wal_path.to_str().unwrap()],
+    );
+    let t = Instant::now();
+    for _ in 0..reps {
+        let _ = roundtrip(&socket_wal, &workload);
+    }
+    let daemon_wal_seconds = t.elapsed().as_secs_f64();
+    let mutation = format!("insert {}\ndelete 0\n", vec!["1"; d].join(" "));
+    let _ = roundtrip(&socket_wal, &mutation);
+    let scrape_wal = roundtrip(&socket_wal, "stats\n");
+    let wal_records = metric(&scrape_wal, "wal_records");
+    stop_daemon(&socket_wal, daemon_wal);
+    let wal_ratio = daemon_wal_seconds / daemon_seconds;
+
+    // --- overload burst: the bounded pool sheds, never queues unboundedly
+    let socket_burst = dir.join("daemon-burst.sock");
+    let burst_daemon = spawn_daemon(
+        &bin,
+        &csv,
+        &socket_burst,
+        &["--workers", "1", "--backlog", "1"],
+    );
+    // Barrier: a full served round trip proves the worker is free and the
+    // queue is empty (the readiness probe's connection has fully drained)
+    // before the pins land — otherwise the pins race daemon startup. A
+    // barrier attempt can itself be shed by that same race (read reset or
+    // an explicit refusal), so retry until one is actually served.
+    for attempt in 0.. {
+        let mut stream = UnixStream::connect(&socket_burst)
+            .unwrap_or_else(|e| die(&format!("barrier connect: {e}")));
+        let sent = stream
+            .write_all(b"stats\n")
+            .and_then(|()| stream.shutdown(std::net::Shutdown::Write));
+        let mut reply = String::new();
+        let served = sent.is_ok()
+            && stream.read_to_string(&mut reply).is_ok()
+            && reply.contains("queries_total");
+        if served {
+            break;
+        }
+        if attempt > 100 {
+            die("burst daemon never served a barrier round trip");
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    // One idle connection pins the single worker, a second fills the
+    // one-slot backlog; every connection in the burst after that must be
+    // refused with a structured reply, not silently queued or hung.
+    let pin_worker =
+        UnixStream::connect(&socket_burst).unwrap_or_else(|e| die(&format!("pin worker: {e}")));
+    std::thread::sleep(Duration::from_millis(300));
+    let pin_backlog =
+        UnixStream::connect(&socket_burst).unwrap_or_else(|e| die(&format!("pin backlog: {e}")));
+    std::thread::sleep(Duration::from_millis(300));
+    let mut burst_shed = 0i64;
+    for _ in 0..4 {
+        if roundtrip(&socket_burst, "").contains("resource exhausted") {
+            burst_shed += 1;
+        }
+    }
+    drop(pin_worker);
+    drop(pin_backlog);
+    std::thread::sleep(Duration::from_millis(200));
+    let scrape_burst = roundtrip(&socket_burst, "stats\n");
+    let pool_shed = metric(&scrape_burst, "pool_shed_connections");
+    stop_daemon(&socket_burst, burst_daemon);
+
     // --- verify: daemon ≡ batch, autotuned ≡ default table ---------------
     let mut verified_subspaces = 0i64;
     let mut autotune_equal = true;
@@ -221,6 +297,17 @@ fn main() {
             die("daemon transcript diverged from in-process run_batch");
         }
         verified_subspaces = queries_per_rep as i64;
+        if wal_records != 2 {
+            die(&format!(
+                "wal daemon logged {wal_records} records, expected 2 (insert + delete)"
+            ));
+        }
+        if burst_shed < 1 || pool_shed < burst_shed {
+            die(&format!(
+                "overload burst did not shed: {burst_shed} refusals seen, \
+                 {pool_shed} counted by the daemon"
+            ));
+        }
 
         let socket2 = dir.join("daemon-noautotune.sock");
         let plain = spawn_daemon(&bin, &csv, &socket2, &["--no-autotune"]);
@@ -256,9 +343,17 @@ fn main() {
         served
     );
     println!(
+        "daemon + wal:             {} per rep ({} total, {:.2}× plain daemon, \
+         {wal_records} records logged)",
+        secs(daemon_wal_seconds / reps as f64),
+        secs(daemon_wal_seconds),
+        wal_ratio
+    );
+    println!(
         "speedup:  {speedup:.1}× over cold one-shot, {speedup_prebuilt:.1}× over \
          prebuilt-cube one-shot"
     );
+    println!("overload: {burst_shed} of 4 burst connections shed ({pool_shed} counted)");
 
     let record = JsonRecord::new()
         .str(
@@ -279,6 +374,11 @@ fn main() {
         .num("oneshot_cold_seconds", cold_seconds)
         .num("oneshot_prebuilt_seconds", prebuilt_seconds)
         .num("daemon_seconds", daemon_seconds)
+        .num("daemon_wal_seconds", daemon_wal_seconds)
+        .num("wal_ratio", wal_ratio)
+        .int("wal_records", wal_records)
+        .int("burst_shed", burst_shed)
+        .int("pool_shed_connections", pool_shed)
         .num("speedup", speedup)
         .num("speedup_vs_prebuilt", speedup_prebuilt)
         .num("daemon_qps", qps)

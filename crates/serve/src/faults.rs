@@ -11,6 +11,13 @@
 //! slow-route=50          sleep 50 ms inside every skyline query
 //! corrupt-cube           flip bytes in a serialized cube before loading
 //! poison-cache           poison the subspace cache's lock before the batch
+//! kill-mid-mutation      abort the process after the 1st WAL append,
+//!                        before the engine patches (kill-mid-mutation=N
+//!                        for the Nth) — the crash-recovery worst case
+//! torn-wal-tail=13       append 13 garbage bytes to the WAL before the
+//!                        daemon opens it, forcing the truncation path
+//! slow-client=50         sleep 50 ms after each chunk read from a
+//!                        connection, simulating a dribbling client
 //! seed=42                seed for the deterministic corruption rng
 //! ```
 //!
@@ -39,6 +46,16 @@ pub struct FaultPlan {
     pub corrupt_cube: bool,
     /// Poison the subspace cache's lock before running the batch.
     pub poison_cache: bool,
+    /// `kill -9` the process (via `std::process::abort`) right after the
+    /// `n`-th WAL record is fsync'd and *before* the engine patches — the
+    /// worst-case crash point the recovery contract must survive.
+    pub kill_mid_mutation: Option<u64>,
+    /// Append this many garbage bytes to the WAL before opening it, so the
+    /// torn-tail truncation path provably fires.
+    pub torn_wal_tail: Option<u64>,
+    /// Dribble: sleep this long after every chunk read from a connection,
+    /// simulating a slow client pinning a pool worker.
+    pub slow_client: Option<Duration>,
     /// Seed for the deterministic corruption rng.
     pub seed: u64,
 }
@@ -78,6 +95,23 @@ impl FaultPlan {
                 "slow-route" => plan.slow_route = Some(Duration::from_millis(number("ms")?)),
                 "corrupt-cube" => plan.corrupt_cube = true,
                 "poison-cache" => plan.poison_cache = true,
+                "kill-mid-mutation" => {
+                    let nth = match value {
+                        Some(_) => number("nth")?,
+                        None => 1,
+                    };
+                    if nth == 0 {
+                        return Err("fault \"kill-mid-mutation\" nth must be >= 1".to_owned());
+                    }
+                    plan.kill_mid_mutation = Some(nth);
+                }
+                "torn-wal-tail" => {
+                    plan.torn_wal_tail = Some(match value {
+                        Some(_) => number("bytes")?,
+                        None => 13,
+                    });
+                }
+                "slow-client" => plan.slow_client = Some(Duration::from_millis(number("ms")?)),
                 "seed" => plan.seed = number("seed")?,
                 _ => return Err(format!("unknown fault {key:?} in spec {spec:?}")),
             }
@@ -91,6 +125,9 @@ impl FaultPlan {
             || self.slow_route.is_some()
             || self.corrupt_cube
             || self.poison_cache
+            || self.kill_mid_mutation.is_some()
+            || self.torn_wal_tail.is_some()
+            || self.slow_client.is_some()
     }
 }
 
@@ -231,9 +268,20 @@ mod tests {
         assert!(plan.corrupt_cube && plan.poison_cache);
         assert!(!FaultPlan::parse("").unwrap().is_active());
 
+        let plan = FaultPlan::parse("kill-mid-mutation,torn-wal-tail,slow-client=25").unwrap();
+        assert_eq!(plan.kill_mid_mutation, Some(1));
+        assert_eq!(plan.torn_wal_tail, Some(13));
+        assert_eq!(plan.slow_client, Some(Duration::from_millis(25)));
+        assert!(plan.is_active());
+        let plan = FaultPlan::parse("kill-mid-mutation=3,torn-wal-tail=64").unwrap();
+        assert_eq!(plan.kill_mid_mutation, Some(3));
+        assert_eq!(plan.torn_wal_tail, Some(64));
+
         assert!(FaultPlan::parse("panic-route=0").is_err());
         assert!(FaultPlan::parse("panic-route=x").is_err());
         assert!(FaultPlan::parse("slow-route").is_err());
+        assert!(FaultPlan::parse("kill-mid-mutation=0").is_err());
+        assert!(FaultPlan::parse("slow-client").is_err());
         assert!(FaultPlan::parse("warp-core-breach").is_err());
         assert!(FaultPlan::parse("seed=").is_err());
     }

@@ -44,9 +44,11 @@ mod error;
 mod fallback;
 #[cfg(feature = "faults")]
 pub mod faults;
+mod pool;
 mod shard;
 mod source;
 pub mod tuner;
+pub mod wal;
 mod workload;
 
 pub use batch::{
@@ -56,10 +58,12 @@ pub use cache::{CacheStats, CachedSource, GateOutcome, GenerationGate, SubspaceC
 pub use daemon::{Daemon, DaemonConfig, DaemonMetrics};
 pub use error::ServeError;
 pub use fallback::FallbackSource;
+pub use pool::{PoolConfig, PoolStream};
 pub use shard::{ShardPlan, ShardedCube, ShardedSource};
 pub use source::{
     AnchoredSubskySource, DirectSource, IndexStats, IndexedCubeSource, RouteStats, ScanCubeSource,
     SkyCubeSource, SkylineSource, SubskySource,
 };
-pub use tuner::{RouteTuner, TunerSnapshot};
+pub use tuner::{load_route_table, save_route_table, RouteTuner, TunerSnapshot};
+pub use wal::{recover, CheckpointData, Recovery, TornTail, Wal, WalOpen, WalRecord};
 pub use workload::{parse_query_line, parse_workload, Query};

@@ -1,0 +1,213 @@
+//! The daemon's bounded worker pool: fixed workers, a bounded accept
+//! queue, and shed-don't-queue on overflow.
+//!
+//! PR 9's listener spawned one thread per connection — under an overload
+//! burst that is unbounded thread creation and unbounded queueing, the two
+//! failure modes admission control exists to prevent. Here accept loops
+//! push connections into a bounded queue ([`WorkerPool`]) drained by a
+//! fixed set of workers; when the queue is full the connection is *shed*
+//! (a `ResourceExhausted`-formatted reply line, then close) through the
+//! same taxonomy the per-wave admission check uses, so an overload burst
+//! degrades into explicit refusals instead of latency collapse or OOM.
+//!
+//! [`PoolStream`] unifies the Unix-socket and TCP transports behind one
+//! `Read + Write` type with per-connection send/recv deadlines — both
+//! listeners speak the identical line protocol.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Sizing and deadlines for the daemon's connection pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Fixed number of worker threads draining the accept queue.
+    pub workers: usize,
+    /// Accepted-but-unserved connections the queue holds before shedding.
+    pub backlog: usize,
+    /// Per-connection send/recv deadline: a peer that stalls a read or
+    /// write mid-exchange longer than this is reaped.
+    pub io_timeout: Duration,
+    /// A connection idle (no pending bytes, nothing in flight) longer than
+    /// this is reaped so slow or abandoned clients cannot pin workers.
+    pub idle_timeout: Duration,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            workers: 4,
+            backlog: 64,
+            io_timeout: Duration::from_secs(10),
+            idle_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// One accepted connection, Unix-socket or TCP, behind a single
+/// `Read + Write` type with settable deadlines.
+#[derive(Debug)]
+pub enum PoolStream {
+    /// A connection accepted on the Unix socket listener.
+    Unix(UnixStream),
+    /// A connection accepted on the TCP listener.
+    Tcp(TcpStream),
+}
+
+impl PoolStream {
+    /// Arm the recv deadline: a blocking read past `timeout` returns
+    /// `WouldBlock`/`TimedOut` instead of stalling the worker forever.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            PoolStream::Unix(s) => s.set_read_timeout(timeout),
+            PoolStream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Arm the send deadline.
+    pub fn set_write_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            PoolStream::Unix(s) => s.set_write_timeout(timeout),
+            PoolStream::Tcp(s) => s.set_write_timeout(timeout),
+        }
+    }
+}
+
+impl Read for PoolStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            PoolStream::Unix(s) => s.read(buf),
+            PoolStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for PoolStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            PoolStream::Unix(s) => s.write(buf),
+            PoolStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            PoolStream::Unix(s) => s.flush(),
+            PoolStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// The bounded accept queue between listener threads and workers. The
+/// queue mutex recovers from poisoning the same way the daemon's stats
+/// mutexes do: the state is a plain deque of owned streams, coherent
+/// whether or not a holder panicked.
+#[derive(Debug)]
+pub(crate) struct WorkerPool {
+    queue: Mutex<VecDeque<PoolStream>>,
+    ready: Condvar,
+    backlog: usize,
+    depth: AtomicU64,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(backlog: usize) -> Self {
+        WorkerPool {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            backlog: backlog.max(1),
+            depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Accepted-but-unserved connections currently queued.
+    pub(crate) fn depth(&self) -> u64 {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Enqueue an accepted connection; hands the stream back (for the
+    /// shed reply) when the backlog is full.
+    pub(crate) fn push(&self, stream: PoolStream) -> Result<(), PoolStream> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.len() >= self.backlog {
+            return Err(stream);
+        }
+        q.push_back(stream);
+        self.depth.store(q.len() as u64, Ordering::Relaxed);
+        drop(q);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the next connection, waiting up to `tick`; `None` on
+    /// timeout so workers can check the shutdown flag.
+    pub(crate) fn pop(&self, tick: Duration) -> Option<PoolStream> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        if q.is_empty() {
+            let (guard, _timeout) = self
+                .ready
+                .wait_timeout(q, tick)
+                .unwrap_or_else(PoisonError::into_inner);
+            q = guard;
+        }
+        let stream = q.pop_front();
+        self.depth.store(q.len() as u64, Ordering::Relaxed);
+        stream
+    }
+
+    /// Take every queued-but-unserved connection (drain on shutdown).
+    pub(crate) fn drain(&self) -> Vec<PoolStream> {
+        let mut q = self.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let rest: Vec<PoolStream> = q.drain(..).collect();
+        self.depth.store(0, Ordering::Relaxed);
+        rest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> PoolStream {
+        let (a, _b) = UnixStream::pair().unwrap();
+        // Leak the peer so the stream stays open for the test's lifetime.
+        std::mem::forget(_b);
+        PoolStream::Unix(a)
+    }
+
+    #[test]
+    fn backlog_bounds_the_queue_and_hands_overflow_back() {
+        let pool = WorkerPool::new(2);
+        assert!(pool.push(pair()).is_ok());
+        assert!(pool.push(pair()).is_ok());
+        assert_eq!(pool.depth(), 2);
+        let overflow = pool.push(pair());
+        assert!(overflow.is_err(), "third push must shed");
+        assert_eq!(pool.depth(), 2);
+        assert!(pool.pop(Duration::from_millis(1)).is_some());
+        assert_eq!(pool.depth(), 1);
+        assert!(pool.push(pair()).is_ok(), "freed slot admits again");
+    }
+
+    #[test]
+    fn pop_times_out_on_an_empty_queue() {
+        let pool = WorkerPool::new(4);
+        let t = std::time::Instant::now();
+        assert!(pool.pop(Duration::from_millis(10)).is_none());
+        assert!(t.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn drain_takes_everything_queued() {
+        let pool = WorkerPool::new(4);
+        pool.push(pair()).unwrap();
+        pool.push(pair()).unwrap();
+        assert_eq!(pool.drain().len(), 2);
+        assert_eq!(pool.depth(), 0);
+        assert!(pool.pop(Duration::from_millis(1)).is_none());
+    }
+}

@@ -32,7 +32,82 @@
 use crate::source::hist_bucket;
 use skycube_stellar::{IndexProbe, MergeRoute, RouteTable};
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Mutex;
+
+/// Sidecar file magic for a persisted [`RouteTable`] (same magic+version+
+/// checksum conventions as the binary cube and the WAL).
+pub const SIDECAR_MAGIC: [u8; 8] = *b"SKYTUN01";
+
+/// Sidecar format version.
+pub const SIDECAR_VERSION: u32 = 1;
+
+const SIDECAR_ENDIAN_PROBE: u32 = 0x0102_0304;
+const SIDECAR_LEN: usize = 40;
+
+/// Persist a learned route table to `path` (tmp+rename, checksummed) so
+/// the next daemon boot starts from it instead of re-learning from the
+/// shipping default.
+pub fn save_route_table(path: &Path, table: &RouteTable) -> skycube_types::Result<()> {
+    let mut bytes = [0u8; SIDECAR_LEN];
+    bytes[0..8].copy_from_slice(&SIDECAR_MAGIC);
+    bytes[8..12].copy_from_slice(&SIDECAR_VERSION.to_ne_bytes());
+    bytes[12..16].copy_from_slice(&SIDECAR_ENDIAN_PROBE.to_ne_bytes());
+    bytes[16..20].copy_from_slice(&table.gallop_min_giant.to_ne_bytes());
+    bytes[20..24].copy_from_slice(&table.gallop_skew.to_ne_bytes());
+    bytes[24..28].copy_from_slice(&table.flat_max_runs.to_ne_bytes());
+    bytes[28..32].copy_from_slice(&table.heap_short_avg.to_ne_bytes());
+    let sum = skycube_types::checksum(&bytes[..32]);
+    bytes[32..40].copy_from_slice(&sum.to_ne_bytes());
+    let mut tmp = path.file_name().unwrap_or_default().to_os_string();
+    tmp.push(".tmp");
+    let tmp = path.with_file_name(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Load a route table persisted by [`save_route_table`]. Any defect —
+/// wrong length, magic, version, endianness, or checksum — is a structured
+/// [`skycube_types::Error::Corrupt`]; the caller falls back to the default
+/// table rather than serving from garbage thresholds.
+pub fn load_route_table(path: &Path) -> skycube_types::Result<RouteTable> {
+    let corrupt = |what: String| skycube_types::Error::Corrupt { line: 0, what };
+    let name = path.display();
+    let bytes = std::fs::read(path)?;
+    if bytes.len() != SIDECAR_LEN {
+        return Err(corrupt(format!(
+            "tuner sidecar {name}: {} bytes, expected {SIDECAR_LEN}",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != SIDECAR_MAGIC {
+        return Err(corrupt(format!("tuner sidecar {name}: bad magic")));
+    }
+    let word = |at: usize| u32::from_ne_bytes(bytes[at..at + 4].try_into().unwrap());
+    if word(8) != SIDECAR_VERSION {
+        return Err(corrupt(format!(
+            "tuner sidecar {name}: unsupported version {}",
+            word(8)
+        )));
+    }
+    if word(12) != SIDECAR_ENDIAN_PROBE {
+        return Err(corrupt(format!(
+            "tuner sidecar {name}: endianness mismatch"
+        )));
+    }
+    let stored = u64::from_ne_bytes(bytes[32..40].try_into().unwrap());
+    let actual = skycube_types::checksum(&bytes[..32]);
+    if stored != actual {
+        return Err(corrupt(format!("tuner sidecar {name}: checksum mismatch")));
+    }
+    Ok(RouteTable {
+        gallop_min_giant: word(16),
+        gallop_skew: word(20),
+        flat_max_runs: word(24),
+        heap_short_avg: word(28),
+    })
+}
 
 /// One exploration probe per this many eligible observations.
 pub const EXPLORE_PERIOD: u64 = 16;
@@ -147,6 +222,15 @@ impl RouteTuner {
     /// A tuner whose incumbent is [`RouteTable::DEFAULT`].
     pub fn new() -> Self {
         RouteTuner::default()
+    }
+
+    /// A tuner whose incumbent is a previously learned `table` (the
+    /// daemon's sidecar restore path): bucket statistics start empty, but
+    /// the learned thresholds survive the restart.
+    pub fn with_table(table: RouteTable) -> Self {
+        let tuner = RouteTuner::default();
+        tuner.lock().incumbent = table;
+        tuner
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, TunerInner> {
@@ -407,6 +491,49 @@ mod tests {
         assert_eq!(snap.recalibrations, 1);
         assert_eq!(snap.promotions, 0);
         assert_eq!(snap.table, RouteTable::DEFAULT);
+    }
+
+    #[test]
+    fn with_table_restores_the_incumbent() {
+        let learned = RouteTable {
+            flat_max_runs: 99,
+            ..RouteTable::DEFAULT
+        };
+        let tuner = RouteTuner::with_table(learned);
+        assert_eq!(tuner.snapshot().table, learned);
+        assert_eq!(tuner.snapshot().observations, 0);
+    }
+
+    #[test]
+    fn sidecar_roundtrips_and_rejects_corruption() {
+        let dir = std::env::temp_dir().join(format!("skycube-tuner-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("route.tuner");
+        let learned = RouteTable {
+            gallop_min_giant: 1024,
+            gallop_skew: 7,
+            flat_max_runs: 11,
+            heap_short_avg: 3,
+        };
+        save_route_table(&path, &learned).unwrap();
+        assert_eq!(load_route_table(&path).unwrap(), learned);
+        // Every single-byte corruption is caught as a structured error.
+        let good = std::fs::read(&path).unwrap();
+        for at in 0..good.len() {
+            let mut bad = good.clone();
+            bad[at] ^= 0x11;
+            std::fs::write(&path, &bad).unwrap();
+            match load_route_table(&path) {
+                Err(skycube_types::Error::Corrupt { what, .. }) => {
+                    assert!(what.contains("tuner sidecar"), "{what}");
+                }
+                other => panic!("byte {at}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // Truncation is caught too.
+        std::fs::write(&path, &good[..good.len() - 1]).unwrap();
+        assert!(load_route_table(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

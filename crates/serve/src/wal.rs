@@ -1,0 +1,1244 @@
+//! Durability for the resident daemon: a checksummed append-only mutation
+//! WAL, checkpoint manifests, and the crash-recovery driver.
+//!
+//! The contract is *fsync-before-apply*: every accepted `insert`/`delete`
+//! is appended to the log and fsync'd **with its generation stamp** before
+//! the engine patches the cube. A `kill -9` at any instant therefore loses
+//! at most mutations the client was never acknowledged for, and restart
+//! recovers exactly the cube a clean run would have produced: load the
+//! newest checkpoint (or rebuild from the base dataset when none exists),
+//! then replay every record stamped past it, in order, through the same
+//! [`StellarEngine`] maintenance path the live daemon uses.
+//!
+//! # Log layout
+//!
+//! All integers native-endian, same convention (and same four-lane FNV-1a
+//! [`checksum`]) as the binary cube format in
+//! `crates/stellar/src/persist/binary.rs`:
+//!
+//! ```text
+//! offset  size     field
+//! 0       8        magic "SKYWAL01"
+//! 8       4        format version (currently 1)
+//! 12      4        endian probe 0x0102_0304
+//! 16      4        dims
+//! 20      4        reserved (zero)
+//! 24      8        base generation (durable generation the log starts after)
+//! 32      8        FNV-1a checksum of bytes 0..32
+//! 40      ...      records
+//! ```
+//!
+//! Each record:
+//!
+//! ```text
+//! offset  size     field
+//! 0       4        kind (1 = insert, 2 = delete)
+//! 4       4        payload words (dims for insert, 1 for delete)
+//! 8       8        generation stamp (base + 1, base + 2, … contiguous)
+//! 16      8×words  payload (insert: the row's values; delete: the object id)
+//! ...     8        FNV-1a checksum of the record bytes above
+//! ```
+//!
+//! A torn or garbled tail — a partial record from a crash mid-append, or
+//! flipped bytes — is detected by length/kind/checksum/stamp validation,
+//! reported as a structured [`TornTail`] diagnostic, and truncated so the
+//! log is clean for the next append. It is **never** a panic, and a record
+//! that fails validation never reaches the engine.
+//!
+//! # Checkpoints
+//!
+//! [`write_checkpoint`] makes the durable prefix cheap to load again: the
+//! engine's rows (`<wal>.ckpt<G>.rows`, checksummed) and its cube in the
+//! PR 8 zero-copy binary format (`<wal>.ckpt<G>.cube`) are written via
+//! tmp+rename, and only then does the tiny manifest (`<wal>.meta`) commit
+//! the checkpoint by naming generation `G`. A crash anywhere in between
+//! leaves the previous checkpoint (or none) fully intact — generation-
+//! suffixed filenames mean a half-written successor never clobbers it.
+//! After the manifest commits, [`Wal::reset`] truncates the log to a fresh
+//! header based at `G`; replay skips records stamped ≤ the checkpoint
+//! generation, so a crash between manifest commit and log reset is also
+//! exact.
+
+use crate::error::ServeError;
+use skycube_stellar::{load_cube, save_cube_binary, CompressedSkylineCube, Stellar, StellarEngine};
+use skycube_types::{checksum, Dataset, Error, ObjId, Result, Value};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Log file magic. Distinct from the binary cube (`SKYBIN01`) and rows
+/// (`SKYROW01`) magics in many byte positions.
+pub const WAL_MAGIC: [u8; 8] = *b"SKYWAL01";
+
+/// Checkpoint rows-file magic.
+pub const ROWS_MAGIC: [u8; 8] = *b"SKYROW01";
+
+/// Checkpoint manifest magic.
+pub const META_MAGIC: [u8; 8] = *b"SKYCKM01";
+
+/// Current format version (shared by log, rows file, and manifest).
+pub const WAL_VERSION: u32 = 1;
+
+/// Written natively, compared on load — a mismatch means the file came
+/// from a machine with the other byte order and must be rejected.
+const ENDIAN_PROBE: u32 = 0x0102_0304;
+
+/// Fixed log header size in bytes.
+const WAL_HEADER_LEN: usize = 40;
+
+/// Fixed part of a record (kind, words, generation) in bytes.
+const RECORD_HEADER_LEN: usize = 16;
+
+/// Record kind tags.
+const KIND_INSERT: u32 = 1;
+const KIND_DELETE: u32 = 2;
+
+fn corrupt(what: impl Into<String>) -> Error {
+    Error::Corrupt {
+        line: 0,
+        what: what.into(),
+    }
+}
+
+fn read_u32(bytes: &[u8], at: usize) -> u32 {
+    u32::from_ne_bytes(bytes[at..at + 4].try_into().unwrap())
+}
+
+fn read_u64(bytes: &[u8], at: usize) -> u64 {
+    u64::from_ne_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// One durable mutation, exactly as stamped in the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// An accepted `insert`: the full row, stamped with the generation the
+    /// engine reached by applying it.
+    Insert {
+        /// Durable generation stamp (contiguous from the log's base).
+        generation: u64,
+        /// The inserted row (`dims` values).
+        row: Vec<Value>,
+    },
+    /// An accepted `delete` of the object that held `id` at that
+    /// generation (ids are positional; replay in stamp order is exact).
+    Delete {
+        /// Durable generation stamp.
+        generation: u64,
+        /// The deleted object id, valid at `generation - 1`.
+        id: ObjId,
+    },
+}
+
+impl WalRecord {
+    /// The record's durable generation stamp.
+    pub fn generation(&self) -> u64 {
+        match self {
+            WalRecord::Insert { generation, .. } | WalRecord::Delete { generation, .. } => {
+                *generation
+            }
+        }
+    }
+}
+
+/// Structured diagnostic for a torn or garbled log tail: which record
+/// failed, where, why, and how many valid records were kept. The failing
+/// record and everything after it were truncated away.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornTail {
+    /// 0-based index of the record that failed validation.
+    pub record: u64,
+    /// Byte offset of that record in the log file.
+    pub offset: u64,
+    /// What failed (truncation, bad kind, checksum mismatch, bad stamp).
+    pub reason: String,
+}
+
+impl std::fmt::Display for TornTail {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "torn wal tail: record {} at byte offset {} failed validation ({}); \
+             truncated the log there",
+            self.record, self.offset, self.reason
+        )
+    }
+}
+
+/// The checksummed append-only mutation log. See the module docs for the
+/// on-disk layout and the durability contract.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    dims: usize,
+    base_generation: u64,
+    records: u64,
+}
+
+/// What [`Wal::open`] found: the writable log positioned for append, every
+/// valid record in stamp order, and the torn-tail diagnostic if the file
+/// had to be truncated.
+#[derive(Debug)]
+pub struct WalOpen {
+    /// The log, ready for [`Wal::append_insert`] / [`Wal::append_delete`].
+    pub wal: Wal,
+    /// All valid records, in stamp order.
+    pub records: Vec<WalRecord>,
+    /// Present iff a torn/garbled tail was truncated.
+    pub torn: Option<TornTail>,
+}
+
+fn header_bytes(dims: usize, base_generation: u64) -> [u8; WAL_HEADER_LEN] {
+    let mut h = [0u8; WAL_HEADER_LEN];
+    h[0..8].copy_from_slice(&WAL_MAGIC);
+    h[8..12].copy_from_slice(&WAL_VERSION.to_ne_bytes());
+    h[12..16].copy_from_slice(&ENDIAN_PROBE.to_ne_bytes());
+    h[16..20].copy_from_slice(&(dims as u32).to_ne_bytes());
+    h[24..32].copy_from_slice(&base_generation.to_ne_bytes());
+    let sum = checksum(&h[..32]);
+    h[32..40].copy_from_slice(&sum.to_ne_bytes());
+    h
+}
+
+fn encode_record(kind: u32, generation: u64, payload: &[u64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(RECORD_HEADER_LEN + payload.len() * 8 + 8);
+    buf.extend_from_slice(&kind.to_ne_bytes());
+    buf.extend_from_slice(&(payload.len() as u32).to_ne_bytes());
+    buf.extend_from_slice(&generation.to_ne_bytes());
+    for word in payload {
+        buf.extend_from_slice(&word.to_ne_bytes());
+    }
+    let sum = checksum(&buf);
+    buf.extend_from_slice(&sum.to_ne_bytes());
+    buf
+}
+
+impl Wal {
+    /// Create a fresh log at `path` (truncating any existing file),
+    /// fsync'ing the header before returning.
+    pub fn create(path: &Path, dims: usize, base_generation: u64) -> Result<Wal> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        file.write_all(&header_bytes(dims, base_generation))?;
+        file.sync_data()?;
+        Ok(Wal {
+            file,
+            path: path.to_path_buf(),
+            dims,
+            base_generation,
+            records: 0,
+        })
+    }
+
+    /// Open (or create) the log at `path`, validating the header and every
+    /// record. A torn or garbled tail is truncated — with a [`TornTail`]
+    /// diagnostic, never a panic — so the log is clean for appends. A
+    /// missing or zero-length file becomes a fresh log based at
+    /// `base_if_fresh` (the checkpoint generation the caller recovered).
+    pub fn open(path: &Path, dims: usize, base_if_fresh: u64) -> Result<WalOpen> {
+        let mut file = match OpenOptions::new().read(true).write(true).open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(WalOpen {
+                    wal: Wal::create(path, dims, base_if_fresh)?,
+                    records: Vec::new(),
+                    torn: None,
+                });
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)?;
+        if bytes.is_empty() {
+            drop(file);
+            return Ok(WalOpen {
+                wal: Wal::create(path, dims, base_if_fresh)?,
+                records: Vec::new(),
+                torn: None,
+            });
+        }
+        if bytes.len() < WAL_HEADER_LEN {
+            // A crash while the header itself was being written: no record
+            // can exist yet, so nothing durable is lost by starting over —
+            // but only if the fragment is a prefix of the header we would
+            // write, otherwise this is not our file.
+            let expect = header_bytes(dims, base_if_fresh);
+            if bytes == expect[..bytes.len()] {
+                drop(file);
+                return Ok(WalOpen {
+                    wal: Wal::create(path, dims, base_if_fresh)?,
+                    records: Vec::new(),
+                    torn: None,
+                });
+            }
+            return Err(corrupt(format!(
+                "wal {}: {} bytes is shorter than the {WAL_HEADER_LEN}-byte header and not a \
+                 torn header prefix",
+                path.display(),
+                bytes.len()
+            )));
+        }
+        if bytes[..8] != WAL_MAGIC {
+            return Err(corrupt(format!(
+                "wal {}: bad magic (not a skycube wal)",
+                path.display()
+            )));
+        }
+        let version = read_u32(&bytes, 8);
+        if version != WAL_VERSION {
+            return Err(corrupt(format!(
+                "wal {}: unsupported version {version} (this build reads {WAL_VERSION})",
+                path.display()
+            )));
+        }
+        if read_u32(&bytes, 12) != ENDIAN_PROBE {
+            return Err(corrupt(format!(
+                "wal {}: endianness mismatch — written on a machine with the other byte order",
+                path.display()
+            )));
+        }
+        let file_dims = read_u32(&bytes, 16) as usize;
+        if file_dims != dims {
+            return Err(corrupt(format!(
+                "wal {}: logged mutations have {file_dims} dimensions, dataset has {dims}",
+                path.display()
+            )));
+        }
+        let base_generation = read_u64(&bytes, 24);
+        let stored = read_u64(&bytes, 32);
+        let actual = checksum(&bytes[..32]);
+        if stored != actual {
+            return Err(corrupt(format!(
+                "wal {}: header checksum mismatch (stored {stored:#018x}, computed {actual:#018x})",
+                path.display()
+            )));
+        }
+
+        let (records, torn) = scan_records(&bytes, dims, base_generation);
+        let good_end = records
+            .iter()
+            .map(record_len)
+            .fold(WAL_HEADER_LEN as u64, |at, len| at + len);
+        if torn.is_some() {
+            file.set_len(good_end)?;
+            file.sync_data()?;
+        }
+        file.seek(SeekFrom::Start(good_end))?;
+        let wal = Wal {
+            file,
+            path: path.to_path_buf(),
+            dims,
+            base_generation,
+            records: records.len() as u64,
+        };
+        Ok(WalOpen { wal, records, torn })
+    }
+
+    /// The durable generation the log starts after.
+    pub fn base_generation(&self) -> u64 {
+        self.base_generation
+    }
+
+    /// Valid records currently in the log.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The stamp the next appended record will carry.
+    pub fn next_generation(&self) -> u64 {
+        self.base_generation + self.records + 1
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append + fsync an insert record; returns its generation stamp. The
+    /// caller applies the mutation to the engine only after this returns.
+    pub fn append_insert(&mut self, row: &[Value]) -> Result<u64> {
+        if row.len() != self.dims {
+            return Err(Error::RowLengthMismatch {
+                row: 0,
+                expected: self.dims,
+                actual: row.len(),
+            });
+        }
+        let payload: Vec<u64> = row.iter().map(|&v| v as u64).collect();
+        self.append(KIND_INSERT, &payload)
+    }
+
+    /// Append + fsync a delete record; returns its generation stamp.
+    pub fn append_delete(&mut self, id: ObjId) -> Result<u64> {
+        self.append(KIND_DELETE, &[u64::from(id)])
+    }
+
+    fn append(&mut self, kind: u32, payload: &[u64]) -> Result<u64> {
+        let generation = self.next_generation();
+        let buf = encode_record(kind, generation, payload);
+        self.file.write_all(&buf)?;
+        self.file.sync_data()?;
+        self.records += 1;
+        Ok(generation)
+    }
+
+    /// fsync the log (drain hook; appends already fsync individually).
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Truncate the log to a fresh header based at `base_generation`
+    /// (checkpoint commit). Atomic: a fresh file is written and fsync'd at
+    /// a sibling tmp path, then renamed over the log — a crash at any
+    /// point leaves either the old log (whose records replay idempotently
+    /// past the checkpoint) or the new empty one.
+    pub fn reset(&mut self, base_generation: u64) -> Result<()> {
+        let tmp = sibling(&self.path, ".tmp");
+        let mut fresh = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)?;
+        fresh.write_all(&header_bytes(self.dims, base_generation))?;
+        fresh.sync_data()?;
+        std::fs::rename(&tmp, &self.path)?;
+        sync_parent_dir(&self.path);
+        self.file = fresh;
+        self.base_generation = base_generation;
+        self.records = 0;
+        Ok(())
+    }
+}
+
+/// Byte length of a record on disk.
+fn record_len(r: &WalRecord) -> u64 {
+    let words = match r {
+        WalRecord::Insert { row, .. } => row.len(),
+        WalRecord::Delete { .. } => 1,
+    };
+    (RECORD_HEADER_LEN + words * 8 + 8) as u64
+}
+
+/// Validate and decode records from `bytes` (past the header). Returns the
+/// valid prefix and, if validation failed anywhere, the structured
+/// diagnostic for the first bad record.
+fn scan_records(bytes: &[u8], dims: usize, base: u64) -> (Vec<WalRecord>, Option<TornTail>) {
+    let mut records = Vec::new();
+    let mut at = WAL_HEADER_LEN;
+    loop {
+        if at == bytes.len() {
+            return (records, None);
+        }
+        let index = records.len() as u64;
+        let torn = |reason: String| TornTail {
+            record: index,
+            offset: at as u64,
+            reason,
+        };
+        let rest = bytes.len() - at;
+        if rest < RECORD_HEADER_LEN {
+            return (
+                records,
+                Some(torn(format!(
+                    "truncated record header ({rest} of {RECORD_HEADER_LEN} bytes)"
+                ))),
+            );
+        }
+        let kind = read_u32(bytes, at);
+        let words = read_u32(bytes, at + 4) as usize;
+        let generation = read_u64(bytes, at + 8);
+        let expect_words = match kind {
+            KIND_INSERT => dims,
+            KIND_DELETE => 1,
+            other => {
+                return (records, Some(torn(format!("unknown record kind {other}"))));
+            }
+        };
+        if words != expect_words {
+            return (
+                records,
+                Some(torn(format!(
+                    "kind {kind} carries {words} payload words, expected {expect_words}"
+                ))),
+            );
+        }
+        let body_len = RECORD_HEADER_LEN + words * 8;
+        if rest < body_len + 8 {
+            return (
+                records,
+                Some(torn(format!(
+                    "truncated record body ({rest} of {} bytes)",
+                    body_len + 8
+                ))),
+            );
+        }
+        let stored = read_u64(bytes, at + body_len);
+        let actual = checksum(&bytes[at..at + body_len]);
+        if stored != actual {
+            return (
+                records,
+                Some(torn(format!(
+                    "checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"
+                ))),
+            );
+        }
+        let expect_gen = base + index + 1;
+        if generation != expect_gen {
+            return (
+                records,
+                Some(torn(format!(
+                    "generation stamp {generation}, expected {expect_gen}"
+                ))),
+            );
+        }
+        let record = match kind {
+            KIND_INSERT => WalRecord::Insert {
+                generation,
+                row: (0..dims)
+                    .map(|i| read_u64(bytes, at + RECORD_HEADER_LEN + i * 8) as Value)
+                    .collect(),
+            },
+            _ => {
+                let id = read_u64(bytes, at + RECORD_HEADER_LEN);
+                if id > u64::from(u32::MAX) {
+                    return (
+                        records,
+                        Some(torn(format!("delete object id {id} exceeds u32"))),
+                    );
+                }
+                WalRecord::Delete {
+                    generation,
+                    id: id as ObjId,
+                }
+            }
+        };
+        records.push(record);
+        at += body_len + 8;
+    }
+}
+
+/// `path` with `suffix` appended to its file name (keeps the directory).
+fn sibling(path: &Path, suffix: &str) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// Best-effort fsync of `path`'s parent directory so renames are durable.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(if parent.as_os_str().is_empty() {
+            Path::new(".")
+        } else {
+            parent
+        }) {
+            let _ = dir.sync_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+/// Manifest path for the checkpoint family rooted at `wal_path`.
+pub fn meta_path(wal_path: &Path) -> PathBuf {
+    sibling(wal_path, ".meta")
+}
+
+fn rows_path(wal_path: &Path, generation: u64) -> PathBuf {
+    sibling(wal_path, &format!(".ckpt{generation}.rows"))
+}
+
+fn cube_path(wal_path: &Path, generation: u64) -> PathBuf {
+    sibling(wal_path, &format!(".ckpt{generation}.cube"))
+}
+
+/// A loaded checkpoint: the rows and cube as of `generation`.
+#[derive(Debug)]
+pub struct CheckpointData {
+    /// The dataset at the checkpoint generation.
+    pub dataset: Dataset,
+    /// The cube at the checkpoint generation (index included, zero-copy).
+    pub cube: CompressedSkylineCube,
+    /// The durable generation the checkpoint holds.
+    pub generation: u64,
+}
+
+fn write_atomically(path: &Path, write: impl FnOnce(&Path) -> Result<()>) -> Result<()> {
+    let tmp = sibling(path, ".tmp");
+    write(&tmp)?;
+    // Re-open to fsync what the writer produced before the rename commits.
+    File::open(&tmp)?.sync_all()?;
+    std::fs::rename(&tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+fn rows_bytes(ds: &Dataset, generation: u64) -> Vec<u8> {
+    let count = ds.len() as u64;
+    let mut head = [0u8; 40];
+    head[0..8].copy_from_slice(&ROWS_MAGIC);
+    head[8..12].copy_from_slice(&WAL_VERSION.to_ne_bytes());
+    head[12..16].copy_from_slice(&ENDIAN_PROBE.to_ne_bytes());
+    head[16..20].copy_from_slice(&(ds.dims() as u32).to_ne_bytes());
+    head[24..32].copy_from_slice(&count.to_ne_bytes());
+    head[32..40].copy_from_slice(&generation.to_ne_bytes());
+    let mut out = Vec::with_capacity(48 + ds.len() * ds.dims() * 8 + 8);
+    out.extend_from_slice(&head);
+    out.extend_from_slice(&checksum(&head).to_ne_bytes());
+    for o in 0..ds.len() {
+        for &v in ds.row(o as ObjId) {
+            out.extend_from_slice(&(v as u64).to_ne_bytes());
+        }
+    }
+    let payload_sum = checksum(&out[48..]);
+    out.extend_from_slice(&payload_sum.to_ne_bytes());
+    out
+}
+
+fn parse_rows(bytes: &[u8], path: &Path) -> Result<(Dataset, u64)> {
+    let name = path.display();
+    if bytes.len() < 48 {
+        return Err(corrupt(format!(
+            "checkpoint rows {name}: truncated header ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != ROWS_MAGIC {
+        return Err(corrupt(format!("checkpoint rows {name}: bad magic")));
+    }
+    let version = read_u32(bytes, 8);
+    if version != WAL_VERSION {
+        return Err(corrupt(format!(
+            "checkpoint rows {name}: unsupported version {version}"
+        )));
+    }
+    if read_u32(bytes, 12) != ENDIAN_PROBE {
+        return Err(corrupt(format!(
+            "checkpoint rows {name}: endianness mismatch"
+        )));
+    }
+    let stored = read_u64(bytes, 40);
+    let actual = checksum(&bytes[..40]);
+    if stored != actual {
+        return Err(corrupt(format!(
+            "checkpoint rows {name}: header checksum mismatch"
+        )));
+    }
+    let dims = read_u32(bytes, 16) as usize;
+    let count = read_u64(bytes, 24);
+    let generation = read_u64(bytes, 32);
+    if count > u64::from(u32::MAX) || dims == 0 {
+        return Err(corrupt(format!(
+            "checkpoint rows {name}: implausible header (dims={dims}, count={count})"
+        )));
+    }
+    let count = count as usize;
+    let payload_len = count * dims * 8;
+    if bytes.len() != 48 + payload_len + 8 {
+        return Err(corrupt(format!(
+            "checkpoint rows {name}: {} bytes, layout needs {}",
+            bytes.len(),
+            48 + payload_len + 8
+        )));
+    }
+    let stored = read_u64(bytes, 48 + payload_len);
+    let actual = checksum(&bytes[48..48 + payload_len]);
+    if stored != actual {
+        return Err(corrupt(format!(
+            "checkpoint rows {name}: payload checksum mismatch"
+        )));
+    }
+    let rows: Vec<Vec<Value>> = (0..count)
+        .map(|r| {
+            (0..dims)
+                .map(|c| read_u64(bytes, 48 + (r * dims + c) * 8) as Value)
+                .collect()
+        })
+        .collect();
+    Ok((Dataset::from_rows(dims, rows)?, generation))
+}
+
+/// Write a checkpoint of `ds`/`cube` at durable `generation`. The manifest
+/// is committed last (tmp+rename), so a crash anywhere leaves the previous
+/// checkpoint intact; stale generation-suffixed files from older
+/// checkpoints are cleaned up after the commit.
+pub fn write_checkpoint(
+    wal_path: &Path,
+    ds: &Dataset,
+    cube: &CompressedSkylineCube,
+    generation: u64,
+) -> Result<()> {
+    write_atomically(&rows_path(wal_path, generation), |tmp| {
+        std::fs::write(tmp, rows_bytes(ds, generation))?;
+        Ok(())
+    })?;
+    write_atomically(&cube_path(wal_path, generation), |tmp| {
+        save_cube_binary(cube, tmp)
+    })?;
+    let mut meta = [0u8; 32];
+    meta[0..8].copy_from_slice(&META_MAGIC);
+    meta[8..12].copy_from_slice(&WAL_VERSION.to_ne_bytes());
+    meta[12..16].copy_from_slice(&ENDIAN_PROBE.to_ne_bytes());
+    meta[16..24].copy_from_slice(&generation.to_ne_bytes());
+    let sum = checksum(&meta[..24]);
+    meta[24..32].copy_from_slice(&sum.to_ne_bytes());
+    write_atomically(&meta_path(wal_path), |tmp| {
+        std::fs::write(tmp, meta)?;
+        Ok(())
+    })?;
+    cleanup_stale_checkpoints(wal_path, generation);
+    Ok(())
+}
+
+/// Remove generation-suffixed checkpoint files other than `keep`'s.
+fn cleanup_stale_checkpoints(wal_path: &Path, keep: u64) {
+    let (Some(dir), Some(name)) = (wal_path.parent(), wal_path.file_name()) else {
+        return;
+    };
+    let dir = if dir.as_os_str().is_empty() {
+        Path::new(".")
+    } else {
+        dir
+    };
+    let prefix = format!("{}.ckpt", name.to_string_lossy());
+    let keep_prefix = format!("{}.ckpt{keep}.", name.to_string_lossy());
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let file = entry.file_name();
+        let file = file.to_string_lossy();
+        if file.starts_with(&prefix) && !file.starts_with(&keep_prefix) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+/// Load the newest committed checkpoint for `wal_path`, if any. A missing
+/// manifest means "no checkpoint" (`Ok(None)`); a manifest that names
+/// files which fail validation is a structured [`Error::Corrupt`] — the
+/// caller decides whether a full replay can still recover exactly.
+pub fn read_checkpoint(wal_path: &Path, dims: usize) -> Result<Option<CheckpointData>> {
+    let meta = meta_path(wal_path);
+    let bytes = match std::fs::read(&meta) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let name = meta.display();
+    if bytes.len() != 32 {
+        return Err(corrupt(format!(
+            "checkpoint manifest {name}: {} bytes, expected 32",
+            bytes.len()
+        )));
+    }
+    if bytes[..8] != META_MAGIC {
+        return Err(corrupt(format!("checkpoint manifest {name}: bad magic")));
+    }
+    let version = read_u32(&bytes, 8);
+    if version != WAL_VERSION {
+        return Err(corrupt(format!(
+            "checkpoint manifest {name}: unsupported version {version}"
+        )));
+    }
+    if read_u32(&bytes, 12) != ENDIAN_PROBE {
+        return Err(corrupt(format!(
+            "checkpoint manifest {name}: endianness mismatch"
+        )));
+    }
+    let stored = read_u64(&bytes, 24);
+    let actual = checksum(&bytes[..24]);
+    if stored != actual {
+        return Err(corrupt(format!(
+            "checkpoint manifest {name}: checksum mismatch"
+        )));
+    }
+    let generation = read_u64(&bytes, 16);
+    let rows = rows_path(wal_path, generation);
+    let (dataset, rows_generation) = parse_rows(&std::fs::read(&rows)?, &rows)?;
+    if rows_generation != generation {
+        return Err(corrupt(format!(
+            "checkpoint rows {}: stamped generation {rows_generation}, manifest names \
+             {generation}",
+            rows.display()
+        )));
+    }
+    if dataset.dims() != dims {
+        return Err(corrupt(format!(
+            "checkpoint rows {}: {} dimensions, dataset has {dims}",
+            rows.display(),
+            dataset.dims()
+        )));
+    }
+    let cube = load_cube(cube_path(wal_path, generation))?;
+    if cube.dims() != dims || cube.num_objects() != dataset.len() {
+        return Err(corrupt(format!(
+            "checkpoint cube {}: shape {}d×{} objects does not match checkpoint rows \
+             {}d×{}",
+            cube_path(wal_path, generation).display(),
+            cube.dims(),
+            cube.num_objects(),
+            dataset.dims(),
+            dataset.len()
+        )));
+    }
+    Ok(Some(CheckpointData {
+        dataset,
+        cube,
+        generation,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+/// What crash recovery produced: a warm engine positioned at the durable
+/// generation, the log ready for appends, and the replay/torn diagnostics.
+pub struct Recovery {
+    /// The recovered engine: checkpoint (or base dataset) plus every
+    /// replayed mutation, byte-identical in answers to a clean run.
+    pub engine: StellarEngine,
+    /// The log, truncated clean and positioned for append.
+    pub wal: Wal,
+    /// Durable generation at the engine's in-memory generation 0 (the
+    /// checkpoint generation; 0 when recovery rebuilt from the dataset).
+    pub base_generation: u64,
+    /// Records replayed through the engine.
+    pub replayed: u64,
+    /// The torn-tail diagnostic, when the log had to be truncated.
+    pub torn: Option<TornTail>,
+    /// Whether a committed checkpoint seeded the engine.
+    pub from_checkpoint: bool,
+}
+
+/// Recover a serving engine from `wal_path`: load the newest checkpoint
+/// (falling back to `ds` when none is committed), open + validate the log,
+/// and replay every record stamped past the checkpoint through the same
+/// maintenance path the live daemon uses. The replayed engine answers
+/// byte-identically to an uninterrupted run. Fails with a structured error
+/// — never a panic — when exact recovery is impossible (e.g. the log was
+/// truncated at a checkpoint that is now unreadable).
+pub fn recover(
+    wal_path: &Path,
+    ds: &Dataset,
+    runner: Stellar,
+) -> std::result::Result<Recovery, ServeError> {
+    let checkpoint =
+        read_checkpoint(wal_path, ds.dims()).map_err(|e| ServeError::CorruptCube(e.to_string()))?;
+    let (mut engine, base_generation, from_checkpoint) = match checkpoint {
+        Some(c) => {
+            let engine = StellarEngine::with_cube(&c.dataset, c.cube, runner)
+                .map_err(|e| ServeError::CorruptCube(e.to_string()))?;
+            (engine, c.generation, true)
+        }
+        None => (StellarEngine::with_runner(ds, runner), 0, false),
+    };
+    let WalOpen { wal, records, torn } = Wal::open(wal_path, ds.dims(), base_generation)
+        .map_err(|e| ServeError::CorruptCube(e.to_string()))?;
+    if wal.base_generation() > base_generation {
+        return Err(ServeError::CorruptCube(format!(
+            "wal {} starts after generation {} but the newest committed checkpoint holds \
+             generation {base_generation}: the mutations between them are unrecoverable",
+            wal_path.display(),
+            wal.base_generation()
+        )));
+    }
+    let mut replayed = 0u64;
+    for record in &records {
+        if record.generation() <= base_generation {
+            continue; // already inside the checkpoint
+        }
+        let expected = base_generation + replayed + 1;
+        if record.generation() != expected {
+            return Err(ServeError::CorruptCube(format!(
+                "wal {}: replay expected generation {expected}, found record stamped {}",
+                wal_path.display(),
+                record.generation()
+            )));
+        }
+        match record {
+            WalRecord::Insert { row, .. } => {
+                engine.insert(row.clone()).map_err(|e| {
+                    ServeError::CorruptCube(format!(
+                        "wal {}: replaying insert at generation {expected}: {e}",
+                        wal_path.display()
+                    ))
+                })?;
+            }
+            WalRecord::Delete { id, .. } => {
+                engine.delete(*id).map_err(|e| {
+                    ServeError::CorruptCube(format!(
+                        "wal {}: replaying delete of object {id} at generation {expected}: {e}",
+                        wal_path.display()
+                    ))
+                })?;
+            }
+        }
+        replayed += 1;
+    }
+    Ok(Recovery {
+        engine,
+        wal,
+        base_generation,
+        replayed,
+        torn,
+        from_checkpoint,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use skycube_types::running_example;
+
+    fn dir() -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "skycube-wal-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// A mixed mutation stream against the running example (4 dims).
+    fn stream() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                generation: 1,
+                row: vec![9, 0, 11, 9],
+            },
+            WalRecord::Insert {
+                generation: 2,
+                row: vec![1, 1, 1, 1],
+            },
+            WalRecord::Delete {
+                generation: 3,
+                id: 5,
+            },
+            WalRecord::Insert {
+                generation: 4,
+                row: vec![-3, 7, 0, 2],
+            },
+            WalRecord::Delete {
+                generation: 5,
+                id: 0,
+            },
+        ]
+    }
+
+    fn write_stream(path: &Path) -> Vec<WalRecord> {
+        let mut wal = Wal::create(path, 4, 0).unwrap();
+        let records = stream();
+        for r in &records {
+            let stamp = match r {
+                WalRecord::Insert { row, .. } => wal.append_insert(row).unwrap(),
+                WalRecord::Delete { id, .. } => wal.append_delete(*id).unwrap(),
+            };
+            assert_eq!(stamp, r.generation());
+        }
+        records
+    }
+
+    #[test]
+    fn append_then_open_roundtrips_every_record() {
+        let path = dir().join("roundtrip.wal");
+        let records = write_stream(&path);
+        let opened = Wal::open(&path, 4, 0).unwrap();
+        assert_eq!(opened.records, records);
+        assert!(opened.torn.is_none());
+        assert_eq!(opened.wal.records(), 5);
+        assert_eq!(opened.wal.next_generation(), 6);
+    }
+
+    #[test]
+    fn open_creates_a_fresh_log_with_the_callers_base() {
+        let path = dir().join("fresh.wal");
+        let opened = Wal::open(&path, 3, 42).unwrap();
+        assert_eq!(opened.wal.base_generation(), 42);
+        assert_eq!(opened.wal.next_generation(), 43);
+        assert!(opened.records.is_empty());
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_with_a_diagnostic_at_every_prefix() {
+        let base = dir();
+        let path = base.join("full.wal");
+        let records = write_stream(&path);
+        let full = std::fs::read(&path).unwrap();
+        let mut offsets = vec![WAL_HEADER_LEN as u64];
+        for r in &records {
+            offsets.push(offsets.last().unwrap() + record_len(r));
+        }
+        for len in WAL_HEADER_LEN..full.len() {
+            let p = base.join(format!("torn-{len}.wal"));
+            std::fs::write(&p, &full[..len]).unwrap();
+            let opened = Wal::open(&p, 4, 0).unwrap();
+            // The valid prefix is exactly the records whose bytes are whole.
+            let kept = offsets.iter().filter(|&&o| o <= len as u64).count() - 1;
+            assert_eq!(opened.records, records[..kept], "prefix {len}");
+            if (len as u64) == offsets[kept] {
+                assert!(opened.torn.is_none(), "clean cut at {len} reported torn");
+            } else {
+                let torn = opened.torn.expect("torn tail not reported");
+                assert_eq!(torn.record, kept as u64);
+                assert_eq!(torn.offset, offsets[kept]);
+                assert!(torn.reason.contains("truncated"), "{}", torn.reason);
+            }
+            // The truncated log accepts a fresh append where the tail was.
+            let mut wal = opened.wal;
+            assert_eq!(wal.append_insert(&[7, 7, 7, 7]).unwrap(), kept as u64 + 1);
+            std::fs::remove_file(&p).unwrap();
+        }
+    }
+
+    #[test]
+    fn garbled_record_bytes_truncate_never_panic() {
+        let base = dir();
+        let path = base.join("flip.wal");
+        let records = write_stream(&path);
+        let full = std::fs::read(&path).unwrap();
+        for bit in 0..8 {
+            for at in WAL_HEADER_LEN..full.len() {
+                let p = base.join("flipped.wal");
+                let mut bytes = full.clone();
+                bytes[at] ^= 1 << bit;
+                std::fs::write(&p, &bytes).unwrap();
+                let opened = Wal::open(&p, 4, 0).unwrap();
+                let torn = opened.torn.expect("flip not detected");
+                assert!(opened.records.len() < records.len());
+                assert_eq!(opened.records, records[..opened.records.len()]);
+                assert!((torn.offset as usize) <= at);
+            }
+        }
+    }
+
+    #[test]
+    fn garbled_header_is_a_structured_error() {
+        let path = dir().join("header.wal");
+        write_stream(&path);
+        let good = std::fs::read(&path).unwrap();
+        for at in 0..WAL_HEADER_LEN {
+            let mut bad = good.clone();
+            bad[at] ^= 0x20;
+            std::fs::write(&path, &bad).unwrap();
+            match Wal::open(&path, 4, 0) {
+                Err(Error::Corrupt { what, .. }) => {
+                    assert!(what.contains("wal"), "{what}");
+                }
+                other => panic!("header byte {at}: expected Corrupt, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn dims_mismatch_is_rejected() {
+        let path = dir().join("dims.wal");
+        write_stream(&path);
+        match Wal::open(&path, 5, 0) {
+            Err(Error::Corrupt { what, .. }) => assert!(what.contains("dimensions"), "{what}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reset_truncates_to_a_new_base() {
+        let path = dir().join("reset.wal");
+        write_stream(&path);
+        let mut opened = Wal::open(&path, 4, 0).unwrap();
+        opened.wal.reset(5).unwrap();
+        assert_eq!(opened.wal.records(), 0);
+        assert_eq!(opened.wal.next_generation(), 6);
+        assert_eq!(opened.wal.append_delete(2).unwrap(), 6);
+        let reopened = Wal::open(&path, 4, 5).unwrap();
+        assert_eq!(reopened.wal.base_generation(), 5);
+        assert_eq!(
+            reopened.records,
+            vec![WalRecord::Delete {
+                generation: 6,
+                id: 2
+            }]
+        );
+    }
+
+    #[test]
+    fn replayed_engine_matches_directly_mutated_engine() {
+        let ds = running_example();
+        let path = dir().join("replay.wal");
+        let records = write_stream(&path);
+        // Reference: apply the stream directly.
+        let mut reference = StellarEngine::new(&ds);
+        let mut wal = Wal::create(&path, ds.dims(), 0).unwrap();
+        for r in &records {
+            match r {
+                WalRecord::Insert { row, .. } => {
+                    wal.append_insert(row).unwrap();
+                    reference.insert(row.clone()).unwrap();
+                }
+                WalRecord::Delete { id, .. } => {
+                    wal.append_delete(*id).unwrap();
+                    reference.delete(*id).unwrap();
+                }
+            }
+        }
+        drop(wal);
+        let rec = recover(&path, &ds, Stellar::new()).unwrap();
+        assert_eq!(rec.replayed, records.len() as u64);
+        assert!(!rec.from_checkpoint);
+        assert_eq!(rec.engine.generation(), reference.generation());
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                rec.engine.cube().subspace_skyline(space),
+                reference.cube().subspace_skyline(space),
+                "subspace {space} diverged after replay"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_stale_cleanup() {
+        let ds = running_example();
+        let path = dir().join("ckpt.wal");
+        let mut engine = StellarEngine::new(&ds);
+        engine.insert(vec![9, 0, 11, 9]).unwrap();
+        let snapshot = engine.dataset();
+        write_checkpoint(&path, &snapshot, engine.cube(), 1).unwrap();
+        let c = read_checkpoint(&path, ds.dims())
+            .unwrap()
+            .expect("committed");
+        assert_eq!(c.generation, 1);
+        assert_eq!(c.dataset.len(), 6);
+        engine.insert(vec![1, 1, 1, 1]).unwrap();
+        let snapshot2 = engine.dataset();
+        write_checkpoint(&path, &snapshot2, engine.cube(), 2).unwrap();
+        assert!(!rows_path(&path, 1).exists(), "stale rows survived");
+        assert!(!cube_path(&path, 1).exists(), "stale cube survived");
+        let c = read_checkpoint(&path, ds.dims())
+            .unwrap()
+            .expect("committed");
+        assert_eq!((c.generation, c.dataset.len()), (2, 7));
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                c.cube.subspace_skyline(space),
+                engine.cube().subspace_skyline(space)
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_from_checkpoint_plus_tail_is_exact() {
+        let ds = running_example();
+        let path = dir().join("ckpt-tail.wal");
+        let mut reference = StellarEngine::new(&ds);
+        let mut wal = Wal::create(&path, ds.dims(), 0).unwrap();
+        // Two mutations, checkpoint, two more — then recover.
+        for row in [vec![9, 0, 11, 9], vec![1, 1, 1, 1]] {
+            wal.append_insert(&row).unwrap();
+            reference.insert(row).unwrap();
+        }
+        let snapshot = reference.dataset();
+        write_checkpoint(&path, &snapshot, reference.cube(), 2).unwrap();
+        wal.reset(2).unwrap();
+        wal.append_delete(0).unwrap();
+        reference.delete(0).unwrap();
+        wal.append_insert(&[-3, 7, 0, 2]).unwrap();
+        reference.insert(vec![-3, 7, 0, 2]).unwrap();
+        drop(wal);
+        let rec = recover(&path, &ds, Stellar::new()).unwrap();
+        assert!(rec.from_checkpoint);
+        assert_eq!((rec.base_generation, rec.replayed), (2, 2));
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                rec.engine.cube().subspace_skyline(space),
+                reference.cube().subspace_skyline(space)
+            );
+        }
+    }
+
+    #[test]
+    fn crash_between_manifest_commit_and_log_reset_replays_idempotently() {
+        let ds = running_example();
+        let path = dir().join("ckpt-race.wal");
+        let mut reference = StellarEngine::new(&ds);
+        let mut wal = Wal::create(&path, ds.dims(), 0).unwrap();
+        for row in [vec![9, 0, 11, 9], vec![1, 1, 1, 1]] {
+            wal.append_insert(&row).unwrap();
+            reference.insert(row).unwrap();
+        }
+        let snapshot = reference.dataset();
+        // Manifest committed at generation 2 — but the crash happens before
+        // wal.reset(2): the log still holds records stamped 1 and 2.
+        write_checkpoint(&path, &snapshot, reference.cube(), 2).unwrap();
+        drop(wal);
+        let rec = recover(&path, &ds, Stellar::new()).unwrap();
+        assert!(rec.from_checkpoint);
+        assert_eq!((rec.base_generation, rec.replayed), (2, 0));
+        for space in ds.full_space().subsets() {
+            assert_eq!(
+                rec.engine.cube().subspace_skyline(space),
+                reference.cube().subspace_skyline(space)
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_log_without_its_checkpoint_is_unrecoverable_not_silent() {
+        let ds = running_example();
+        let path = dir().join("lost-ckpt.wal");
+        let mut wal = Wal::create(&path, ds.dims(), 7).unwrap();
+        wal.append_insert(&[1, 2, 3, 4]).unwrap();
+        drop(wal);
+        // No manifest on disk: the seven mutations before the log's base
+        // are gone, and recovery must say so rather than serve a wrong cube.
+        let err = match recover(&path, &ds, Stellar::new()) {
+            Err(e) => e,
+            Ok(_) => panic!("recovery with a lost checkpoint must fail"),
+        };
+        assert_eq!(err.kind(), "corrupt-cube");
+        assert!(err.to_string().contains("unrecoverable"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_structured_error() {
+        let ds = running_example();
+        let path = dir().join("bad-meta.wal");
+        let engine = StellarEngine::new(&ds);
+        let snapshot = engine.dataset();
+        write_checkpoint(&path, &snapshot, engine.cube(), 0).unwrap();
+        let meta = meta_path(&path);
+        let mut bytes = std::fs::read(&meta).unwrap();
+        bytes[20] ^= 0xff;
+        std::fs::write(&meta, &bytes).unwrap();
+        match read_checkpoint(&path, ds.dims()) {
+            Err(Error::Corrupt { what, .. }) => assert!(what.contains("manifest"), "{what}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_rows_file_is_a_structured_error() {
+        let ds = running_example();
+        let path = dir().join("bad-rows.wal");
+        let engine = StellarEngine::new(&ds);
+        let snapshot = engine.dataset();
+        write_checkpoint(&path, &snapshot, engine.cube(), 0).unwrap();
+        let rows = rows_path(&path, 0);
+        let mut bytes = std::fs::read(&rows).unwrap();
+        let last = bytes.len() - 9;
+        bytes[last] ^= 0x01;
+        std::fs::write(&rows, &bytes).unwrap();
+        match read_checkpoint(&path, ds.dims()) {
+            Err(Error::Corrupt { what, .. }) => assert!(what.contains("rows"), "{what}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

@@ -110,24 +110,41 @@ commands:
            --partition contiguous|hash (with --shards) selects the shard
            plan; hash is a diagnostic stub explaining the contiguous-id
            constraint
-  serve    --data FILE.csv [--socket PATH] [--threads N] [--cache N]
+  serve    --data FILE.csv [--socket PATH] [--listen HOST:PORT]
+           [--wal PATH] [--checkpoint-every N] [--tuner-state PATH]
+           [--workers N] [--backlog N] [--io-timeout-ms MS]
+           [--idle-timeout-ms MS] [--threads N] [--cache N]
            [--kernel scalar|columnar] [--deadline-ms MS] [--no-autotune]
            [--metrics] [--inject-faults SPEC]
            resident daemon: builds the engine once, keeps the serving
            index, subspace cache, scratch pool and route tuner warm, and
-           answers the query protocol on stdin (and, with --socket, on a
-           Unix socket, one thread per connection). Protocol verbs: the
-           query workload grammar plus 'skyband k ABD', 'insert v1..vd',
-           'delete ID', 'stats' (plain-text metrics block), 'quit' (close
-           connection; on stdin also stops the daemon) and 'shutdown'
-           (stop the daemon). --deadline-ms bounds each query AND arms
-           admission control: waves whose projected queue wait exceeds
-           the deadline are shed with a resource-exhausted error instead
-           of queueing. --metrics dumps the metrics block to stdout on
-           exit
-  connect  --socket PATH [--workload FILE|-]   client for serve: sends the
+           answers the query protocol on stdin (and, with --socket /
+           --listen, on a Unix socket and/or TCP listener through a
+           bounded worker pool: --workers fixed threads, a --backlog
+           accept queue that sheds on overflow, per-connection
+           --io-timeout-ms send/recv deadlines and --idle-timeout-ms
+           reaping). Protocol verbs: the query workload grammar plus
+           'skyband k ABD', 'insert v1..vd', 'delete ID', 'checkpoint',
+           'stats' (plain-text metrics block), 'quit' (close connection;
+           on stdin also stops the daemon) and 'shutdown' (graceful
+           drain: stop accepting, flush in-flight, fsync the WAL).
+           --wal PATH makes mutations durable: each accepted
+           insert/delete is fsync'd to the log before the engine
+           patches, and startup replays checkpoint + log tail
+           (recovered ≡ rebuilt); 'checkpoint' (or --checkpoint-every N
+           mutations) rewrites the snapshot and truncates the log.
+           --tuner-state PATH (default: WAL.tuner beside --wal) persists
+           the learned route table across restarts. --deadline-ms bounds
+           each query AND arms admission control: waves whose projected
+           per-verb queue wait exceeds the deadline are shed with a
+           resource-exhausted error instead of queueing. --metrics dumps
+           the metrics block to stdout on exit
+  connect  --socket PATH | --tcp HOST:PORT [--workload FILE|-]
+           [--timeout-ms MS] [--retries N]   client for serve: sends the
            workload (stdin by default) to a resident daemon and streams
-           the replies back";
+           the replies back; --retries N retries refused/reset connects
+           with exponential backoff + jitter, --timeout-ms bounds every
+           send and recv";
 
 type Opts = HashMap<String, String>;
 
@@ -711,17 +728,19 @@ fn stellar_cube_checked(
     stellar_cube(opts)
 }
 
-/// `serve`: build the engine once from `--data`, then answer the daemon
-/// protocol on stdin and (with `--socket PATH`) on a Unix socket with one
-/// thread per connection, all sharing the same warm index, cache, scratch
-/// pool and route tuner. See [`skycube::serve::daemon`] for the protocol.
+/// `serve`: build the engine once from `--data` (or recover it from a
+/// checkpoint + WAL with `--wal`), then answer the daemon protocol on
+/// stdin and — with `--socket PATH` and/or `--listen HOST:PORT` — through
+/// a bounded worker pool on the listeners, all sharing the same warm
+/// index, cache, scratch pool and route tuner. See
+/// [`skycube::serve::daemon`] for the protocol and durability contract.
 fn cmd_serve(opts: &Opts) -> Result<(), String> {
     use skycube::serve::daemon::ConnectionEnd;
     use std::sync::Arc;
 
     let ds = load_data(opts)?;
     let t = std::time::Instant::now();
-    let engine = StellarEngine::with_runner(&ds, runner(opts)?);
+    let run = runner(opts)?;
     let threads = match opts.get("threads") {
         Some(t) => {
             let threads: usize = num(t, "thread count")?;
@@ -745,6 +764,40 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
              (cargo build --release --features faults)"
             .to_owned());
     }
+    #[cfg(feature = "faults")]
+    let plan = match opts.get("inject-faults") {
+        Some(spec) => skycube::serve::faults::FaultPlan::parse(spec)?,
+        None => skycube::serve::faults::FaultPlan::default(),
+    };
+    let wal_path = opts.get("wal").map(std::path::PathBuf::from);
+    let checkpoint_every = match opts.get("checkpoint-every") {
+        Some(n) => {
+            let every: u64 = num(n, "checkpoint interval")?;
+            if every == 0 {
+                return Err("--checkpoint-every must be at least 1".to_owned());
+            }
+            if wal_path.is_none() {
+                return Err("--checkpoint-every needs --wal".to_owned());
+            }
+            Some(every)
+        }
+        None => None,
+    };
+    // The tuner sidecar rides beside the WAL by default; --tuner-state
+    // names it explicitly (and works without a WAL).
+    let tuner_path = opts
+        .get("tuner-state")
+        .map(std::path::PathBuf::from)
+        .or_else(|| wal_path.as_ref().map(|w| sidecar_path(w, ".tuner")));
+    let route_table = match &tuner_path {
+        Some(p) if p.exists() => {
+            let table = skycube::serve::load_route_table(p)
+                .map_err(|e| format!("tuner sidecar {}: {e}", p.display()))?;
+            eprintln!("# tuner: restored route table from {}", p.display());
+            Some(table)
+        }
+        _ => None,
+    };
     let config = DaemonConfig {
         cache_capacity: match opts.get("cache") {
             Some(n) => num::<usize>(n, "cache capacity")?,
@@ -753,14 +806,36 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         threads,
         deadline,
         autotune: !opts.contains_key("no-autotune"),
+        route_table,
         #[cfg(feature = "faults")]
-        plan: match opts.get("inject-faults") {
-            Some(spec) => skycube::serve::faults::FaultPlan::parse(spec)?,
-            None => skycube::serve::faults::FaultPlan::default(),
-        },
+        plan,
         ..DaemonConfig::default()
     };
-    let daemon = Arc::new(Daemon::new(engine, config));
+    // With --wal the engine comes out of crash recovery: committed
+    // checkpoint (if any) + replayed log tail ≡ a clean rebuild. Without
+    // one it is built fresh from --data.
+    let daemon = match &wal_path {
+        Some(path) => {
+            #[cfg(feature = "faults")]
+            if let Some(bytes) = plan.torn_wal_tail {
+                tear_wal_tail(path, bytes, plan.seed)?;
+            }
+            let rec = skycube::serve::recover(path, &ds, run).map_err(|e| e.to_string())?;
+            if let Some(torn) = &rec.torn {
+                eprintln!("# wal: {torn}");
+            }
+            eprintln!(
+                "# recovered: wal_replayed={} base_generation={} from_checkpoint={}",
+                rec.replayed, rec.base_generation, rec.from_checkpoint
+            );
+            Arc::new(Daemon::new(rec.engine, config).with_wal(
+                rec.wal,
+                rec.replayed,
+                checkpoint_every,
+            ))
+        }
+        None => Arc::new(Daemon::new(StellarEngine::with_runner(&ds, run), config)),
+    };
     // Status goes to stderr so protocol replies own stdout; the "ready"
     // line is what smoke scripts wait for.
     eprintln!(
@@ -770,28 +845,82 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
         ds.dims(),
         daemon.metrics().generation
     );
-    match opts.get("socket") {
-        Some(path) => {
-            eprintln!("# ready: listening on {path} (and stdin)");
-            // stdin is one more connection; `quit` there stops the whole
-            // daemon (there is no second chance to type into stdin), while
-            // EOF just detaches it and the listener keeps serving.
-            let d = Arc::clone(&daemon);
-            std::thread::spawn(move || {
-                let end = d.serve_connection(std::io::stdin().lock(), std::io::stdout().lock());
-                if matches!(end, Ok(ConnectionEnd::Quit)) {
-                    d.request_shutdown();
+    let pool = PoolConfig {
+        workers: match opts.get("workers") {
+            Some(n) => {
+                let w: usize = num(n, "worker count")?;
+                if w == 0 {
+                    return Err("--workers must be at least 1".to_owned());
                 }
-            });
-            daemon
-                .listen_unix(std::path::Path::new(path))
-                .map_err(|e| format!("listening on {path:?}: {e}"))?;
+                w
+            }
+            None => PoolConfig::default().workers,
+        },
+        backlog: match opts.get("backlog") {
+            Some(n) => num(n, "backlog size")?,
+            None => PoolConfig::default().backlog,
+        },
+        io_timeout: match opts.get("io-timeout-ms") {
+            Some(ms) => std::time::Duration::from_millis(num(ms, "io timeout (ms)")?),
+            None => PoolConfig::default().io_timeout,
+        },
+        idle_timeout: match opts.get("idle-timeout-ms") {
+            Some(ms) => std::time::Duration::from_millis(num(ms, "idle timeout (ms)")?),
+            None => PoolConfig::default().idle_timeout,
+        },
+    };
+    let socket = opts.get("socket");
+    let tcp = match opts.get("listen") {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("binding tcp {addr:?}: {e}"))?;
+            let bound = listener.local_addr().map_err(|e| e.to_string())?;
+            // The bound address (port 0 resolves here) is what smoke
+            // scripts and tests parse to find the daemon.
+            eprintln!("# ready: listening on tcp {bound}");
+            Some(listener)
         }
-        None => {
-            eprintln!("# ready: serving on stdin");
-            daemon
-                .serve_connection(std::io::stdin().lock(), std::io::stdout().lock())
-                .map_err(|e| e.to_string())?;
+        None => None,
+    };
+    if socket.is_some() || tcp.is_some() {
+        let unix = match socket {
+            Some(path) => {
+                let p = std::path::PathBuf::from(path);
+                let _ = std::fs::remove_file(&p);
+                let listener = std::os::unix::net::UnixListener::bind(&p)
+                    .map_err(|e| format!("binding {path:?}: {e}"))?;
+                eprintln!("# ready: listening on {path} (and stdin)");
+                Some((listener, p))
+            }
+            None => None,
+        };
+        // stdin is one more connection; `quit` there stops the whole
+        // daemon (there is no second chance to type into stdin), while
+        // EOF just detaches it and the listeners keep serving.
+        let d = Arc::clone(&daemon);
+        std::thread::spawn(move || {
+            let end = d.serve_connection(std::io::stdin().lock(), std::io::stdout().lock());
+            if matches!(end, Ok(ConnectionEnd::Quit)) {
+                d.request_shutdown();
+            }
+        });
+        daemon
+            .serve_bound(unix, tcp, pool)
+            .map_err(|e| format!("serving listeners: {e}"))?;
+    } else {
+        eprintln!("# ready: serving on stdin");
+        daemon
+            .serve_connection(std::io::stdin().lock(), std::io::stdout().lock())
+            .map_err(|e| e.to_string())?;
+        daemon.sync_wal();
+    }
+    // Persist what the tuner learned so the next boot starts from the
+    // incumbent instead of re-exploring.
+    if let (Some(path), Some(tuner)) = (&tuner_path, daemon.tuner()) {
+        let table = tuner.snapshot().table;
+        match skycube::serve::save_route_table(path, &table) {
+            Ok(()) => eprintln!("# tuner: saved route table to {}", path.display()),
+            Err(e) => eprintln!("# tuner: failed to save route table: {e}"),
         }
     }
     if opts.contains_key("metrics") {
@@ -800,13 +929,188 @@ fn cmd_serve(opts: &Opts) -> Result<(), String> {
     Ok(())
 }
 
+/// `path` with `suffix` appended to its file name (`d.wal` → `d.wal.tuner`).
+fn sidecar_path(path: &std::path::Path, suffix: &str) -> std::path::PathBuf {
+    let mut name = path.file_name().map_or_else(
+        || std::ffi::OsString::from("wal"),
+        std::ffi::OsStr::to_os_string,
+    );
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
+/// The `torn-wal-tail` fault: append deterministic garbage to the WAL
+/// before the daemon opens it, so recovery provably exercises the
+/// truncation path (and reports the [`skycube::serve::TornTail`]
+/// diagnostic).
+#[cfg(feature = "faults")]
+fn tear_wal_tail(path: &std::path::Path, bytes: u64, seed: u64) -> Result<(), String> {
+    use std::io::Write;
+    if !path.exists() {
+        eprintln!(
+            "# fault: torn-wal-tail skipped (no wal at {})",
+            path.display()
+        );
+        return Ok(());
+    }
+    // A cheap deterministic byte stream; xorshift so the garbage is
+    // reproducible from the plan's seed alone.
+    let mut x = seed | 1;
+    let garbage: Vec<u8> = (0..bytes)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x as u8
+        })
+        .collect();
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| format!("tearing wal tail: {e}"))?;
+    f.write_all(&garbage)
+        .map_err(|e| format!("tearing wal tail: {e}"))?;
+    eprintln!(
+        "# fault: appended {bytes} garbage bytes to {}",
+        path.display()
+    );
+    Ok(())
+}
+
+/// The two transports `connect` speaks, behind one read/write surface.
+enum ClientStream {
+    Unix(std::os::unix::net::UnixStream),
+    Tcp(std::net::TcpStream),
+}
+
+impl ClientStream {
+    fn set_timeouts(&self, timeout: Option<std::time::Duration>) -> std::io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            ClientStream::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+
+    fn shutdown_write(&self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            ClientStream::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+}
+
+impl std::io::Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl std::io::Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// Whether a connect failure is worth retrying: the daemon may still be
+/// binding (refused / socket file not there yet) or shedding (reset).
+fn transient_connect_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::NotFound
+    )
+}
+
+/// Connect with `--retries` exponential backoff + jitter. The jitter is a
+/// cheap xorshift seeded from the clock and pid — its only job is to keep
+/// a fleet of retrying clients from re-stampeding in lockstep.
+fn connect_with_retries(
+    dial: &dyn Fn() -> std::io::Result<ClientStream>,
+    what: &str,
+    retries: u64,
+) -> Result<ClientStream, String> {
+    let mut jitter = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(1, |d| d.subsec_nanos() as u64)
+        ^ u64::from(std::process::id())
+        | 1;
+    let mut roll = |bound: u64| {
+        jitter ^= jitter << 13;
+        jitter ^= jitter >> 7;
+        jitter ^= jitter << 17;
+        if bound == 0 {
+            0
+        } else {
+            jitter % bound
+        }
+    };
+    let mut attempt = 0u64;
+    loop {
+        match dial() {
+            Ok(stream) => return Ok(stream),
+            Err(e) if attempt < retries && transient_connect_error(&e) => {
+                let backoff = std::time::Duration::from_millis(50)
+                    .saturating_mul(1u32 << attempt.min(10) as u32)
+                    .min(std::time::Duration::from_secs(2));
+                let delay = backoff
+                    + std::time::Duration::from_millis(roll(
+                        (backoff.as_millis() as u64 / 2).max(1),
+                    ));
+                eprintln!(
+                    "# retry {}/{retries}: connecting to {what}: {e}; backing off {delay:.0?}",
+                    attempt + 1
+                );
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+            Err(e) => return Err(format!("connecting to {what}: {e}")),
+        }
+    }
+}
+
 /// `connect`: client for `serve` — send a workload (file or stdin) to a
-/// resident daemon over its Unix socket, half-close, and stream the reply
-/// lines to stdout until the daemon is done with us.
+/// resident daemon over its Unix socket (`--socket`) or TCP endpoint
+/// (`--tcp`), half-close, and stream the reply lines to stdout until the
+/// daemon is done with us. `--retries N` retries refused/reset connects
+/// with exponential backoff + jitter; `--timeout-ms` bounds every send and
+/// recv on the wire.
 fn cmd_connect(opts: &Opts) -> Result<(), String> {
     use std::io::{Read, Write};
 
-    let path = req(opts, "socket")?;
+    let retries = match opts.get("retries") {
+        Some(n) => num::<u64>(n, "retry count")?,
+        None => 0,
+    };
+    let timeout = match opts.get("timeout-ms") {
+        Some(ms) => {
+            let ms: u64 = num(ms, "timeout (ms)")?;
+            if ms == 0 {
+                return Err("--timeout-ms must be at least 1".to_owned());
+            }
+            Some(std::time::Duration::from_millis(ms))
+        }
+        None => None,
+    };
     let text = match opts.get("workload").map(String::as_str) {
         None | Some("-") => {
             let mut buf = String::new();
@@ -819,8 +1123,27 @@ fn cmd_connect(opts: &Opts) -> Result<(), String> {
             std::fs::read_to_string(file).map_err(|e| format!("reading workload {file:?}: {e}"))?
         }
     };
-    let mut stream = std::os::unix::net::UnixStream::connect(path)
-        .map_err(|e| format!("connecting to {path:?}: {e}"))?;
+    let mut stream = match (opts.get("socket"), opts.get("tcp")) {
+        (Some(path), None) => {
+            let path = path.clone();
+            connect_with_retries(
+                &move || std::os::unix::net::UnixStream::connect(&path).map(ClientStream::Unix),
+                &format!("{:?}", req(opts, "socket")?),
+                retries,
+            )?
+        }
+        (None, Some(addr)) => {
+            let addr = addr.clone();
+            connect_with_retries(
+                &move || std::net::TcpStream::connect(&addr).map(ClientStream::Tcp),
+                &format!("tcp {:?}", req(opts, "tcp")?),
+                retries,
+            )?
+        }
+        (Some(_), Some(_)) => return Err("--socket and --tcp are mutually exclusive".to_owned()),
+        (None, None) => return Err("missing --socket (or --tcp HOST:PORT)".to_owned()),
+    };
+    stream.set_timeouts(timeout).map_err(|e| e.to_string())?;
     stream
         .write_all(text.as_bytes())
         .map_err(|e| e.to_string())?;
@@ -829,9 +1152,7 @@ fn cmd_connect(opts: &Opts) -> Result<(), String> {
     }
     // Half-close so the daemon sees EOF after the workload and finishes
     // the connection once every reply has been written.
-    stream
-        .shutdown(std::net::Shutdown::Write)
-        .map_err(|e| e.to_string())?;
+    stream.shutdown_write().map_err(|e| e.to_string())?;
     let mut stdout = std::io::stdout().lock();
     std::io::copy(&mut stream, &mut stdout).map_err(|e| e.to_string())?;
     Ok(())

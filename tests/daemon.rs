@@ -6,9 +6,11 @@
 use skycube::prelude::*;
 use skycube::stellar::Stellar;
 use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn dataset() -> Dataset {
     generate(Distribution::Independent, 300, 4, 11)
@@ -180,4 +182,164 @@ fn quit_closes_one_connection_and_the_daemon_survives() {
     let again = roundtrip(&path, "count 17\n");
     assert_eq!(again, "count 17 -> 0\n");
     shut_down(&daemon, &path, handle);
+}
+
+// ---------------------------------------------------------------------------
+// Bounded worker pool: TCP + Unix listeners, shed, reap, graceful drain
+// ---------------------------------------------------------------------------
+
+/// Start a daemon on a fresh Unix socket AND a loopback TCP port through
+/// the bounded worker pool. Both listeners are bound here, before the
+/// serving thread spawns, so no readiness polling is needed — the OS
+/// queues connections until the accept loops come up.
+fn start_bound(
+    ds: &Dataset,
+    pool: PoolConfig,
+    name: &str,
+) -> (
+    Arc<Daemon>,
+    PathBuf,
+    SocketAddr,
+    std::thread::JoinHandle<()>,
+) {
+    let engine = StellarEngine::new(ds);
+    let daemon = Arc::new(Daemon::new(engine, DaemonConfig::default()));
+    let path = std::env::temp_dir().join(format!(
+        "skycube-daemon-pool-{}-{name}.sock",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let unix = std::os::unix::net::UnixListener::bind(&path).expect("bind unix");
+    let tcp = TcpListener::bind("127.0.0.1:0").expect("bind tcp");
+    let addr = tcp.local_addr().expect("tcp local addr");
+    let server = Arc::clone(&daemon);
+    let at = path.clone();
+    let handle = std::thread::spawn(move || {
+        server
+            .serve_bound(Some((unix, at)), Some(tcp), pool)
+            .expect("serve_bound failed");
+    });
+    (daemon, path, addr, handle)
+}
+
+/// One TCP client exchange, mirroring [`roundtrip`].
+fn tcp_roundtrip(addr: SocketAddr, input: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect tcp");
+    stream.write_all(input.as_bytes()).expect("send");
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("receive");
+    out
+}
+
+/// Stop a pooled daemon via the protocol and join its serving thread.
+fn shut_down_bound(daemon: &Arc<Daemon>, path: &Path, handle: std::thread::JoinHandle<()>) {
+    let reply = roundtrip(path, "shutdown\n");
+    assert_eq!(reply, "", "shutdown itself answers nothing: {reply:?}");
+    handle.join().expect("serving thread");
+    assert!(daemon.is_shutting_down());
+    assert!(!path.exists(), "socket file survived shutdown");
+}
+
+#[test]
+fn tcp_and_unix_clients_get_identical_transcripts() {
+    let ds = dataset();
+    let expect = expected_transcript(&ds, DominanceKernel::default());
+    let (daemon, path, addr, handle) = start_bound(&ds, PoolConfig::default(), "tcp");
+    let over_tcp = tcp_roundtrip(addr, WORKLOAD);
+    let over_unix = roundtrip(&path, WORKLOAD);
+    assert_eq!(over_tcp, expect, "tcp transcript diverged from run_batch");
+    assert_eq!(over_unix, expect, "unix transcript diverged from run_batch");
+    let metrics = daemon.metrics();
+    assert_eq!(metrics.connections, 2);
+    assert_eq!(metrics.queries, 2 * 8);
+    assert_eq!(metrics.errors, 0);
+    shut_down_bound(&daemon, &path, handle);
+}
+
+#[test]
+fn overload_burst_sheds_with_resource_exhausted_and_queued_work_survives() {
+    let ds = dataset();
+    let pool = PoolConfig {
+        workers: 1,
+        backlog: 1,
+        ..PoolConfig::default()
+    };
+    let (daemon, path, addr, handle) = start_bound(&ds, pool, "shed");
+    // A occupies the only worker (it holds the connection open, sending
+    // nothing), B fills the one-slot backlog, so C must be shed with a
+    // structured refusal instead of queueing past the bound.
+    let a = TcpStream::connect(addr).expect("conn a");
+    std::thread::sleep(Duration::from_millis(300));
+    let mut b = TcpStream::connect(addr).expect("conn b");
+    b.write_all(b"count 17\n").expect("send b");
+    b.shutdown(std::net::Shutdown::Write).expect("half-close b");
+    std::thread::sleep(Duration::from_millis(300));
+    let mut c = TcpStream::connect(addr).expect("conn c");
+    let mut refusal = String::new();
+    c.read_to_string(&mut refusal).expect("read refusal");
+    assert!(
+        refusal.contains("resource exhausted") && refusal.contains("backlog full"),
+        "shed reply not a structured refusal: {refusal:?}"
+    );
+    assert!(daemon.metrics().pool_shed >= 1, "shed went uncounted");
+    // Dropping A frees the worker: the queued connection is served, not
+    // dropped — shedding only ever refuses what never fit the bound.
+    drop(a);
+    let mut reply = String::new();
+    b.read_to_string(&mut reply).expect("read b");
+    assert_eq!(reply, "count 17 -> 0\n");
+    shut_down_bound(&daemon, &path, handle);
+}
+
+#[test]
+fn idle_connections_are_reaped_after_the_idle_timeout() {
+    let ds = dataset();
+    let pool = PoolConfig {
+        idle_timeout: Duration::from_millis(100),
+        ..PoolConfig::default()
+    };
+    let (daemon, path, addr, handle) = start_bound(&ds, pool, "reap");
+    let mut idler = TcpStream::connect(addr).expect("connect");
+    let mut out = String::new();
+    idler.read_to_string(&mut out).expect("read");
+    assert_eq!(out, "", "reaped connection was answered: {out:?}");
+    assert_eq!(daemon.metrics().connections_reaped, 1);
+    // The reap freed the worker; fresh traffic is unaffected.
+    assert_eq!(tcp_roundtrip(addr, "count 17\n"), "count 17 -> 0\n");
+    shut_down_bound(&daemon, &path, handle);
+}
+
+#[test]
+fn shutdown_drains_inflight_connections_without_dropping_queries() {
+    let ds = dataset();
+    let expect = expected_transcript(&ds, DominanceKernel::default());
+    let pool = PoolConfig {
+        workers: 1,
+        ..PoolConfig::default()
+    };
+    let (daemon, path, addr, handle) = start_bound(&ds, pool, "drain");
+    // A is adopted by the only worker; the shutdown arrives on B, queued
+    // behind it — the daemon is told to stop while A is mid-flight.
+    let mut a = TcpStream::connect(addr).expect("conn a");
+    std::thread::sleep(Duration::from_millis(200));
+    let mut b = TcpStream::connect(addr).expect("conn b");
+    b.write_all(b"shutdown\n").expect("send shutdown");
+    b.shutdown(std::net::Shutdown::Write).expect("half-close b");
+    std::thread::sleep(Duration::from_millis(200));
+    // Every in-flight query still gets its answer before the stop.
+    a.write_all(WORKLOAD.as_bytes()).expect("send workload");
+    a.shutdown(std::net::Shutdown::Write).expect("half-close a");
+    let mut transcript = String::new();
+    a.read_to_string(&mut transcript).expect("read a");
+    assert_eq!(transcript, expect, "drain dropped in-flight queries");
+    let mut out = String::new();
+    b.read_to_string(&mut out).expect("read b");
+    assert_eq!(out, "", "shutdown itself answers nothing: {out:?}");
+    handle.join().expect("serving thread");
+    assert!(daemon.is_shutting_down());
+    assert!(!path.exists(), "socket file survived shutdown");
+    assert_eq!(daemon.metrics().errors, 0);
 }
